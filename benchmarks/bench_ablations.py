@@ -1,0 +1,69 @@
+"""Ablation benches (DESIGN.md Section 8): buffer sizing necessity,
+partition variants, steady vs greedy execution.
+
+``pytest benchmarks/bench_ablations.py --benchmark-only``
+"""
+
+from conftest import bench_population
+
+from repro.experiments.ablations import (
+    run_buffer_ablation,
+    run_pacing_ablation,
+    run_partition_ablation,
+)
+from repro.experiments.common import format_table
+
+
+def test_ablation_buffer_sizing(benchmark, save_table):
+    rows = benchmark.pedantic(
+        run_buffer_ablation, kwargs={"num_graphs": bench_population(15)},
+        rounds=1, iterations=1,
+    )
+    save_table(
+        "ablation_buffers",
+        "Ablation — deadlocks with Section 6 sizing vs minimal FIFOs\n"
+        + format_table(
+            ["topology", "#PEs", "deadlocks(sized)", "deadlocks(cap=1)", "n"],
+            [[r.topology, r.num_pes, r.deadlocks_sized, r.deadlocks_cap1, r.n]
+             for r in rows],
+        ),
+    )
+    assert all(r.deadlocks_sized == 0 for r in rows)
+
+
+def test_ablation_partition_variants(benchmark, save_table):
+    rows = benchmark.pedantic(
+        run_partition_ablation, kwargs={"num_graphs": bench_population(15)},
+        rounds=1, iterations=1,
+    )
+    save_table(
+        "ablation_partition",
+        "Ablation — SB-LTS vs SB-RLX vs work-ordered partitioning\n"
+        + format_table(
+            ["topology", "#PEs", "variant", "blocks", "fill", "makespan"],
+            [[r.topology, r.num_pes, r.variant, f"{r.mean_blocks:6.1f}",
+              f"{r.mean_fill:5.2f}", f"{r.mean_makespan:10.0f}"] for r in rows],
+        ),
+    )
+    by = {}
+    for r in rows:
+        by.setdefault(r.topology, {})[r.variant] = r
+    for topo, variants in by.items():
+        assert variants["rlx"].mean_blocks <= variants["lts"].mean_blocks + 1e-9
+
+
+def test_ablation_pacing(benchmark, save_table):
+    rows = benchmark.pedantic(
+        run_pacing_ablation, kwargs={"num_graphs": bench_population(10)},
+        rounds=1, iterations=1,
+    )
+    save_table(
+        "ablation_pacing",
+        "Ablation — greedy (free-running) vs steady-state execution\n"
+        + format_table(
+            ["topology", "#PEs", "greedy gain %", "deadlocks", "n"],
+            [[r.topology, r.num_pes, f"{r.mean_speedup_pct:6.2f}",
+              r.deadlocks_greedy, r.n] for r in rows],
+        ),
+    )
+    assert all(r.mean_speedup_pct >= 0 for r in rows)

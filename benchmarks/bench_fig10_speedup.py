@@ -1,0 +1,35 @@
+"""Regenerates Figure 10: speedup distributions + PE utilization.
+
+``pytest benchmarks/bench_fig10_speedup.py --benchmark-only``
+"""
+
+from conftest import bench_population
+
+from repro.experiments.common import BOX_HEADER, format_table
+from repro.experiments.fig10_speedup import run
+
+
+def test_fig10_speedup(benchmark, save_table):
+    cells = benchmark.pedantic(
+        run, kwargs={"num_graphs": bench_population()}, rounds=1, iterations=1
+    )
+    headers = ["topology", "#PEs", "scheduler", *BOX_HEADER, "util%"]
+    rows = [
+        [c.topology, c.num_pes, c.scheduler, *c.speedups.row(),
+         f"{100 * c.mean_utilization:5.1f}"]
+        for c in cells
+    ]
+    save_table(
+        "fig10_speedup",
+        "Figure 10 — speedup over sequential execution\n"
+        + format_table(headers, rows),
+    )
+    # paper shape assertions: chain NSTR pinned at 1; streaming wins at
+    # the top of every sweep
+    by_key = {(c.topology, c.num_pes, c.scheduler): c for c in cells}
+    assert by_key[("chain", 8, "NSTR-SCH")].speedups.median == 1.0
+    for topo, top in (("chain", 8), ("fft", 128), ("gaussian", 128), ("cholesky", 128)):
+        assert (
+            by_key[(topo, top, "STR-SCH-2")].speedups.median
+            > by_key[(topo, top, "NSTR-SCH")].speedups.median
+        )

@@ -1,0 +1,31 @@
+"""Regenerates Figure 11: Streaming SLR distributions.
+
+``pytest benchmarks/bench_fig11_sslr.py --benchmark-only``
+"""
+
+from conftest import bench_population
+
+from repro.experiments.common import BOX_HEADER, format_table
+from repro.experiments.fig11_sslr import run
+
+
+def test_fig11_sslr(benchmark, save_table):
+    cells = benchmark.pedantic(
+        run, kwargs={"num_graphs": bench_population()}, rounds=1, iterations=1
+    )
+    headers = ["topology", "#PEs", "scheduler", *BOX_HEADER]
+    rows = [[c.topology, c.num_pes, c.scheduler, *c.sslr.row("{:8.3f}")] for c in cells]
+    save_table(
+        "fig11_sslr",
+        "Figure 11 — Streaming SLR (makespan / streaming depth)\n"
+        + format_table(headers, rows),
+    )
+    by_key = {(c.topology, c.num_pes, c.scheduler): c for c in cells}
+    # SSLR shrinks with more PEs and SB-RLX reaches ~1 at full width (chain)
+    for topo, sweep in (("chain", (2, 8)), ("fft", (32, 128)), ("gaussian", (32, 128))):
+        lo, hi = sweep
+        assert (
+            by_key[(topo, hi, "STR-SCH-2")].sslr.median
+            <= by_key[(topo, lo, "STR-SCH-2")].sslr.median
+        )
+    assert abs(by_key[("chain", 8, "STR-SCH-2")].sslr.median - 1.0) < 1e-9

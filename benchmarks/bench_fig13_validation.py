@@ -1,0 +1,32 @@
+"""Regenerates Figure 13 (Appendix B): DES validation of the analysis.
+
+``pytest benchmarks/bench_fig13_validation.py --benchmark-only``
+"""
+
+from conftest import bench_population
+
+from repro.experiments.common import BOX_HEADER, format_table
+from repro.experiments.fig13_validation import run
+
+
+def test_fig13_validation(benchmark, save_table):
+    cells = benchmark.pedantic(
+        run, kwargs={"num_graphs": bench_population(10)}, rounds=1, iterations=1
+    )
+    headers = ["topology", "#PEs", "scheduler", *BOX_HEADER, "deadlocks"]
+    rows = [
+        [c.topology, c.num_pes, c.scheduler, *c.error_pct.row("{:7.2f}"), c.deadlocks]
+        for c in cells
+    ]
+    save_table(
+        "fig13_validation",
+        "Figure 13 — relative error % analytic vs simulated makespan\n"
+        + format_table(headers, rows),
+    )
+    for c in cells:
+        # the paper's validation: computed buffer space suffices (no
+        # deadlock anywhere) and the steady-state analysis models the
+        # execution with near-zero median error
+        assert c.deadlocks == 0
+        assert abs(c.error_pct.median) <= 2.0
+        assert c.error_pct.q3 - c.error_pct.q1 <= 10.0

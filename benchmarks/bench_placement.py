@@ -1,0 +1,54 @@
+"""Placement extension bench: greedy centroid vs random placement.
+
+Quantifies NoC traffic (volume-weighted hops and hottest-link load)
+for schedules of the synthetic topologies on a 2D mesh.
+
+``pytest benchmarks/bench_placement.py --benchmark-only``
+"""
+
+from conftest import bench_population
+
+from repro import schedule_streaming
+from repro.experiments.common import format_table
+from repro.graphs import PAPER_SIZES, random_canonical_graph
+from repro.placement import mesh_for, place_schedule, random_placement
+
+
+def _run(num_graphs: int):
+    rows = []
+    for topo, size in PAPER_SIZES.items():
+        pes = 8 if topo == "chain" else 64
+        mesh = mesh_for(pes)
+        g_hops = r_hops = g_link = r_link = 0
+        for seed in range(num_graphs):
+            g = random_canonical_graph(topo, size, seed=seed)
+            s = schedule_streaming(g, pes, "rlx", size_buffers=False)
+            greedy = place_schedule(s, mesh)
+            rnd = random_placement(s, mesh, seed=seed)
+            g_hops += greedy.weighted_hops()
+            r_hops += rnd.weighted_hops()
+            g_link += greedy.max_link_load()
+            r_link += rnd.max_link_load()
+        rows.append(
+            (topo, pes, g_hops // num_graphs, r_hops // num_graphs,
+             r_hops / max(1, g_hops), g_link // num_graphs, r_link // num_graphs)
+        )
+    return rows
+
+
+def test_placement_traffic(benchmark, save_table):
+    rows = benchmark.pedantic(
+        _run, args=(bench_population(10),), rounds=1, iterations=1
+    )
+    save_table(
+        "placement_traffic",
+        "Placement extension — NoC traffic, greedy vs random\n"
+        + format_table(
+            ["topology", "#PEs", "hops(greedy)", "hops(random)", "ratio",
+             "link(greedy)", "link(random)"],
+            [[t, p, gh, rh, f"{ratio:5.2f}", gl, rl]
+             for t, p, gh, rh, ratio, gl, rl in rows],
+        ),
+    )
+    for _, _, g_hops, r_hops, ratio, _, _ in rows:
+        assert g_hops <= r_hops  # greedy never generates more traffic

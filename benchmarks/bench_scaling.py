@@ -1,0 +1,55 @@
+"""Scheduler scaling micro-benchmarks.
+
+The paper quotes O(N^2) for the naive partitioning/scheduling loop; the
+implementation here is near-linear thanks to incremental ready-set
+maintenance, which is what makes the 10k+-node ML graphs tractable.
+These benches time the three pipeline stages separately on a mid-size
+synthetic graph so regressions show up in CI.
+
+``pytest benchmarks/bench_scaling.py --benchmark-only``
+"""
+
+import pytest
+
+from repro import compute_spatial_blocks, schedule_streaming
+from repro.baselines import schedule_nonstreaming
+from repro.graphs import random_canonical_graph
+from repro.sim import simulate_schedule
+
+
+@pytest.fixture(scope="module")
+def fft_graph():
+    return random_canonical_graph("fft", 64, seed=0)  # 511 tasks
+
+
+def test_bench_partition(benchmark, fft_graph):
+    result = benchmark(compute_spatial_blocks, fft_graph, 64, "rlx")
+    result.validate(fft_graph, 64)
+
+
+def test_bench_streaming_schedule(benchmark, fft_graph):
+    s = benchmark(schedule_streaming, fft_graph, 64, "rlx")
+    assert s.makespan > 0
+
+
+def test_bench_nonstreaming_schedule(benchmark, fft_graph):
+    s = benchmark(schedule_nonstreaming, fft_graph, 64)
+    assert s.makespan > 0
+
+
+def test_bench_simulation(benchmark, fft_graph):
+    s = schedule_streaming(fft_graph, 64, "rlx")
+    sim = benchmark.pedantic(simulate_schedule, args=(s,), rounds=1, iterations=1)
+    assert not sim.deadlocked
+
+
+def test_bench_ml_end_to_end(benchmark):
+    from repro.ml import build_transformer_encoder
+
+    enc = build_transformer_encoder(seq_len=32, d_model=128, num_heads=4,
+                                    d_ff=256, max_parallel=32)
+    s = benchmark.pedantic(
+        schedule_streaming, args=(enc, 128, "lts"),
+        kwargs={"size_buffers": False}, rounds=1, iterations=1,
+    )
+    assert s.makespan > 0

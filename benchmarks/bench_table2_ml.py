@@ -1,0 +1,36 @@
+"""Regenerates Table 2: ResNet-50 and transformer-encoder speedups.
+
+``pytest benchmarks/bench_table2_ml.py --benchmark-only``
+(set ``REPRO_FULL_ML=1`` for paper-sized graphs; slower)
+"""
+
+import os
+
+from repro.experiments.common import format_table
+from repro.experiments.table2_ml import run
+
+
+def test_table2_ml(benchmark, save_table):
+    full = os.environ.get("REPRO_FULL_ML", "0") == "1"
+    rows = benchmark.pedantic(run, kwargs={"full": full}, rounds=1, iterations=1)
+    headers = ["model", "#PEs", "STR-SCH speedup", "NSTR-SCH speedup", "G", "blocks"]
+    save_table(
+        "table2_ml",
+        "Table 2 — ML inference workloads (streaming vs non-streaming)\n"
+        + format_table(
+            headers,
+            [
+                [r.model, r.num_pes, f"{r.str_speedup:8.1f}",
+                 f"{r.nstr_speedup:8.1f}", f"{r.gain:5.2f}", r.num_blocks]
+                for r in rows
+            ],
+        ),
+    )
+    encoder = [r for r in rows if r.model == "encoder"]
+    resnet = [r for r in rows if r.model == "resnet50"]
+    # paper shape: streaming gains > 1 on both models, monotone with PEs
+    # for the encoder, and substantial for resnet
+    assert all(r.gain > 1.0 for r in encoder)
+    assert all(r.gain > 1.0 for r in resnet)
+    enc_gains = [r.gain for r in encoder]
+    assert enc_gains == sorted(enc_gains)

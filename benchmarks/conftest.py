@@ -1,0 +1,39 @@
+"""Benchmark harness plumbing.
+
+Each ``bench_*`` module regenerates one of the paper's tables/figures:
+it runs the corresponding experiment under ``pytest-benchmark`` timing
+and prints + persists the paper-style text table under
+``benchmarks/_results/``.
+
+Population sizes default to a benchmark-friendly subset; export
+``REPRO_NUM_GRAPHS=100`` to reproduce the paper's full populations.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "_results"
+
+
+def bench_population(default: int = 20) -> int:
+    try:
+        return max(1, int(os.environ.get("REPRO_NUM_GRAPHS", default)))
+    except ValueError:
+        return default
+
+
+@pytest.fixture
+def save_table():
+    """Persist a rendered table and echo it to the terminal."""
+
+    def _save(name: str, table: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(table + "\n")
+        print(f"\n{table}\n[saved to {path}]")
+
+    return _save

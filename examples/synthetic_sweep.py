@@ -1,0 +1,44 @@
+"""Mini Figure 10/11 sweep on the paper's synthetic topologies.
+
+Generates a small population of random-volume graphs per topology and
+prints median speedups and Streaming SLRs for both streaming variants
+and the non-streaming baseline across the PE sweep.
+
+Run: ``python examples/synthetic_sweep.py [population]``
+"""
+
+import sys
+
+import numpy as np
+
+from repro import schedule_streaming, speedup, streaming_depth
+from repro.baselines import schedule_nonstreaming
+from repro.graphs import PAPER_SIZES, random_canonical_graph
+
+
+def main(population: int = 15) -> None:
+    sweeps = {"chain": (2, 4, 8), "fft": (32, 64, 128),
+              "gaussian": (32, 64, 128), "cholesky": (32, 64, 128)}
+    for topo, size in PAPER_SIZES.items():
+        graphs = [random_canonical_graph(topo, size, seed=s) for s in range(population)]
+        depths = [streaming_depth(g) for g in graphs]
+        print(f"\n=== {topo} ({graphs[0].num_tasks()} tasks, {population} graphs) ===")
+        print(f"{'#PEs':>5} {'STR-1':>7} {'STR-2':>7} {'NSTR':>7} "
+              f"{'SSLR-1':>7} {'SSLR-2':>7}")
+        for p in sweeps[topo]:
+            spd = {"lts": [], "rlx": [], "nstr": []}
+            sslr = {"lts": [], "rlx": []}
+            for g, d in zip(graphs, depths):
+                for variant in ("lts", "rlx"):
+                    s = schedule_streaming(g, p, variant, size_buffers=False)
+                    spd[variant].append(speedup(g, s.makespan))
+                    sslr[variant].append(s.makespan / d)
+                ns = schedule_nonstreaming(g, p)
+                spd["nstr"].append(speedup(g, ns.makespan))
+            print(f"{p:5d} {np.median(spd['lts']):7.2f} {np.median(spd['rlx']):7.2f} "
+                  f"{np.median(spd['nstr']):7.2f} {np.median(sslr['lts']):7.3f} "
+                  f"{np.median(sslr['rlx']):7.3f}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 15)

@@ -1,0 +1,4 @@
+"""Legacy setup shim: enables `pip install -e .` offline (no wheel package)."""
+from setuptools import setup
+
+setup()

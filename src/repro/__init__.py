@@ -1,0 +1,81 @@
+"""repro — a reproduction of *Streaming Task Graph Scheduling for
+Dataflow Architectures* (De Matteis, Gianinazzi, de Fine Licht, Hoefler;
+ACM HPDC 2023).
+
+Quickstart::
+
+    from repro import CanonicalGraph, schedule_streaming
+
+    g = CanonicalGraph()
+    g.add_task(0, 32, 32)         # element-wise, reads/writes 32 elements
+    g.add_task(1, 32, 4)          # 8:1 downsampler
+    g.add_task(2, 4, 32)          # 1:8 upsampler
+    g.add_edge(0, 1); g.add_edge(1, 2)
+
+    sched = schedule_streaming(g, num_pes=4, variant="rlx")
+    print(sched.makespan, sched.buffer_sizes)
+
+Subpackages:
+
+* :mod:`repro.core` — canonical task graphs, steady-state analysis,
+  spatial-block scheduling, FIFO buffer sizing (the paper's contribution);
+* :mod:`repro.baselines` — the non-streaming list scheduler (NSTR-SCH);
+* :mod:`repro.sim` — discrete-event simulation of schedules (validation);
+* :mod:`repro.sdf` — cyclo-static dataflow substrate for the Section 7.2
+  comparison;
+* :mod:`repro.graphs` — synthetic topology generators (chain, FFT,
+  Gaussian elimination, tiled Cholesky) with canonical random volumes;
+* :mod:`repro.ml` — operator graphs (ResNet-50, transformer encoder) and
+  their canonical expansions;
+* :mod:`repro.experiments` — one harness per paper figure/table.
+"""
+
+from .baselines import ListSchedule, schedule_nonstreaming
+from .core import (
+    CanonicalGraph,
+    CanonicalityError,
+    NodeKind,
+    NodeSpec,
+    Partition,
+    StreamingSchedule,
+    TaskTimes,
+    compute_buffer_sizes,
+    compute_spatial_blocks,
+    compute_streaming_intervals,
+    critical_path_length,
+    pe_utilization,
+    schedule_streaming,
+    slr,
+    speedup,
+    streaming_depth,
+    streaming_slr,
+    summarize_schedule,
+    total_work,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CanonicalGraph",
+    "CanonicalityError",
+    "ListSchedule",
+    "NodeKind",
+    "NodeSpec",
+    "Partition",
+    "StreamingSchedule",
+    "TaskTimes",
+    "compute_buffer_sizes",
+    "compute_spatial_blocks",
+    "compute_streaming_intervals",
+    "critical_path_length",
+    "pe_utilization",
+    "schedule_nonstreaming",
+    "schedule_streaming",
+    "slr",
+    "speedup",
+    "streaming_depth",
+    "streaming_slr",
+    "summarize_schedule",
+    "total_work",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Baseline schedulers: NSTR-SCH (the paper's comparison point) and a
+heterogeneous HEFT extension (the paper's stated future work)."""
+
+from .heft import HeftSchedule, schedule_heft, upward_ranks
+from .list_scheduler import (
+    ListSchedule,
+    PlacedTask,
+    condensed_dependencies,
+    schedule_nonstreaming,
+)
+
+__all__ = [
+    "HeftSchedule",
+    "ListSchedule",
+    "PlacedTask",
+    "condensed_dependencies",
+    "schedule_heft",
+    "schedule_nonstreaming",
+    "upward_ranks",
+]

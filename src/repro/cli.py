@@ -1,0 +1,179 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``    build a synthetic canonical graph and save it as JSON
+``info``        print statistics of a saved graph
+``schedule``    schedule a saved graph (streaming or non-streaming)
+``simulate``    schedule + cycle-accurate validation
+``experiment``  run one of the paper's figure/table harnesses
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from . import __version__
+from .baselines import schedule_nonstreaming
+from .core import (
+    critical_path_length,
+    schedule_streaming,
+    speedup,
+    streaming_depth,
+    total_work,
+)
+from .core.gantt import render_gantt
+from .core.serialize import (
+    load_graph,
+    save_graph,
+    schedule_to_chrome_trace,
+    schedule_to_dict,
+)
+from .graphs import PAPER_SIZES, random_canonical_graph
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Streaming task graph scheduling (HPDC'23 reproduction)",
+    )
+    p.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic canonical graph")
+    gen.add_argument("topology", choices=sorted(PAPER_SIZES))
+    gen.add_argument("size", type=int, help="topology size parameter")
+    gen.add_argument("-o", "--output", required=True, help="output JSON path")
+    gen.add_argument("--seed", type=int, default=0)
+
+    info = sub.add_parser("info", help="print statistics of a saved graph")
+    info.add_argument("graph", help="graph JSON path")
+
+    sch = sub.add_parser("schedule", help="schedule a saved graph")
+    sch.add_argument("graph", help="graph JSON path")
+    sch.add_argument("-p", "--pes", type=int, required=True)
+    sch.add_argument(
+        "--scheduler", choices=["lts", "rlx", "work", "nstr"], default="lts"
+    )
+    sch.add_argument("-o", "--output", help="write the schedule JSON here")
+    sch.add_argument("--trace", help="write a chrome://tracing JSON here")
+    sch.add_argument("--gantt", action="store_true", help="print an ASCII Gantt")
+
+    sim = sub.add_parser("simulate", help="schedule + DES validation")
+    sim.add_argument("graph", help="graph JSON path")
+    sim.add_argument("-p", "--pes", type=int, required=True)
+    sim.add_argument("--scheduler", choices=["lts", "rlx", "work"], default="lts")
+    sim.add_argument("--capacity", type=int, help="override every FIFO capacity")
+    sim.add_argument(
+        "--pacing", choices=["steady", "greedy"], default="steady"
+    )
+
+    exp = sub.add_parser("experiment", help="run a paper harness")
+    exp.add_argument(
+        "name",
+        choices=["fig10", "fig11", "fig12", "fig13", "table2", "ablations"],
+    )
+    exp.add_argument("--num-graphs", type=int, default=None)
+    exp.add_argument("--full", action="store_true", help="paper-sized ML graphs")
+    return p
+
+
+def _cmd_generate(args) -> int:
+    g = random_canonical_graph(args.topology, args.size, seed=args.seed)
+    save_graph(g, args.output)
+    print(f"wrote {args.output}: {len(g)} nodes, {g.num_tasks()} tasks")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    g = load_graph(args.graph)
+    kinds = {}
+    for v in g.nodes:
+        kinds[g.kind(v).value] = kinds.get(g.kind(v).value, 0) + 1
+    print(f"nodes: {len(g)}  edges: {g.number_of_edges()}  tasks: {g.num_tasks()}")
+    print(f"kinds: {kinds}")
+    print(f"T1 (sequential): {total_work(g):,} cycles")
+    print(f"critical path (buffered): {critical_path_length(g):,} cycles")
+    print(f"streaming depth: {streaming_depth(g):,} cycles")
+    return 0
+
+
+def _cmd_schedule(args) -> int:
+    g = load_graph(args.graph)
+    if args.scheduler == "nstr":
+        s = schedule_nonstreaming(g, args.pes)
+        print(f"NSTR-SCH on {args.pes} PEs: makespan {s.makespan:,}, "
+              f"speedup {speedup(g, s.makespan):.2f}x")
+        return 0
+    s = schedule_streaming(g, args.pes, args.scheduler)
+    print(
+        f"STR-SCH ({args.scheduler}) on {args.pes} PEs: makespan {s.makespan:,}, "
+        f"speedup {speedup(g, s.makespan):.2f}x, {s.num_blocks} blocks, "
+        f"{len(s.buffer_sizes)} streaming FIFOs"
+    )
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(schedule_to_dict(s), fh, indent=1)
+        print(f"schedule written to {args.output}")
+    if args.trace:
+        with open(args.trace, "w") as fh:
+            json.dump(schedule_to_chrome_trace(s), fh)
+        print(f"trace written to {args.trace} (open in chrome://tracing)")
+    if args.gantt:
+        print(render_gantt(s))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from .sim import simulate_schedule
+
+    g = load_graph(args.graph)
+    s = schedule_streaming(g, args.pes, args.scheduler)
+    sim = simulate_schedule(
+        s, capacity_override=args.capacity, pacing=args.pacing
+    )
+    if sim.deadlocked:
+        print(f"DEADLOCK at t={sim.makespan}; blocked: {', '.join(sim.blocked[:5])}")
+        return 1
+    err = 100 * sim.relative_error(s.makespan)
+    print(
+        f"simulated makespan {sim.makespan:,} vs analytic {s.makespan:,} "
+        f"(error {err:+.2f}%)"
+    )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from .experiments import ablations, fig10_speedup, fig11_sslr
+    from .experiments import fig12_csdf, fig13_validation, table2_ml
+
+    mains = {
+        "fig10": lambda: fig10_speedup.main(args.num_graphs),
+        "fig11": lambda: fig11_sslr.main(args.num_graphs),
+        "fig12": lambda: fig12_csdf.main(args.num_graphs),
+        "fig13": lambda: fig13_validation.main(args.num_graphs),
+        "table2": lambda: table2_ml.main(args.full),
+        "ablations": lambda: ablations.main(args.num_graphs),
+    }
+    mains[args.name]()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "info": _cmd_info,
+        "schedule": _cmd_schedule,
+        "simulate": _cmd_simulate,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

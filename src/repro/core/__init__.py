@@ -1,0 +1,81 @@
+"""Core streaming-scheduling machinery (the paper's contribution).
+
+See the package README for a guided tour; the import surface below is the
+stable public API of the reproduction.
+"""
+
+from .block_schedule import BlockSchedule, TaskTimes, schedule_block
+from .buffer_sizing import compute_buffer_sizes
+from .depth import streaming_depth, streaming_depth_bound
+from .gantt import render_gantt
+from .graph import CanonicalGraph, CanonicalityError
+from .levels import (
+    bottom_levels,
+    critical_path_length,
+    node_levels,
+    num_levels,
+    total_work,
+)
+from .metrics import pe_utilization, slr, speedup, streaming_slr, summarize_schedule
+from .node_types import NodeKind, NodeSpec, classify_rate
+from .partition import Partition, compute_spatial_blocks, partition_by_work
+from .scheduler import StreamingSchedule, schedule_streaming
+from .serialize import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+    schedule_to_chrome_trace,
+    schedule_to_dict,
+)
+from .streaming import StreamingIntervals, compute_streaming_intervals
+from .transform import (
+    BufferHalf,
+    check_buffer_placement,
+    component_dag,
+    split_buffers,
+    weakly_connected_components,
+)
+
+__all__ = [
+    "BlockSchedule",
+    "BufferHalf",
+    "CanonicalGraph",
+    "CanonicalityError",
+    "NodeKind",
+    "NodeSpec",
+    "Partition",
+    "StreamingIntervals",
+    "StreamingSchedule",
+    "TaskTimes",
+    "bottom_levels",
+    "check_buffer_placement",
+    "classify_rate",
+    "component_dag",
+    "compute_buffer_sizes",
+    "compute_spatial_blocks",
+    "compute_streaming_intervals",
+    "critical_path_length",
+    "graph_from_dict",
+    "graph_to_dict",
+    "load_graph",
+    "render_gantt",
+    "save_graph",
+    "schedule_to_chrome_trace",
+    "schedule_to_dict",
+    "node_levels",
+    "num_levels",
+    "partition_by_work",
+    "pe_utilization",
+    "schedule_block",
+    "schedule_streaming",
+    "slr",
+    "speedup",
+    "split_buffers",
+    "streaming_depth",
+    "streaming_depth_bound",
+    "streaming_slr",
+    "summarize_schedule",
+    "total_work",
+    "weakly_connected_components",
+]

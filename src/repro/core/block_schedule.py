@@ -1,0 +1,226 @@
+"""Per-spatial-block scheduling recurrences (Section 5.1).
+
+Within one spatial block all tasks are gang-scheduled and communicate over
+streaming channels.  For every node we compute three times:
+
+* ``ST(v)`` — starting time: when the task's PE becomes busy;
+* ``FO(v)`` — first-out time: when the first element leaves the node;
+* ``LO(v)`` — last-out time: when the last element leaves the node (the
+  task's completion time).
+
+The recurrences (validated against the worked examples of Figures 8/9, see
+``tests/test_paper_examples.py``)::
+
+    lat_fo(v) = ceil((1/R - 1) * S_i(v)) + 1   if R(v) < 1 else 1
+    lat_lo(v) = ceil((R - 1) * S_o(v)) + 1     if R(v) > 1 else 1
+
+    FO(v) = max(base(v), max in-block FO(u)) + lat_fo(v)
+    LO(v) = max(memLA(v), max in-block LO(u)) + lat_lo(v)
+
+where *base(v)* is the earliest time the node may start pulling data that
+sits in global memory (the maximum completion time of cross-block
+predecessors / buffer predecessors, and the block release time), and
+``memLA(v) = base(v) + ceil((I(v)-1) * S_i(v))`` is the time the last
+element "leaves memory" when the node self-paces its reads.  Passive
+predecessors (buffers, sources) act as memory anchors: streaming cannot
+cross them, so they contribute to ``base`` instead of to the in-block
+``FO``/``LO`` maxima (DESIGN.md, interpretation 4).
+
+Buffer nodes themselves are not scheduled on a PE but still get times:
+``stored(b)`` (all inputs absorbed, recorded as ``ST``),
+``FO(b) = stored + 1`` and ``LO(b) = stored + ceil((O-1)*S_o) + 1``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Hashable, Mapping
+
+from .graph import CanonicalGraph
+from .node_types import NodeKind
+from .streaming import StreamingIntervals, compute_streaming_intervals
+
+__all__ = ["TaskTimes", "BlockSchedule", "schedule_block"]
+
+
+@dataclass(frozen=True)
+class TaskTimes:
+    """Schedule times of one node (integers, in cycles)."""
+
+    st: int
+    fo: int
+    lo: int
+
+    @property
+    def busy(self) -> int:
+        """PE occupancy: from start to last output."""
+        return self.lo - self.st
+
+
+@dataclass
+class BlockSchedule:
+    """Times and intervals for the nodes of one spatial block."""
+
+    times: dict[Hashable, TaskTimes]
+    si: dict[Hashable, Fraction]
+    so: dict[Hashable, Fraction]
+    intervals: StreamingIntervals
+
+    def makespan_contribution(self, graph: CanonicalGraph) -> int:
+        """Latest completion among this block's schedulable work."""
+        out = 0
+        for v, t in self.times.items():
+            kind = graph.kind(v)
+            if kind.is_computational:
+                out = max(out, t.lo)
+            elif kind is NodeKind.BUFFER:
+                out = max(out, t.st)  # stored time: data safely in memory
+        return out
+
+
+def _ceil(x: Fraction | int) -> int:
+    return math.ceil(x)
+
+
+def schedule_block(
+    graph: CanonicalGraph,
+    block_nodes: set[Hashable],
+    ready: Mapping[Hashable, int],
+    release: int = 0,
+) -> BlockSchedule:
+    """Schedule the tasks of one spatial block.
+
+    Parameters
+    ----------
+    graph:
+        The full canonical task graph.
+    block_nodes:
+        Nodes belonging to this block: its computational tasks plus any
+        passive nodes assigned here for bookkeeping.
+    ready:
+        Memory-readiness time of every *previously scheduled* node
+        (completion ``LO`` for computational nodes, ``stored`` for
+        buffers, 0 for sources).  Consulted for cross-block predecessors.
+    release:
+        Earliest time this block may occupy the device (the completion
+        time of the previous block under the paper's "blocks are scheduled
+        one after the other" execution model; pass 0 to reproduce the
+        bare dependency-driven recurrences).
+
+    Returns
+    -------
+    BlockSchedule with integer times for every node in ``block_nodes``
+    and the block's steady-state streaming intervals.
+    """
+    comp = [v for v in block_nodes if graph.spec(v).kind.is_computational]
+    sub = graph.subgraph(comp)
+    intervals = compute_streaming_intervals(sub)
+
+    times: dict[Hashable, TaskTimes] = {}
+    si: dict[Hashable, Fraction] = {}
+    so: dict[Hashable, Fraction] = {}
+
+    def node_ready(u: Hashable) -> int:
+        """Memory-readiness of predecessor ``u`` (any block, any kind)."""
+        if u in times:  # scheduled in this block already
+            kind = graph.kind(u)
+            if kind.is_computational:
+                return times[u].lo
+            if kind is NodeKind.BUFFER:
+                return times[u].st
+            return 0  # source
+        if u in ready:
+            return ready[u]
+        kind = graph.kind(u)
+        if kind is NodeKind.SOURCE:
+            return 0
+        raise KeyError(f"predecessor {u!r} of the block is not scheduled yet")
+
+    # ---- passive nodes assigned to this block -------------------------
+    # Buffers: absorb all inputs, then re-emit; sources: memory ports.
+    # Scheduled lazily below once their predecessors have times; since we
+    # walk in topological order of the full graph restricted to the block,
+    # a single pass suffices.
+    order = [v for v in graph.topological_order() if v in block_nodes]
+
+    for v in order:
+        spec = graph.spec(v)
+        kind = spec.kind
+
+        if kind is NodeKind.SOURCE:
+            # informational times: memory port streaming from t=0
+            out_iv = Fraction(1)
+            so[v] = out_iv
+            lo = _ceil((spec.output_volume - 1) * out_iv) + 1
+            times[v] = TaskTimes(st=0, fo=1, lo=lo)
+            continue
+
+        if kind is NodeKind.BUFFER:
+            preds = list(graph.predecessors(v))
+            stored = max((node_ready(u) for u in preds), default=0)
+            # emission pacing: the paper uses the block's S_o; consumers in
+            # this implementation self-pace reads, so we record the
+            # canonical emission window for reference.
+            out_iv = Fraction(1)
+            si[v] = Fraction(1)
+            so[v] = out_iv
+            lo = stored + _ceil((spec.output_volume - 1) * out_iv) + 1
+            times[v] = TaskTimes(st=stored, fo=stored + 1, lo=lo)
+            continue
+
+        if kind is NodeKind.SINK:
+            preds = list(graph.predecessors(v))
+            fo = max(
+                (times[u].fo for u in preds if u in times and graph.kind(u).is_computational),
+                default=0,
+            ) + 1
+            lo = max((node_ready(u) for u in preds), default=0) + 1
+            times[v] = TaskTimes(st=max(0, fo - 1), fo=fo, lo=lo)
+            continue
+
+        # ---- computational node ---------------------------------------
+        rate = spec.production_rate
+        s_i = intervals.si.get(v, Fraction(1))
+        s_o = intervals.so.get(v, Fraction(1))
+        si[v], so[v] = s_i, s_o
+
+        in_block_fo: list[int] = []
+        in_block_lo: list[int] = []
+        base = release
+        has_memory_input = False
+        preds = list(graph.predecessors(v))
+        if not preds:
+            has_memory_input = True  # graph entry: reads its input from memory
+        for u in preds:
+            if u in block_nodes and graph.kind(u).is_computational:
+                in_block_fo.append(times[u].fo)
+                in_block_lo.append(times[u].lo)
+            else:
+                has_memory_input = True
+                base = max(base, node_ready(u))
+
+        lat_fo = _ceil((1 / rate - 1) * s_i) + 1 if rate < 1 else 1
+        lat_lo = _ceil((rate - 1) * s_o) + 1 if rate > 1 else 1
+
+        first_avail = max(in_block_fo, default=0)
+        if has_memory_input:
+            first_avail = max(first_avail, base)
+        elif release:
+            first_avail = max(first_avail, release)
+        fo = first_avail + lat_fo
+
+        last_avail = max(in_block_lo, default=0)
+        if has_memory_input:
+            mem_la = base + _ceil((spec.input_volume - 1) * s_i)
+            last_avail = max(last_avail, mem_la)
+        lo = last_avail + lat_lo
+
+        st_candidates = list(in_block_fo)
+        if has_memory_input or not preds:
+            st_candidates.append(base)
+        st = max(st_candidates, default=release)
+        times[v] = TaskTimes(st=st, fo=fo, lo=lo)
+
+    return BlockSchedule(times, si, so, intervals)

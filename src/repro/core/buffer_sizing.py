@@ -1,0 +1,124 @@
+"""FIFO buffer sizing for deadlock-free pipelined execution (Section 6).
+
+Streaming channels have finite buffer space and blocking-after-service
+semantics (a write blocks while the FIFO is full).  An acyclic task graph
+can still deadlock when the *undirected* version of a spatial block's
+streaming subgraph contains a cycle: data racing down a short path fills
+its FIFO while the long path has not delivered its first element yet
+(Figure 9).  Deadlocks cannot involve buffered (memory-backed) edges, so
+each spatial block is analyzed independently.
+
+For a node ``v`` on an undirected cycle with more than one in-block
+predecessor, each incident streaming edge ``(u, v)`` receives
+
+    B(u, v) = ceil( (max_{(t,v)} arrival(t) - FO(u)) / S_o(u) )        (Eq. 5)
+
+capped by the edge's data volume (there is never a reason to buffer more
+than everything that will be sent).  ``arrival(t)`` is ``FO(t)`` for
+in-block streaming predecessors, and the node's memory-readiness time
+for cross-block/buffer inputs — those inputs cannot deadlock themselves
+but *do* delay ``v``'s consumption of the streaming inputs.
+
+Every streaming edge not involved in an undirected cycle keeps the
+minimal capacity of 1: a deadlock needs a cycle in the blocked-on
+relation, which is a subgraph of the undirected channel topology.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Hashable
+
+import networkx as nx
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .scheduler import StreamingSchedule
+
+__all__ = ["compute_buffer_sizes", "cycle_nodes_of_block"]
+
+
+def cycle_nodes_of_block(
+    stream_graph: nx.Graph,
+) -> set[Hashable]:
+    """Nodes of the block's streaming topology that lie on undirected cycles.
+
+    The paper uses a marking DFS; equivalently, an edge lies on an
+    undirected cycle iff it is not a bridge, and a node lies on a cycle
+    iff it is incident to a non-bridge edge.  Complexity O(V + E).
+    """
+    bridges = set(nx.bridges(stream_graph)) if stream_graph.number_of_edges() else set()
+    on_cycle: set[Hashable] = set()
+    for u, v in stream_graph.edges:
+        if (u, v) in bridges or (v, u) in bridges:
+            continue
+        on_cycle.add(u)
+        on_cycle.add(v)
+    return on_cycle
+
+
+def compute_buffer_sizes(
+    schedule: "StreamingSchedule",
+    default_capacity: int = 1,
+) -> dict[tuple[Hashable, Hashable], int]:
+    """Capacity (in elements) of every streaming FIFO channel.
+
+    Returns a mapping from streaming edge to capacity; non-streaming
+    edges are absent (they go through global memory).
+    """
+    graph = schedule.graph
+    sizes: dict[tuple[Hashable, Hashable], int] = {}
+
+    for b in range(schedule.num_blocks):
+        members = [
+            v
+            for v, blk in schedule.partition.block_of.items()
+            if blk == b and graph.kind(v).is_computational
+        ]
+        member_set = set(members)
+        stream_edges = [
+            (u, v)
+            for u in members
+            for v in graph.successors(u)
+            if v in member_set
+        ]
+        if not stream_edges:
+            continue
+        undirected = nx.Graph()
+        undirected.add_nodes_from(members)
+        undirected.add_edges_from(stream_edges)
+        hot = cycle_nodes_of_block(undirected)
+
+        for u, v in stream_edges:
+            if v not in hot or u not in hot:
+                sizes[(u, v)] = default_capacity
+                continue
+            # slowest arrival across all of v's inputs
+            worst = 0
+            for t in graph.predecessors(v):
+                if t in member_set:
+                    worst = max(worst, schedule.times[t].fo)
+                else:
+                    # memory-backed input: first element readable right
+                    # after the data is ready in global memory
+                    ready = _memory_ready(schedule, t)
+                    worst = max(worst, ready + 1)
+            slack = worst - schedule.times[u].fo
+            if slack <= 0:
+                sizes[(u, v)] = default_capacity
+                continue
+            space = math.ceil(slack / schedule.so[u])
+            space = min(space, graph.volume(u, v))
+            sizes[(u, v)] = max(default_capacity, space)
+    return sizes
+
+
+def _memory_ready(schedule: "StreamingSchedule", u: Hashable) -> int:
+    from .node_types import NodeKind
+
+    kind = schedule.graph.kind(u)
+    if kind is NodeKind.SOURCE:
+        return 0
+    t = schedule.times[u]
+    if kind is NodeKind.BUFFER:
+        return t.st
+    return t.lo

@@ -1,0 +1,71 @@
+"""Streaming depth and parallel-time bounds (Section 4.2).
+
+The *streaming depth* ``T_s_inf`` is the minimum time to execute the graph
+with an unbounded number of PEs when every computational task is
+co-scheduled and all eligible edges stream.  We compute it exactly by
+scheduling the whole graph as a single spatial block (the Section 5.1
+recurrences with release 0), and additionally expose the closed-form
+bounds of Equation (4) / Section 4.2.3:
+
+* single WCC without buffers: ``T_s_inf <= L(G) + max_u O(u)``;
+* with buffers: split the buffers, bound each WCC, and take the longest
+  path in the supernode DAG ``H`` (``T_s_inf(G) <= T_inf(H) <= T_s_inf(G) + L-hat``).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Hashable
+
+import networkx as nx
+
+from .block_schedule import schedule_block
+from .graph import CanonicalGraph
+from .levels import node_levels
+from .node_types import NodeKind
+from .transform import BufferHalf, component_dag
+
+__all__ = ["streaming_depth", "streaming_depth_bound", "wcc_depth_bound"]
+
+
+def streaming_depth(graph: CanonicalGraph) -> int:
+    """Exact ``T_s_inf``: makespan of the whole graph as one spatial block."""
+    block = schedule_block(graph, set(graph.nodes), ready={}, release=0)
+    return block.makespan_contribution(graph)
+
+
+def wcc_depth_bound(graph: CanonicalGraph, members: set[Hashable]) -> Fraction:
+    """Equation (4) bound for one WCC: ``L(C) + max_u O(u)``.
+
+    ``members`` are transformed node names (original names and
+    :class:`BufferHalf` markers); buffer halves contribute their volume
+    but not a level term of their own.
+    """
+    originals: set[Hashable] = set()
+    max_volume = 0
+    for tv in members:
+        if isinstance(tv, BufferHalf):
+            spec = graph.spec(tv.buffer)
+            vol = spec.input_volume if tv.side == "tail" else spec.output_volume
+            max_volume = max(max_volume, vol)
+        else:
+            originals.add(tv)
+            spec = graph.spec(tv)
+            max_volume = max(max_volume, spec.input_volume, spec.output_volume)
+    sub = graph.subgraph(originals)
+    levels = node_levels(sub)
+    num = max(levels.values(), default=Fraction(0))
+    return num + max_volume
+
+
+def streaming_depth_bound(graph: CanonicalGraph) -> Fraction:
+    """Section 4.2.3 upper bound ``T_inf(H)`` via the supernode DAG."""
+    dag = component_dag(graph)
+    if not nx.is_directed_acyclic_graph(dag):
+        raise ValueError("invalid buffer placement: supernode DAG is cyclic")
+    depth: dict[int, Fraction] = {}
+    for c in nx.topological_sort(dag):
+        own = wcc_depth_bound(graph, dag.nodes[c]["members"])
+        preds = list(dag.predecessors(c))
+        depth[c] = own + (max(depth[p] for p in preds) if preds else Fraction(0))
+    return max(depth.values(), default=Fraction(0))

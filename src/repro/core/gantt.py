@@ -1,0 +1,60 @@
+"""ASCII Gantt rendering of schedules.
+
+Terminal-friendly visualization: one row per PE, time flowing left to
+right, ``#`` for occupancy, ``|`` marking spatial block boundaries.
+Intended for small schedules (examples, debugging, teaching); large
+schedules should use the Chrome trace export instead
+(:func:`repro.core.serialize.schedule_to_chrome_trace`).
+"""
+
+from __future__ import annotations
+
+from .scheduler import StreamingSchedule
+
+__all__ = ["render_gantt"]
+
+
+def render_gantt(
+    schedule: StreamingSchedule, width: int = 72, label_width: int = 10
+) -> str:
+    """Render the schedule as a fixed-width ASCII chart.
+
+    Each PE row shows the first letter(s) of the tasks occupying it;
+    a final axis row gives the time scale.
+    """
+    makespan = max(schedule.makespan, 1)
+    scale = width / makespan
+
+    def col(t: int) -> int:
+        return min(width - 1, int(t * scale))
+
+    rows = [[" "] * width for _ in range(schedule.num_pes)]
+    for v in schedule.graph.computational_nodes():
+        t = schedule.times[v]
+        pe = schedule.pe_of[v]
+        a, b = col(t.st), col(max(t.lo - 1, t.st))
+        mark = str(v)[0] if str(v) else "#"
+        for c in range(a, b + 1):
+            rows[pe][c] = "#" if rows[pe][c] not in (" ", "|") else mark
+
+    # block boundaries
+    release = 0
+    for block in schedule.partition.blocks[:-1]:
+        release = max(schedule.times[v].lo for v in block)
+        c = col(release)
+        for row in rows:
+            if row[c] == " ":
+                row[c] = "|"
+
+    out = []
+    for pe, row in enumerate(rows):
+        out.append(f"{('PE' + str(pe)).rjust(label_width)} {''.join(row)}")
+    axis = [" "] * width
+    for frac in (0.0, 0.25, 0.5, 0.75):
+        c = int(frac * (width - 1))
+        axis[c] = "+"
+    out.append(f"{'t'.rjust(label_width)} {''.join(axis)}")
+    out.append(
+        f"{''.rjust(label_width)} 0{str(makespan).rjust(width - 1)}"
+    )
+    return "\n".join(out)

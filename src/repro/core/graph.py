@@ -1,0 +1,232 @@
+"""The canonical task graph intermediate representation.
+
+A :class:`CanonicalGraph` wraps a :class:`networkx.DiGraph` whose nodes
+carry :class:`~repro.core.node_types.NodeSpec` attributes.  Edge data
+volumes are *derived*: by canonicality, every edge ``(u, v)`` carries
+exactly ``O(u) == I(v)`` elements, so volumes live on the nodes and the
+graph validates the matching constraint.
+
+The class exposes the small vocabulary the analyses need: predecessors,
+successors, topological order, entry/exit nodes, and the canonicality
+validator used by generators and front-ends.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+import networkx as nx
+
+from .node_types import NodeKind, NodeSpec, classify_rate
+
+__all__ = ["CanonicalGraph", "CanonicalityError"]
+
+
+class CanonicalityError(ValueError):
+    """Raised when a graph violates the canonical task graph rules."""
+
+
+class CanonicalGraph:
+    """A directed acyclic canonical task graph (Section 3).
+
+    Nodes are added with explicit :class:`NodeSpec` volumes; edges must
+    connect a producer and consumer with matching per-edge volumes.
+    """
+
+    def __init__(self) -> None:
+        self._g = nx.DiGraph()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, spec: NodeSpec) -> Hashable:
+        """Add a node; returns its name for chaining convenience."""
+        if spec.name in self._g:
+            raise CanonicalityError(f"duplicate node {spec.name!r}")
+        self._g.add_node(spec.name, spec=spec)
+        return spec.name
+
+    def add_task(
+        self,
+        name: Hashable,
+        input_volume: int,
+        output_volume: int,
+        label: str = "",
+        **metadata,
+    ) -> Hashable:
+        """Add a computational node, inferring its kind from the volumes."""
+        kind = classify_rate(input_volume, output_volume)
+        return self.add_node(
+            NodeSpec(name, kind, input_volume, output_volume, label, metadata)
+        )
+
+    def add_source(self, name: Hashable, output_volume: int, label: str = "") -> Hashable:
+        return self.add_node(NodeSpec(name, NodeKind.SOURCE, 0, output_volume, label))
+
+    def add_sink(self, name: Hashable, input_volume: int, label: str = "") -> Hashable:
+        return self.add_node(NodeSpec(name, NodeKind.SINK, input_volume, 0, label))
+
+    def add_buffer(
+        self, name: Hashable, input_volume: int, output_volume: int, label: str = ""
+    ) -> Hashable:
+        return self.add_node(
+            NodeSpec(name, NodeKind.BUFFER, input_volume, output_volume, label)
+        )
+
+    def add_edge(self, u: Hashable, v: Hashable) -> None:
+        """Connect producer ``u`` to consumer ``v``.
+
+        The edge volume is ``O(u)`` which must equal ``I(v)``.
+        """
+        su, sv = self.spec(u), self.spec(v)
+        if su.kind is NodeKind.SINK:
+            raise CanonicalityError(f"sink {u!r} cannot have outgoing edges")
+        if sv.kind is NodeKind.SOURCE:
+            raise CanonicalityError(f"source {v!r} cannot have incoming edges")
+        if su.output_volume != sv.input_volume:
+            raise CanonicalityError(
+                f"edge ({u!r}, {v!r}): producer volume O(u)={su.output_volume} "
+                f"!= consumer volume I(v)={sv.input_volume}"
+            )
+        self._g.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    def spec(self, name: Hashable) -> NodeSpec:
+        try:
+            return self._g.nodes[name]["spec"]
+        except KeyError:
+            raise KeyError(f"unknown node {name!r}") from None
+
+    def kind(self, name: Hashable) -> NodeKind:
+        return self.spec(name).kind
+
+    def volume(self, u: Hashable, v: Hashable) -> int:
+        """Data volume carried by edge ``(u, v)``."""
+        if not self._g.has_edge(u, v):
+            raise KeyError(f"no edge ({u!r}, {v!r})")
+        return self.spec(u).output_volume
+
+    @property
+    def nx(self) -> nx.DiGraph:
+        """The underlying networkx graph (read-mostly escape hatch)."""
+        return self._g
+
+    def __contains__(self, name: Hashable) -> bool:
+        return name in self._g
+
+    def __len__(self) -> int:
+        return self._g.number_of_nodes()
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._g)
+
+    @property
+    def nodes(self) -> Iterable[Hashable]:
+        return self._g.nodes
+
+    @property
+    def edges(self) -> Iterable[tuple[Hashable, Hashable]]:
+        return self._g.edges
+
+    def number_of_edges(self) -> int:
+        return self._g.number_of_edges()
+
+    def predecessors(self, v: Hashable) -> Iterator[Hashable]:
+        return self._g.predecessors(v)
+
+    def successors(self, v: Hashable) -> Iterator[Hashable]:
+        return self._g.successors(v)
+
+    def in_degree(self, v: Hashable) -> int:
+        return self._g.in_degree(v)
+
+    def out_degree(self, v: Hashable) -> int:
+        return self._g.out_degree(v)
+
+    def topological_order(self) -> list[Hashable]:
+        return list(nx.topological_sort(self._g))
+
+    def entry_nodes(self) -> list[Hashable]:
+        """Nodes with no predecessors (graph sources in the broad sense)."""
+        return [v for v in self._g if self._g.in_degree(v) == 0]
+
+    def exit_nodes(self) -> list[Hashable]:
+        """Nodes with no successors."""
+        return [v for v in self._g if self._g.out_degree(v) == 0]
+
+    def computational_nodes(self) -> list[Hashable]:
+        return [v for v in self._g if self.spec(v).kind.is_computational]
+
+    def buffer_nodes(self) -> list[Hashable]:
+        return [v for v in self._g if self.spec(v).kind is NodeKind.BUFFER]
+
+    def num_tasks(self) -> int:
+        """Number of schedulable (computational) tasks."""
+        return sum(1 for v in self._g if self.spec(v).kind.is_computational)
+
+    def subgraph(self, nodes: Iterable[Hashable]) -> "CanonicalGraph":
+        """Induced subgraph as a new CanonicalGraph (specs shared)."""
+        sub = CanonicalGraph()
+        nodes = set(nodes)
+        for v in nodes:
+            sub._g.add_node(v, spec=self.spec(v))
+        for u, v in self._g.edges:
+            if u in nodes and v in nodes:
+                sub._g.add_edge(u, v)
+        return sub
+
+    def copy(self) -> "CanonicalGraph":
+        clone = CanonicalGraph()
+        clone._g = self._g.copy()
+        return clone
+
+    # ------------------------------------------------------------------
+    # analysis helpers
+    # ------------------------------------------------------------------
+    def total_work(self) -> int:
+        """``T_1`` — the sequential execution time (sum of node works)."""
+        return sum(self.spec(v).work for v in self._g)
+
+    def validate(self) -> None:
+        """Check the canonical task graph rules; raise on violation.
+
+        Verified invariants:
+
+        * the graph is a DAG;
+        * every edge's producer/consumer volumes match (enforced at
+          ``add_edge`` time, re-checked here for graphs built through the
+          ``nx`` escape hatch);
+        * computational nodes actually have the kind their rate implies;
+        * no directed cycle through a buffer node after undirecting the
+          edges between non-buffer nodes (Section 4.2.3 requirement) —
+          checked lazily by :func:`repro.core.transform.check_buffer_placement`.
+        """
+        if not nx.is_directed_acyclic_graph(self._g):
+            raise CanonicalityError("task graph must be acyclic")
+        for v in self._g:
+            spec = self.spec(v)
+            if spec.kind.is_computational:
+                implied = classify_rate(spec.input_volume, spec.output_volume)
+                if implied is not spec.kind:
+                    raise CanonicalityError(
+                        f"node {v!r}: rate implies {implied.value}, "
+                        f"stored kind is {spec.kind.value}"
+                    )
+            if spec.kind is NodeKind.SOURCE and self._g.in_degree(v) != 0:
+                raise CanonicalityError(f"source {v!r} has incoming edges")
+            if spec.kind is NodeKind.SINK and self._g.out_degree(v) != 0:
+                raise CanonicalityError(f"sink {v!r} has outgoing edges")
+        for u, v in self._g.edges:
+            if self.spec(u).output_volume != self.spec(v).input_volume:
+                raise CanonicalityError(
+                    f"edge ({u!r}, {v!r}) volume mismatch: "
+                    f"{self.spec(u).output_volume} != {self.spec(v).input_volume}"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CanonicalGraph(nodes={self._g.number_of_nodes()}, "
+            f"edges={self._g.number_of_edges()}, tasks={self.num_tasks()})"
+        )

@@ -1,0 +1,91 @@
+"""Levels, work and critical paths (Section 4.2).
+
+The *level* generalizes depth to streaming graphs: it measures the time the
+last element leaving a source needs to traverse the graph, accounting for
+upsampler nodes that must emit more than one element per input::
+
+    L(v) = 1                                   if v has no parent
+    L(v) = max(R(v), 1) + max_{(u,v)} L(u)     otherwise
+
+The *work* of a node is ``W(v) = max(I(v), O(v))`` (its ideal isolated
+execution time) and the graph work ``T_1 = sum_v W(v)`` equals the
+sequential execution time on one PE.  The *critical path* (sum of works
+along the heaviest path) is the classical non-streaming depth used by the
+Scheduling Length Ratio of the NSTR baseline.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Hashable
+
+from .graph import CanonicalGraph
+from .node_types import NodeKind
+
+__all__ = [
+    "node_levels",
+    "num_levels",
+    "total_work",
+    "critical_path_length",
+    "bottom_levels",
+]
+
+
+def _rate_term(graph: CanonicalGraph, v: Hashable) -> Fraction:
+    """``max(R(v), 1)`` with sensible values for passive nodes."""
+    spec = graph.spec(v)
+    if spec.kind is NodeKind.SOURCE:
+        return Fraction(1)
+    rate = spec.production_rate
+    return rate if rate > 1 else Fraction(1)
+
+
+def node_levels(graph: CanonicalGraph) -> dict[Hashable, Fraction]:
+    """The level ``L(v)`` of every node (general canonical DAG form)."""
+    levels: dict[Hashable, Fraction] = {}
+    for v in graph.topological_order():
+        preds = list(graph.predecessors(v))
+        if not preds:
+            levels[v] = Fraction(1)
+        else:
+            levels[v] = _rate_term(graph, v) + max(levels[u] for u in preds)
+    return levels
+
+
+def num_levels(graph: CanonicalGraph) -> Fraction:
+    """``L(G)`` — the maximum level over all vertices; 0 for empty graphs."""
+    levels = node_levels(graph)
+    return max(levels.values(), default=Fraction(0))
+
+
+def total_work(graph: CanonicalGraph) -> int:
+    """``T_1`` — sum of node works (single-PE execution time)."""
+    return graph.total_work()
+
+
+def critical_path_length(graph: CanonicalGraph) -> int:
+    """Longest path weighted by node work (non-streaming depth).
+
+    This is the classical lower bound for buffered execution: a task can
+    only start once all its predecessors have finished, so any path costs
+    the sum of its works.
+    """
+    best: dict[Hashable, int] = {}
+    for v in graph.topological_order():
+        w = graph.spec(v).work
+        preds = list(graph.predecessors(v))
+        best[v] = w + (max(best[u] for u in preds) if preds else 0)
+    return max(best.values(), default=0)
+
+
+def bottom_levels(graph: CanonicalGraph) -> dict[Hashable, int]:
+    """Bottom level of each node: ``bl(v) = W(v) + max_succ bl``.
+
+    Used as the list-scheduling priority of the non-streaming baseline
+    (CP/MISF-style, Section 7 "comparison metrics").
+    """
+    bl: dict[Hashable, int] = {}
+    for v in reversed(graph.topological_order()):
+        succs = list(graph.successors(v))
+        bl[v] = graph.spec(v).work + (max(bl[s] for s in succs) if succs else 0)
+    return bl

@@ -1,0 +1,70 @@
+"""Comparison metrics of Section 7.
+
+* **Speedup**: sequential time ``T_1`` over the schedule makespan.
+* **SLR** (Scheduling Length Ratio, Topcuoglu et al.): makespan over the
+  non-streaming critical path — used for the NSTR baseline.
+* **SSLR** (Streaming SLR): makespan over the streaming depth ``T_s_inf``
+  — the paper's extension for pipelined schedules.
+* **PE utilization**: total PE busy time over ``P * makespan``.
+"""
+
+from __future__ import annotations
+
+from .depth import streaming_depth
+from .graph import CanonicalGraph
+from .levels import critical_path_length, total_work
+
+__all__ = [
+    "speedup",
+    "streaming_slr",
+    "slr",
+    "pe_utilization",
+    "summarize_schedule",
+]
+
+
+def speedup(graph: CanonicalGraph, makespan: int | float) -> float:
+    """``T_1 / makespan``; the sequential time assigns every task to one PE."""
+    if makespan <= 0:
+        raise ValueError("makespan must be positive")
+    return total_work(graph) / makespan
+
+
+def streaming_slr(graph: CanonicalGraph, makespan: int | float) -> float:
+    """SSLR = makespan / streaming depth (>= 1 for any valid schedule
+    that cannot beat the unbounded-PE fully streaming execution; the
+    greedy heuristics occasionally dip slightly below on graphs whose
+    single-block steady state is rate-limited by a large upsampler)."""
+    depth = streaming_depth(graph)
+    if depth <= 0:
+        raise ValueError("graph has no work")
+    return makespan / depth
+
+
+def slr(graph: CanonicalGraph, makespan: int | float) -> float:
+    """Classical SLR: makespan over the work-weighted critical path."""
+    cp = critical_path_length(graph)
+    if cp <= 0:
+        raise ValueError("graph has no work")
+    return makespan / cp
+
+
+def pe_utilization(busy_time: int | float, num_pes: int, makespan: int | float) -> float:
+    """Fraction of PE-cycles doing useful work."""
+    if makespan <= 0 or num_pes <= 0:
+        raise ValueError("makespan and num_pes must be positive")
+    return busy_time / (num_pes * makespan)
+
+
+def summarize_schedule(schedule) -> dict[str, float]:
+    """Convenience bundle of all metrics for one streaming schedule."""
+    graph = schedule.graph
+    return {
+        "makespan": float(schedule.makespan),
+        "speedup": speedup(graph, schedule.makespan),
+        "sslr": streaming_slr(graph, schedule.makespan),
+        "utilization": pe_utilization(
+            schedule.busy_time(), schedule.num_pes, schedule.makespan
+        ),
+        "num_blocks": float(schedule.num_blocks),
+    }

@@ -1,0 +1,286 @@
+"""Spatial block partitioning (Section 5.2, Algorithm 1; Appendix A, Algorithm 2).
+
+A *spatial block* is a set of at most ``P`` computational tasks that are
+co-scheduled (gang-scheduled) on the device; edges inside a block stream,
+edges between blocks are buffered through global memory.  The partition
+must keep inter-block dependencies acyclic, which both greedy heuristics
+guarantee by construction: a node only becomes a candidate once all its
+predecessors have been assigned to some block.
+
+Two variants of Algorithm 1:
+
+* **SB-LTS** ("less-than-source"): a candidate may join the current block
+  only if it does not produce more data than the block sources it
+  (transitively, through streaming paths inside the block) depends on —
+  this protects the sources' streaming intervals.  Blocks may close early.
+* **SB-RLX** ("relaxed"): when no LTS-eligible candidate exists, the ready
+  node producing the least data is admitted anyway; every block except the
+  last holds exactly ``P`` tasks.
+
+Passive nodes (buffers, sources, sinks) occupy no PE slot; they are
+auto-assigned to the block that is open when they become ready, purely for
+bookkeeping — the schedule treats them as memory anchors either way.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Hashable, Literal
+
+from .graph import CanonicalGraph
+from .levels import node_levels
+
+__all__ = ["Partition", "compute_spatial_blocks", "partition_by_work", "Variant"]
+
+Variant = Literal["lts", "rlx"]
+
+
+@dataclass
+class Partition:
+    """Result of a spatial block partitioning.
+
+    ``blocks[i]`` lists the computational tasks of block ``i`` in
+    insertion order; ``block_of`` maps every node (passive ones included)
+    to its block index.
+    """
+
+    blocks: list[list[Hashable]]
+    block_of: dict[Hashable, int]
+    variant: str = ""
+    num_pes: int = 0
+    sources_per_block: list[set[Hashable]] = field(default_factory=list)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    def validate(self, graph: CanonicalGraph, num_pes: int) -> None:
+        """Check partition invariants: coverage, capacity, acyclicity."""
+        seen: set[Hashable] = set()
+        for block in self.blocks:
+            if len(block) > num_pes:
+                raise ValueError(f"block exceeds {num_pes} PEs: {len(block)} tasks")
+            seen.update(block)
+        comp = set(graph.computational_nodes())
+        if seen != comp:
+            missing = comp - seen
+            extra = seen - comp
+            raise ValueError(f"partition mismatch: missing={missing} extra={extra}")
+        # dependencies must never point from a later block to an earlier one
+        for u, v in graph.edges:
+            if self.block_of[u] > self.block_of[v]:
+                raise ValueError(
+                    f"edge ({u!r}, {v!r}) crosses blocks backwards: "
+                    f"{self.block_of[u]} -> {self.block_of[v]}"
+                )
+
+
+class _State:
+    """Shared bookkeeping for the greedy partitioners."""
+
+    def __init__(self, graph: CanonicalGraph):
+        self.graph = graph
+        self.indeg: dict[Hashable, int] = {v: graph.in_degree(v) for v in graph.nodes}
+        self.assigned: dict[Hashable, int] = {}
+        self.blocks: list[list[Hashable]] = [[]]
+        self.block_idx = 0
+        # minimum block-source volume reaching each assigned node through
+        # streaming (computational) paths inside its own block; None for
+        # block sources themselves and for passive nodes.
+        self.reach_min: dict[Hashable, int | None] = {}
+        self.is_block_source: dict[Hashable, bool] = {}
+        self.sources_per_block: list[set[Hashable]] = [set()]
+
+    def in_block_comp_preds(self, v: Hashable) -> list[Hashable]:
+        g = self.graph
+        return [
+            u
+            for u in g.predecessors(v)
+            if self.assigned.get(u) == self.block_idx and g.spec(u).kind.is_computational
+        ]
+
+    def min_reaching_source_volume(self, v: Hashable) -> int | None:
+        """Smallest O(s) over block sources reaching ``v`` in the open block.
+
+        ``None`` when ``v`` would itself become a block source (no
+        streaming predecessor inside the open block).
+        """
+        best: int | None = None
+        for u in self.in_block_comp_preds(v):
+            vol = (
+                self.graph.spec(u).output_volume
+                if self.is_block_source[u]
+                else self.reach_min[u]
+            )
+            if vol is not None and (best is None or vol < best):
+                best = vol
+        return best
+
+    def assign(self, v: Hashable, *, passive: bool = False) -> None:
+        self.assigned[v] = self.block_idx
+        if not passive:
+            preds = self.in_block_comp_preds(v)
+            source = not preds
+            self.is_block_source[v] = source
+            self.reach_min[v] = None if source else self.min_reaching_source_volume(v)
+            self.blocks[self.block_idx].append(v)
+            if source:
+                self.sources_per_block[self.block_idx].add(v)
+
+    def close_block(self) -> None:
+        self.blocks.append([])
+        self.sources_per_block.append(set())
+        self.block_idx += 1
+
+    def finish(self, variant: str, num_pes: int) -> Partition:
+        if self.blocks and not self.blocks[-1]:
+            self.blocks.pop()
+            self.sources_per_block.pop()
+        return Partition(
+            self.blocks, self.assigned, variant, num_pes, self.sources_per_block
+        )
+
+
+def compute_spatial_blocks(
+    graph: CanonicalGraph, num_pes: int, variant: Variant = "lts"
+) -> Partition:
+    """Algorithm 1 — greedy spatial block computation.
+
+    Candidates are ready computational nodes (all predecessors assigned),
+    ordered by produced data volume, breaking ties by level and insertion
+    order.  Complexity is near-linear in nodes + edges thanks to the lazy
+    re-validation heap (the paper quotes O(N^2) for the naive loop).
+    """
+    if num_pes < 1:
+        raise ValueError("need at least one processing element")
+    if variant not in ("lts", "rlx"):
+        raise ValueError(f"unknown variant {variant!r}")
+
+    state = _State(graph)
+    levels = node_levels(graph)
+    counter = itertools.count()
+
+    ready_heap: list[tuple[int, float, int, Hashable]] = []
+    deferred: list[tuple[int, float, int, Hashable]] = []
+
+    def push_ready(v: Hashable) -> None:
+        spec = graph.spec(v)
+        heapq.heappush(
+            ready_heap,
+            (spec.output_volume, float(levels[v]), next(counter), v),
+        )
+
+    def release_successors(v: Hashable) -> None:
+        """Decrement successor indegrees; cascade through passive nodes."""
+        stack = [v]
+        while stack:
+            u = stack.pop()
+            for w in graph.successors(u):
+                state.indeg[w] -= 1
+                if state.indeg[w] == 0:
+                    if graph.spec(w).kind.is_computational:
+                        push_ready(w)
+                    else:
+                        state.assign(w, passive=True)
+                        stack.append(w)
+
+    # seed: entry nodes (snapshot first — the passive cascade mutates
+    # indegrees, and a node it already assigned must not be re-seeded)
+    entries = [v for v in graph.nodes if state.indeg[v] == 0]
+    for v in entries:
+        if graph.spec(v).kind.is_computational:
+            push_ready(v)
+        else:
+            state.assign(v, passive=True)
+            release_successors(v)
+
+    remaining = graph.num_tasks()
+    while remaining > 0:
+        cand: Hashable | None = None
+        while ready_heap:
+            vol, lvl, seq, v = heapq.heappop(ready_heap)
+            reach = state.min_reaching_source_volume(v)
+            if reach is None or vol <= reach:
+                cand = v
+                break
+            deferred.append((vol, lvl, seq, v))
+        if cand is None and variant == "rlx" and deferred:
+            # relaxed: admit the ready node producing the least data anyway
+            deferred.sort()
+            cand = deferred.pop(0)[3]
+        if cand is None:
+            # SB-LTS with no eligible candidate: close the block; deferred
+            # nodes become eligible again (their preds leave the open block)
+            if not state.blocks[state.block_idx] and not deferred:
+                raise RuntimeError("partitioner stalled: graph has a cycle?")
+            state.close_block()
+            for item in deferred:
+                heapq.heappush(ready_heap, item)
+            deferred.clear()
+            continue
+        state.assign(cand)
+        remaining -= 1
+        release_successors(cand)
+        if len(state.blocks[state.block_idx]) >= num_pes:
+            state.close_block()
+            for item in deferred:
+                heapq.heappush(ready_heap, item)
+            deferred.clear()
+
+    part = state.finish(f"sb-{variant}", num_pes)
+    return part
+
+
+def partition_by_work(graph: CanonicalGraph, num_pes: int) -> Partition:
+    """Appendix A, Algorithm 2 — work-ordered partitioning.
+
+    Designed for graphs of element-wise and downsampler nodes: picks the
+    ready node with the highest work (ties: lowest level), filling blocks
+    of exactly ``P`` tasks.  Along any path work is non-increasing in such
+    graphs, so blocks group nodes of similar work, which yields the
+    Theorem A.2 bound ``T_P <= T_1/P + T_s_inf + (x-1)(L(G)-1)``.
+    """
+    if num_pes < 1:
+        raise ValueError("need at least one processing element")
+    state = _State(graph)
+    levels = node_levels(graph)
+    counter = itertools.count()
+    heap: list[tuple[int, float, int, Hashable]] = []
+
+    def push_ready(v: Hashable) -> None:
+        spec = graph.spec(v)
+        heapq.heappush(heap, (-spec.work, float(levels[v]), next(counter), v))
+
+    def release_successors(v: Hashable) -> None:
+        stack = [v]
+        while stack:
+            u = stack.pop()
+            for w in graph.successors(u):
+                state.indeg[w] -= 1
+                if state.indeg[w] == 0:
+                    if graph.spec(w).kind.is_computational:
+                        push_ready(w)
+                    else:
+                        state.assign(w, passive=True)
+                        stack.append(w)
+
+    entries = [v for v in graph.nodes if state.indeg[v] == 0]
+    for v in entries:
+        if graph.spec(v).kind.is_computational:
+            push_ready(v)
+        else:
+            state.assign(v, passive=True)
+            release_successors(v)
+
+    remaining = graph.num_tasks()
+    while remaining > 0:
+        _, _, _, cand = heapq.heappop(heap)
+        if len(state.blocks[state.block_idx]) >= num_pes:
+            state.close_block()
+        state.assign(cand)
+        remaining -= 1
+        release_successors(cand)
+
+    return state.finish("work", num_pes)

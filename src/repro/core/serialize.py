@@ -1,0 +1,161 @@
+"""Serialization of canonical graphs and schedules.
+
+A reproducible toolchain needs durable artifacts: graphs round-trip
+through a versioned JSON document, and schedules export both to a plain
+JSON summary and to the Chrome trace-event format (``chrome://tracing``
+/ Perfetto), with one row per processing element and one slice per task
+occupancy — convenient for eyeballing pipelining and block boundaries.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Hashable
+
+from .graph import CanonicalGraph
+from .node_types import NodeKind, NodeSpec
+from .scheduler import StreamingSchedule
+
+__all__ = [
+    "graph_to_dict",
+    "graph_from_dict",
+    "save_graph",
+    "load_graph",
+    "schedule_to_dict",
+    "schedule_to_chrome_trace",
+]
+
+FORMAT_VERSION = 1
+
+
+def _name_to_json(name: Hashable) -> Any:
+    """Node names are hashables; tuples become tagged lists for JSON."""
+    if isinstance(name, tuple):
+        return {"__tuple__": [_name_to_json(x) for x in name]}
+    return name
+
+
+def _name_from_json(obj: Any) -> Hashable:
+    if isinstance(obj, dict) and "__tuple__" in obj:
+        return tuple(_name_from_json(x) for x in obj["__tuple__"])
+    return obj
+
+
+def graph_to_dict(graph: CanonicalGraph) -> dict:
+    """A versioned, JSON-serializable description of the graph."""
+    return {
+        "format": "canonical-task-graph",
+        "version": FORMAT_VERSION,
+        "nodes": [
+            {
+                "name": _name_to_json(v),
+                "kind": graph.spec(v).kind.value,
+                "input_volume": graph.spec(v).input_volume,
+                "output_volume": graph.spec(v).output_volume,
+                "label": graph.spec(v).label,
+            }
+            for v in graph.nodes
+        ],
+        "edges": [
+            [_name_to_json(u), _name_to_json(v)] for u, v in graph.edges
+        ],
+    }
+
+
+def graph_from_dict(doc: dict) -> CanonicalGraph:
+    """Inverse of :func:`graph_to_dict`; validates the result."""
+    if doc.get("format") != "canonical-task-graph":
+        raise ValueError("not a canonical task graph document")
+    if doc.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported version {doc.get('version')!r}")
+    g = CanonicalGraph()
+    for n in doc["nodes"]:
+        g.add_node(
+            NodeSpec(
+                _name_from_json(n["name"]),
+                NodeKind(n["kind"]),
+                n["input_volume"],
+                n["output_volume"],
+                n.get("label", ""),
+            )
+        )
+    for u, v in doc["edges"]:
+        g.add_edge(_name_from_json(u), _name_from_json(v))
+    g.validate()
+    return g
+
+
+def save_graph(graph: CanonicalGraph, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(graph_to_dict(graph), fh, indent=1)
+
+
+def load_graph(path: str) -> CanonicalGraph:
+    with open(path) as fh:
+        return graph_from_dict(json.load(fh))
+
+
+def schedule_to_dict(schedule: StreamingSchedule) -> dict:
+    """Plain JSON summary of a streaming schedule."""
+    return {
+        "format": "streaming-schedule",
+        "version": FORMAT_VERSION,
+        "num_pes": schedule.num_pes,
+        "variant": schedule.partition.variant,
+        "makespan": schedule.makespan,
+        "num_blocks": schedule.num_blocks,
+        "tasks": [
+            {
+                "name": _name_to_json(v),
+                "block": schedule.block_of(v),
+                "pe": schedule.pe_of[v],
+                "st": schedule.times[v].st,
+                "fo": schedule.times[v].fo,
+                "lo": schedule.times[v].lo,
+            }
+            for v in schedule.graph.computational_nodes()
+        ],
+        "fifo_sizes": [
+            {"src": _name_to_json(u), "dst": _name_to_json(v), "capacity": c}
+            for (u, v), c in schedule.buffer_sizes.items()
+        ],
+    }
+
+
+def schedule_to_chrome_trace(schedule: StreamingSchedule) -> list[dict]:
+    """Chrome trace-event JSON (load in chrome://tracing or Perfetto).
+
+    One complete ("X") event per task, on the row of its PE; block
+    boundaries appear as instant events on a separate row.
+    """
+    events: list[dict] = []
+    for v in schedule.graph.computational_nodes():
+        t = schedule.times[v]
+        events.append(
+            {
+                "name": str(v),
+                "cat": f"block{schedule.block_of(v)}",
+                "ph": "X",
+                "ts": t.st,
+                "dur": max(1, t.lo - t.st),
+                "pid": 0,
+                "tid": schedule.pe_of[v],
+                "args": {"fo": t.fo, "lo": t.lo, "block": schedule.block_of(v)},
+            }
+        )
+    release = 0
+    for b, block in enumerate(schedule.partition.blocks):
+        end = max(schedule.times[v].lo for v in block)
+        events.append(
+            {
+                "name": f"block {b}",
+                "ph": "X",
+                "ts": release,
+                "dur": max(1, end - release),
+                "pid": 0,
+                "tid": -1,
+                "args": {"tasks": len(block)},
+            }
+        )
+        release = end
+    return events

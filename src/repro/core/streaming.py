@@ -1,0 +1,109 @@
+"""Steady-state streaming interval analysis (Section 4.1, Theorem 4.1).
+
+For every edge ``e`` the *streaming interval* ``s(e)`` is the average time
+between consecutive elements crossing ``e`` at steady state.  All input
+edges of a node share one interval ``S_i(v)`` and all output edges share
+``S_o(v) = S_i(v) / R(v)`` (Equation 2).  Theorem 4.1 shows that inside a
+weakly connected component ``W`` of the buffer-split graph the product
+``O(v) * S_o(v)`` is a constant ``C = max_{u in W} O(u)``, hence
+
+    S_o(v) = C / O(v)        and        S_i(v) = C / I(v).
+
+We extend the constant to ``C = max_v max(I(v), O(v))`` over the
+component.  For interior nodes ``I(v)`` equals a predecessor's ``O`` and
+changes nothing; for component *entry* nodes that read their input from
+global memory (spatial-block sources, see Section 5.1) it accounts for the
+time the node spends ingesting data at one element per cycle — without it
+a downsampler block source would be credited an impossibly fast output
+rate.  This matches the paper's worked examples (DESIGN.md Section 4).
+
+Intervals are exact rationals (:class:`fractions.Fraction`); all schedule
+times derived from them are integers because the recurrences apply
+ceilings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Hashable, Mapping
+
+from .graph import CanonicalGraph
+from .node_types import NodeKind
+from .transform import BufferHalf, weakly_connected_components
+
+__all__ = ["StreamingIntervals", "compute_streaming_intervals"]
+
+
+@dataclass(frozen=True)
+class StreamingIntervals:
+    """Result of the steady-state analysis for one canonical (sub)graph.
+
+    Attributes
+    ----------
+    so / si:
+        Output / input streaming interval per original node name.  For
+        buffer nodes ``so`` comes from the *head* half's component and
+        ``si`` from the *tail* half's component.  Nodes without outputs
+        (sinks) are missing from ``so``; sources are missing from ``si``.
+    wcc_of:
+        Transformed-node (original names and :class:`BufferHalf`) to WCC
+        index.
+    wcc_max_volume:
+        The constant ``C`` of each WCC.
+    """
+
+    so: Mapping[Hashable, Fraction]
+    si: Mapping[Hashable, Fraction]
+    wcc_of: Mapping[Hashable, int]
+    wcc_max_volume: tuple[int, ...]
+
+    def edge_interval(self, graph: CanonicalGraph, u: Hashable, v: Hashable) -> Fraction:
+        """``s(u, v)`` — the interval of edge ``(u, v)``.
+
+        Equals ``S_o(u)``; when ``u`` is a buffer this is the head-side
+        interval, which is what its consumers observe.
+        """
+        if not graph.nx.has_edge(u, v):
+            raise KeyError(f"no edge ({u!r}, {v!r})")
+        return self.so[u]
+
+
+def compute_streaming_intervals(graph: CanonicalGraph) -> StreamingIntervals:
+    """Compute the streaming intervals of every node (Theorem 4.1).
+
+    Linear in nodes + edges: one buffer split, one WCC sweep, one max per
+    component, one division per node.
+    """
+    comps = weakly_connected_components(graph)
+    wcc_of: dict[Hashable, int] = {}
+    maxima: list[int] = []
+    for idx, comp in enumerate(comps):
+        top = 1
+        for tv in comp:
+            wcc_of[tv] = idx
+            if isinstance(tv, BufferHalf):
+                spec = graph.spec(tv.buffer)
+                vol = spec.input_volume if tv.side == "tail" else spec.output_volume
+            else:
+                spec = graph.spec(tv)
+                vol = max(spec.input_volume, spec.output_volume)
+            top = max(top, vol)
+        maxima.append(top)
+
+    so: dict[Hashable, Fraction] = {}
+    si: dict[Hashable, Fraction] = {}
+    for v in graph.nodes:
+        spec = graph.spec(v)
+        if spec.kind is NodeKind.BUFFER:
+            c_tail = maxima[wcc_of[BufferHalf(v, "tail")]]
+            c_head = maxima[wcc_of[BufferHalf(v, "head")]]
+            si[v] = Fraction(c_tail, spec.input_volume)
+            so[v] = Fraction(c_head, spec.output_volume)
+        else:
+            c = maxima[wcc_of[v]]
+            if spec.input_volume > 0:
+                si[v] = Fraction(c, spec.input_volume)
+            if spec.output_volume > 0:
+                so[v] = Fraction(c, spec.output_volume)
+    return StreamingIntervals(so, si, wcc_of, tuple(maxima))

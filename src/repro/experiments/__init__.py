@@ -1,0 +1,17 @@
+"""Experiment harnesses — one module per paper figure/table.
+
+* :mod:`repro.experiments.fig10_speedup` — speedup distributions + utilization
+* :mod:`repro.experiments.fig11_sslr` — Streaming SLR distributions
+* :mod:`repro.experiments.fig12_csdf` — CSDF analysis comparison
+* :mod:`repro.experiments.fig13_validation` — DES validation errors
+* :mod:`repro.experiments.table2_ml` — ResNet-50 / transformer speedups
+* :mod:`repro.experiments.ablations` — buffer sizing + partitioner ablations
+
+Each module exposes ``run(...)`` returning structured results and
+``main()`` printing the paper-style table; all are runnable with
+``python -m``.
+"""
+
+from . import common
+
+__all__ = ["common"]

@@ -1,0 +1,170 @@
+"""Ablation studies beyond the paper's figures (DESIGN.md Section 8).
+
+1. **Buffer sizing** — run the DES with minimal (capacity 1) FIFOs
+   instead of the Section 6 sizes and count deadlocks: quantifies how
+   often the sizing pass is *necessary*, not just sufficient.
+2. **Partition variants** — SB-LTS vs SB-RLX vs the appendix work-
+   ordered Algorithm 2: block counts, fill factors and makespans.
+3. **Execution pacing** — steady-state vs greedy DES execution: how
+   conservative is the steady-state analysis against a free-running
+   device?
+
+Run: ``python -m repro.experiments.ablations [num_graphs]``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import schedule_streaming
+from ..graphs import PAPER_SIZES, random_canonical_graph
+from ..sim import simulate_schedule
+from .common import default_num_graphs, format_table
+
+__all__ = ["run_buffer_ablation", "run_partition_ablation", "run_pacing_ablation", "main"]
+
+
+@dataclass(frozen=True)
+class BufferAblationRow:
+    topology: str
+    num_pes: int
+    deadlocks_sized: int
+    deadlocks_cap1: int
+    n: int
+
+
+def run_buffer_ablation(
+    num_graphs: int | None = None, num_pes: int = 64
+) -> list[BufferAblationRow]:
+    num_graphs = num_graphs or default_num_graphs(25)
+    rows = []
+    for topo, size in PAPER_SIZES.items():
+        pes = min(num_pes, 8) if topo == "chain" else num_pes
+        sized = cap1 = 0
+        for seed in range(num_graphs):
+            g = random_canonical_graph(topo, size, seed=seed)
+            s = schedule_streaming(g, pes, "rlx")
+            if simulate_schedule(s).deadlocked:
+                sized += 1
+            if simulate_schedule(s, capacity_override=1).deadlocked:
+                cap1 += 1
+        rows.append(BufferAblationRow(topo, pes, sized, cap1, num_graphs))
+    return rows
+
+
+@dataclass(frozen=True)
+class PartitionAblationRow:
+    topology: str
+    num_pes: int
+    variant: str
+    mean_blocks: float
+    mean_fill: float  # mean tasks per block / P
+    mean_makespan: float
+
+
+def run_partition_ablation(
+    num_graphs: int | None = None, num_pes: int = 64
+) -> list[PartitionAblationRow]:
+    num_graphs = num_graphs or default_num_graphs(25)
+    rows = []
+    for topo, size in PAPER_SIZES.items():
+        pes = min(num_pes, 8) if topo == "chain" else num_pes
+        for variant in ("lts", "rlx", "work"):
+            blocks, fills, makespans = [], [], []
+            for seed in range(num_graphs):
+                g = random_canonical_graph(topo, size, seed=seed)
+                s = schedule_streaming(g, pes, variant, size_buffers=False)
+                blocks.append(s.num_blocks)
+                fills.append(g.num_tasks() / (s.num_blocks * pes))
+                makespans.append(s.makespan)
+            rows.append(
+                PartitionAblationRow(
+                    topo,
+                    pes,
+                    variant,
+                    float(np.mean(blocks)),
+                    float(np.mean(fills)),
+                    float(np.mean(makespans)),
+                )
+            )
+    return rows
+
+
+@dataclass(frozen=True)
+class PacingAblationRow:
+    topology: str
+    num_pes: int
+    mean_speedup_pct: float  # how much faster greedy runs vs steady
+    deadlocks_greedy: int
+    n: int
+
+
+def run_pacing_ablation(
+    num_graphs: int | None = None, num_pes: int = 64
+) -> list[PacingAblationRow]:
+    num_graphs = num_graphs or default_num_graphs(25)
+    rows = []
+    for topo, size in PAPER_SIZES.items():
+        pes = min(num_pes, 8) if topo == "chain" else num_pes
+        gains, deadlocks = [], 0
+        for seed in range(num_graphs):
+            g = random_canonical_graph(topo, size, seed=seed)
+            s = schedule_streaming(g, pes, "rlx")
+            steady = simulate_schedule(s, pacing="steady")
+            greedy = simulate_schedule(s, pacing="greedy")
+            if greedy.deadlocked or steady.deadlocked:
+                deadlocks += 1
+                continue
+            gains.append(100.0 * (steady.makespan - greedy.makespan) / steady.makespan)
+        rows.append(
+            PacingAblationRow(
+                topo, pes, float(np.mean(gains)) if gains else 0.0, deadlocks, num_graphs
+            )
+        )
+    return rows
+
+
+def main(num_graphs: int | None = None) -> str:
+    parts = []
+    rows = run_buffer_ablation(num_graphs)
+    parts.append(
+        "Ablation 1 — deadlocks: Section 6 sizing vs minimal FIFOs\n"
+        + format_table(
+            ["topology", "#PEs", "deadlocks(sized)", "deadlocks(cap=1)", "n"],
+            [[r.topology, r.num_pes, r.deadlocks_sized, r.deadlocks_cap1, r.n] for r in rows],
+        )
+    )
+    rows = run_partition_ablation(num_graphs)
+    parts.append(
+        "Ablation 2 — partition variants\n"
+        + format_table(
+            ["topology", "#PEs", "variant", "blocks", "fill", "makespan"],
+            [
+                [r.topology, r.num_pes, r.variant, f"{r.mean_blocks:6.1f}",
+                 f"{r.mean_fill:5.2f}", f"{r.mean_makespan:9.0f}"]
+                for r in rows
+            ],
+        )
+    )
+    rows = run_pacing_ablation(num_graphs)
+    parts.append(
+        "Ablation 3 — steady-state vs greedy execution\n"
+        + format_table(
+            ["topology", "#PEs", "greedy gain %", "deadlocks", "n"],
+            [
+                [r.topology, r.num_pes, f"{r.mean_speedup_pct:6.2f}", r.deadlocks_greedy, r.n]
+                for r in rows
+            ],
+        )
+    )
+    out = "\n\n".join(parts)
+    print(out)
+    return out
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else None)

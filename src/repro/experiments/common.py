@@ -1,0 +1,100 @@
+"""Shared helpers for the figure/table reproduction harnesses.
+
+The paper reports distributions as box plots; a terminal cannot draw
+those, so every harness prints the box-plot *statistics* (median,
+quartiles, whiskers, outlier count) as table rows — the comparisons the
+paper makes (who wins, by how much, where the crossover happens) are all
+readable from these numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["BoxStats", "format_table", "default_num_graphs", "PE_SWEEPS"]
+
+#: PE sweeps used in Figures 10/11/13 (chain is 8 tasks, the rest ~100-250)
+PE_SWEEPS = {
+    "chain": (2, 4, 6, 8),
+    "fft": (32, 64, 96, 128),
+    "gaussian": (32, 64, 96, 128),
+    "cholesky": (32, 64, 96, 128),
+}
+
+
+def default_num_graphs(fallback: int = 100) -> int:
+    """Population size per topology; override with ``REPRO_NUM_GRAPHS``.
+
+    The paper uses 100 random graphs per topology.  Benchmarks default
+    to a smaller population to keep wall-clock reasonable; export
+    ``REPRO_NUM_GRAPHS=100`` for the full reproduction.
+    """
+    try:
+        return max(1, int(os.environ.get("REPRO_NUM_GRAPHS", fallback)))
+    except ValueError:
+        return fallback
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Box-plot statistics of one sample population."""
+
+    n: int
+    median: float
+    q1: float
+    q3: float
+    whisker_lo: float
+    whisker_hi: float
+    mean: float
+    outliers: int
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[float]) -> "BoxStats":
+        xs = np.asarray(list(samples), dtype=float)
+        if xs.size == 0:
+            raise ValueError("no samples")
+        q1, med, q3 = np.percentile(xs, [25, 50, 75])
+        iqr = q3 - q1
+        lo_limit, hi_limit = q1 - 1.5 * iqr, q3 + 1.5 * iqr
+        inside = xs[(xs >= lo_limit) & (xs <= hi_limit)]
+        return cls(
+            n=int(xs.size),
+            median=float(med),
+            q1=float(q1),
+            q3=float(q3),
+            whisker_lo=float(inside.min()),
+            whisker_hi=float(inside.max()),
+            mean=float(xs.mean()),
+            outliers=int(xs.size - inside.size),
+        )
+
+    def row(self, fmt: str = "{:8.2f}") -> list[str]:
+        return [
+            fmt.format(self.median),
+            fmt.format(self.q1),
+            fmt.format(self.q3),
+            fmt.format(self.whisker_lo),
+            fmt.format(self.whisker_hi),
+            str(self.outliers),
+        ]
+
+
+BOX_HEADER = ["median", "q1", "q3", "whisk-", "whisk+", "outl"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Plain-text table with right-aligned columns."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join("-" * w for w in widths)
+    out = ["  ".join(h.rjust(w) for h, w in zip(headers, widths)), line]
+    for row in rows:
+        out.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)

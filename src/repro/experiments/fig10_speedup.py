@@ -1,0 +1,112 @@
+"""EXP-F10 — Figure 10: speedup distributions and PE utilization.
+
+For each topology (Chain 8, FFT 223, Gaussian elimination 135, Cholesky
+120 tasks) and PE count, schedules a population of random-volume
+canonical graphs with the two streaming variants (STR-SCH-1 = SB-LTS,
+STR-SCH-2 = SB-RLX) and the non-streaming list scheduler (NSTR-SCH),
+reporting the speedup-over-sequential distribution and the mean PE
+utilization.
+
+Expected shape (paper): streaming dominates non-streaming everywhere;
+the chain pins NSTR at speedup 1 while streaming scales with PEs;
+SB-RLX catches up with / passes SB-LTS as P approaches the task count.
+
+Run: ``python -m repro.experiments.fig10_speedup [num_graphs]``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines import schedule_nonstreaming
+from ..core import pe_utilization, schedule_streaming, speedup, total_work
+from ..graphs import PAPER_SIZES, random_canonical_graph
+from .common import BOX_HEADER, PE_SWEEPS, BoxStats, default_num_graphs, format_table
+
+__all__ = ["SpeedupCell", "run", "main"]
+
+SCHEDULERS = ("STR-SCH-1", "STR-SCH-2", "NSTR-SCH")
+
+
+@dataclass(frozen=True)
+class SpeedupCell:
+    """Distribution of one (topology, P, scheduler) combination."""
+
+    topology: str
+    num_pes: int
+    scheduler: str
+    speedups: BoxStats
+    mean_utilization: float
+
+
+def _schedule(graph, scheduler: str, num_pes: int):
+    """Returns (makespan, busy_time) under the requested scheduler."""
+    if scheduler == "STR-SCH-1":
+        s = schedule_streaming(graph, num_pes, "lts", size_buffers=False)
+        return s.makespan, s.busy_time()
+    if scheduler == "STR-SCH-2":
+        s = schedule_streaming(graph, num_pes, "rlx", size_buffers=False)
+        return s.makespan, s.busy_time()
+    if scheduler == "NSTR-SCH":
+        s = schedule_nonstreaming(graph, num_pes)
+        return s.makespan, s.busy_time()
+    raise ValueError(f"unknown scheduler {scheduler!r}")
+
+
+def run(
+    num_graphs: int | None = None,
+    topologies: dict[str, int] | None = None,
+    pe_sweeps: dict[str, tuple[int, ...]] | None = None,
+) -> list[SpeedupCell]:
+    num_graphs = num_graphs or default_num_graphs()
+    topologies = topologies or PAPER_SIZES
+    pe_sweeps = pe_sweeps or PE_SWEEPS
+    cells: list[SpeedupCell] = []
+    for topo, size in topologies.items():
+        graphs = [
+            random_canonical_graph(topo, size, seed=seed) for seed in range(num_graphs)
+        ]
+        works = [total_work(g) for g in graphs]
+        for num_pes in pe_sweeps[topo]:
+            for scheduler in SCHEDULERS:
+                spds, utils = [], []
+                for g, w in zip(graphs, works):
+                    makespan, busy = _schedule(g, scheduler, num_pes)
+                    spds.append(w / makespan)
+                    utils.append(pe_utilization(busy, num_pes, makespan))
+                cells.append(
+                    SpeedupCell(
+                        topo,
+                        num_pes,
+                        scheduler,
+                        BoxStats.from_samples(spds),
+                        float(sum(utils) / len(utils)),
+                    )
+                )
+    return cells
+
+
+def main(num_graphs: int | None = None) -> str:
+    cells = run(num_graphs)
+    headers = ["topology", "#PEs", "scheduler", *BOX_HEADER, "util%"]
+    rows = [
+        [
+            c.topology,
+            c.num_pes,
+            c.scheduler,
+            *c.speedups.row(),
+            f"{100 * c.mean_utilization:5.1f}",
+        ]
+        for c in cells
+    ]
+    table = "Figure 10 — speedup over sequential execution\n" + format_table(
+        headers, rows
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else None)

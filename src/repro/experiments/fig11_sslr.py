@@ -1,0 +1,75 @@
+"""EXP-F11 — Figure 11: Streaming Scheduling Length Ratio distributions.
+
+The Streaming SLR is the schedule makespan divided by the graph's
+streaming depth (the unbounded-PE fully pipelined execution time).  The
+paper's shape: SSLR decreases with more PEs, and SB-RLX approaches the
+minimum (1.0) once P reaches the task count, because it packs everything
+into a single spatial block.
+
+Run: ``python -m repro.experiments.fig11_sslr [num_graphs]``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import schedule_streaming, streaming_depth
+from ..graphs import PAPER_SIZES, random_canonical_graph
+from .common import BOX_HEADER, PE_SWEEPS, BoxStats, default_num_graphs, format_table
+
+__all__ = ["SslrCell", "run", "main"]
+
+VARIANTS = {"STR-SCH-1": "lts", "STR-SCH-2": "rlx"}
+
+
+@dataclass(frozen=True)
+class SslrCell:
+    topology: str
+    num_pes: int
+    scheduler: str
+    sslr: BoxStats
+
+
+def run(
+    num_graphs: int | None = None,
+    topologies: dict[str, int] | None = None,
+    pe_sweeps: dict[str, tuple[int, ...]] | None = None,
+) -> list[SslrCell]:
+    num_graphs = num_graphs or default_num_graphs()
+    topologies = topologies or PAPER_SIZES
+    pe_sweeps = pe_sweeps or PE_SWEEPS
+    cells: list[SslrCell] = []
+    for topo, size in topologies.items():
+        graphs = [
+            random_canonical_graph(topo, size, seed=seed) for seed in range(num_graphs)
+        ]
+        depths = [streaming_depth(g) for g in graphs]
+        for num_pes in pe_sweeps[topo]:
+            for label, variant in VARIANTS.items():
+                ratios = []
+                for g, depth in zip(graphs, depths):
+                    s = schedule_streaming(g, num_pes, variant, size_buffers=False)
+                    ratios.append(s.makespan / depth)
+                cells.append(
+                    SslrCell(topo, num_pes, label, BoxStats.from_samples(ratios))
+                )
+    return cells
+
+
+def main(num_graphs: int | None = None) -> str:
+    cells = run(num_graphs)
+    headers = ["topology", "#PEs", "scheduler", *BOX_HEADER]
+    rows = [
+        [c.topology, c.num_pes, c.scheduler, *c.sslr.row("{:8.3f}")] for c in cells
+    ]
+    table = "Figure 11 — Streaming SLR (makespan / streaming depth)\n" + format_table(
+        headers, rows
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else None)

@@ -1,0 +1,110 @@
+"""EXP-F12 — Figure 12: comparison against CSDF throughput analysis.
+
+For each topology the canonical graph is scheduled with SB-RLX and
+``P = #tasks`` (matching the paper's setup: the CSDF tools cannot bound
+the PE count) and compared against the self-timed CSDF execution (the
+stand-in for SDF3/Kiter, see DESIGN.md substitutions) on two axes:
+
+* **analysis cost** — wall-clock scheduling/analysis time per graph, plus
+  the number of graphs whose CSDF analysis exceeds the firing budget
+  (the paper's 1 h time-out analog);
+* **makespan ratio** — canonical makespan / CSDF makespan, expected
+  close to 1 with the largest deviations on Cholesky.
+
+Run: ``python -m repro.experiments.fig12_csdf [num_graphs]``
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..core import schedule_streaming
+from ..graphs import PAPER_SIZES, random_canonical_graph
+from ..sdf import AnalysisTimeout, canonical_to_csdf, self_timed_makespan
+from .common import BOX_HEADER, BoxStats, default_num_graphs, format_table
+
+__all__ = ["CsdfComparison", "run", "main"]
+
+#: firing budget standing in for the paper's one-hour wall-clock cap;
+#: CSDF analysis cost grows with total data volume, so complex graphs hit it
+DEFAULT_MAX_FIRINGS = 2_000_000
+
+
+@dataclass(frozen=True)
+class CsdfComparison:
+    topology: str
+    n: int
+    timeouts: int
+    sched_time: BoxStats  # seconds, canonical scheduling
+    csdf_time: BoxStats  # seconds, CSDF analysis (completed graphs only)
+    makespan_ratio: BoxStats  # ours / CSDF (completed graphs only)
+
+
+def run(
+    num_graphs: int | None = None,
+    topologies: dict[str, int] | None = None,
+    max_firings: int = DEFAULT_MAX_FIRINGS,
+) -> list[CsdfComparison]:
+    num_graphs = num_graphs or default_num_graphs()
+    topologies = topologies or PAPER_SIZES
+    out: list[CsdfComparison] = []
+    for topo, size in topologies.items():
+        sched_times, csdf_times, ratios = [], [], []
+        timeouts = 0
+        for seed in range(num_graphs):
+            g = random_canonical_graph(topo, size, seed=seed)
+            t0 = time.perf_counter()
+            s = schedule_streaming(g, len(g), "rlx", size_buffers=False)
+            sched_times.append(time.perf_counter() - t0)
+            csdf = canonical_to_csdf(g)
+            t0 = time.perf_counter()
+            try:
+                res = self_timed_makespan(csdf, max_firings=max_firings)
+            except AnalysisTimeout:
+                timeouts += 1
+                continue
+            csdf_times.append(time.perf_counter() - t0)
+            ratios.append(s.makespan / res.makespan)
+        out.append(
+            CsdfComparison(
+                topo,
+                num_graphs,
+                timeouts,
+                BoxStats.from_samples(sched_times),
+                BoxStats.from_samples(csdf_times) if csdf_times else None,
+                BoxStats.from_samples(ratios) if ratios else None,
+            )
+        )
+    return out
+
+
+def main(num_graphs: int | None = None) -> str:
+    comparisons = run(num_graphs)
+    headers = ["topology", "timeouts", "ours-med(s)", "csdf-med(s)", "cost-x", *BOX_HEADER]
+    rows = []
+    for c in comparisons:
+        csdf_med = c.csdf_time.median if c.csdf_time else float("nan")
+        ratio_cols = c.makespan_ratio.row("{:8.4f}") if c.makespan_ratio else ["-"] * 6
+        rows.append(
+            [
+                c.topology,
+                f"{c.timeouts}/{c.n}",
+                f"{c.sched_time.median * 1e3:9.2f}ms",
+                f"{csdf_med * 1e3:9.2f}ms",
+                f"{csdf_med / c.sched_time.median:7.1f}",
+                *ratio_cols,
+            ]
+        )
+    table = (
+        "Figure 12 — canonical scheduling vs CSDF analysis "
+        "(ratio columns: makespan ours/CSDF)\n" + format_table(headers, rows)
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else None)

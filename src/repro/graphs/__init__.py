@@ -1,0 +1,61 @@
+"""Synthetic workload generators (Section 7.1).
+
+``random_canonical_graph("fft", 32, seed=0)`` reproduces one sample of
+the paper's FFT population (223 tasks, random canonical volumes).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from ..core.graph import CanonicalGraph
+from .topologies import (
+    chain_topology,
+    cholesky_topology,
+    expected_task_count,
+    fft_topology,
+    gaussian_elimination_topology,
+)
+from .volumes import DEFAULT_VOLUME_CHOICES, assign_random_volumes
+
+__all__ = [
+    "chain_topology",
+    "cholesky_topology",
+    "expected_task_count",
+    "fft_topology",
+    "gaussian_elimination_topology",
+    "assign_random_volumes",
+    "random_canonical_graph",
+    "topology_by_name",
+    "DEFAULT_VOLUME_CHOICES",
+    "PAPER_SIZES",
+]
+
+#: topology sizes used in the paper's Figures 10-13
+PAPER_SIZES = {"chain": 8, "fft": 32, "gaussian": 16, "cholesky": 8}
+
+
+def topology_by_name(name: str, size: int) -> nx.DiGraph:
+    """Dispatch on the paper's four topology families."""
+    builders = {
+        "chain": chain_topology,
+        "fft": fft_topology,
+        "gaussian": gaussian_elimination_topology,
+        "cholesky": cholesky_topology,
+    }
+    try:
+        return builders[name](size)
+    except KeyError:
+        raise ValueError(f"unknown topology {name!r}") from None
+
+
+def random_canonical_graph(
+    name: str,
+    size: int,
+    seed: int | np.random.Generator = 0,
+    volume_choices=DEFAULT_VOLUME_CHOICES,
+) -> CanonicalGraph:
+    """One random-volume canonical task graph of the given family."""
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    return assign_random_volumes(topology_by_name(name, size), rng, volume_choices)

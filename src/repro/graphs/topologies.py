@@ -1,0 +1,154 @@
+"""Synthetic task graph topologies of the evaluation (Section 7.1).
+
+Four well-known computations, reproduced with the task counts the paper
+quotes:
+
+* **Chain**: ``N`` tasks in a line (paper uses ``N = 8``).
+* **FFT**: one-dimensional recursive FFT with ``N`` input points —
+  ``2N - 1`` recursive-call tasks plus ``N log2 N`` butterfly tasks
+  (``N = 32`` gives the paper's 223 tasks).
+* **Gaussian elimination** on an ``M x M`` matrix —
+  ``(M^2 + M - 2) / 2`` tasks (``M = 16`` gives 135).
+* **Tiled Cholesky factorization** with ``T x T`` tiles —
+  ``T^3/6 + T^2/2 + T/3`` tasks (``T = 8`` gives 120).
+
+These functions return pure dependency structures (a
+:class:`networkx.DiGraph` of task ids); canonical data volumes are
+assigned separately by :mod:`repro.graphs.volumes`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+
+__all__ = [
+    "chain_topology",
+    "fft_topology",
+    "gaussian_elimination_topology",
+    "cholesky_topology",
+    "expected_task_count",
+]
+
+
+def chain_topology(num_tasks: int) -> nx.DiGraph:
+    """A linear chain: task ``i`` feeds task ``i + 1``."""
+    if num_tasks < 1:
+        raise ValueError("need at least one task")
+    g = nx.DiGraph()
+    g.add_nodes_from(range(num_tasks))
+    g.add_edges_from((i, i + 1) for i in range(num_tasks - 1))
+    return g
+
+
+def fft_topology(points: int) -> nx.DiGraph:
+    """The 1-D FFT task graph (Chung & Ranka; Topcuoglu et al.).
+
+    A binary tree of ``2*points - 1`` recursive-call tasks splits the
+    input down to ``points`` leaves, which feed ``log2(points)`` levels
+    of ``points`` butterfly tasks each.  Butterfly node ``(s, j)``
+    receives from ``(s-1, j)`` and ``(s-1, j XOR 2^(s-1))``.
+    """
+    if points < 2 or points & (points - 1):
+        raise ValueError("points must be a power of two >= 2")
+    stages = int(math.log2(points))
+    g = nx.DiGraph()
+
+    # recursive-call binary tree: node ("r", level, index)
+    def rec(level: int, index: int) -> tuple:
+        node = ("r", level, index)
+        g.add_node(node)
+        if level < stages:
+            for child in (2 * index, 2 * index + 1):
+                g.add_edge(node, rec(level + 1, child))
+        return node
+
+    rec(0, 0)
+
+    # butterflies: node ("b", stage, j); stage 0 fed by the tree leaves
+    for j in range(points):
+        g.add_node(("b", 0, j))
+        g.add_edge(("r", stages, j), ("b", 0, j))
+    for s in range(1, stages):
+        for j in range(points):
+            g.add_edge(("b", s - 1, j), ("b", s, j))
+            g.add_edge(("b", s - 1, j ^ (1 << (s - 1))), ("b", s, j))
+    # stage 0 butterflies pair with their XOR partner too
+    if stages >= 1:
+        for j in range(points):
+            partner = j ^ (points >> 1)
+            if partner != j:
+                g.add_edge(("r", stages, partner), ("b", 0, j))
+    return g
+
+
+def gaussian_elimination_topology(matrix_size: int) -> nx.DiGraph:
+    """Gaussian elimination DAG (Wu & Gajski's Hypertool kernel).
+
+    Step ``k`` (1-based) has one pivot task ``("p", k)`` and update
+    tasks ``("u", k, j)`` for columns ``j > k``; the first update of a
+    step enables the next pivot, the rest feed the next step's updates.
+    """
+    m = matrix_size
+    if m < 2:
+        raise ValueError("matrix_size must be >= 2")
+    g = nx.DiGraph()
+    for k in range(1, m):
+        g.add_node(("p", k))
+        for j in range(k + 1, m + 1):
+            g.add_node(("u", k, j))
+            g.add_edge(("p", k), ("u", k, j))
+        if k > 1:
+            g.add_edge(("u", k - 1, k), ("p", k))
+            for j in range(k + 1, m + 1):
+                g.add_edge(("u", k - 1, j), ("u", k, j))
+    return g
+
+
+def cholesky_topology(tiles: int) -> nx.DiGraph:
+    """Tiled Cholesky factorization DAG (Kurzak et al.).
+
+    Tasks per step ``k``: ``POTRF(k)``, ``TRSM(i,k)`` for ``i > k``,
+    ``SYRK(i,k)`` for ``i > k`` and ``GEMM(i,j,k)`` for ``i > j > k``,
+    with the standard dependency pattern.
+    """
+    t = tiles
+    if t < 1:
+        raise ValueError("tiles must be >= 1")
+    g = nx.DiGraph()
+    for k in range(t):
+        potrf = ("potrf", k)
+        g.add_node(potrf)
+        if k > 0:
+            g.add_edge(("syrk", k, k - 1), potrf)
+        for i in range(k + 1, t):
+            trsm = ("trsm", i, k)
+            g.add_edge(potrf, trsm)
+            if k > 0:
+                g.add_edge(("gemm", i, k, k - 1), trsm)
+            syrk = ("syrk", i, k)
+            g.add_edge(trsm, syrk)
+            if k > 0:
+                g.add_edge(("syrk", i, k - 1), syrk)
+            for j in range(k + 1, i):
+                gemm = ("gemm", i, j, k)
+                g.add_edge(("trsm", i, k), gemm)
+                g.add_edge(("trsm", j, k), gemm)
+                if k > 0:
+                    g.add_edge(("gemm", i, j, k - 1), gemm)
+    return g
+
+
+def expected_task_count(topology: str, size: int) -> int:
+    """Closed-form task counts quoted in Section 7.1."""
+    if topology == "chain":
+        return size
+    if topology == "fft":
+        return 2 * size - 1 + size * int(math.log2(size))
+    if topology == "gaussian":
+        return (size * size + size - 2) // 2
+    if topology == "cholesky":
+        # T^3/6 + T^2/2 + T/3 == T(T+1)(T+2)/6 exactly
+        return size * (size + 1) * (size + 2) // 6
+    raise ValueError(f"unknown topology {topology!r}")

@@ -1,0 +1,14 @@
+"""ML workloads as canonical task graphs (Section 7.3, Table 2)."""
+
+from .expansions import CanonicalModelBuilder, Tensor, largest_divisor_leq
+from .resnet import RESNET50_STAGES, build_resnet50
+from .transformer import build_transformer_encoder
+
+__all__ = [
+    "CanonicalModelBuilder",
+    "RESNET50_STAGES",
+    "Tensor",
+    "build_resnet50",
+    "build_transformer_encoder",
+    "largest_divisor_leq",
+]

@@ -1,0 +1,447 @@
+"""Canonical expansions of tensor operators (Section 3.2, Figures 2-5).
+
+The paper converts ONNX operator graphs into canonical task graphs:
+
+* ``Add``/``Sub``/``Relu``/``BatchNorm`` (inference) -> element-wise tasks;
+* ``MaxPool``/``ReduceSum``/``GlobalAveragePool`` -> downsampler tasks;
+* ``Reshape``/``Transpose``/``Slice``/``Concat`` -> buffer nodes;
+* ``MatMul``/``Conv``/``Softmax`` -> explicit canonical subgraphs.
+
+:class:`CanonicalModelBuilder` plays the role of the DaCeML/ONNX import
+pass (see DESIGN.md substitutions): model builders call its operator
+methods, each of which appends the corresponding canonical subgraph and
+returns a :class:`Tensor` handle (producing node + element count).
+
+The three MatMul implementations of Figure 3 are all available, with a
+``max_parallel`` knob bounding the task fan-out (each task then covers a
+block of columns / of the reduction dimension, re-reading buffered
+operands accordingly — the volumes stay exact).  ``matmul`` picks the
+implementation that maximizes parallelism, as the paper does.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Hashable, Literal
+
+from ..core.graph import CanonicalGraph
+
+__all__ = ["Tensor", "CanonicalModelBuilder", "largest_divisor_leq"]
+
+
+def largest_divisor_leq(n: int, cap: int) -> int:
+    """The largest divisor of ``n`` that does not exceed ``cap``."""
+    if n < 1 or cap < 1:
+        raise ValueError("need positive n and cap")
+    best = 1
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            if d <= cap:
+                best = max(best, d)
+            if n // d <= cap:
+                best = max(best, n // d)
+        d += 1
+    return best
+
+
+@dataclass(frozen=True)
+class Tensor:
+    """A produced tensor: the canonical node emitting it + element count."""
+
+    node: Hashable
+    size: int
+
+
+class CanonicalModelBuilder:
+    """Incrementally builds a canonical task graph from tensor operators.
+
+    Parameters
+    ----------
+    max_parallel:
+        Upper bound on the number of parallel tasks a single MatMul/Conv
+        expansion may create (the paper picks the implementation that
+        maximizes parallelism; real graphs need a resource-conscious cap).
+    """
+
+    def __init__(self, name: str = "model", max_parallel: int = 256):
+        self.graph = CanonicalGraph()
+        self.name = name
+        self.max_parallel = max_parallel
+        self._ids = itertools.count()
+        self.op_counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _fresh(self, op: str, role: str) -> str:
+        self.op_counts[op] = self.op_counts.get(op, 0) + 1
+        return f"{self.name}.{op}{next(self._ids)}.{role}"
+
+    def _task(self, op: str, role: str, i: int, o: int) -> str:
+        return self.graph.add_task(self._fresh(op, role), i, o, label=op)
+
+    def _buffer(self, op: str, role: str, i: int, o: int) -> str:
+        return self.graph.add_buffer(self._fresh(op, role), i, o, label=op)
+
+    def _wire(self, producer: Tensor, consumer: Hashable) -> None:
+        self.graph.add_edge(producer.node, consumer)
+
+    # ------------------------------------------------------------------
+    # graph inputs / constants
+    # ------------------------------------------------------------------
+    def input(self, size: int, label: str = "input") -> Tensor:
+        """A graph input read from global memory (source node)."""
+        node = self.graph.add_source(self._fresh(label, "src"), size, label=label)
+        return Tensor(node, size)
+
+    def weights(self, size: int, label: str = "weights") -> Tensor:
+        """Preloaded parameters: an entry buffer node (memory-resident)."""
+        node = self.graph.add_buffer(
+            self._fresh(label, "w"), size, size, label=label
+        )
+        return Tensor(node, size)
+
+    def output(self, x: Tensor, label: str = "output") -> Hashable:
+        """Mark a tensor as a graph result (sink node writing to memory)."""
+        node = self.graph.add_sink(self._fresh(label, "sink"), x.size, label=label)
+        self._wire(x, node)
+        return node
+
+    # ------------------------------------------------------------------
+    # simple operators
+    # ------------------------------------------------------------------
+    def ewise(self, *xs: Tensor, op: str = "ewise") -> Tensor:
+        """Element-wise task over one or more same-sized tensors
+        (Add, Sub, Mul, ReLU, folded BatchNorm, ...)."""
+        if not xs:
+            raise ValueError("ewise needs at least one input")
+        size = xs[0].size
+        if any(x.size != size for x in xs):
+            raise ValueError("element-wise inputs must have equal sizes")
+        node = self._task(op, "e", size, size)
+        for x in xs:
+            self._wire(x, node)
+        return Tensor(node, size)
+
+    def relu(self, x: Tensor) -> Tensor:
+        return self.ewise(x, op="relu")
+
+    def add(self, a: Tensor, b: Tensor) -> Tensor:
+        return self.ewise(a, b, op="add")
+
+    def batchnorm(self, x: Tensor) -> Tensor:
+        """Inference-time batch normalization folds to scale+shift."""
+        return self.ewise(x, op="batchnorm")
+
+    def downsample(self, x: Tensor, factor: int, op: str = "reduce") -> Tensor:
+        """Generic reduction by an integer factor (MaxPool, ReduceSum)."""
+        if x.size % factor:
+            raise ValueError(f"{op}: size {x.size} not divisible by {factor}")
+        node = self._task(op, "d", x.size, x.size // factor)
+        self._wire(x, node)
+        return Tensor(node, x.size // factor)
+
+    def maxpool(self, x: Tensor, window: int) -> Tensor:
+        return self.downsample(x, window, op="maxpool")
+
+    def global_avg_pool(self, x: Tensor, spatial: int) -> Tensor:
+        return self.downsample(x, spatial, op="gap")
+
+    def reshape(self, x: Tensor, op: str = "reshape") -> Tensor:
+        """Reshape/Transpose/Slice: a buffer node (Section 7.3)."""
+        node = self._buffer(op, "b", x.size, x.size)
+        self._wire(x, node)
+        return Tensor(node, x.size)
+
+    def concat(self, *xs: Tensor, op: str = "concat") -> Tensor:
+        """Streaming concatenation of equal-sized parts.
+
+        Implemented as a fan-in-2 *interleave tree* of upsampler tasks
+        (each reads one element from both inputs per round and emits the
+        two elements back to back).  The element order is an interleaving
+        rather than an append, which downstream linear operators absorb
+        by permuting their weights — and unlike a buffer node the tree
+        keeps the data streaming (Section 3.2's concatenation-as-
+        upsampler reading).
+        """
+        size = xs[0].size
+        if any(x.size != size for x in xs):
+            raise ValueError("concat parts must have equal sizes")
+        return self._interleave_tree([x.node for x in xs], size, op=op)
+
+    def _interleave_tree(
+        self, parts: list[Hashable], part_size: int, op: str = "interleave"
+    ) -> Tensor:
+        """Merge equal-sized streams pairwise into one stream.
+
+        Each tree node is an upsampler task with two input edges of
+        ``sz`` elements and one output of ``2 * sz`` (rate 2): a
+        canonical interleaver.  Fan-in stays bounded at 2 and the merged
+        stream pipelines to downstream consumers.
+
+        Requires a power-of-two part count (canonical volumes must match
+        pairwise); otherwise the merge falls back to a collect buffer,
+        which is correct but breaks the output stream.
+        """
+        n_parts = len(parts)
+        if n_parts == 1:
+            return Tensor(parts[0], part_size)
+        if n_parts & (n_parts - 1):  # not a power of two: buffer-collect
+            out = self._buffer(op, "collect", part_size, part_size * n_parts)
+            for p in parts:
+                self.graph.add_edge(p, out)
+            return Tensor(out, part_size * n_parts)
+        level = list(parts)
+        size = part_size
+        while len(level) > 1:
+            nxt: list[Hashable] = []
+            for i in range(0, len(level), 2):
+                t = self._task(op, "mix", size, 2 * size)
+                self.graph.add_edge(level[i], t)
+                self.graph.add_edge(level[i + 1], t)
+                nxt.append(t)
+            level = nxt
+            size *= 2
+        return Tensor(level[0], size)
+
+    # ------------------------------------------------------------------
+    # MatMul (Figure 3) and Conv (im2col, Section 7.3)
+    # ------------------------------------------------------------------
+    def matmul(
+        self,
+        a: Tensor,
+        b: Tensor,
+        n: int,
+        k: int,
+        m: int,
+        variant: Literal["auto", "inner", "cols", "ksplit"] = "auto",
+        stream_output: bool | None = None,
+    ) -> Tensor:
+        """``C[n,m] = A[n,k] @ B[k,m]`` as a canonical subgraph.
+
+        ``variant``:
+
+        * ``"inner"`` — Figure 3 (1): both operands buffered, one
+          downsampler computing all dot products (no parallelism);
+        * ``"cols"`` — Figure 3 (2): parallel along the ``m`` columns,
+          ``A`` streamed/replicated, ``B`` buffered;
+        * ``"ksplit"`` — Figure 3 (3): parallel along the ``k``
+          reduction dimension, outer products merged by a sum tree
+          (result streams out);
+        * ``"auto"`` — whichever of cols/ksplit offers more parallelism
+          (the paper's per-MatMul choice).
+        """
+        if a.size != n * k:
+            raise ValueError(f"A has {a.size} elements, expected {n}*{k}")
+        if b.size != k * m:
+            raise ValueError(f"B has {b.size} elements, expected {k}*{m}")
+        if variant == "auto":
+            variant = "cols" if m >= k else "ksplit"
+        if variant == "inner":
+            return self._matmul_inner(a, b, n, k, m)
+        if variant == "cols":
+            return self._matmul_cols(a, b, n, k, m, stream_output)
+        if variant == "ksplit":
+            return self._matmul_ksplit(a, b, n, k, m)
+        raise ValueError(f"unknown matmul variant {variant!r}")
+
+    def _matmul_inner(self, a: Tensor, b: Tensor, n: int, k: int, m: int) -> Tensor:
+        buf_a = self._buffer("matmul", "Abuf", a.size, n * k * m)
+        buf_b = self._buffer("matmul", "Bbuf", b.size, n * k * m)
+        self._wire(a, buf_a)
+        self._wire(b, buf_b)
+        dot = self._task("matmul", "dot", n * k * m, n * m)
+        self.graph.add_edge(buf_a, dot)
+        self.graph.add_edge(buf_b, dot)
+        return Tensor(dot, n * m)
+
+    def _matmul_cols(
+        self, a: Tensor, b: Tensor, n: int, k: int, m: int, stream_output: bool | None
+    ) -> Tensor:
+        d = largest_divisor_leq(m, self.max_parallel)
+        cols = m // d  # columns per task
+        per_task = n * k * cols
+        if cols == 1:
+            # pure Figure 3 (2): A is streamed through a replicator task
+            a_feed = self._task("matmul", "rep", a.size, a.size)
+            self._wire(a, a_feed)
+        else:
+            # blocked: each task re-reads A once per column block
+            a_feed = self._buffer("matmul", "Abuf", a.size, per_task)
+            self._wire(a, a_feed)
+        buf_b = self._buffer("matmul", "Bbuf", b.size, per_task)
+        self._wire(b, buf_b)
+        parts: list[Hashable] = []
+        for _ in range(d):
+            t = self._task("matmul", "mv", per_task, n * cols)
+            self.graph.add_edge(a_feed, t)
+            self.graph.add_edge(buf_b, t)
+            parts.append(t)
+        if stream_output is False:
+            # Figure 3 (2) with the optional B[NM] output buffer
+            out = self._buffer("matmul", "Cbuf", n * cols, n * m)
+            for t in parts:
+                self.graph.add_edge(t, out)
+            return Tensor(out, n * m)
+        # stream the result out column-interleaved ("we can also stream
+        # the output row-by-row without performance penalties")
+        return self._interleave_tree(parts, n * cols, op="matmul")
+
+    def _matmul_ksplit(self, a: Tensor, b: Tensor, n: int, k: int, m: int) -> Tensor:
+        d = largest_divisor_leq(k, self.max_parallel)
+        slices = k // d  # reduction slices per task
+        per_task = n * m * slices
+        buf_a = self._buffer("matmul", "Abuf", a.size, per_task)
+        buf_b = self._buffer("matmul", "Bbuf", b.size, per_task)
+        self._wire(a, buf_a)
+        self._wire(b, buf_b)
+        level: list[Hashable] = []
+        for _ in range(d):
+            t = self._task("matmul", "outer", per_task, n * m)
+            self.graph.add_edge(buf_a, t)
+            self.graph.add_edge(buf_b, t)
+            level.append(t)
+        # pairwise element-wise sum tree; the result streams out
+        while len(level) > 1:
+            nxt: list[Hashable] = []
+            for i in range(0, len(level) - 1, 2):
+                s = self._task("matmul", "sum", n * m, n * m)
+                self.graph.add_edge(level[i], s)
+                self.graph.add_edge(level[i + 1], s)
+                nxt.append(s)
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return Tensor(level[0], n * m)
+
+    def linear(self, x: Tensor, n: int, k: int, m: int, **kw) -> Tensor:
+        """``x[n,k] @ W[k,m]`` with fresh weights."""
+        w = self.weights(k * m)
+        return self.matmul(x, w, n, k, m, **kw)
+
+    def conv2d(
+        self,
+        x: Tensor,
+        in_ch: int,
+        out_ch: int,
+        h_in: int,
+        w_in: int,
+        kernel: int,
+        stride: int = 1,
+        pad: int | None = None,
+    ) -> tuple[Tensor, int, int]:
+        """Convolution via im2col (Chellapilla et al.; Section 7.3).
+
+        The input tensor is laid out as an im2col matrix by a buffer
+        node, then multiplied by the ``out_ch x (in_ch * kernel^2)``
+        weight matrix.  Returns the output tensor and spatial dims.
+        """
+        if pad is None:
+            pad = kernel // 2
+        h_out = (h_in + 2 * pad - kernel) // stride + 1
+        w_out = (w_in + 2 * pad - kernel) // stride + 1
+        if x.size != in_ch * h_in * w_in:
+            raise ValueError("conv2d input size mismatch")
+        k_dim = in_ch * kernel * kernel
+        m_dim = h_out * w_out
+        im2col = self._buffer("conv", "im2col", x.size, k_dim * m_dim)
+        self._wire(x, im2col)
+        w = self.weights(out_ch * k_dim, label="conv.w")
+        out = self.matmul(
+            w,
+            Tensor(im2col, k_dim * m_dim),
+            out_ch,
+            k_dim,
+            m_dim,
+        )
+        return out, h_out, w_out
+
+    # ------------------------------------------------------------------
+    # Softmax (Figure 5) and normalization (Figure 4)
+    # ------------------------------------------------------------------
+    def softmax(self, x: Tensor) -> Tensor:
+        """Numerically stable softmax as in Figure 5.
+
+        The exponentials are computed once and reused for both the
+        denominator and the final division, which partially streams the
+        internal computation.
+        """
+        n = x.size
+        d_max = self._task("softmax", "max", n, 1)
+        b_x = self._buffer("softmax", "xbuf", n, n)
+        self._wire(x, d_max)
+        self._wire(x, b_x)
+        b_max = self._buffer("softmax", "maxbuf", 1, n)
+        self.graph.add_edge(d_max, b_max)
+        e_sub = self._task("softmax", "sub", n, n)
+        self.graph.add_edge(b_x, e_sub)
+        self.graph.add_edge(b_max, e_sub)
+        e_exp = self._task("softmax", "exp", n, n)
+        self.graph.add_edge(e_sub, e_exp)
+        d_sum = self._task("softmax", "sum", n, 1)
+        b_exp = self._buffer("softmax", "expbuf", n, n)
+        self.graph.add_edge(e_exp, d_sum)
+        self.graph.add_edge(e_exp, b_exp)
+        b_sum = self._buffer("softmax", "sumbuf", 1, n)
+        self.graph.add_edge(d_sum, b_sum)
+        e_div = self._task("softmax", "div", n, n)
+        self.graph.add_edge(b_exp, e_div)
+        self.graph.add_edge(b_sum, e_div)
+        return Tensor(e_div, n)
+
+    def normalize(self, x: Tensor, streaming: bool = False) -> Tensor:
+        """Vector normalization ``y = x / ||x||`` (Figure 4).
+
+        ``streaming=False`` reproduces implementation (1): the input is
+        buffered and the two phases execute back to back.
+        ``streaming=True`` reproduces implementation (2): the input
+        streams to both tasks, which requires FIFO buffer space downstream
+        (computed by the Section 6 pass).
+        """
+        n = x.size
+        d_norm = self._task("norm", "nrm", n, 1)
+        if streaming:
+            self._wire(x, d_norm)
+            ups = self._task("norm", "rep", 1, n)
+            self.graph.add_edge(d_norm, ups)
+            e_div = self._task("norm", "div", n, n)
+            self._wire(x, e_div)
+            self.graph.add_edge(ups, e_div)
+            return Tensor(e_div, n)
+        # Figure 4 (1): x is stored once and read twice from the buffer
+        b_x = self._buffer("norm", "xbuf", n, n)
+        self._wire(x, b_x)
+        self.graph.add_edge(b_x, d_norm)
+        b_nrm = self._buffer("norm", "nrmbuf", 1, n)
+        self.graph.add_edge(d_norm, b_nrm)
+        e_div = self._task("norm", "div", n, n)
+        self.graph.add_edge(b_x, e_div)
+        self.graph.add_edge(b_nrm, e_div)
+        return Tensor(e_div, n)
+
+    def layernorm(self, x: Tensor) -> Tensor:
+        """LayerNorm: statistics reduction + buffered re-read + affine.
+
+        Structurally the buffered vector normalization of Figure 4 (1)
+        with the affine transform folded into the final element-wise
+        task.
+        """
+        n = x.size
+        b_x = self._buffer("layernorm", "xbuf", n, n)
+        d_stat = self._task("layernorm", "stats", n, 1)
+        self._wire(x, b_x)
+        self._wire(x, d_stat)
+        b_stat = self._buffer("layernorm", "statbuf", 1, n)
+        self.graph.add_edge(d_stat, b_stat)
+        e_norm = self._task("layernorm", "affine", n, n)
+        self.graph.add_edge(b_x, e_norm)
+        self.graph.add_edge(b_stat, e_norm)
+        return Tensor(e_norm, n)
+
+    # ------------------------------------------------------------------
+    def finish(self) -> CanonicalGraph:
+        """Validate and return the built graph."""
+        self.graph.validate()
+        return self.graph

@@ -1,0 +1,11 @@
+"""NoC-aware placement — the paper's deferred placement step.
+
+A 2D-mesh model plus a greedy centroid placer turning the scheduler's
+abstract PE indices into mesh coordinates, with traffic metrics
+(volume-weighted hops, hottest-link load) to compare placements.
+"""
+
+from .mesh import Mesh, mesh_for
+from .placer import Placement, place_schedule, random_placement
+
+__all__ = ["Mesh", "Placement", "mesh_for", "place_schedule", "random_placement"]

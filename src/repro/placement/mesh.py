@@ -1,0 +1,89 @@
+"""A 2D-mesh NoC model (placement substrate).
+
+The paper defers placement: "For some dataflow architectures, such as
+CGRAs, locality and placement play an important role ... We do not
+explicitly deal with placement in this work, but we believe that the
+proposed approach can be the starting point."  This subpackage takes
+that step: a minimal mesh network-on-chip model plus a greedy placer
+that maps each spatial block's tasks onto mesh coordinates so that
+streaming edges stay short.
+
+The mesh is ``rows x cols`` PEs with XY (dimension-ordered) routing;
+the distance between two PEs is the Manhattan hop count.  Placement
+quality is measured in data-volume-weighted hops — the NoC traffic a
+streaming schedule would generate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["Mesh", "mesh_for"]
+
+
+@dataclass(frozen=True)
+class Mesh:
+    """A rows x cols grid of PEs with Manhattan-distance routing."""
+
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("mesh dimensions must be positive")
+
+    @property
+    def size(self) -> int:
+        return self.rows * self.cols
+
+    def coords(self, pe: int) -> tuple[int, int]:
+        if not 0 <= pe < self.size:
+            raise ValueError(f"PE {pe} outside mesh of {self.size}")
+        return divmod(pe, self.cols)
+
+    def pe_at(self, row: int, col: int) -> int:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ValueError(f"({row}, {col}) outside {self.rows}x{self.cols} mesh")
+        return row * self.cols + col
+
+    def distance(self, a: int, b: int) -> int:
+        ra, ca = self.coords(a)
+        rb, cb = self.coords(b)
+        return abs(ra - rb) + abs(ca - cb)
+
+    def neighbors(self, pe: int) -> Iterable[int]:
+        r, c = self.coords(pe)
+        if r > 0:
+            yield self.pe_at(r - 1, c)
+        if r + 1 < self.rows:
+            yield self.pe_at(r + 1, c)
+        if c > 0:
+            yield self.pe_at(r, c - 1)
+        if c + 1 < self.cols:
+            yield self.pe_at(r, c + 1)
+
+    def route(self, a: int, b: int) -> list[int]:
+        """The XY route from ``a`` to ``b``, endpoints included."""
+        ra, ca = self.coords(a)
+        rb, cb = self.coords(b)
+        path = [a]
+        c = ca
+        while c != cb:
+            c += 1 if cb > c else -1
+            path.append(self.pe_at(ra, c))
+        r = ra
+        while r != rb:
+            r += 1 if rb > r else -1
+            path.append(self.pe_at(r, cb))
+        return path
+
+
+def mesh_for(num_pes: int) -> Mesh:
+    """The squarest mesh with at least ``num_pes`` PEs."""
+    rows = int(math.isqrt(num_pes))
+    while rows > 1 and num_pes % rows:
+        rows -= 1
+    cols = -(-num_pes // rows)
+    return Mesh(rows, cols)

@@ -1,0 +1,34 @@
+"""Cyclo-static dataflow substrate (Section 7.2 comparison).
+
+Stand-in for the SDF3 / Kiter throughput analyzers: a CSDF model,
+balance-equation repetition vectors, the canonical-graph conversion and
+a self-timed execution engine whose cost scales with total data volume
+— reproducing both the makespan parity and the analysis-time gap of
+Figure 12.
+"""
+
+from .convert import canonical_to_csdf, rate_patterns
+from .state_space import (
+    PeriodicResult,
+    add_iteration_feedback,
+    csdf_makespan_via_state_space,
+    periodic_throughput,
+)
+from .csdf import CsdfActor, CsdfChannel, CsdfGraph, InconsistentGraphError
+from .throughput import AnalysisTimeout, SelfTimedResult, self_timed_makespan
+
+__all__ = [
+    "AnalysisTimeout",
+    "PeriodicResult",
+    "add_iteration_feedback",
+    "csdf_makespan_via_state_space",
+    "periodic_throughput",
+    "CsdfActor",
+    "CsdfChannel",
+    "CsdfGraph",
+    "InconsistentGraphError",
+    "SelfTimedResult",
+    "canonical_to_csdf",
+    "rate_patterns",
+    "self_timed_makespan",
+]

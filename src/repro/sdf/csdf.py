@@ -1,0 +1,157 @@
+"""Cyclo-Static DataFlow (CSDF) graph model (Section 7.2 substrate).
+
+The paper compares canonical task graphs against CSDF analysis tools
+(SDF3 and Kiter), which compute a graph's optimal throughput.  Those are
+closed-source C++ artifacts, so this subpackage implements the relevant
+slice of the model of computation from scratch:
+
+* actors with *phases*: firing ``p`` of actor ``a`` consumes
+  ``cons[e][p]`` tokens from each input edge ``e``, produces
+  ``prod[e][p]`` tokens on each output edge and takes ``duration[p]``
+  time (Engels et al., 1994);
+* channels with unbounded capacity and initial tokens;
+* the *repetition vector* ``q`` from the balance equations: for each
+  edge ``(a, b)``, ``q_a * sum(prod_a)`` per cycle equals
+  ``q_b * sum(cons_b)`` — solved exactly over rationals;
+* self-timed execution (actors fire as soon as possible, one firing in
+  flight per actor) — simulating one full graph iteration yields the
+  makespan that SDF3/Kiter obtain from the steady-state throughput when
+  a sink-to-source feedback token serializes iterations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Hashable
+
+__all__ = ["CsdfActor", "CsdfChannel", "CsdfGraph", "InconsistentGraphError"]
+
+
+class InconsistentGraphError(ValueError):
+    """The balance equations admit no non-trivial repetition vector."""
+
+
+@dataclass
+class CsdfActor:
+    """One cyclo-static actor.
+
+    ``durations[p]`` is the execution time of phase ``p``; the per-edge
+    rate patterns live on the channels.
+    """
+
+    name: Hashable
+    durations: tuple[int, ...]
+
+    @property
+    def num_phases(self) -> int:
+        return len(self.durations)
+
+
+@dataclass
+class CsdfChannel:
+    """A FIFO channel between two actors with cyclo-static rates."""
+
+    src: Hashable
+    dst: Hashable
+    production: tuple[int, ...]  # per src phase
+    consumption: tuple[int, ...]  # per dst phase
+    initial_tokens: int = 0
+
+    @property
+    def tokens_per_src_cycle(self) -> int:
+        return sum(self.production)
+
+    @property
+    def tokens_per_dst_cycle(self) -> int:
+        return sum(self.consumption)
+
+
+@dataclass
+class CsdfGraph:
+    """A CSDF graph: actors plus channels."""
+
+    actors: dict[Hashable, CsdfActor] = field(default_factory=dict)
+    channels: list[CsdfChannel] = field(default_factory=list)
+
+    def add_actor(self, name: Hashable, durations: tuple[int, ...]) -> CsdfActor:
+        if name in self.actors:
+            raise ValueError(f"duplicate actor {name!r}")
+        if not durations:
+            raise ValueError("an actor needs at least one phase")
+        actor = CsdfActor(name, tuple(int(d) for d in durations))
+        self.actors[name] = actor
+        return actor
+
+    def add_channel(
+        self,
+        src: Hashable,
+        dst: Hashable,
+        production: tuple[int, ...],
+        consumption: tuple[int, ...],
+        initial_tokens: int = 0,
+    ) -> CsdfChannel:
+        if len(production) != self.actors[src].num_phases:
+            raise ValueError(f"production pattern of ({src!r},{dst!r}) mismatches phases")
+        if len(consumption) != self.actors[dst].num_phases:
+            raise ValueError(f"consumption pattern of ({src!r},{dst!r}) mismatches phases")
+        ch = CsdfChannel(src, dst, tuple(production), tuple(consumption), initial_tokens)
+        self.channels.append(ch)
+        return ch
+
+    # ------------------------------------------------------------------
+    def repetition_vector(self) -> dict[Hashable, int]:
+        """Solve the balance equations for the cycle counts ``q``.
+
+        ``q[a]`` counts *full phase cycles* of actor ``a`` per graph
+        iteration.  Raises :class:`InconsistentGraphError` when the
+        equations conflict (no periodic schedule exists).
+        """
+        ratio: dict[Hashable, Fraction] = {}
+        adj: dict[Hashable, list[tuple[Hashable, Fraction]]] = {
+            a: [] for a in self.actors
+        }
+        for ch in self.channels:
+            prod = ch.tokens_per_src_cycle
+            cons = ch.tokens_per_dst_cycle
+            if prod == 0 and cons == 0:
+                continue
+            if prod == 0 or cons == 0:
+                raise InconsistentGraphError(
+                    f"channel ({ch.src!r},{ch.dst!r}) moves tokens one way only"
+                )
+            # q_src * prod == q_dst * cons  =>  q_dst = q_src * prod / cons
+            adj[ch.src].append((ch.dst, Fraction(prod, cons)))
+            adj[ch.dst].append((ch.src, Fraction(cons, prod)))
+
+        for start in self.actors:
+            if start in ratio:
+                continue
+            ratio[start] = Fraction(1)
+            stack = [start]
+            while stack:
+                a = stack.pop()
+                for b, f in adj[a]:
+                    expected = ratio[a] * f
+                    if b in ratio:
+                        if ratio[b] != expected:
+                            raise InconsistentGraphError(
+                                f"balance conflict at actor {b!r}"
+                            )
+                    else:
+                        ratio[b] = expected
+                        stack.append(b)
+
+        denominator_lcm = 1
+        for f in ratio.values():
+            denominator_lcm = math.lcm(denominator_lcm, f.denominator)
+        scaled = {a: f * denominator_lcm for a, f in ratio.items()}
+        numerator_gcd = 0
+        for f in scaled.values():
+            numerator_gcd = math.gcd(numerator_gcd, f.numerator)
+        return {a: int(f / numerator_gcd) for a, f in scaled.items()}
+
+    def total_firings(self) -> int:
+        q = self.repetition_vector()
+        return sum(q[a] * self.actors[a].num_phases for a in self.actors)

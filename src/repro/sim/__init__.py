@@ -1,0 +1,22 @@
+"""Discrete-event simulation substrate (Appendix B validation).
+
+A from-scratch, simpy-like process/event engine plus the dataflow task
+processes needed to execute a streaming schedule cycle-accurately.
+"""
+
+from .channel import FifoChannel, MemoryStream
+from .engine import DeadlockError, Environment, Event, Process, SimulationError
+from .runner import BlockPolicy, SimulationResult, simulate_schedule
+
+__all__ = [
+    "BlockPolicy",
+    "DeadlockError",
+    "Environment",
+    "Event",
+    "FifoChannel",
+    "MemoryStream",
+    "Process",
+    "SimulationError",
+    "SimulationResult",
+    "simulate_schedule",
+]

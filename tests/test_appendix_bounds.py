@@ -1,0 +1,111 @@
+"""Tests of the Appendix A theorems (Brent-style bounds).
+
+Theorem A.1 (element-wise graphs): ``T_s_inf <= T_P <= T_1/P + T_s_inf``
+for the level-order partitioning.  Theorem A.2 (element-wise +
+downsampler graphs, work-ordered Algorithm 2):
+``T_P <= T_1/P + T_s_inf + min(n-1, (x-1)(L-1))``.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import CanonicalGraph, schedule_streaming, streaming_depth, total_work
+from repro.core.levels import node_levels
+
+from conftest import build_elementwise_chain
+
+
+def random_ew_dag(seed: int, layers: int = 5, width: int = 4, k: int = 16):
+    """Random layered element-wise DAG (equal volumes everywhere)."""
+    rng = np.random.default_rng(seed)
+    g = CanonicalGraph()
+    prev: list = []
+    for li in range(layers):
+        cur = []
+        for wi in range(int(rng.integers(1, width + 1))):
+            name = (li, wi)
+            g.add_task(name, k, k)
+            if prev:
+                for p in rng.choice(len(prev), size=min(2, len(prev)), replace=False):
+                    g.add_edge(prev[int(p)], name)
+            cur.append(name)
+        prev = cur
+    return g
+
+
+def downsampler_tree(depth: int, k: int = 32):
+    """Binary reduction tree: element-wise leaves + downsampler joins."""
+    g = CanonicalGraph()
+    leaves = [(0, i) for i in range(2**depth)]
+    for leaf in leaves:
+        g.add_task(leaf, k, k)
+    level = leaves
+    d = 1
+    vol = k
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level), 2):
+            node = (d, i // 2)
+            g.add_task(node, vol, max(1, vol // 2))
+            g.add_edge(level[i], node)
+            g.add_edge(level[i + 1], node)
+            nxt.append(node)
+        vol = max(1, vol // 2)
+        level = nxt
+        d += 1
+    return g
+
+
+class TestTheoremA1:
+    """Element-wise graphs under any of our partitioners."""
+
+    @pytest.mark.parametrize("pes", [1, 2, 3, 4, 8])
+    def test_chain_bound(self, pes):
+        g = build_elementwise_chain(8, 32)
+        t1 = total_work(g)
+        depth = streaming_depth(g)
+        tp = schedule_streaming(g, pes, "work", size_buffers=False).makespan
+        assert tp <= math.ceil(t1 / pes) + depth
+        assert tp >= depth or pes < 8
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_ew_dags(self, seed):
+        g = random_ew_dag(seed)
+        t1 = total_work(g)
+        depth = streaming_depth(g)
+        for pes in (1, 2, 4):
+            tp = schedule_streaming(g, pes, "work", size_buffers=False).makespan
+            # Theorem A.1 upper bound (+len(g) ceil slack, one per node)
+            assert tp <= math.ceil(t1 / pes) + depth + len(g)
+
+
+class TestTheoremA2:
+    """Element-wise + downsampler graphs, work-ordered partitioning."""
+
+    @pytest.mark.parametrize("depth_param", [2, 3, 4])
+    def test_reduction_tree_bound(self, depth_param):
+        g = downsampler_tree(depth_param)
+        t1 = total_work(g)
+        ts = streaming_depth(g)
+        levels = node_levels(g)
+        num_levels = max(levels.values())
+        # x: max number of distinct works within one level
+        by_level: dict = {}
+        for v, lv in levels.items():
+            by_level.setdefault(lv, set()).add(g.spec(v).work)
+        x = max(len(works) for works in by_level.values())
+        n = len(g)
+        for pes in (2, 4, 8):
+            tp = schedule_streaming(g, pes, "work", size_buffers=False).makespan
+            slack = min(n - 1, (x - 1) * (float(num_levels) - 1))
+            assert tp <= math.ceil(t1 / pes) + ts + slack + n  # + ceil slack
+
+    def test_work_partition_orders_by_work(self):
+        g = downsampler_tree(3)
+        s = schedule_streaming(g, 4, "work", size_buffers=False)
+        max_work_per_block = [
+            max(g.spec(v).work for v in block) for block in s.partition.blocks
+        ]
+        assert max_work_per_block == sorted(max_work_per_block, reverse=True)

@@ -1,0 +1,143 @@
+"""Unit tests for the per-block FO/LO/ST recurrences (Section 5.1)."""
+
+import pytest
+
+from repro import CanonicalGraph
+from repro.core.block_schedule import schedule_block
+
+from conftest import build_elementwise_chain
+
+
+def times_of(graph, release=0, ready=None):
+    return schedule_block(graph, set(graph.nodes), ready or {}, release=release).times
+
+
+class TestElementwise:
+    def test_chain_pipeline(self):
+        g = build_elementwise_chain(3, 16)
+        t = times_of(g)
+        assert t[0].fo == 1 and t[0].lo == 16
+        assert t[1].fo == 2 and t[1].lo == 17
+        assert t[2].fo == 3 and t[2].lo == 18
+
+    def test_start_times_follow_first_outs(self):
+        g = build_elementwise_chain(3, 16)
+        t = times_of(g)
+        assert t[0].st == 0
+        assert t[1].st == t[0].fo
+        assert t[2].st == t[1].fo
+
+    def test_busy_time(self):
+        g = build_elementwise_chain(2, 8)
+        t = times_of(g)
+        assert t[0].busy == 8
+        assert t[1].busy == 8
+
+
+class TestRates:
+    def test_downsampler_first_out_accumulates(self):
+        g = CanonicalGraph()
+        g.add_task("a", 32, 32)
+        g.add_task("d", 32, 4)  # rate 1/8
+        g.add_edge("a", "d")
+        t = times_of(g)
+        assert t["d"].fo == t["a"].fo + 8  # ceil((8-1)*1) + 1
+        assert t["d"].lo == t["a"].lo + 1
+
+    def test_upsampler_last_out_extends(self):
+        g = CanonicalGraph()
+        g.add_task("a", 4, 4)
+        g.add_task("u", 4, 32)  # rate 8, S_o = 1
+        g.add_edge("a", "u")
+        t = times_of(g)
+        assert t["u"].fo == t["a"].fo + 1
+        assert t["u"].lo == t["a"].lo + 8  # ceil(7*1) + 1
+
+
+class TestRelease:
+    def test_release_shifts_everything(self):
+        g = build_elementwise_chain(3, 16)
+        base = times_of(g)
+        shifted = times_of(g, release=100)
+        for v in g.nodes:
+            assert shifted[v].fo == base[v].fo + 100
+            assert shifted[v].lo == base[v].lo + 100
+
+    def test_external_dependency_gates_start(self):
+        g = CanonicalGraph()
+        g.add_task("x", 8, 8)
+        g.add_task("y", 8, 8)
+        g.add_edge("x", "y")
+        # schedule only y; x completed at t=50 in an earlier block
+        block = schedule_block(g, {"y"}, ready={"x": 50})
+        t = block.times["y"]
+        assert t.st == 50
+        assert t.fo == 51
+        assert t.lo == 50 + 8
+
+    def test_missing_external_time_raises(self):
+        g = CanonicalGraph()
+        g.add_task("x", 8, 8)
+        g.add_task("y", 8, 8)
+        g.add_edge("x", "y")
+        with pytest.raises(KeyError):
+            schedule_block(g, {"y"}, ready={})
+
+
+class TestPassiveNodes:
+    def test_source_streams_from_time_zero(self):
+        g = CanonicalGraph()
+        g.add_source("s", 16)
+        g.add_task("e", 16, 16)
+        g.add_edge("s", "e")
+        t = times_of(g)
+        assert t["e"].fo == 1
+        assert t["e"].lo == 16
+
+    def test_buffer_serializes(self):
+        g = CanonicalGraph()
+        g.add_task("a", 16, 16)
+        g.add_buffer("B", 16, 16)
+        g.add_task("b", 16, 16)
+        g.add_edge("a", "B")
+        g.add_edge("B", "b")
+        t = times_of(g)
+        assert t["B"].st == t["a"].lo  # stored when producer finishes
+        assert t["b"].fo == t["a"].lo + 1
+        assert t["b"].lo == t["a"].lo + 16
+
+    def test_entry_buffer_preloaded(self):
+        """Weights in memory are readable from t=0."""
+        g = CanonicalGraph()
+        g.add_buffer("W", 16, 16)
+        g.add_task("e", 16, 16)
+        g.add_edge("W", "e")
+        t = times_of(g)
+        assert t["W"].st == 0
+        assert t["e"].fo == 1
+
+    def test_sink_times(self):
+        g = CanonicalGraph()
+        g.add_task("a", 8, 8)
+        g.add_sink("t", 8)
+        g.add_edge("a", "t")
+        times = times_of(g)
+        assert times["t"].lo == times["a"].lo + 1
+
+
+class TestMakespanContribution:
+    def test_only_schedulable_work_counts(self):
+        g = CanonicalGraph()
+        g.add_task("a", 8, 8)
+        g.add_sink("t", 8)
+        g.add_edge("a", "t")
+        block = schedule_block(g, set(g.nodes), {})
+        assert block.makespan_contribution(g) == block.times["a"].lo
+
+    def test_exit_buffer_counts_via_stored_time(self):
+        g = CanonicalGraph()
+        g.add_task("a", 8, 8)
+        g.add_buffer("B", 8, 8)
+        g.add_edge("a", "B")
+        block = schedule_block(g, set(g.nodes), {})
+        assert block.makespan_contribution(g) == block.times["a"].lo

@@ -1,0 +1,56 @@
+"""Every example script must run cleanly (they are the public demos)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "makespan" in out
+        assert "error +0.0%" in out
+
+    def test_deadlock_buffers_reproduces_paper_numbers(self):
+        out = run_example("deadlock_buffers.py")
+        assert "(0, 4): 18" in out
+        assert "(4, 5): 32" in out
+        assert "deadlocked: True" in out
+
+    def test_matmul_variants(self):
+        out = run_example("matmul_variants.py")
+        for variant in ("inner", "cols", "ksplit"):
+            assert variant in out
+
+    def test_operators_tour(self):
+        out = run_example("operators_tour.py")
+        assert "Outer product" in out
+        assert "Softmax" in out
+
+    def test_placement_noc(self):
+        out = run_example("placement_noc.py")
+        assert "greedy" in out and "random" in out
+
+    def test_synthetic_sweep_small(self):
+        out = run_example("synthetic_sweep.py", "3")
+        assert "chain" in out and "cholesky" in out
+
+    @pytest.mark.slow
+    def test_ml_inference(self):
+        out = run_example("ml_inference.py")
+        assert "encoder graph" in out

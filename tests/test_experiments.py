@@ -1,0 +1,133 @@
+"""Smoke + shape tests for the experiment harnesses (tiny populations)."""
+
+import pytest
+
+from repro.experiments import common
+from repro.experiments.ablations import (
+    run_buffer_ablation,
+    run_pacing_ablation,
+    run_partition_ablation,
+)
+from repro.experiments.fig10_speedup import run as run_fig10
+from repro.experiments.fig11_sslr import run as run_fig11
+from repro.experiments.fig12_csdf import run as run_fig12
+from repro.experiments.fig13_validation import run as run_fig13
+from repro.experiments.table2_ml import ENCODER_PES, RESNET_PES, run as run_table2
+
+TINY = {"chain": 8, "fft": 8, "gaussian": 8, "cholesky": 5}
+SWEEP = {"chain": (2, 8), "fft": (8, 32), "gaussian": (8, 32), "cholesky": (8, 32)}
+
+
+class TestCommon:
+    def test_box_stats(self):
+        s = common.BoxStats.from_samples([1, 2, 3, 4, 100])
+        assert s.median == 3
+        assert s.outliers == 1
+        assert s.whisker_hi == 4
+
+    def test_box_stats_empty(self):
+        with pytest.raises(ValueError):
+            common.BoxStats.from_samples([])
+
+    def test_format_table_alignment(self):
+        out = common.format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines)
+
+    def test_default_num_graphs_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_GRAPHS", "7")
+        assert common.default_num_graphs() == 7
+        monkeypatch.setenv("REPRO_NUM_GRAPHS", "junk")
+        assert common.default_num_graphs(9) == 9
+
+
+class TestFig10:
+    def test_shapes(self):
+        cells = run_fig10(num_graphs=5, topologies=TINY, pe_sweeps=SWEEP)
+        assert len(cells) == 4 * 2 * 3
+        by_key = {(c.topology, c.num_pes, c.scheduler): c for c in cells}
+        # chain: buffered scheduling cannot exceed speedup 1
+        for p in SWEEP["chain"]:
+            assert by_key[("chain", p, "NSTR-SCH")].speedups.median == pytest.approx(1.0)
+            assert by_key[("chain", p, "STR-SCH-2")].speedups.median > 1.0
+        # streaming outruns non-streaming at the top of each sweep
+        for topo in ("gaussian", "cholesky"):
+            p = SWEEP[topo][-1]
+            assert (
+                by_key[(topo, p, "STR-SCH-2")].speedups.median
+                > by_key[(topo, p, "NSTR-SCH")].speedups.median
+            )
+
+    def test_utilization_bounds(self):
+        cells = run_fig10(num_graphs=3, topologies={"chain": 8}, pe_sweeps={"chain": (4,)})
+        for c in cells:
+            assert 0 < c.mean_utilization <= 1.0 + 1e-9
+
+
+class TestFig11:
+    def test_sslr_reaches_one_at_full_width(self):
+        cells = run_fig11(num_graphs=5, topologies={"chain": 8}, pe_sweeps={"chain": (2, 8)})
+        by_key = {(c.num_pes, c.scheduler): c for c in cells}
+        assert by_key[(8, "STR-SCH-2")].sslr.median == pytest.approx(1.0)
+        assert by_key[(2, "STR-SCH-2")].sslr.median > 1.0
+
+    def test_sslr_never_below_partial(self):
+        cells = run_fig11(num_graphs=4, topologies=TINY, pe_sweeps=SWEEP)
+        for c in cells:
+            assert c.sslr.median >= 0.9
+
+
+class TestFig12:
+    def test_ratio_near_one_and_cost_gap(self):
+        comps = run_fig12(num_graphs=4, topologies={"fft": 8, "gaussian": 8})
+        for c in comps:
+            assert c.timeouts == 0
+            assert 0.9 <= c.makespan_ratio.median <= 1.3
+
+    def test_timeout_counted(self):
+        comps = run_fig12(num_graphs=2, topologies={"fft": 8}, max_firings=10)
+        assert comps[0].timeouts == 2
+
+
+class TestFig13:
+    def test_median_error_small_no_deadlock(self):
+        cells = run_fig13(num_graphs=4, topologies=TINY, pe_sweeps=SWEEP)
+        for c in cells:
+            assert c.deadlocks == 0
+            assert abs(c.error_pct.median) <= 5.0
+
+
+class TestTable2:
+    def test_rows_and_gains(self):
+        rows = run_table2(full=False)
+        assert len(rows) == len(RESNET_PES) + len(ENCODER_PES)
+        for r in rows:
+            assert r.str_speedup > 1
+            assert r.nstr_speedup > 1
+        enc = [r for r in rows if r.model == "encoder"]
+        assert all(r.gain > 1.0 for r in enc)
+        gains = [r.gain for r in enc]
+        assert gains == sorted(gains)
+
+
+class TestAblations:
+    def test_buffer_ablation_counts(self):
+        rows = run_buffer_ablation(num_graphs=3, num_pes=16)
+        for r in rows:
+            assert r.deadlocks_sized == 0
+            assert 0 <= r.deadlocks_cap1 <= r.n
+
+    def test_partition_ablation_fill(self):
+        rows = run_partition_ablation(num_graphs=3, num_pes=16)
+        by_variant = {}
+        for r in rows:
+            by_variant.setdefault(r.variant, []).append(r.mean_fill)
+        # SB-RLX fills blocks at least as densely as SB-LTS
+        for rlx, lts in zip(by_variant["rlx"], by_variant["lts"]):
+            assert rlx >= lts - 1e-9
+
+    def test_pacing_ablation_nonnegative(self):
+        rows = run_pacing_ablation(num_graphs=3, num_pes=16)
+        for r in rows:
+            assert r.mean_speedup_pct >= -1e-9

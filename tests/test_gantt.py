@@ -1,0 +1,43 @@
+"""Unit tests for the ASCII Gantt renderer."""
+
+from repro import schedule_streaming
+from repro.core.gantt import render_gantt
+
+from conftest import build_elementwise_chain
+
+
+class TestRenderGantt:
+    def test_row_per_pe(self):
+        g = build_elementwise_chain(4, 16)
+        s = schedule_streaming(g, 3, "rlx")
+        out = render_gantt(s)
+        lines = out.splitlines()
+        assert len(lines) == 3 + 2  # PEs + axis + scale
+        assert lines[0].lstrip().startswith("PE0")
+
+    def test_occupancy_marks_present(self):
+        g = build_elementwise_chain(4, 16)
+        s = schedule_streaming(g, 4, "rlx")
+        out = render_gantt(s)
+        body = "".join(out.splitlines()[:4])
+        assert any(ch not in " |+" for ch in body.replace("PE", "").replace("0", ""))
+
+    def test_block_boundary_marked(self):
+        g = build_elementwise_chain(6, 16)
+        s = schedule_streaming(g, 2, "rlx")  # 3 sequential blocks
+        out = render_gantt(s)
+        assert "|" in out
+
+    def test_width_respected(self):
+        g = build_elementwise_chain(3, 8)
+        s = schedule_streaming(g, 3, "rlx")
+        out = render_gantt(s, width=40, label_width=6)
+        for line in out.splitlines():
+            assert len(line) <= 6 + 1 + 40
+
+    def test_busy_pe_fully_marked(self):
+        g = build_elementwise_chain(1, 32)
+        s = schedule_streaming(g, 1, "rlx")
+        out = render_gantt(s, width=32)
+        row = out.splitlines()[0].split(None, 1)[1]
+        assert row.count(" ") <= 1

@@ -1,0 +1,116 @@
+"""Unit tests for the CanonicalGraph IR."""
+
+import pytest
+
+from repro import CanonicalGraph, CanonicalityError, NodeKind
+
+
+@pytest.fixture
+def small() -> CanonicalGraph:
+    g = CanonicalGraph()
+    g.add_source("src", 8)
+    g.add_task("e", 8, 8)
+    g.add_task("d", 8, 2)
+    g.add_buffer("b", 2, 6)
+    g.add_task("u", 6, 12)
+    g.add_sink("out", 12)
+    for e in [("src", "e"), ("e", "d"), ("d", "b"), ("b", "u"), ("u", "out")]:
+        g.add_edge(*e)
+    return g
+
+
+class TestConstruction:
+    def test_add_task_infers_kind(self, small):
+        assert small.kind("e") is NodeKind.ELEMENTWISE
+        assert small.kind("d") is NodeKind.DOWNSAMPLER
+        assert small.kind("u") is NodeKind.UPSAMPLER
+
+    def test_duplicate_node_rejected(self, small):
+        with pytest.raises(CanonicalityError):
+            small.add_task("e", 4, 4)
+
+    def test_edge_volume_matching(self, small):
+        assert small.volume("e", "d") == 8
+        assert small.volume("b", "u") == 6
+
+    def test_mismatched_edge_rejected(self):
+        g = CanonicalGraph()
+        g.add_task("a", 4, 4)
+        g.add_task("b", 8, 8)
+        with pytest.raises(CanonicalityError):
+            g.add_edge("a", "b")
+
+    def test_sink_cannot_produce(self, small):
+        small.add_task("x", 12, 12)
+        with pytest.raises(CanonicalityError):
+            small.add_edge("out", "x")
+
+    def test_source_cannot_consume(self, small):
+        small.add_task("y", 8, 8)
+        with pytest.raises(CanonicalityError):
+            small.add_edge("y", "src")
+
+    def test_missing_node_lookup(self, small):
+        with pytest.raises(KeyError):
+            small.spec("ghost")
+        with pytest.raises(KeyError):
+            small.volume("e", "u")
+
+
+class TestQueries:
+    def test_counts(self, small):
+        assert len(small) == 6
+        assert small.number_of_edges() == 5
+        assert small.num_tasks() == 3
+
+    def test_entry_exit(self, small):
+        assert small.entry_nodes() == ["src"]
+        assert small.exit_nodes() == ["out"]
+
+    def test_computational_and_buffers(self, small):
+        assert set(small.computational_nodes()) == {"e", "d", "u"}
+        assert small.buffer_nodes() == ["b"]
+
+    def test_topological_order_respects_edges(self, small):
+        order = small.topological_order()
+        pos = {v: i for i, v in enumerate(order)}
+        for u, v in small.edges:
+            assert pos[u] < pos[v]
+
+    def test_total_work_counts_only_tasks(self, small):
+        # e: 8, d: 8, u: 12; passives contribute nothing
+        assert small.total_work() == 28
+
+    def test_subgraph_shares_specs(self, small):
+        sub = small.subgraph(["e", "d"])
+        assert len(sub) == 2
+        assert sub.number_of_edges() == 1
+        assert sub.spec("e") is small.spec("e")
+
+    def test_copy_is_independent(self, small):
+        clone = small.copy()
+        clone.add_task("extra", 3, 3)
+        assert "extra" in clone
+        assert "extra" not in small
+
+
+class TestValidate:
+    def test_valid_graph_passes(self, small):
+        small.validate()
+
+    def test_cycle_rejected(self):
+        g = CanonicalGraph()
+        g.add_task("a", 4, 4)
+        g.add_task("b", 4, 4)
+        g.add_edge("a", "b")
+        g.nx.add_edge("b", "a")  # bypass the API to build a cycle
+        with pytest.raises(CanonicalityError):
+            g.validate()
+
+    def test_volume_mismatch_detected_post_hoc(self):
+        g = CanonicalGraph()
+        g.add_task("a", 4, 4)
+        g.add_task("b", 8, 8)
+        g.nx.add_edge("a", "b")  # bypass add_edge validation
+        with pytest.raises(CanonicalityError):
+            g.validate()

@@ -1,0 +1,135 @@
+"""Unit tests for the synthetic topology generators (Section 7.1)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    PAPER_SIZES,
+    assign_random_volumes,
+    chain_topology,
+    cholesky_topology,
+    expected_task_count,
+    fft_topology,
+    gaussian_elimination_topology,
+    random_canonical_graph,
+    topology_by_name,
+)
+
+
+class TestTaskCounts:
+    def test_paper_sizes_match_paper_counts(self):
+        """Chain 8, FFT 223, Gaussian 135, Cholesky 120 (Section 7.1)."""
+        expected = {"chain": 8, "fft": 223, "gaussian": 135, "cholesky": 120}
+        for topo, size in PAPER_SIZES.items():
+            g = topology_by_name(topo, size)
+            assert g.number_of_nodes() == expected[topo]
+            assert expected_task_count(topo, size) == expected[topo]
+
+    @pytest.mark.parametrize("points", [2, 4, 8, 16, 32])
+    def test_fft_closed_form(self, points):
+        import math
+
+        g = fft_topology(points)
+        assert g.number_of_nodes() == 2 * points - 1 + points * int(math.log2(points))
+
+    @pytest.mark.parametrize("m", [2, 4, 8, 16])
+    def test_gaussian_closed_form(self, m):
+        g = gaussian_elimination_topology(m)
+        assert g.number_of_nodes() == (m * m + m - 2) // 2
+
+    @pytest.mark.parametrize("t", [1, 2, 4, 8, 10])
+    def test_cholesky_closed_form(self, t):
+        g = cholesky_topology(t)
+        assert g.number_of_nodes() == t * (t + 1) * (t + 2) // 6
+
+    def test_unknown_topology(self):
+        with pytest.raises(ValueError):
+            topology_by_name("torus", 4)
+        with pytest.raises(ValueError):
+            expected_task_count("torus", 4)
+
+
+class TestStructure:
+    @pytest.mark.parametrize(
+        "topo,size", [("chain", 8), ("fft", 16), ("gaussian", 8), ("cholesky", 6)]
+    )
+    def test_all_are_dags(self, topo, size):
+        assert nx.is_directed_acyclic_graph(topology_by_name(topo, size))
+
+    def test_chain_is_a_path(self):
+        g = chain_topology(5)
+        assert g.number_of_edges() == 4
+        degrees = sorted(d for _, d in g.degree())
+        assert degrees == [1, 1, 2, 2, 2]
+
+    def test_fft_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            fft_topology(12)
+
+    def test_fft_butterflies_have_two_inputs(self):
+        g = fft_topology(8)
+        butterflies = [n for n in g if n[0] == "b"]
+        assert all(g.in_degree(b) == 2 for b in butterflies)
+
+    def test_gaussian_pivot_enables_updates(self):
+        g = gaussian_elimination_topology(4)
+        assert g.has_edge(("p", 1), ("u", 1, 2))
+        assert g.has_edge(("u", 1, 2), ("p", 2))
+
+    def test_cholesky_dependencies(self):
+        g = cholesky_topology(4)
+        assert g.has_edge(("potrf", 0), ("trsm", 1, 0))
+        assert g.has_edge(("trsm", 1, 0), ("syrk", 1, 0))
+        assert g.has_edge(("syrk", 1, 0), ("potrf", 1))
+        assert g.has_edge(("trsm", 2, 0), ("gemm", 2, 1, 0))
+
+
+class TestRandomVolumes:
+    def test_result_is_canonical(self):
+        for topo, size in PAPER_SIZES.items():
+            g = random_canonical_graph(topo, size, seed=0)
+            g.validate()  # raises on violation
+
+    def test_deterministic_per_seed(self):
+        a = random_canonical_graph("fft", 8, seed=42)
+        b = random_canonical_graph("fft", 8, seed=42)
+        assert {v: (a.spec(v).input_volume, a.spec(v).output_volume) for v in a.nodes} == {
+            v: (b.spec(v).input_volume, b.spec(v).output_volume) for v in b.nodes
+        }
+
+    def test_seeds_differ(self):
+        a = random_canonical_graph("fft", 8, seed=1)
+        b = random_canonical_graph("fft", 8, seed=2)
+        vols_a = [a.spec(v).output_volume for v in sorted(a.nodes, key=str)]
+        vols_b = [b.spec(v).output_volume for v in sorted(b.nodes, key=str)]
+        assert vols_a != vols_b
+
+    def test_volume_choices_respected(self):
+        g = random_canonical_graph("gaussian", 8, seed=0, volume_choices=(4, 8))
+        for v in g.nodes:
+            spec = g.spec(v)
+            assert spec.input_volume in (4, 8)
+            assert spec.output_volume in (4, 8)
+
+    def test_mixed_node_kinds_emerge(self):
+        from repro import NodeKind
+
+        kinds = set()
+        for seed in range(10):
+            g = random_canonical_graph("cholesky", 6, seed=seed)
+            kinds |= {g.kind(v) for v in g.nodes}
+        assert NodeKind.ELEMENTWISE in kinds
+        assert NodeKind.DOWNSAMPLER in kinds
+        assert NodeKind.UPSAMPLER in kinds
+
+    def test_shared_consumers_have_equal_producer_volumes(self):
+        g = random_canonical_graph("fft", 16, seed=3)
+        for v in g.nodes:
+            vols = {g.spec(u).output_volume for u in g.predecessors(v)}
+            assert len(vols) <= 1
+
+    def test_rejects_cyclic_topology(self):
+        cyc = nx.DiGraph([(0, 1), (1, 0)])
+        with pytest.raises(ValueError):
+            assign_random_volumes(cyc, np.random.default_rng(0))

@@ -1,0 +1,84 @@
+"""Unit tests for the heterogeneous HEFT baseline."""
+
+import math
+
+import pytest
+
+from repro import CanonicalGraph, total_work
+from repro.baselines import schedule_heft, schedule_nonstreaming, upward_ranks
+from repro.graphs import random_canonical_graph
+
+from conftest import build_diamond, build_elementwise_chain
+
+
+class TestHomogeneousSpecialCase:
+    def test_matches_nstr_on_chain(self):
+        g = build_elementwise_chain(5, 16)
+        heft = schedule_heft(g, [1.0] * 4)
+        nstr = schedule_nonstreaming(g, 4)
+        assert heft.makespan == nstr.makespan == 80
+
+    def test_close_to_nstr_generally(self):
+        """Unit speeds + infinite bandwidth: same model, possibly
+        different tie-breaking — makespans must be within 10%."""
+        for seed in range(5):
+            g = random_canonical_graph("gaussian", 8, seed=seed)
+            heft = schedule_heft(g, [1.0] * 8)
+            nstr = schedule_nonstreaming(g, 8)
+            assert abs(heft.makespan - nstr.makespan) <= 0.1 * nstr.makespan
+
+
+class TestHeterogeneity:
+    def test_fast_pe_attracts_critical_path(self):
+        g = build_elementwise_chain(4, 32)
+        slowish = schedule_heft(g, [1.0, 1.0])
+        with_fast = schedule_heft(g, [1.0, 4.0])
+        assert with_fast.makespan < slowish.makespan
+        # the chain should run entirely on the 4x PE: ceil(32/4)*4
+        assert with_fast.makespan == 4 * 8
+
+    def test_speed_scaling_exact(self):
+        g = CanonicalGraph()
+        g.add_task("a", 30, 30)
+        s = schedule_heft(g, [3.0])
+        assert s.makespan == 10
+
+    def test_faster_pool_never_worse(self):
+        g = random_canonical_graph("fft", 8, seed=0)
+        base = schedule_heft(g, [1.0] * 4)
+        boosted = schedule_heft(g, [2.0] * 4)
+        assert boosted.makespan <= base.makespan
+
+    def test_validate_heterogeneous(self):
+        for seed in range(3):
+            g = random_canonical_graph("cholesky", 5, seed=seed)
+            s = schedule_heft(g, [1.0, 2.0, 0.5, 1.5])
+            s.validate()
+
+    def test_invalid_speeds(self):
+        g = build_elementwise_chain(2, 4)
+        with pytest.raises(ValueError):
+            schedule_heft(g, [])
+        with pytest.raises(ValueError):
+            schedule_heft(g, [1.0, -2.0])
+
+
+class TestCommunication:
+    def test_finite_bandwidth_penalizes_spreading(self):
+        """With costly communication, a fork-join prefers fewer PEs."""
+        g = build_diamond(64)
+        free = schedule_heft(g, [1.0] * 2, bandwidth=math.inf)
+        costly = schedule_heft(g, [1.0] * 2, bandwidth=0.25)
+        assert costly.makespan >= free.makespan
+
+    def test_same_pe_communication_free(self):
+        g = build_elementwise_chain(3, 16)
+        s = schedule_heft(g, [1.0], bandwidth=1.0)
+        # single PE: no cross-PE edges, no comm penalty
+        assert s.makespan == total_work(g)
+
+    def test_upward_ranks_monotone(self):
+        g = build_elementwise_chain(4, 8)
+        ranks = upward_ranks(g, [1.0, 1.0], bandwidth=math.inf)
+        values = [ranks[i] for i in range(4)]
+        assert values == sorted(values, reverse=True)

@@ -1,0 +1,120 @@
+"""Cross-module integration and failure-injection tests."""
+
+import random
+
+import pytest
+
+from repro import schedule_streaming, streaming_depth, total_work
+from repro.baselines import schedule_heft, schedule_nonstreaming
+from repro.graphs import PAPER_SIZES, random_canonical_graph
+from repro.ml import CanonicalModelBuilder
+from repro.placement import place_schedule
+from repro.sim import simulate_schedule
+
+
+class TestFullPipeline:
+    """Generate -> partition -> schedule -> size -> simulate -> place."""
+
+    @pytest.mark.parametrize("topo", sorted(PAPER_SIZES))
+    def test_every_topology_end_to_end(self, topo):
+        size = {"chain": 8, "fft": 16, "gaussian": 10, "cholesky": 6}[topo]
+        g = random_canonical_graph(topo, size, seed=11)
+        for variant in ("lts", "rlx", "work"):
+            s = schedule_streaming(g, 16, variant)
+            s.validate()
+            sim = simulate_schedule(s)
+            assert not sim.deadlocked
+            assert abs(sim.relative_error(s.makespan)) < 0.1
+            placement = place_schedule(s)
+            placement.validate()
+
+    def test_all_schedulers_agree_on_sequential_limit(self):
+        g = random_canonical_graph("gaussian", 8, seed=5)
+        t1 = total_work(g)
+        assert schedule_streaming(g, 1, "rlx").makespan == t1
+        assert schedule_nonstreaming(g, 1).makespan == t1
+        assert schedule_heft(g, [1.0]).makespan == t1
+
+    def test_ml_graph_through_full_pipeline(self):
+        b = CanonicalModelBuilder("mini", max_parallel=8)
+        x = b.input(64)
+        h = b.relu(b.linear(x, 8, 8, 8))
+        y = b.softmax(h)
+        b.output(b.add(y, b.reshape(x)))
+        g = b.finish()
+        s = schedule_streaming(g, 8, "lts")
+        s.validate()
+        sim = simulate_schedule(s)
+        assert not sim.deadlocked
+
+
+class TestCapacityFuzzing:
+    """Failure injection on FIFO capacities: executions either complete
+    (possibly slower) or deadlock — they never produce a makespan below
+    the fully-sized one, and capacities >= computed always complete."""
+
+    def test_random_capacity_injection(self):
+        rng = random.Random(0)
+        g = random_canonical_graph("fft", 8, seed=2)
+        s = schedule_streaming(g, 16, "rlx")
+        baseline = simulate_schedule(s).makespan
+        for _ in range(10):
+            forced = {
+                e: max(1, rng.randint(1, max(1, cap)))
+                for e, cap in s.buffer_sizes.items()
+            }
+            saved = dict(s.buffer_sizes)
+            s.buffer_sizes.update(forced)
+            sim = simulate_schedule(s)
+            s.buffer_sizes.update(saved)
+            if not sim.deadlocked:
+                assert sim.makespan >= baseline
+
+    def test_inflated_capacities_never_hurt(self):
+        g = random_canonical_graph("cholesky", 5, seed=3)
+        s = schedule_streaming(g, 16, "rlx")
+        base = simulate_schedule(s).makespan
+        s.buffer_sizes = {e: c + 100 for e, c in s.buffer_sizes.items()}
+        inflated = simulate_schedule(s)
+        assert not inflated.deadlocked
+        assert inflated.makespan <= base
+
+    def test_capacity_monotonicity_on_fig9(self, fig9_graph1):
+        """Growing the hot channel from deadlock to sized: the outcome
+        transitions deadlock -> bubble -> exact, monotonically."""
+        s = schedule_streaming(fig9_graph1, 8)
+        outcomes = []
+        for cap in range(1, 19):
+            s.buffer_sizes[(0, 4)] = cap
+            sim = simulate_schedule(s)
+            outcomes.append(None if sim.deadlocked else sim.makespan)
+        # once it completes it never deadlocks again, and makespans
+        # decrease monotonically to the analytic 51
+        first_ok = next(i for i, o in enumerate(outcomes) if o is not None)
+        assert all(o is not None for o in outcomes[first_ok:])
+        spans = [o for o in outcomes[first_ok:]]
+        assert spans == sorted(spans, reverse=True)
+        assert spans[-1] == 51
+
+
+class TestConsistencyAcrossSchedulers:
+    def test_streaming_not_worse_than_nstr_with_full_width(self):
+        """With P >= #tasks a single streaming block pipelines the whole
+        graph; it must beat (or match) buffered execution on graphs
+        without buffer nodes."""
+        better = 0
+        for seed in range(10):
+            g = random_canonical_graph("chain", 8, seed=seed)
+            s = schedule_streaming(g, 8, "rlx", size_buffers=False)
+            ns = schedule_nonstreaming(g, 8)
+            if s.makespan <= ns.makespan:
+                better += 1
+        assert better == 10
+
+    def test_streaming_depth_consistency(self):
+        for seed in range(5):
+            g = random_canonical_graph("fft", 8, seed=seed)
+            assert (
+                schedule_streaming(g, len(g), "rlx", size_buffers=False).makespan
+                == streaming_depth(g)
+            )

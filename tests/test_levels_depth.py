@@ -1,0 +1,99 @@
+"""Unit tests for levels, work, critical paths and streaming depth."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import CanonicalGraph, critical_path_length, streaming_depth, total_work
+from repro.core.depth import streaming_depth_bound, wcc_depth_bound
+from repro.core.levels import bottom_levels, node_levels, num_levels
+
+from conftest import build_elementwise_chain
+
+
+class TestLevels:
+    def test_chain_levels(self, ew_chain):
+        levels = node_levels(ew_chain)
+        assert [levels[i] for i in range(8)] == list(range(1, 9))
+        assert num_levels(ew_chain) == 8
+
+    def test_upsampler_adds_rate(self):
+        g = CanonicalGraph()
+        g.add_task("a", 4, 4)
+        g.add_task("u", 4, 16)  # rate 4
+        g.add_edge("a", "u")
+        levels = node_levels(g)
+        assert levels["u"] == 1 + 4
+
+    def test_downsampler_adds_one(self):
+        g = CanonicalGraph()
+        g.add_task("a", 16, 16)
+        g.add_task("d", 16, 4)
+        g.add_edge("a", "d")
+        assert node_levels(g)["d"] == 2
+
+    def test_join_takes_max(self, diamond):
+        levels = node_levels(diamond)
+        assert levels[3] == 3
+
+
+class TestWork:
+    def test_total_work_chain(self, ew_chain):
+        assert total_work(ew_chain) == 8 * 32
+
+    def test_critical_path_single_chain_equals_work(self, ew_chain):
+        assert critical_path_length(ew_chain) == 8 * 32
+
+    def test_critical_path_diamond(self, diamond):
+        # 0 -> branch -> 3: three tasks of work 16 on any path
+        assert critical_path_length(diamond) == 3 * 16
+
+    def test_bottom_levels_decrease_along_edges(self, diamond):
+        bl = bottom_levels(diamond)
+        for u, v in diamond.edges:
+            assert bl[u] > bl[v]
+
+
+class TestStreamingDepth:
+    def test_elementwise_chain_formula(self):
+        """Section 4.2.1: T_s_inf = k + L(G) - 1 for element-wise graphs."""
+        for n, k in [(4, 8), (8, 32), (1, 5), (3, 1)]:
+            g = build_elementwise_chain(n, k)
+            assert streaming_depth(g) == k + n - 1
+
+    def test_downsampler_graph_formula(self):
+        """Section 4.2.2: T_s_inf = max W + L(G) - 1."""
+        g = CanonicalGraph()
+        g.add_task(0, 32, 32)
+        g.add_task(1, 32, 8)
+        g.add_task(2, 8, 8)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        assert streaming_depth(g) == 32 + 3 - 1
+
+    def test_buffered_stages_serialize(self):
+        """A buffer forces the downstream stage to start after the
+        upstream finishes: depth ~ doubles for two equal stages."""
+        g = CanonicalGraph()
+        g.add_task("a", 32, 32)
+        g.add_buffer("B", 32, 32)
+        g.add_task("b", 32, 32)
+        g.add_edge("a", "B")
+        g.add_edge("B", "b")
+        # stage 1 ends at 32; buffer ready 32; stage 2 reads 32 more
+        assert streaming_depth(g) == 64
+
+    def test_depth_bound_dominates_exact_asymptotically(self):
+        """Equation (4) / T_inf(H) bounds the streaming depth up to
+        rounding: the bound is exact as volumes go to infinity, while the
+        exact recurrence applies a ceiling per node (at most +1 each)."""
+        from repro.graphs import random_canonical_graph
+
+        for topo in ("chain", "fft"):
+            for seed in range(5):
+                g = random_canonical_graph(topo, 8 if topo == "chain" else 8, seed=seed)
+                assert streaming_depth(g) <= streaming_depth_bound(g) + len(g)
+
+    def test_wcc_bound_single_chain(self, ew_chain):
+        members = set(ew_chain.nodes)
+        assert wcc_depth_bound(ew_chain, members) == Fraction(8 + 32)

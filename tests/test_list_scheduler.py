@@ -1,0 +1,102 @@
+"""Unit tests for the non-streaming baseline (NSTR-SCH)."""
+
+import pytest
+
+from repro import CanonicalGraph
+from repro.baselines import condensed_dependencies, schedule_nonstreaming
+from repro.core.levels import critical_path_length, total_work
+from repro.graphs import random_canonical_graph
+
+from conftest import build_diamond, build_elementwise_chain
+
+
+class TestCondensedDependencies:
+    def test_direct_edges(self, diamond):
+        deps = condensed_dependencies(diamond)
+        assert deps[3] == {1, 2}
+        assert deps[0] == set()
+
+    def test_passes_through_passives(self):
+        g = CanonicalGraph()
+        g.add_task("a", 8, 8)
+        g.add_buffer("B", 8, 8)
+        g.add_task("b", 8, 8)
+        g.add_edge("a", "B")
+        g.add_edge("B", "b")
+        deps = condensed_dependencies(g)
+        assert deps["b"] == {"a"}
+
+    def test_source_contributes_nothing(self):
+        g = CanonicalGraph()
+        g.add_source("s", 8)
+        g.add_task("a", 8, 8)
+        g.add_edge("s", "a")
+        assert condensed_dependencies(g)["a"] == set()
+
+    def test_chained_passives(self):
+        g = CanonicalGraph()
+        g.add_task("a", 8, 8)
+        g.add_buffer("B1", 8, 8)
+        g.add_buffer("B2", 8, 8)
+        g.add_task("b", 8, 8)
+        for e in [("a", "B1"), ("B1", "B2"), ("B2", "b")]:
+            g.add_edge(*e)
+        assert condensed_dependencies(g)["b"] == {"a"}
+
+
+class TestScheduleProperties:
+    def test_chain_is_sequential(self):
+        g = build_elementwise_chain(5, 16)
+        s = schedule_nonstreaming(g, 4)
+        assert s.makespan == 5 * 16
+        s.validate()
+
+    def test_diamond_parallel_branches(self):
+        g = build_diamond(16)
+        s = schedule_nonstreaming(g, 2)
+        assert s.makespan == 3 * 16  # branches overlap
+        s.validate()
+
+    def test_single_pe_equals_total_work(self):
+        for seed in range(3):
+            g = random_canonical_graph("gaussian", 6, seed=seed)
+            s = schedule_nonstreaming(g, 1)
+            assert s.makespan == total_work(g)
+
+    def test_makespan_lower_bounds(self):
+        for seed in range(5):
+            g = random_canonical_graph("fft", 8, seed=seed)
+            for p in (2, 4, 8):
+                s = schedule_nonstreaming(g, p)
+                assert s.makespan >= critical_path_length(g)
+                assert s.makespan >= total_work(g) / p
+                s.validate()
+
+    def test_more_pes_never_worse(self):
+        g = random_canonical_graph("cholesky", 6, seed=1)
+        spans = [schedule_nonstreaming(g, p).makespan for p in (1, 2, 4, 8, 16)]
+        assert spans == sorted(spans, reverse=True)
+
+    def test_insertion_fills_gaps(self):
+        """A short independent task should slot into an idle gap."""
+        g = CanonicalGraph()
+        g.add_task("long1", 100, 100)
+        g.add_task("long2", 100, 100)
+        g.add_edge("long1", "long2")
+        g.add_task("tiny", 10, 10)
+        s = schedule_nonstreaming(g, 1)
+        assert s.makespan == 210
+        s.validate()
+
+    def test_invalid_pes(self, ew_chain):
+        with pytest.raises(ValueError):
+            schedule_nonstreaming(ew_chain, 0)
+
+    def test_busy_time_is_total_work(self, ew_chain):
+        s = schedule_nonstreaming(ew_chain, 4)
+        assert s.busy_time() == total_work(ew_chain)
+
+    def test_placements_cover_all_tasks(self):
+        g = random_canonical_graph("gaussian", 8, seed=0)
+        s = schedule_nonstreaming(g, 8)
+        assert set(s.placements) == set(g.computational_nodes())

@@ -1,0 +1,96 @@
+"""Unit tests for the Section 7 comparison metrics."""
+
+import pytest
+
+from repro import (
+    pe_utilization,
+    schedule_streaming,
+    slr,
+    speedup,
+    streaming_slr,
+    summarize_schedule,
+)
+from repro.baselines import schedule_nonstreaming
+
+from conftest import build_elementwise_chain
+
+
+class TestSpeedup:
+    def test_sequential_speedup_is_one(self):
+        g = build_elementwise_chain(4, 16)
+        s = schedule_streaming(g, 1, "rlx")
+        assert speedup(g, s.makespan) == pytest.approx(1.0)
+
+    def test_nonstreaming_chain_is_one_regardless_of_pes(self):
+        """The paper's chain observation: buffered chains cannot scale."""
+        g = build_elementwise_chain(8, 32)
+        for p in (2, 4, 8):
+            ns = schedule_nonstreaming(g, p)
+            assert speedup(g, ns.makespan) == pytest.approx(1.0)
+
+    def test_speedup_bounded_by_pes_approx(self):
+        g = build_elementwise_chain(8, 64)
+        for p in (2, 4, 8):
+            s = schedule_streaming(g, p, "rlx")
+            assert speedup(g, s.makespan) <= p + 1e-9
+
+    def test_invalid_makespan(self):
+        g = build_elementwise_chain(2, 4)
+        with pytest.raises(ValueError):
+            speedup(g, 0)
+
+
+class TestSlr:
+    def test_nstr_slr_one_on_chain(self):
+        g = build_elementwise_chain(6, 16)
+        ns = schedule_nonstreaming(g, 4)
+        assert slr(g, ns.makespan) == pytest.approx(1.0)
+
+    def test_sslr_one_at_full_parallelism(self):
+        g = build_elementwise_chain(8, 32)
+        s = schedule_streaming(g, 8, "rlx")
+        assert streaming_slr(g, s.makespan) == pytest.approx(1.0)
+
+    def test_sslr_decreases_with_pes(self):
+        g = build_elementwise_chain(8, 32)
+        ratios = [
+            streaming_slr(g, schedule_streaming(g, p, "rlx").makespan)
+            for p in (1, 2, 4, 8)
+        ]
+        assert ratios == sorted(ratios, reverse=True)
+
+
+class TestUtilization:
+    def test_perfect_utilization_single_pe(self):
+        g = build_elementwise_chain(3, 16)
+        s = schedule_streaming(g, 1, "rlx")
+        util = pe_utilization(s.busy_time(), 1, s.makespan)
+        assert util == pytest.approx(1.0)
+
+    def test_bounds(self):
+        g = build_elementwise_chain(8, 32)
+        for p in (2, 4, 8):
+            s = schedule_streaming(g, p, "rlx")
+            util = pe_utilization(s.busy_time(), p, s.makespan)
+            assert 0 < util <= 1.0 + 1e-9
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            pe_utilization(10, 0, 5)
+        with pytest.raises(ValueError):
+            pe_utilization(10, 4, 0)
+
+
+class TestSummary:
+    def test_summary_keys(self):
+        g = build_elementwise_chain(4, 16)
+        s = schedule_streaming(g, 2, "rlx")
+        summary = summarize_schedule(s)
+        assert set(summary) == {
+            "makespan",
+            "speedup",
+            "sslr",
+            "utilization",
+            "num_blocks",
+        }
+        assert summary["makespan"] == s.makespan

@@ -1,0 +1,203 @@
+"""Unit tests for the canonical operator expansions (Section 3.2)."""
+
+import pytest
+
+from repro import NodeKind, schedule_streaming, streaming_depth
+from repro.ml import CanonicalModelBuilder, largest_divisor_leq
+from repro.sim import simulate_schedule
+
+
+class TestLargestDivisor:
+    @pytest.mark.parametrize(
+        "n,cap,expected",
+        [(12, 6, 6), (12, 5, 4), (7, 3, 1), (2048, 512, 512), (100, 100, 100), (9, 2, 1)],
+    )
+    def test_values(self, n, cap, expected):
+        assert largest_divisor_leq(n, cap) == expected
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            largest_divisor_leq(0, 4)
+
+
+class TestSimpleOps:
+    def test_ewise_shapes(self):
+        b = CanonicalModelBuilder("m")
+        x = b.input(16)
+        y = b.relu(x)
+        g = b.finish()
+        assert g.kind(y.node) is NodeKind.ELEMENTWISE
+        assert y.size == 16
+
+    def test_add_requires_equal_sizes(self):
+        b = CanonicalModelBuilder("m")
+        with pytest.raises(ValueError):
+            b.add(b.input(8), b.input(16))
+
+    def test_downsample_divisibility(self):
+        b = CanonicalModelBuilder("m")
+        with pytest.raises(ValueError):
+            b.maxpool(b.input(10), 4)
+
+    def test_reshape_is_buffer(self):
+        b = CanonicalModelBuilder("m")
+        t = b.reshape(b.input(8))
+        assert b.graph.kind(t.node) is NodeKind.BUFFER
+
+    def test_output_is_sink(self):
+        b = CanonicalModelBuilder("m")
+        sink = b.output(b.relu(b.input(8)))
+        g = b.finish()
+        assert g.kind(sink) is NodeKind.SINK
+
+
+class TestConcat:
+    def test_power_of_two_streams(self):
+        b = CanonicalModelBuilder("m")
+        parts = [b.relu(b.input(8)) for _ in range(4)]
+        out = b.concat(*parts)
+        g = b.finish()
+        assert out.size == 32
+        assert g.kind(out.node) is NodeKind.UPSAMPLER  # interleave task
+
+    def test_non_power_of_two_buffers(self):
+        b = CanonicalModelBuilder("m")
+        parts = [b.relu(b.input(8)) for _ in range(3)]
+        out = b.concat(*parts)
+        g = b.finish()
+        assert out.size == 24
+        assert g.kind(out.node) is NodeKind.BUFFER
+
+
+class TestMatmul:
+    def test_inner_variant_structure(self):
+        """Figure 3 (1): two buffers + one downsampler."""
+        b = CanonicalModelBuilder("m")
+        out = b.matmul(b.input(4 * 3), b.input(3 * 2), 4, 3, 2, variant="inner")
+        g = b.finish()
+        assert out.size == 8
+        assert g.kind(out.node) is NodeKind.DOWNSAMPLER
+        assert g.spec(out.node).input_volume == 4 * 3 * 2
+
+    def test_cols_variant_task_count(self):
+        """Figure 3 (2): one task per column block + interleave tree."""
+        b = CanonicalModelBuilder("m", max_parallel=4)
+        b.matmul(b.input(4 * 8), b.input(8 * 4), 4, 8, 4, variant="cols")
+        g = b.finish()
+        mv = [v for v in g.nodes if str(v).endswith(".mv")]
+        assert len(mv) == 4
+        for t in mv:
+            assert g.spec(t).input_volume == 4 * 8  # full A per column
+            assert g.spec(t).output_volume == 4
+
+    def test_cols_variant_blocked(self):
+        """Capped fan-out: each task covers m/d columns and re-reads A."""
+        b = CanonicalModelBuilder("m", max_parallel=2)
+        out = b.matmul(b.input(4 * 8), b.input(8 * 4), 4, 8, 4, variant="cols")
+        g = b.finish()
+        mv = [v for v in g.nodes if str(v).endswith(".mv")]
+        assert len(mv) == 2
+        assert g.spec(mv[0]).input_volume == 4 * 8 * 2
+        assert out.size == 16
+
+    def test_ksplit_variant_sum_tree(self):
+        """Figure 3 (3): outer products + element-wise sum tree."""
+        b = CanonicalModelBuilder("m", max_parallel=4)
+        out = b.matmul(b.input(4 * 4), b.input(4 * 8), 4, 4, 8, variant="ksplit")
+        g = b.finish()
+        outers = [v for v in g.nodes if str(v).endswith(".outer")]
+        sums = [v for v in g.nodes if str(v).endswith(".sum")]
+        assert len(outers) == 4
+        assert len(sums) == 3  # binary tree over 4 parts
+        assert g.kind(out.node) is NodeKind.ELEMENTWISE
+        assert out.size == 32
+
+    def test_auto_picks_wider_axis(self):
+        b = CanonicalModelBuilder("m", max_parallel=64)
+        b.matmul(b.input(2 * 4), b.input(4 * 16), 2, 4, 16)  # m > k -> cols
+        b.matmul(b.input(2 * 16), b.input(16 * 4), 2, 16, 4)  # k > m -> ksplit
+        g = b.finish()
+        assert any(str(v).endswith(".mv") for v in g.nodes)
+        assert any(str(v).endswith(".outer") for v in g.nodes)
+
+    def test_size_validation(self):
+        b = CanonicalModelBuilder("m")
+        with pytest.raises(ValueError):
+            b.matmul(b.input(5), b.input(6), 2, 3, 2)
+
+    def test_matmul_schedules_and_simulates(self):
+        b = CanonicalModelBuilder("m", max_parallel=4)
+        out = b.matmul(b.input(4 * 4), b.input(4 * 4), 4, 4, 4, variant="cols")
+        b.output(out)
+        g = b.finish()
+        s = schedule_streaming(g, 8)
+        sim = simulate_schedule(s)
+        assert not sim.deadlocked
+
+
+class TestConv:
+    def test_spatial_dims(self):
+        b = CanonicalModelBuilder("m", max_parallel=8)
+        x = b.input(3 * 8 * 8)
+        out, h, w = b.conv2d(x, 3, 16, 8, 8, kernel=3, stride=2)
+        assert (h, w) == (4, 4)
+        assert out.size == 16 * 16
+
+    def test_pointwise_conv(self):
+        b = CanonicalModelBuilder("m", max_parallel=8)
+        x = b.input(4 * 4 * 4)
+        out, h, w = b.conv2d(x, 4, 8, 4, 4, kernel=1, stride=1, pad=0)
+        assert (h, w) == (4, 4)
+        assert out.size == 8 * 16
+
+    def test_input_size_checked(self):
+        b = CanonicalModelBuilder("m")
+        with pytest.raises(ValueError):
+            b.conv2d(b.input(10), 3, 8, 8, 8, kernel=3)
+
+
+class TestSoftmaxAndNorms:
+    def test_softmax_structure(self):
+        """Figure 5: max/sub/exp/sum/div tasks + 4 buffer nodes."""
+        b = CanonicalModelBuilder("m")
+        out = b.softmax(b.input(16))
+        g = b.finish()
+        labels = [str(v).rsplit(".", 1)[-1] for v in g.nodes]
+        for role in ("max", "sub", "exp", "sum", "div"):
+            assert role in labels
+        assert out.size == 16
+        assert len(g.buffer_nodes()) == 4
+
+    def test_softmax_runs_deadlock_free(self):
+        b = CanonicalModelBuilder("m")
+        b.output(b.softmax(b.input(16)))
+        g = b.finish()
+        s = schedule_streaming(g, 8)
+        sim = simulate_schedule(s)
+        assert not sim.deadlocked
+        assert sim.makespan == s.makespan
+
+    def test_normalize_buffered_serializes(self):
+        """Figure 4 (1): the two phases run back to back (~2N)."""
+        b = CanonicalModelBuilder("m")
+        b.output(b.normalize(b.input(32), streaming=False))
+        depth = streaming_depth(b.finish())
+        assert depth >= 2 * 32
+
+    def test_normalize_streaming_needs_fifo_space(self):
+        """Figure 4 (2): x streams to both tasks; the Section 6 pass must
+        give the direct x -> div channel enough slack to avoid deadlock."""
+        b = CanonicalModelBuilder("m")
+        x = b.input(32)
+        e = b.ewise(x, op="feed")  # computational producer so edges stream
+        b.output(b.normalize(e, streaming=True))
+        g = b.finish()
+        s = schedule_streaming(g, 8)
+        assert any(cap > 1 for cap in s.buffer_sizes.values())
+        assert not simulate_schedule(s).deadlocked
+        assert simulate_schedule(s, capacity_override=1).deadlocked
+
+    def test_layernorm_shape(self):
+        b = CanonicalModelBuilder("m")
+        out = b.layernorm(b.input(64))
+        assert out.size == 64

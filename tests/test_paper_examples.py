@@ -1,0 +1,168 @@
+"""Oracle tests against the paper's worked examples (Figures 6-9).
+
+These numbers are printed in the paper, so they pin the implementation
+to the authors' semantics exactly.
+"""
+
+import pytest
+
+from repro import CanonicalGraph, compute_streaming_intervals, schedule_streaming
+from repro.sim import simulate_schedule
+
+
+class TestFigure8Shape:
+    """Figure 8 shows a 5-task spatial block schedule; the figure's
+    volumes are not fully legible in the text, but the schedule's
+    qualitative properties are asserted here via Figure 9's graphs."""
+
+    def test_single_block_when_p_large(self, fig9_graph1):
+        s = schedule_streaming(fig9_graph1, num_pes=8)
+        assert s.num_blocks == 1
+
+
+class TestFigure9Graph1:
+    """ST/LO/FO table and B(0,4) = 18."""
+
+    EXPECTED = {
+        0: (0, 31 + 1, 1),
+        1: (1, 33, 9),
+        2: (9, 34, 18),
+        3: (18, 50, 19),
+        4: (19, 51, 20),
+    }
+
+    def test_schedule_table(self, fig9_graph1):
+        s = schedule_streaming(fig9_graph1, num_pes=8)
+        for v, (st, lo, fo) in self.EXPECTED.items():
+            t = s.times[v]
+            assert (t.st, t.lo, t.fo) == (st, lo, fo), f"task {v}"
+
+    def test_streaming_intervals(self, fig9_graph1):
+        iv = compute_streaming_intervals(fig9_graph1)
+        assert iv.so[0] == 1
+        assert iv.so[1] == 8
+        assert iv.so[2] == 16
+        assert iv.so[3] == 1
+
+    def test_buffer_space_is_18(self, fig9_graph1):
+        s = schedule_streaming(fig9_graph1, num_pes=8)
+        assert s.buffer_sizes[(0, 4)] == 18
+
+    def test_other_edges_minimal(self, fig9_graph1):
+        s = schedule_streaming(fig9_graph1, num_pes=8)
+        for e, cap in s.buffer_sizes.items():
+            if e != (0, 4):
+                assert cap == 1
+
+    def test_simulation_matches_and_no_deadlock(self, fig9_graph1):
+        s = schedule_streaming(fig9_graph1, num_pes=8)
+        sim = simulate_schedule(s)
+        assert not sim.deadlocked
+        assert sim.makespan == s.makespan == 51
+
+    def test_deadlocks_with_minimal_fifos(self, fig9_graph1):
+        s = schedule_streaming(fig9_graph1, num_pes=8)
+        sim = simulate_schedule(s, capacity_override=1)
+        assert sim.deadlocked
+
+    def test_17_slots_cause_a_bubble(self, fig9_graph1):
+        """18 is the bubble-free size: one slot less still completes but
+        stalls the pipeline past the analytic makespan (Section 6 sizes
+        for "no bubbles", not merely for deadlock freedom)."""
+        s = schedule_streaming(fig9_graph1, num_pes=8)
+        s.buffer_sizes[(0, 4)] = 17
+        sim = simulate_schedule(s)
+        assert not sim.deadlocked
+        assert sim.makespan > s.makespan
+
+    def test_14_slots_deadlock(self, fig9_graph1):
+        """Task 1 must see 16 elements before task 0 stalls on the full
+        shortcut channel; 14 slots starve the slow path entirely."""
+        s = schedule_streaming(fig9_graph1, num_pes=8)
+        s.buffer_sizes[(0, 4)] = 14
+        sim = simulate_schedule(s)
+        assert sim.deadlocked
+
+
+class TestFigure9Graph2:
+    """ST/LO/FO table and B(4,5) = 32."""
+
+    EXPECTED = {
+        0: (0, 32, 1),
+        1: (1, 33, 33),
+        2: (33, 65, 34),
+        3: (0, 32, 1),
+        4: (1, 33, 2),
+        5: (34, 66, 35),
+    }
+
+    def test_schedule_table(self, fig9_graph2):
+        s = schedule_streaming(fig9_graph2, num_pes=8)
+        for v, (st, lo, fo) in self.EXPECTED.items():
+            t = s.times[v]
+            assert (t.st, t.lo, t.fo) == (st, lo, fo), f"task {v}"
+
+    def test_buffer_space_is_32(self, fig9_graph2):
+        s = schedule_streaming(fig9_graph2, num_pes=8)
+        assert s.buffer_sizes[(4, 5)] == 32
+
+    def test_simulation_matches_and_no_deadlock(self, fig9_graph2):
+        s = schedule_streaming(fig9_graph2, num_pes=8)
+        sim = simulate_schedule(s)
+        assert not sim.deadlocked
+        assert sim.makespan == s.makespan == 66
+
+    def test_deadlocks_with_minimal_fifos(self, fig9_graph2):
+        s = schedule_streaming(fig9_graph2, num_pes=8)
+        sim = simulate_schedule(s, capacity_override=1)
+        assert sim.deadlocked
+
+
+class TestFigure7:
+    """Streaming intervals across a buffer split (volume[interval])."""
+
+    def build(self) -> CanonicalGraph:
+        """Reconstruction of Figure 7's left graph.
+
+        WCC0: entry E(4,4) -> U(4,32) -> E(32,32) -> D(32,8), the
+        downsampler feeding the buffer; WCC1: the buffer head feeding
+        E(8,8) -> U(8,16) -> E(16,16) plus an E(4,4) side input.
+        """
+        g = CanonicalGraph()
+        g.add_task("e0", 4, 4)
+        g.add_task("u0", 4, 32)
+        g.add_task("e1", 32, 32)
+        g.add_task("d0", 32, 8)
+        g.add_buffer("B", 8, 8)
+        g.add_task("e2", 8, 8)
+        g.add_task("u1", 8, 16)
+        g.add_task("e3", 16, 16)
+        for e in [
+            ("e0", "u0"),
+            ("u0", "e1"),
+            ("e1", "d0"),
+            ("d0", "B"),
+            ("B", "e2"),
+            ("e2", "u1"),
+            ("u1", "e3"),
+        ]:
+            g.add_edge(*e)
+        return g
+
+    def test_two_wccs(self):
+        g = self.build()
+        iv = compute_streaming_intervals(g)
+        assert sorted(iv.wcc_max_volume) == [16, 32]
+
+    def test_intervals_per_component(self):
+        g = self.build()
+        iv = compute_streaming_intervals(g)
+        # upstream component: constant 32
+        assert iv.so["e0"] == 8  # 32/4
+        assert iv.so["u0"] == 1  # 32/32
+        assert iv.so["e1"] == 1
+        assert iv.so["d0"] == 4  # 32/8
+        # downstream component: constant 16, independent of upstream
+        assert iv.so["e2"] == 2  # 16/8
+        assert iv.so["u1"] == 1  # 16/16
+        assert iv.so["e3"] == 1

@@ -1,0 +1,147 @@
+"""Unit tests for spatial block partitioning (Algorithm 1 / Algorithm 2)."""
+
+import pytest
+
+from repro import CanonicalGraph, compute_spatial_blocks
+from repro.core.partition import partition_by_work
+from repro.graphs import random_canonical_graph
+
+from conftest import build_elementwise_chain
+
+
+class TestBasics:
+    def test_single_block_when_enough_pes(self, ew_chain):
+        for variant in ("lts", "rlx"):
+            p = compute_spatial_blocks(ew_chain, 8, variant)
+            assert p.num_blocks == 1
+            p.validate(ew_chain, 8)
+
+    def test_capacity_respected(self, ew_chain):
+        p = compute_spatial_blocks(ew_chain, 3, "rlx")
+        assert all(len(b) <= 3 for b in p.blocks)
+        p.validate(ew_chain, 3)
+
+    def test_rlx_fills_blocks(self, ew_chain):
+        p = compute_spatial_blocks(ew_chain, 3, "rlx")
+        assert [len(b) for b in p.blocks[:-1]] == [3, 3]
+
+    def test_every_task_assigned_once(self, diamond):
+        p = compute_spatial_blocks(diamond, 2, "lts")
+        seen = [v for b in p.blocks for v in b]
+        assert sorted(seen) == sorted(diamond.computational_nodes())
+
+    def test_invalid_pes_rejected(self, ew_chain):
+        with pytest.raises(ValueError):
+            compute_spatial_blocks(ew_chain, 0)
+
+    def test_invalid_variant_rejected(self, ew_chain):
+        with pytest.raises(ValueError):
+            compute_spatial_blocks(ew_chain, 4, "bogus")
+
+
+class TestLtsSemantics:
+    def test_big_upsampler_pushed_out(self):
+        """SB-LTS must not slow a block source with a larger producer:
+        the 4->64 upsampler producing more than the source goes to the
+        next block even though a PE is free."""
+        g = CanonicalGraph()
+        g.add_task("src", 8, 8)
+        g.add_task("up", 8, 64)
+        g.add_edge("src", "up")
+        p = compute_spatial_blocks(g, 4, "lts")
+        assert p.num_blocks == 2
+        assert p.block_of["src"] == 0
+        assert p.block_of["up"] == 1
+
+    def test_rlx_admits_big_upsampler(self):
+        g = CanonicalGraph()
+        g.add_task("src", 8, 8)
+        g.add_task("up", 8, 64)
+        g.add_edge("src", "up")
+        p = compute_spatial_blocks(g, 4, "rlx")
+        assert p.num_blocks == 1
+
+    def test_equal_volume_stays(self):
+        g = CanonicalGraph()
+        g.add_task("src", 8, 8)
+        g.add_task("e", 8, 8)
+        g.add_edge("src", "e")
+        p = compute_spatial_blocks(g, 4, "lts")
+        assert p.num_blocks == 1
+
+    def test_independent_node_becomes_block_source(self):
+        """A ready node with no in-block dependence is always eligible."""
+        g = CanonicalGraph()
+        g.add_task("a", 8, 8)
+        g.add_task("big", 64, 64)  # independent, larger volume
+        p = compute_spatial_blocks(g, 4, "lts")
+        assert p.num_blocks == 1
+
+    def test_lts_never_more_blocks_than_tasks(self):
+        for seed in range(5):
+            g = random_canonical_graph("gaussian", 8, seed=seed)
+            p = compute_spatial_blocks(g, 4, "lts")
+            assert p.num_blocks <= g.num_tasks()
+            p.validate(g, 4)
+
+    def test_rlx_block_count_minimal(self):
+        """SB-RLX produces ceil(N / P) blocks (all full except the last)."""
+        for seed in range(5):
+            g = random_canonical_graph("fft", 16, seed=seed)
+            n = g.num_tasks()
+            p = compute_spatial_blocks(g, 16, "rlx")
+            assert p.num_blocks == -(-n // 16)
+
+    def test_lts_at_least_as_many_blocks_as_rlx(self):
+        for seed in range(5):
+            g = random_canonical_graph("cholesky", 6, seed=seed)
+            lts = compute_spatial_blocks(g, 16, "lts")
+            rlx = compute_spatial_blocks(g, 16, "rlx")
+            assert lts.num_blocks >= rlx.num_blocks
+
+
+class TestPassiveNodes:
+    def test_passives_tracked_but_not_counted(self):
+        g = CanonicalGraph()
+        g.add_source("s", 8)
+        g.add_task("e", 8, 8)
+        g.add_buffer("B", 8, 8)
+        g.add_task("f", 8, 8)
+        g.add_sink("t", 8)
+        for e in [("s", "e"), ("e", "B"), ("B", "f"), ("f", "t")]:
+            g.add_edge(*e)
+        p = compute_spatial_blocks(g, 2, "lts")
+        assert p.num_blocks == 1
+        assert sum(len(b) for b in p.blocks) == 2  # only e, f occupy PEs
+        for v in ("s", "B", "t"):
+            assert v in p.block_of
+
+    def test_no_backwards_passive_edges(self):
+        from repro.ml import build_transformer_encoder
+
+        enc = build_transformer_encoder(seq_len=16, d_model=32, num_heads=2, d_ff=64,
+                                        max_parallel=8)
+        p = compute_spatial_blocks(enc, 16, "lts")
+        for u, v in enc.edges:
+            assert p.block_of[u] <= p.block_of[v]
+
+
+class TestWorkPartitioning:
+    def test_blocks_grouped_by_work(self):
+        """Appendix Algorithm 2: non-increasing work across blocks."""
+        g = build_elementwise_chain(6, 16)
+        p = partition_by_work(g, 2)
+        assert p.num_blocks == 3
+        p.validate(g, 2)
+
+    def test_work_order_nonincreasing(self):
+        g = CanonicalGraph()
+        # three stages of decreasing work: 32 -> 8 -> 2
+        g.add_task("a", 32, 32)
+        g.add_task("d1", 32, 8)
+        g.add_task("d2", 8, 2)
+        g.add_edge("a", "d1")
+        g.add_edge("d1", "d2")
+        p = partition_by_work(g, 1)
+        works = [g.spec(b[0]).work for b in p.blocks]
+        assert works == sorted(works, reverse=True)

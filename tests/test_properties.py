@@ -1,0 +1,182 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Random canonical DAGs are generated from scratch (layered topologies
+with canonical-consistent volumes) and the pipeline's invariants are
+checked end to end: interval laws, schedule monotonicity, partition
+correctness, DES agreement and deadlock freedom.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CanonicalGraph,
+    compute_spatial_blocks,
+    compute_streaming_intervals,
+    schedule_streaming,
+    streaming_depth,
+    total_work,
+)
+from repro.baselines import schedule_nonstreaming
+from repro.core.levels import critical_path_length
+from repro.sdf import canonical_to_csdf, rate_patterns, self_timed_makespan
+from repro.sim import simulate_schedule
+
+VOLUMES = (1, 2, 4, 8, 16)
+
+
+@st.composite
+def canonical_dags(draw, max_layers: int = 4, max_width: int = 4):
+    """Layered random canonical DAGs of computational tasks.
+
+    Volumes are drawn per producer-equivalence class: every node in
+    layer ``i`` draws its output volume, and consumers in layer ``i+1``
+    pick one *single* producer volume group to keep canonicality.
+    """
+    num_layers = draw(st.integers(1, max_layers))
+    g = CanonicalGraph()
+    layers: list[list[tuple[str, int]]] = []  # (name, out_volume)
+    for li in range(num_layers):
+        width = draw(st.integers(1, max_width))
+        layer: list[tuple[str, int]] = []
+        for wi in range(width):
+            name = f"n{li}_{wi}"
+            out_vol = draw(st.sampled_from(VOLUMES))
+            if li == 0:
+                in_vol = draw(st.sampled_from(VOLUMES))
+                preds: list[str] = []
+            else:
+                # choose producers of one shared volume so all input
+                # edges carry the same amount of data
+                groups: dict[int, list[str]] = {}
+                for pname, pvol in layers[li - 1]:
+                    groups.setdefault(pvol, []).append(pname)
+                vol = draw(st.sampled_from(sorted(groups)))
+                candidates = groups[vol]
+                k = draw(st.integers(1, min(2, len(candidates))))
+                preds = draw(
+                    st.lists(
+                        st.sampled_from(candidates),
+                        min_size=k,
+                        max_size=k,
+                        unique=True,
+                    )
+                )
+                in_vol = vol
+            g.add_task(name, in_vol, out_vol)
+            for p in preds:
+                g.add_edge(p, name)
+            layer.append((name, out_vol))
+        layers.append(layer)
+    g.validate()
+    return g
+
+
+common = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@common
+@given(canonical_dags())
+def test_interval_laws(g: CanonicalGraph):
+    """Equation (1), Equation (2) and Lemma 4.3 hold for every graph."""
+    iv = compute_streaming_intervals(g)
+    consts: dict[int, set[Fraction]] = {}
+    for v in g.nodes:
+        spec = g.spec(v)
+        so, si = iv.so[v], iv.si[v]
+        assert so >= 1 and si >= 1
+        assert so == si / spec.production_rate
+        c = iv.wcc_of[v]
+        consts.setdefault(c, set()).add(so * spec.output_volume)
+    for values in consts.values():
+        assert len(values) == 1  # O(v) * S_o(v) constant per WCC
+
+
+@common
+@given(canonical_dags(), st.integers(1, 6), st.sampled_from(["lts", "rlx"]))
+def test_partition_invariants(g: CanonicalGraph, pes: int, variant: str):
+    p = compute_spatial_blocks(g, pes, variant)
+    p.validate(g, pes)  # coverage, capacity, forward-only edges
+
+
+@common
+@given(canonical_dags(), st.integers(1, 6), st.sampled_from(["lts", "rlx"]))
+def test_schedule_invariants(g: CanonicalGraph, pes: int, variant: str):
+    s = schedule_streaming(g, pes, variant)
+    s.validate()
+    for v in g.computational_nodes():
+        t = s.times[v]
+        assert 0 <= t.st < t.fo <= t.lo
+        # a task cannot finish faster than its work, nor run longer than
+        # the whole schedule
+        assert t.lo - t.st >= g.spec(v).work - 1
+        assert t.lo <= s.makespan
+
+
+@common
+@given(canonical_dags(), st.integers(1, 6))
+def test_speedup_bounded_by_pes(g: CanonicalGraph, pes: int):
+    s = schedule_streaming(g, pes, "rlx", size_buffers=False)
+    assert total_work(g) / s.makespan <= pes + 1e-9
+
+
+@common
+@given(canonical_dags(), st.integers(1, 6))
+def test_nstr_bounds(g: CanonicalGraph, pes: int):
+    s = schedule_nonstreaming(g, pes)
+    s.validate()
+    assert s.makespan >= critical_path_length(g)
+    assert s.makespan >= math.ceil(total_work(g) / pes)
+    assert s.makespan <= total_work(g)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(canonical_dags(max_layers=3, max_width=3), st.integers(1, 5))
+def test_simulation_agrees_and_never_deadlocks(g: CanonicalGraph, pes: int):
+    """The headline Section 6 guarantee, property-tested: with the
+    computed FIFO sizes the execution completes, and the steady-state
+    simulation matches the analytic makespan closely."""
+    s = schedule_streaming(g, pes, "rlx")
+    sim = simulate_schedule(s)
+    assert not sim.deadlocked
+    assert abs(sim.relative_error(s.makespan)) <= 0.25
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(canonical_dags(max_layers=3, max_width=3))
+def test_csdf_self_timed_lower_bounds_schedule(g: CanonicalGraph):
+    """Self-timed unbounded-PE CSDF execution is the greedy optimum; a
+    single-block streaming schedule cannot beat it by more than the
+    per-node rounding slack."""
+    s = schedule_streaming(g, len(g), "rlx", size_buffers=False)
+    res = self_timed_makespan(canonical_to_csdf(g))
+    assert s.makespan >= res.makespan - len(g) - 1
+
+
+@given(st.integers(1, 64), st.integers(1, 64))
+@settings(max_examples=60, deadline=None)
+def test_rate_patterns_conserve_volumes(i: int, o: int):
+    cons, prod = rate_patterns(i, o)
+    assert len(cons) == len(prod) == max(i, o)
+    assert sum(cons) == i
+    assert sum(prod) == o
+    assert set(cons) <= {0, 1} and set(prod) <= {0, 1}
+
+
+@common
+@given(canonical_dags(max_layers=3, max_width=3))
+def test_streaming_depth_lower_bounds_any_schedule_width(g: CanonicalGraph):
+    """More PEs never hurt, and the single-block schedule at full width
+    equals the streaming depth."""
+    spans = [
+        schedule_streaming(g, p, "rlx", size_buffers=False).makespan
+        for p in (1, 2, len(g))
+    ]
+    assert spans[2] == streaming_depth(g)

@@ -1,0 +1,130 @@
+"""Integration tests for the end-to-end streaming scheduler."""
+
+import pytest
+
+from repro import (
+    CanonicalGraph,
+    schedule_streaming,
+    speedup,
+    streaming_depth,
+    total_work,
+)
+from repro.graphs import random_canonical_graph
+
+from conftest import build_elementwise_chain
+
+
+class TestChainBehavior:
+    def test_single_pe_serializes(self):
+        g = build_elementwise_chain(4, 16)
+        s = schedule_streaming(g, 1, "rlx")
+        assert s.num_blocks == 4
+        # blocks run back to back: 16 cycles each
+        assert s.makespan == 4 * 16
+
+    def test_full_pipelining_matches_streaming_depth(self):
+        g = build_elementwise_chain(8, 32)
+        s = schedule_streaming(g, 8, "rlx")
+        assert s.makespan == streaming_depth(g) == 32 + 8 - 1
+
+    def test_speedup_grows_with_pes(self):
+        g = build_elementwise_chain(8, 32)
+        spds = [
+            speedup(g, schedule_streaming(g, p, "rlx").makespan) for p in (1, 2, 4, 8)
+        ]
+        assert spds == sorted(spds)
+        assert spds[0] == pytest.approx(1.0)
+
+
+class TestScheduleObject:
+    def test_streaming_edges_within_blocks_only(self, ew_chain):
+        s = schedule_streaming(ew_chain, 4, "rlx")
+        for u, v in ew_chain.edges:
+            expected = s.block_of(u) == s.block_of(v)
+            assert s.is_streaming_edge(u, v) == expected
+
+    def test_pe_assignment_unique_within_block(self, ew_chain):
+        s = schedule_streaming(ew_chain, 4, "rlx")
+        for block in s.partition.blocks:
+            pes = [s.pe_of[v] for v in block]
+            assert len(set(pes)) == len(pes)
+            assert all(0 <= pe < 4 for pe in pes)
+
+    def test_validate_passes(self, fig9_graph1, fig9_graph2):
+        for g in (fig9_graph1, fig9_graph2):
+            for variant in ("lts", "rlx"):
+                for p in (1, 2, 8):
+                    schedule_streaming(g, p, variant).validate()
+
+    def test_makespan_is_max_completion(self, fig9_graph1):
+        s = schedule_streaming(fig9_graph1, 8)
+        assert s.makespan == max(
+            s.times[v].lo for v in fig9_graph1.computational_nodes()
+        )
+
+    def test_busy_time_bounded_by_work_and_makespan(self, fig9_graph1):
+        s = schedule_streaming(fig9_graph1, 8)
+        assert s.busy_time() >= total_work(fig9_graph1)
+        assert s.busy_time() <= 5 * s.makespan
+
+
+class TestCrossBlockSemantics:
+    def test_consumer_starts_after_producer_completes(self):
+        """Buffered edges: strict serialization across blocks."""
+        for topo, size, pes in [("gaussian", 8, 4), ("cholesky", 5, 4)]:
+            for seed in range(5):
+                g = random_canonical_graph(topo, size, seed=seed)
+                s = schedule_streaming(g, pes, "rlx")
+                for u, v in g.edges:
+                    if not s.is_streaming_edge(u, v):
+                        ku, kv = g.kind(u), g.kind(v)
+                        if ku.is_computational and kv.is_computational:
+                            assert s.times[v].st >= s.times[u].lo
+
+    def test_sequential_blocks_never_overlap(self):
+        g = random_canonical_graph("fft", 16, seed=0)
+        s = schedule_streaming(g, 8, "rlx")
+        ends = {}
+        starts = {}
+        for b, block in enumerate(s.partition.blocks):
+            starts[b] = min(s.times[v].st for v in block)
+            ends[b] = max(s.times[v].lo for v in block)
+        for b in range(1, s.num_blocks):
+            assert starts[b] >= ends[b - 1]
+
+    def test_dependency_only_mode_can_overlap(self):
+        """Two independent chains on 1-task blocks overlap when
+        sequential_blocks=False (the bare paper recurrences)."""
+        g = CanonicalGraph()
+        g.add_task("a0", 8, 8)
+        g.add_task("a1", 8, 8)
+        g.add_edge("a0", "a1")
+        g.add_task("b0", 8, 8)
+        g.add_task("b1", 8, 8)
+        g.add_edge("b0", "b1")
+        s_seq = schedule_streaming(g, 1, "rlx", sequential_blocks=True)
+        s_dep = schedule_streaming(g, 1, "rlx", sequential_blocks=False)
+        assert s_dep.makespan <= s_seq.makespan
+        assert s_seq.makespan == 4 * 8
+
+
+class TestVariants:
+    @pytest.mark.parametrize("variant", ["lts", "rlx", "work"])
+    def test_all_variants_schedule_everything(self, variant):
+        g = random_canonical_graph("gaussian", 8, seed=2)
+        s = schedule_streaming(g, 8, variant)
+        assert set(s.times) == set(g.nodes)
+        s.partition.validate(g, 8)
+
+    def test_rlx_wins_when_pes_cover_tasks(self):
+        """Figure 10's observation: SB-RLX >= SB-LTS at P >= #tasks."""
+        wins = 0
+        total = 0
+        for seed in range(10):
+            g = random_canonical_graph("chain", 8, seed=seed)
+            lts = schedule_streaming(g, 8, "lts", size_buffers=False)
+            rlx = schedule_streaming(g, 8, "rlx", size_buffers=False)
+            total += 1
+            if rlx.makespan <= lts.makespan:
+                wins += 1
+        assert wins >= total * 0.7

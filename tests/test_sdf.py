@@ -1,0 +1,160 @@
+"""Unit tests for the CSDF substrate (Section 7.2 comparison)."""
+
+import pytest
+
+from repro import CanonicalGraph, schedule_streaming
+from repro.graphs import random_canonical_graph
+from repro.sdf import (
+    AnalysisTimeout,
+    CsdfGraph,
+    InconsistentGraphError,
+    canonical_to_csdf,
+    rate_patterns,
+    self_timed_makespan,
+)
+
+from conftest import build_elementwise_chain
+
+
+class TestRatePatterns:
+    def test_elementwise(self):
+        cons, prod = rate_patterns(4, 4)
+        assert cons == (1, 1, 1, 1)
+        assert prod == (1, 1, 1, 1)
+
+    def test_downsampler(self):
+        cons, prod = rate_patterns(4, 1)
+        assert cons == (1, 1, 1, 1)
+        assert prod == (0, 0, 0, 1)
+
+    def test_upsampler(self):
+        cons, prod = rate_patterns(1, 4)
+        assert cons == (1, 0, 0, 0)
+        assert prod == (1, 1, 1, 1)
+
+    def test_fractional_rate(self):
+        cons, prod = rate_patterns(3, 2)
+        assert len(cons) == 3
+        assert sum(cons) == 3
+        assert sum(prod) == 2
+
+    def test_totals_always_match_volumes(self):
+        for i in (1, 2, 3, 5, 8):
+            for o in (1, 2, 3, 5, 8):
+                cons, prod = rate_patterns(i, o)
+                assert len(cons) == max(i, o)
+                assert sum(cons) == i
+                assert sum(prod) == o
+                # at most one element per cycle on each side
+                assert all(c in (0, 1) for c in cons)
+                assert all(p in (0, 1) for p in prod)
+
+
+class TestRepetitionVector:
+    def test_balanced_chain(self):
+        g = CsdfGraph()
+        g.add_actor("a", (1,))
+        g.add_actor("b", (1, 1))
+        g.add_channel("a", "b", production=(2,), consumption=(1, 1))
+        q = g.repetition_vector()
+        assert q == {"a": 1, "b": 1}
+
+    def test_rate_mismatch_scales(self):
+        g = CsdfGraph()
+        g.add_actor("a", (1,))
+        g.add_actor("b", (1,))
+        g.add_channel("a", "b", production=(3,), consumption=(2,))
+        q = g.repetition_vector()
+        assert q == {"a": 2, "b": 3}
+
+    def test_inconsistent_rejected(self):
+        g = CsdfGraph()
+        g.add_actor("a", (1,))
+        g.add_actor("b", (1,))
+        g.add_channel("a", "b", production=(1,), consumption=(1,))
+        g.add_channel("a", "b", production=(1,), consumption=(2,))
+        with pytest.raises(InconsistentGraphError):
+            g.repetition_vector()
+
+    def test_pattern_length_validation(self):
+        g = CsdfGraph()
+        g.add_actor("a", (1, 1))
+        g.add_actor("b", (1,))
+        with pytest.raises(ValueError):
+            g.add_channel("a", "b", production=(1,), consumption=(1,))
+
+
+class TestSelfTimedExecution:
+    def test_two_actor_pipeline(self):
+        g = CsdfGraph()
+        g.add_actor("a", (1,))
+        g.add_actor("b", (1,))
+        g.add_channel("a", "b", production=(1,), consumption=(1,))
+        # one iteration: a fires at 0..1, b consumes and ends at 2
+        res = self_timed_makespan(g)
+        assert res.makespan == 2
+        assert res.firings == 2
+
+    def test_initial_tokens_enable_firing(self):
+        g = CsdfGraph()
+        g.add_actor("a", (1,))
+        g.add_actor("b", (1,))
+        g.add_channel("a", "b", production=(1,), consumption=(1,), initial_tokens=1)
+        res = self_timed_makespan(g)
+        # b can fire immediately thanks to the initial token
+        assert res.makespan == 1
+
+    def test_deadlock_detected(self):
+        g = CsdfGraph()
+        g.add_actor("a", (1,))
+        g.add_actor("b", (1,))
+        g.add_channel("a", "b", production=(1,), consumption=(1,))
+        g.add_channel("b", "a", production=(1,), consumption=(1,))  # no tokens
+        with pytest.raises(RuntimeError):
+            self_timed_makespan(g)
+
+    def test_firing_budget(self):
+        g = build_elementwise_chain(4, 64)
+        csdf = canonical_to_csdf(g)
+        with pytest.raises(AnalysisTimeout):
+            self_timed_makespan(csdf, max_firings=10)
+
+
+class TestConversion:
+    def test_buffer_nodes_rejected(self):
+        g = CanonicalGraph()
+        g.add_task("a", 4, 4)
+        g.add_buffer("B", 4, 4)
+        g.add_edge("a", "B")
+        with pytest.raises(ValueError):
+            canonical_to_csdf(g)
+
+    def test_chain_makespan_matches_streaming_depth(self):
+        """For an element-wise chain both models agree exactly:
+        k + L - 1 ... plus one cycle for the memory-injection actor."""
+        g = build_elementwise_chain(5, 16)
+        csdf = canonical_to_csdf(g)
+        res = self_timed_makespan(csdf)
+        assert res.makespan == 16 + 5 - 1 + 1
+
+    def test_makespan_close_to_schedule(self):
+        """Figure 12's claim: canonical schedules are within a few
+        percent of the CSDF (optimal self-timed) makespan."""
+        for topo, size in [("chain", 8), ("fft", 8), ("gaussian", 8)]:
+            for seed in range(3):
+                g = random_canonical_graph(topo, size, seed=seed)
+                s = schedule_streaming(g, len(g), "rlx", size_buffers=False)
+                res = self_timed_makespan(canonical_to_csdf(g))
+                ratio = s.makespan / res.makespan
+                assert 0.9 <= ratio <= 1.35, (topo, seed, ratio)
+
+    def test_sources_and_sinks_convert(self):
+        g = CanonicalGraph()
+        g.add_source("s", 8)
+        g.add_task("e", 8, 8)
+        g.add_sink("t", 8)
+        g.add_edge("s", "e")
+        g.add_edge("e", "t")
+        csdf = canonical_to_csdf(g)
+        res = self_timed_makespan(csdf)
+        assert res.makespan > 0

@@ -1,0 +1,93 @@
+"""Unit tests for graph/schedule serialization and trace export."""
+
+import json
+
+import pytest
+
+from repro import CanonicalGraph, schedule_streaming
+from repro.core.serialize import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+    schedule_to_chrome_trace,
+    schedule_to_dict,
+)
+from repro.graphs import random_canonical_graph
+
+
+class TestGraphRoundTrip:
+    def test_simple_round_trip(self, fig9_graph1):
+        doc = graph_to_dict(fig9_graph1)
+        clone = graph_from_dict(doc)
+        assert set(clone.nodes) == set(fig9_graph1.nodes)
+        assert set(clone.edges) == set(fig9_graph1.edges)
+        for v in clone.nodes:
+            assert clone.spec(v).input_volume == fig9_graph1.spec(v).input_volume
+            assert clone.spec(v).output_volume == fig9_graph1.spec(v).output_volume
+
+    def test_tuple_names_survive(self):
+        """Synthetic generators use tuple node ids; JSON has no tuples."""
+        g = random_canonical_graph("cholesky", 4, seed=0)
+        doc = json.loads(json.dumps(graph_to_dict(g)))  # force JSON types
+        clone = graph_from_dict(doc)
+        assert set(clone.nodes) == set(g.nodes)
+
+    def test_passive_kinds_survive(self):
+        g = CanonicalGraph()
+        g.add_source("s", 8)
+        g.add_task("e", 8, 8)
+        g.add_buffer("B", 8, 8)
+        g.add_sink("t", 8)
+        for e in [("s", "e"), ("e", "B"), ("B", "t")]:
+            g.add_edge(*e)
+        clone = graph_from_dict(graph_to_dict(g))
+        assert clone.kind("s").value == "source"
+        assert clone.kind("B").value == "buffer"
+
+    def test_file_round_trip(self, tmp_path, fig9_graph2):
+        path = tmp_path / "g.json"
+        save_graph(fig9_graph2, str(path))
+        clone = load_graph(str(path))
+        assert set(clone.edges) == set(fig9_graph2.edges)
+
+    def test_schedule_equivalence_after_round_trip(self, fig9_graph1):
+        clone = graph_from_dict(graph_to_dict(fig9_graph1))
+        a = schedule_streaming(fig9_graph1, 8)
+        b = schedule_streaming(clone, 8)
+        assert a.makespan == b.makespan
+        assert a.buffer_sizes == b.buffer_sizes
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError):
+            graph_from_dict({"format": "something-else", "version": 1})
+        with pytest.raises(ValueError):
+            graph_from_dict({"format": "canonical-task-graph", "version": 99})
+
+
+class TestScheduleExport:
+    def test_schedule_dict_fields(self, fig9_graph1):
+        s = schedule_streaming(fig9_graph1, 8)
+        doc = schedule_to_dict(s)
+        assert doc["makespan"] == s.makespan
+        assert len(doc["tasks"]) == 5
+        by_name = {t["name"]: t for t in doc["tasks"]}
+        assert by_name[0]["lo"] == 32
+        caps = {(f["src"], f["dst"]): f["capacity"] for f in doc["fifo_sizes"]}
+        assert caps[(0, 4)] == 18
+
+    def test_dict_is_json_serializable(self, fig9_graph2):
+        s = schedule_streaming(fig9_graph2, 8)
+        json.dumps(schedule_to_dict(s))  # must not raise
+
+    def test_chrome_trace_shape(self, fig9_graph1):
+        s = schedule_streaming(fig9_graph1, 8)
+        events = schedule_to_chrome_trace(s)
+        task_events = [e for e in events if e["tid"] >= 0]
+        block_events = [e for e in events if e["tid"] == -1]
+        assert len(task_events) == 5
+        assert len(block_events) == s.num_blocks
+        for e in task_events:
+            assert e["ph"] == "X"
+            assert e["dur"] >= 1
+        json.dumps(events)  # valid trace JSON

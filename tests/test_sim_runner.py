@@ -1,0 +1,118 @@
+"""Integration tests: DES execution of streaming schedules."""
+
+import pytest
+
+from repro import CanonicalGraph, schedule_streaming
+from repro.graphs import random_canonical_graph
+from repro.sim import simulate_schedule
+
+from conftest import build_elementwise_chain
+
+
+class TestExactness:
+    def test_elementwise_chain_exact(self):
+        g = build_elementwise_chain(6, 24)
+        s = schedule_streaming(g, 8, "rlx")
+        sim = simulate_schedule(s)
+        assert sim.makespan == s.makespan
+        assert sim.finish_times == {v: s.times[v].lo for v in g.nodes}
+
+    def test_multi_block_chain_exact(self):
+        g = build_elementwise_chain(6, 24)
+        s = schedule_streaming(g, 2, "rlx")
+        sim = simulate_schedule(s)
+        assert not sim.deadlocked
+        assert sim.makespan == s.makespan
+
+    def test_rates_exact(self):
+        g = CanonicalGraph()
+        g.add_task(0, 32, 32)
+        g.add_task(1, 32, 4)
+        g.add_task(2, 4, 32)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        s = schedule_streaming(g, 4)
+        sim = simulate_schedule(s)
+        assert sim.makespan == s.makespan
+
+    @pytest.mark.parametrize("topo,size", [("chain", 8), ("fft", 8), ("gaussian", 8)])
+    def test_synthetic_no_deadlock_and_tight(self, topo, size):
+        for seed in range(5):
+            g = random_canonical_graph(topo, size, seed=seed)
+            for p in (4, 16):
+                s = schedule_streaming(g, p, "rlx")
+                sim = simulate_schedule(s)
+                assert not sim.deadlocked
+                err = abs(sim.relative_error(s.makespan))
+                assert err < 0.15, (topo, seed, p, err)
+
+
+class TestPolicies:
+    def test_barrier_at_least_as_slow_as_pe(self):
+        for seed in range(3):
+            g = random_canonical_graph("gaussian", 8, seed=seed)
+            s = schedule_streaming(g, 8, "rlx")
+            barrier = simulate_schedule(s, policy="barrier")
+            pe = simulate_schedule(s, policy="pe")
+            dataflow = simulate_schedule(s, policy="dataflow")
+            assert not barrier.deadlocked
+            assert not pe.deadlocked
+            assert not dataflow.deadlocked
+            assert dataflow.makespan <= barrier.makespan
+            assert pe.makespan <= barrier.makespan
+
+    def test_greedy_never_slower_than_steady(self):
+        for seed in range(3):
+            g = random_canonical_graph("fft", 8, seed=seed)
+            s = schedule_streaming(g, 16, "rlx")
+            steady = simulate_schedule(s, pacing="steady")
+            greedy = simulate_schedule(s, pacing="greedy")
+            assert not greedy.deadlocked
+            assert greedy.makespan <= steady.makespan
+
+
+class TestDeadlockScenarios:
+    def test_raise_on_deadlock_flag(self, fig9_graph1):
+        from repro.sim import DeadlockError
+
+        s = schedule_streaming(fig9_graph1, 8)
+        with pytest.raises(DeadlockError):
+            simulate_schedule(s, capacity_override=1, raise_on_deadlock=True)
+
+    def test_deadlock_reports_blocked_processes(self, fig9_graph2):
+        s = schedule_streaming(fig9_graph2, 8)
+        sim = simulate_schedule(s, capacity_override=1)
+        assert sim.deadlocked
+        assert sim.blocked  # names of the stuck tasks
+
+    def test_single_pe_blocks_cannot_deadlock(self, fig9_graph1):
+        """With one task per block everything is memory-backed."""
+        s = schedule_streaming(fig9_graph1, 1)
+        sim = simulate_schedule(s, capacity_override=1)
+        assert not sim.deadlocked
+
+
+class TestWithPassiveNodes:
+    def test_source_buffer_sink_pipeline(self):
+        g = CanonicalGraph()
+        g.add_source("src", 16)
+        g.add_task("a", 16, 16)
+        g.add_buffer("B", 16, 16)
+        g.add_task("b", 16, 16)
+        g.add_sink("out", 16)
+        for e in [("src", "a"), ("a", "B"), ("B", "b"), ("b", "out")]:
+            g.add_edge(*e)
+        s = schedule_streaming(g, 4)
+        sim = simulate_schedule(s)
+        assert not sim.deadlocked
+        # buffer forces serialization: a ends at 16, b ends at 32
+        assert sim.finish_times["b"] == s.times["b"].lo == 32
+
+    def test_weights_preloaded(self):
+        g = CanonicalGraph()
+        g.add_buffer("W", 8, 8)
+        g.add_task("e", 8, 8)
+        g.add_edge("W", "e")
+        s = schedule_streaming(g, 2)
+        sim = simulate_schedule(s)
+        assert sim.finish_times["e"] == 8

@@ -1,0 +1,130 @@
+"""Unit tests for Theorem 4.1 — streaming interval computation."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import CanonicalGraph, compute_streaming_intervals
+
+
+class TestBasics:
+    def test_elementwise_chain_all_one(self, ew_chain):
+        iv = compute_streaming_intervals(ew_chain)
+        for v in ew_chain.nodes:
+            assert iv.so[v] == 1
+            assert iv.si[v] == 1
+
+    def test_figure6_upsampler(self):
+        """Figure 6: u -(K)-> v, v a rate-4 upsampler -> s(u,v) = 4."""
+        g = CanonicalGraph()
+        g.add_task("u", 8, 8)
+        g.add_task("v", 8, 32)
+        g.add_edge("u", "v")
+        iv = compute_streaming_intervals(g)
+        assert iv.so["u"] == 4
+        assert iv.si["v"] == 4
+        assert iv.so["v"] == 1
+        assert iv.edge_interval(g, "u", "v") == 4
+
+    def test_downsampler_output_slower(self):
+        g = CanonicalGraph()
+        g.add_task("a", 32, 32)
+        g.add_task("d", 32, 4)
+        g.add_edge("a", "d")
+        iv = compute_streaming_intervals(g)
+        assert iv.so["a"] == 1
+        assert iv.so["d"] == 8  # 32 / 4
+
+    def test_equation2_relation(self):
+        """S_o(v) == S_i(v) / R(v) for every computational node."""
+        g = CanonicalGraph()
+        g.add_task("a", 6, 6)
+        g.add_task("b", 6, 4)
+        g.add_task("c", 4, 12)
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        iv = compute_streaming_intervals(g)
+        for v in g.nodes:
+            spec = g.spec(v)
+            assert iv.so[v] == iv.si[v] / spec.production_rate
+
+    def test_fractional_intervals(self):
+        g = CanonicalGraph()
+        g.add_task("a", 3, 3)
+        g.add_task("b", 3, 2)
+        g.add_edge("a", "b")
+        iv = compute_streaming_intervals(g)
+        assert iv.so["b"] == Fraction(3, 2)
+
+    def test_intervals_at_least_one(self):
+        """Equation (1): no edge can stream faster than one per cycle."""
+        g = CanonicalGraph()
+        g.add_task("a", 4, 16)
+        g.add_task("b", 16, 16)
+        g.add_edge("a", "b")
+        iv = compute_streaming_intervals(g)
+        assert all(s >= 1 for s in iv.so.values())
+        assert all(s >= 1 for s in iv.si.values())
+
+
+class TestBufferSeparation:
+    def test_buffer_isolates_steady_states(self):
+        """A buffer decouples the producer's WCC from the consumer's.
+
+        The upstream side has max volume 32, the downstream only 8; the
+        consumer after the buffer must not be paced by the upstream 32.
+        """
+        g = CanonicalGraph()
+        g.add_task("up", 32, 32)
+        g.add_task("d", 32, 8)
+        g.add_buffer("B", 8, 8)
+        g.add_task("down", 8, 8)
+        g.add_edge("up", "d")
+        g.add_edge("d", "B")
+        g.add_edge("B", "down")
+        iv = compute_streaming_intervals(g)
+        assert iv.so["up"] == 1
+        assert iv.so["d"] == 4  # paced by upstream volume 32
+        assert iv.so["down"] == 1  # fresh steady state after the buffer
+        assert iv.so["B"] == 1
+        assert iv.si["B"] == 4  # tail side belongs to the upstream WCC
+
+    def test_wcc_max_volumes_recorded(self, ew_chain):
+        iv = compute_streaming_intervals(ew_chain)
+        assert iv.wcc_max_volume == (32,)
+
+
+class TestMultiInput:
+    def test_join_shares_input_interval(self, diamond):
+        iv = compute_streaming_intervals(diamond)
+        assert iv.si[3] == 1
+        assert iv.so[0] == 1
+
+    def test_source_volume_dominates(self):
+        """Lemma 4.3: O(v) * S_o(v) is constant inside a WCC."""
+        g = CanonicalGraph()
+        g.add_task("a", 16, 16)
+        g.add_task("u", 16, 64)
+        g.add_task("e", 64, 64)
+        g.add_edge("a", "u")
+        g.add_edge("u", "e")
+        iv = compute_streaming_intervals(g)
+        const = {
+            v: g.spec(v).output_volume * iv.so[v] for v in g.nodes
+        }
+        assert len(set(const.values())) == 1
+        assert next(iter(const.values())) == 64
+
+
+class TestBlockSourceExtension:
+    def test_entry_downsampler_input_counts(self):
+        """A downsampler reading memory cannot emit faster than it reads:
+        its I(v) participates in the WCC constant (DESIGN.md, item 2)."""
+        g = CanonicalGraph()
+        g.add_task("d", 32, 4)  # entry node, reads 32 from memory
+        g.add_task("e", 4, 4)
+        g.add_edge("d", "e")
+        iv = compute_streaming_intervals(g)
+        assert iv.si["d"] == 1
+        assert iv.so["d"] == 8
+        assert iv.si["e"] == 8
