@@ -1,0 +1,50 @@
+"""Benchmarks the campaign executor: serial vs parallel fan-out.
+
+``pytest benchmarks/bench_campaign.py --benchmark-only``
+"""
+
+import os
+
+from conftest import bench_population
+
+from repro.campaign import execute_cells, get_scenario
+from repro.experiments.common import format_table
+
+
+def _cells():
+    return get_scenario("fig10").cells(num_graphs=bench_population(10))
+
+
+def test_campaign_serial(benchmark):
+    report = benchmark.pedantic(
+        execute_cells, args=(_cells(),), kwargs={"workers": 0}, rounds=1, iterations=1
+    )
+    assert report.computed == len(_cells())
+
+
+def test_campaign_parallel(benchmark, save_table):
+    workers = min(4, os.cpu_count() or 1)
+    report = benchmark.pedantic(
+        execute_cells,
+        args=(_cells(),),
+        kwargs={"workers": workers},
+        rounds=1,
+        iterations=1,
+    )
+    assert report.computed == len(_cells())
+    save_table(
+        "campaign_parallel",
+        "Campaign executor fan-out\n"
+        + format_table(
+            ["cells", "workers", "pids used", "elapsed (s)", "cells/s"],
+            [[
+                report.total,
+                workers,
+                len(report.worker_pids),
+                f"{report.elapsed:7.2f}",
+                f"{report.total / report.elapsed:8.1f}",
+            ]],
+        ),
+    )
+    if workers > 1:
+        assert len(report.worker_pids) >= 2

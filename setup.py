@@ -1,4 +1,8 @@
-"""Legacy setup shim: enables `pip install -e .` offline (no wheel package)."""
+"""Legacy setup shim: enables `pip install -e .` with old tooling.
+
+All metadata lives in pyproject.toml (package discovery under src/,
+the `repro` console script, and the networkx/numpy dependencies).
+"""
 from setuptools import setup
 
 setup()

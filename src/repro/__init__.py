@@ -27,7 +27,13 @@ Subpackages:
   Gaussian elimination, tiled Cholesky) with canonical random volumes;
 * :mod:`repro.ml` — operator graphs (ResNet-50, transformer encoder) and
   their canonical expansions;
-* :mod:`repro.experiments` — one harness per paper figure/table.
+* :mod:`repro.experiments` — one harness per paper figure/table, each a
+  thin wrapper over the campaign engine;
+* :mod:`repro.campaign` — declarative experiment campaigns: a scenario
+  registry (every paper figure/table plus new graph families as data),
+  a ``multiprocessing`` executor with deterministic per-cell seeds, and
+  a content-addressed result store so re-runs skip completed cells
+  (``repro campaign run fig10 --workers 8``).
 """
 
 from .baselines import ListSchedule, schedule_nonstreaming
@@ -53,7 +59,7 @@ from .core import (
     total_work,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CanonicalGraph",

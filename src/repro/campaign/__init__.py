@@ -1,0 +1,76 @@
+"""repro.campaign — parallel, cached experiment campaigns.
+
+The paper's evaluation is a big parameter sweep (100 random graphs x 4
+topologies x 4 PE counts x several scheduler variants).  This subsystem
+runs such sweeps as *campaigns*:
+
+* a **scenario registry** (:mod:`repro.campaign.registry`) describes a
+  campaign as data — every paper figure/table plus new graph families is
+  a registered :class:`Scenario`;
+* a **parallel executor** (:mod:`repro.campaign.executor`) fans the
+  independent cells out over ``multiprocessing`` workers with
+  deterministic per-cell seeds, so results never depend on worker count;
+* a **content-addressed result store** (:mod:`repro.campaign.store`)
+  persists every completed cell, keyed by spec + code version — re-runs
+  skip completed cells and report straight from the store.
+
+Quickstart::
+
+    from repro.campaign import run_campaign, render_report
+
+    run = run_campaign("fig10", workers=4)
+    print(run.report.summary())
+    print(render_report(run.scenario, run.results))
+
+or, from the command line::
+
+    repro campaign list
+    repro campaign run fig10 --workers 4
+    repro campaign report fig10 --csv fig10.csv
+"""
+
+from .cells import CELL_KINDS, evaluate_cell, finite
+from .executor import ExecutionReport, execute_cells
+from .registry import get_scenario, list_scenarios, register, scenario_names
+from .runner import (
+    AggregateGroup,
+    CampaignRun,
+    aggregate,
+    execute_scenario,
+    export_csv,
+    export_json,
+    generic_table,
+    render_report,
+    run_campaign,
+)
+from .spec import ALL_PES, SCHEDULER_LABELS, CellResult, CellSpec, Scenario, cell_key
+from .store import ResultStore, default_store_dir
+
+__all__ = [
+    "ALL_PES",
+    "AggregateGroup",
+    "CELL_KINDS",
+    "CampaignRun",
+    "CellResult",
+    "CellSpec",
+    "ExecutionReport",
+    "ResultStore",
+    "SCHEDULER_LABELS",
+    "Scenario",
+    "aggregate",
+    "cell_key",
+    "default_store_dir",
+    "evaluate_cell",
+    "execute_cells",
+    "execute_scenario",
+    "export_csv",
+    "export_json",
+    "finite",
+    "generic_table",
+    "get_scenario",
+    "list_scenarios",
+    "register",
+    "render_report",
+    "run_campaign",
+    "scenario_names",
+]

@@ -1,0 +1,127 @@
+"""Parallel campaign executor.
+
+Fans independent cells out over a ``multiprocessing`` pool.  Cells carry
+their own deterministic seeds (expansion fixes ``graph_seed`` before any
+work starts), so results are identical whatever the worker count or
+completion order — parallelism changes wall-clock, never statistics.
+
+Dispatch is chunked: with ``w`` workers the pending cells are handed out
+in chunks of roughly ``len(cells) / (4 w)`` (at least 1), big enough to
+amortize IPC, small enough that a slow chunk cannot straggle the whole
+sweep.  Results stream back as they finish; completed cells are appended
+to the result store incrementally, so interrupting a run loses at most
+the in-flight chunks.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from .cells import evaluate_cell
+from .spec import CellResult, CellSpec
+from .store import ResultStore
+
+__all__ = ["ExecutionReport", "execute_cells", "default_chunksize"]
+
+
+@dataclass
+class ExecutionReport:
+    """What one campaign execution did."""
+
+    results: list[CellResult] = field(default_factory=list)
+    computed: int = 0
+    cached: int = 0
+    workers: int = 0  #: worker processes requested (0 = in-process serial)
+    worker_pids: set[int] = field(default_factory=set)
+    elapsed: float = 0.0
+
+    @property
+    def total(self) -> int:
+        return len(self.results)
+
+    def summary(self) -> str:
+        mode = (
+            f"{self.workers} worker processes ({len(self.worker_pids)} used)"
+            if self.workers > 1
+            else "serial in-process"
+        )
+        return (
+            f"{self.total} cells: {self.computed} computed, "
+            f"{self.cached} cached · {mode} · {self.elapsed:.2f}s"
+        )
+
+
+def default_chunksize(num_cells: int, workers: int) -> int:
+    return max(1, num_cells // (workers * 4))
+
+
+def _evaluate_packed(doc: dict) -> tuple[dict, dict, float, int]:
+    """Worker-side entry point: evaluate one cell from its dict form."""
+    spec = CellSpec.from_dict(doc)
+    t0 = time.perf_counter()
+    metrics = evaluate_cell(spec)
+    return doc, metrics, time.perf_counter() - t0, os.getpid()
+
+
+def execute_cells(
+    cells: Sequence[CellSpec],
+    workers: int = 0,
+    store: ResultStore | None = None,
+    force: bool = False,
+    chunksize: int | None = None,
+    on_result: Callable[[CellResult], None] | None = None,
+) -> ExecutionReport:
+    """Evaluate every cell, reusing stored results unless ``force``.
+
+    ``workers <= 1`` runs serially in-process (no pool, no pickling);
+    anything larger fans out over that many processes.  Freshly computed
+    cells are appended to ``store`` as they arrive.
+    """
+    t_start = time.perf_counter()
+    report = ExecutionReport(workers=max(0, workers))
+
+    by_spec: dict[CellSpec, CellResult] = {}
+    pending: list[CellSpec] = []
+    queued: set[CellSpec] = set()
+    for spec in cells:
+        hit = None if (force or store is None) else store.get(spec)
+        if hit is not None:
+            by_spec[spec] = hit
+            report.cached += 1
+        elif spec not in queued:  # dedupe identical cells
+            pending.append(spec)
+            queued.add(spec)
+
+    def _absorb(result: CellResult) -> None:
+        by_spec[result.spec] = result
+        report.computed += 1
+        report.worker_pids.add(result.worker)
+        if store is not None:
+            store.append(result)
+        if on_result is not None:
+            on_result(result)
+
+    if workers > 1 and len(pending) > 1:
+        chunk = chunksize or default_chunksize(len(pending), workers)
+        with multiprocessing.Pool(processes=workers) as pool:
+            packed = pool.imap_unordered(
+                _evaluate_packed, [s.to_dict() for s in pending], chunksize=chunk
+            )
+            for doc, metrics, elapsed, pid in packed:
+                _absorb(CellResult(CellSpec.from_dict(doc), metrics, elapsed, pid))
+    else:
+        for spec in pending:
+            t0 = time.perf_counter()
+            metrics = evaluate_cell(spec)
+            _absorb(
+                CellResult(spec, metrics, time.perf_counter() - t0, os.getpid())
+            )
+
+    # input order, not completion order: aggregation output stays stable
+    report.results = [by_spec[spec] for spec in cells]
+    report.elapsed = time.perf_counter() - t_start
+    return report

@@ -1,0 +1,199 @@
+"""Scenario registry: the paper's evaluation, and beyond, as data.
+
+Every figure/table of the paper is a registered :class:`Scenario`, plus
+two synthetic families (random layered DAGs, series-parallel graphs)
+that widen the workload space.  ``repro campaign list`` prints this
+registry; ``repro campaign run <name>`` executes one entry; downstream
+code registers new scenarios with :func:`register`.
+"""
+
+from __future__ import annotations
+
+from ..experiments.common import PE_SWEEPS, TABLE2_PES
+from ..graphs import DEFAULT_SIZES, PAPER_SIZES
+from .spec import Scenario
+
+__all__ = [
+    "register",
+    "get_scenario",
+    "scenario_names",
+    "list_scenarios",
+    "ABLATION_SCENARIOS",
+]
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register(scenario: Scenario, overwrite: bool = False) -> Scenario:
+    """Add a scenario to the registry (name must be unique)."""
+    if not overwrite and scenario.name in _REGISTRY:
+        raise ValueError(f"scenario {scenario.name!r} already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown scenario {name!r} (known: {known})") from None
+
+
+def scenario_names() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def list_scenarios() -> list[Scenario]:
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def _ablation_sweeps(num_pes: int = 64) -> dict[str, tuple[int, ...]]:
+    """The ablation harness caps the 8-task chain at 8 PEs."""
+    return {
+        topo: (min(num_pes, 8),) if topo == "chain" else (num_pes,)
+        for topo in PAPER_SIZES
+    }
+
+
+# -- the paper's evaluation -------------------------------------------------
+
+register(
+    Scenario.build(
+        "fig10",
+        "speedup",
+        description="Figure 10: speedup over sequential + PE utilization",
+        topologies=PAPER_SIZES,
+        pe_sweeps=PE_SWEEPS,
+        variants=("lts", "rlx", "nstr"),
+        table="repro.experiments.fig10_speedup:table_from_results",
+    )
+)
+
+register(
+    Scenario.build(
+        "fig11",
+        "sslr",
+        description="Figure 11: Streaming SLR (makespan / streaming depth)",
+        topologies=PAPER_SIZES,
+        pe_sweeps=PE_SWEEPS,
+        variants=("lts", "rlx"),
+        table="repro.experiments.fig11_sslr:table_from_results",
+    )
+)
+
+register(
+    Scenario.build(
+        "fig12",
+        "csdf",
+        description="Figure 12: scheduling cost + makespan vs CSDF analysis",
+        topologies=PAPER_SIZES,
+        pe_sweeps={},  # one PE per node (the CSDF tools cannot bound PEs)
+        variants=("rlx",),
+        params={"max_firings": 2_000_000},
+        table="repro.experiments.fig12_csdf:table_from_results",
+    )
+)
+
+register(
+    Scenario.build(
+        "fig13",
+        "validation",
+        description="Figure 13: discrete-event validation of the analysis",
+        topologies=PAPER_SIZES,
+        pe_sweeps=PE_SWEEPS,
+        variants=("lts", "rlx"),
+        table="repro.experiments.fig13_validation:table_from_results",
+    )
+)
+
+register(
+    Scenario.build(
+        "table2",
+        "table2",
+        description="Table 2: ResNet-50 / transformer-encoder ML workloads",
+        topologies={"resnet50": 0, "encoder": 0},
+        pe_sweeps=TABLE2_PES,
+        variants=("lts",),
+        num_graphs=1,  # the ML graphs are deterministic builders
+        params={"full": False},
+        table="repro.experiments.table2_ml:table_from_results",
+    )
+)
+
+ABLATION_SCENARIOS = (
+    register(
+        Scenario.build(
+            "ablation-buffers",
+            "ablation_buffer",
+            description="Ablation 1: deadlocks, Section 6 sizing vs cap-1 FIFOs",
+            topologies=PAPER_SIZES,
+            pe_sweeps=_ablation_sweeps(),
+            variants=("rlx",),
+            default_graphs=25,
+            table="repro.experiments.ablations:buffer_table_from_results",
+        )
+    ),
+    register(
+        Scenario.build(
+            "ablation-partition",
+            "ablation_partition",
+            description="Ablation 2: partition variants (blocks, fill, makespan)",
+            topologies=PAPER_SIZES,
+            pe_sweeps=_ablation_sweeps(),
+            variants=("lts", "rlx", "work"),
+            default_graphs=25,
+            table="repro.experiments.ablations:partition_table_from_results",
+        )
+    ),
+    register(
+        Scenario.build(
+            "ablation-pacing",
+            "ablation_pacing",
+            description="Ablation 3: steady-state vs greedy DES execution",
+            topologies=PAPER_SIZES,
+            pe_sweeps=_ablation_sweeps(),
+            variants=("rlx",),
+            default_graphs=25,
+            table="repro.experiments.ablations:pacing_table_from_results",
+        )
+    ),
+)
+
+# -- beyond the paper: new scenario families --------------------------------
+
+register(
+    Scenario.build(
+        "layered",
+        "speedup",
+        description="Random layered DAGs (~128 tasks): speedup + utilization",
+        topologies={"layered": DEFAULT_SIZES["layered"]},
+        pe_sweeps={"layered": (32, 64, 96, 128)},
+        variants=("lts", "rlx", "nstr"),
+        table="repro.experiments.fig10_speedup:table_from_results",
+    )
+)
+
+register(
+    Scenario.build(
+        "serpar",
+        "speedup",
+        description="Series-parallel graphs (~120 tasks): speedup + utilization",
+        topologies={"serpar": DEFAULT_SIZES["serpar"]},
+        pe_sweeps={"serpar": (32, 64, 96, 128)},
+        variants=("lts", "rlx", "nstr"),
+        table="repro.experiments.fig10_speedup:table_from_results",
+    )
+)
+
+register(
+    Scenario.build(
+        "layered-validation",
+        "validation",
+        description="Random layered DAGs under discrete-event validation",
+        topologies={"layered": DEFAULT_SIZES["layered"]},
+        pe_sweeps={"layered": (32, 64, 96, 128)},
+        variants=("lts", "rlx"),
+        table="repro.experiments.fig13_validation:table_from_results",
+    )
+)

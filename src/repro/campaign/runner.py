@@ -1,0 +1,239 @@
+"""Campaign orchestration: expand, execute, aggregate, report, export.
+
+``run_campaign`` is the one entry point the CLI and the experiment
+harnesses share: it expands a scenario into cells, executes them (serial
+or parallel, consulting the result store), and hands back everything
+needed for reporting.  Aggregation is generic — cells are grouped by
+(topology, size, PEs, variant) and every metric column becomes a
+:class:`BoxStats` — while paper scenarios additionally carry a ``table``
+hook rendering the exact figure/table layout of the serial harnesses.
+"""
+
+from __future__ import annotations
+
+import csv
+import importlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from ..experiments.common import BOX_HEADER, BoxStats, format_table
+from .cells import finite
+from .executor import ExecutionReport, execute_cells
+from .registry import get_scenario
+from .spec import ALL_PES, CellResult, CellSpec, Scenario
+from .store import ResultStore, default_store_dir
+
+__all__ = [
+    "CampaignRun",
+    "run_campaign",
+    "execute_scenario",
+    "aggregate",
+    "AggregateGroup",
+    "render_report",
+    "generic_table",
+    "export_csv",
+    "export_json",
+]
+
+
+@dataclass
+class CampaignRun:
+    """Outcome of one ``run_campaign`` invocation."""
+
+    scenario: Scenario
+    report: ExecutionReport
+    store_path: Path | None = None
+
+    @property
+    def results(self) -> list[CellResult]:
+        return self.report.results
+
+
+def _as_scenario(scenario: str | Scenario) -> Scenario:
+    return get_scenario(scenario) if isinstance(scenario, str) else scenario
+
+
+def run_campaign(
+    scenario: str | Scenario,
+    workers: int = 0,
+    num_graphs: int | None = None,
+    limit: int | None = None,
+    store_dir: str | Path | None = None,
+    use_store: bool = True,
+    force: bool = False,
+) -> CampaignRun:
+    """Execute a (possibly cached) campaign for one scenario.
+
+    ``workers <= 1`` runs serially; ``limit`` caps the number of cells
+    (smoke runs); ``force`` recomputes even stored cells.  With
+    ``use_store=False`` nothing is read from or written to disk.
+    """
+    scn = _as_scenario(scenario)
+    cells = scn.cells(num_graphs=num_graphs, limit=limit)
+    store = None
+    if use_store:
+        store = ResultStore(store_dir or default_store_dir(), scn.name)
+    report = execute_cells(cells, workers=workers, store=store, force=force)
+    return CampaignRun(scn, report, store.path if store else None)
+
+
+def execute_scenario(
+    scenario: Scenario, num_graphs: int | None = None
+) -> list[CellResult]:
+    """Serial, store-less execution — the harness fast path."""
+    return run_campaign(scenario, workers=0, num_graphs=num_graphs, use_store=False).results
+
+
+# -- aggregation ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AggregateGroup:
+    """All cells of one (topology, size, PEs, variant, params) combination."""
+
+    topology: str
+    size: int
+    num_pes: int
+    variant: str
+    n: int  #: cells in the group
+    stats: dict[str, BoxStats]  #: per metric, over finite values only
+    totals: dict[str, float]  #: per metric, sum over finite values
+    params: tuple = ()  #: extra cell parameters shared by the group
+
+    @property
+    def pes_label(self) -> str:
+        return "|V|" if self.num_pes == ALL_PES else str(self.num_pes)
+
+
+def aggregate(results: Iterable[CellResult]) -> list[AggregateGroup]:
+    """Group cells and summarize every metric column as BoxStats.
+
+    ``params`` is part of the group key: cells measured under different
+    extra parameters (say, two ``max_firings`` budgets stored by
+    separate API runs) never pool into one statistic.
+    """
+    groups: dict[tuple, list[CellResult]] = {}
+    for r in results:
+        key = (r.spec.topology, r.spec.size, r.spec.num_pes, r.spec.variant, r.spec.params)
+        groups.setdefault(key, []).append(r)
+    out: list[AggregateGroup] = []
+    for (topo, size, pes, variant, params), rs in groups.items():
+        metrics: dict[str, list[float]] = {}
+        for r in rs:
+            for name, value in r.metrics.items():
+                metrics.setdefault(name, []).append(value)
+        stats = {
+            name: BoxStats.from_samples(vals)
+            for name, vals in ((n, finite(v)) for n, v in metrics.items())
+            if vals
+        }
+        totals = {name: sum(finite(vals)) for name, vals in metrics.items()}
+        out.append(
+            AggregateGroup(topo, size, pes, variant, len(rs), stats, totals, params)
+        )
+    return out
+
+
+def generic_table(results: Sequence[CellResult]) -> str:
+    """Scenario-agnostic report: one row per (group, metric)."""
+    headers = ["topology", "#PEs", "variant", "metric", "n", *BOX_HEADER, "mean"]
+    rows = []
+    for g in aggregate(results):
+        for metric in sorted(g.stats):
+            s = g.stats[metric]
+            rows.append(
+                [
+                    g.topology,
+                    g.pes_label,
+                    g.variant,
+                    metric,
+                    g.n,
+                    *s.row("{:10.4f}"),
+                    f"{s.mean:10.4f}",
+                ]
+            )
+    return format_table(headers, rows)
+
+
+def _resolve_table(dotted: str) -> Callable[[Sequence[CellResult]], str]:
+    module_name, _, attr = dotted.partition(":")
+    module = importlib.import_module(module_name)
+    return getattr(module, attr)
+
+
+def render_report(scenario: Scenario, results: Sequence[CellResult]) -> str:
+    """The paper-style table when the scenario declares one, else generic."""
+    if not results:
+        return "(no results)"
+    if scenario.table:
+        try:
+            return _resolve_table(scenario.table)(results)
+        except (ImportError, AttributeError):
+            pass  # fall back to the generic layout
+    return generic_table(results)
+
+
+# -- export -----------------------------------------------------------------
+
+
+def export_csv(results: Sequence[CellResult], path: str | Path) -> None:
+    """One row per cell, one column per metric."""
+    metric_names = sorted({m for r in results for m in r.metrics})
+    fields = [
+        "scenario", "kind", "topology", "size", "graph_seed", "num_pes",
+        "variant", *metric_names, "elapsed", "worker",
+    ]
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fields)
+        writer.writeheader()
+        for r in results:
+            row = {
+                "scenario": r.spec.scenario,
+                "kind": r.spec.kind,
+                "topology": r.spec.topology,
+                "size": r.spec.size,
+                "graph_seed": r.spec.graph_seed,
+                "num_pes": r.spec.num_pes,
+                "variant": r.spec.variant,
+                "elapsed": f"{r.elapsed:.6f}",
+                "worker": r.worker,
+            }
+            row.update({m: r.metrics.get(m, "") for m in metric_names})
+            writer.writerow(row)
+
+
+def export_json(
+    scenario: Scenario, results: Sequence[CellResult], path: str | Path
+) -> None:
+    """Scenario + aggregated groups + raw cells, one JSON document."""
+    doc = {
+        "scenario": scenario.to_dict(),
+        "groups": [
+            {
+                "topology": g.topology,
+                "size": g.size,
+                "num_pes": g.num_pes,
+                "variant": g.variant,
+                "n": g.n,
+                "metrics": {
+                    name: {
+                        "n": s.n,
+                        "median": s.median,
+                        "q1": s.q1,
+                        "q3": s.q3,
+                        "whisker_lo": s.whisker_lo,
+                        "whisker_hi": s.whisker_hi,
+                        "mean": s.mean,
+                        "outliers": s.outliers,
+                    }
+                    for name, s in g.stats.items()
+                },
+            }
+            for g in aggregate(results)
+        ],
+        "cells": [r.to_dict() for r in results],
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)

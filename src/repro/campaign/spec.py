@@ -1,0 +1,292 @@
+"""Campaign specifications: scenarios as data, cells as atoms.
+
+A *campaign* evaluates a scenario — a declarative description of a
+parameter sweep (topologies, sizes, seed range, PE counts, scheduler
+variants) — by expanding it into independent *cells* and measuring each
+one.  A cell is the atomic unit of work: one (topology, size,
+graph seed, PE count, variant) combination plus scenario-specific
+parameters.  Cells are pure data, hashable and JSON-serializable, which
+is what makes them distributable over worker processes and
+content-addressable in the result store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Mapping, Sequence
+
+from .. import __version__
+from ..experiments.common import default_num_graphs
+
+__all__ = [
+    "CellSpec",
+    "CellResult",
+    "Scenario",
+    "SCHEDULER_LABELS",
+    "ALL_PES",
+    "cell_key",
+]
+
+#: sentinel PE count meaning "as many PEs as the graph has nodes"
+#: (the Figure 12 setup: the CSDF tools cannot bound the PE count)
+ALL_PES = 0
+
+#: variant key -> paper scheduler label
+SCHEDULER_LABELS = {
+    "lts": "STR-SCH-1",
+    "rlx": "STR-SCH-2",
+    "work": "STR-SCH-W",
+    "nstr": "NSTR-SCH",
+}
+
+
+def _freeze_params(params: Mapping[str, Any] | Sequence | None) -> tuple:
+    """Normalize free-form params into a sorted, hashable tuple of pairs."""
+    if not params:
+        return ()
+    items = params.items() if isinstance(params, Mapping) else params
+    return tuple(sorted((str(k), v) for k, v in items))
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One atomic measurement of a campaign."""
+
+    scenario: str  #: scenario name the cell belongs to
+    kind: str  #: metric family, dispatches the evaluator (see cells.py)
+    topology: str  #: graph family ("fft", "layered", "resnet50", ...)
+    size: int  #: topology size parameter
+    graph_seed: int  #: deterministic per-cell seed
+    num_pes: int  #: PE count (ALL_PES = one PE per node)
+    variant: str  #: scheduler variant key ("lts", "rlx", "work", "nstr")
+    params: tuple = ()  #: sorted (key, value) pairs of extra parameters
+
+    def param(self, name: str, default: Any = None) -> Any:
+        for k, v in self.params:
+            if k == name:
+                return v
+        return default
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "kind": self.kind,
+            "topology": self.topology,
+            "size": self.size,
+            "graph_seed": self.graph_seed,
+            "num_pes": self.num_pes,
+            "variant": self.variant,
+            "params": [[k, v] for k, v in self.params],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "CellSpec":
+        return cls(
+            scenario=doc["scenario"],
+            kind=doc["kind"],
+            topology=doc["topology"],
+            size=int(doc["size"]),
+            graph_seed=int(doc["graph_seed"]),
+            num_pes=int(doc["num_pes"]),
+            variant=doc["variant"],
+            params=_freeze_params([tuple(p) for p in doc.get("params", [])]),
+        )
+
+
+def cell_key(spec: CellSpec, code_version: str | None = None) -> str:
+    """Content address of a cell: spec + code version, hashed.
+
+    Bumping :data:`repro.__version__` (or passing a different
+    ``code_version``) invalidates every cached result, so a store never
+    serves numbers computed by old code.
+    """
+    payload = {
+        "code": code_version if code_version is not None else __version__,
+        "spec": spec.to_dict(),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Measured metrics of one cell."""
+
+    spec: CellSpec
+    metrics: dict[str, float]
+    elapsed: float  #: evaluation wall-clock seconds
+    worker: int  #: pid of the process that evaluated the cell
+    cached: bool = False  #: served from the result store, not recomputed
+
+    def to_dict(self) -> dict:
+        return {
+            "key": cell_key(self.spec),
+            "spec": self.spec.to_dict(),
+            "metrics": self.metrics,
+            "elapsed": self.elapsed,
+            "worker": self.worker,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any], cached: bool = False) -> "CellResult":
+        return cls(
+            spec=CellSpec.from_dict(doc["spec"]),
+            metrics={str(k): float(v) for k, v in doc["metrics"].items()},
+            elapsed=float(doc.get("elapsed", 0.0)),
+            worker=int(doc.get("worker", -1)),
+            cached=cached,
+        )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A campaign described as data.
+
+    ``topologies`` maps family name to size; ``pe_sweeps`` maps family
+    name to the PE counts swept for it; ``variants`` lists scheduler
+    variant keys.  ``num_graphs`` of ``None`` defers to the
+    ``REPRO_NUM_GRAPHS`` environment override with ``default_graphs``
+    as the fallback (the paper uses 100 graphs per topology).
+    """
+
+    name: str
+    kind: str
+    description: str = ""
+    topologies: tuple[tuple[str, int], ...] = ()
+    pe_sweeps: tuple[tuple[str, tuple[int, ...]], ...] = ()
+    variants: tuple[str, ...] = ("lts", "rlx")
+    num_graphs: int | None = None
+    default_graphs: int = 100
+    params: tuple = ()
+    #: dotted "module:function" rendering results as the paper-style table
+    table: str | None = None
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        kind: str,
+        *,
+        topologies: Mapping[str, int],
+        pe_sweeps: Mapping[str, Sequence[int]],
+        variants: Sequence[str] = ("lts", "rlx"),
+        description: str = "",
+        num_graphs: int | None = None,
+        default_graphs: int = 100,
+        params: Mapping[str, Any] | None = None,
+        table: str | None = None,
+    ) -> "Scenario":
+        """Ergonomic constructor taking plain dicts/lists."""
+        return cls(
+            name=name,
+            kind=kind,
+            description=description,
+            topologies=tuple(topologies.items()),
+            pe_sweeps=tuple((t, tuple(p)) for t, p in pe_sweeps.items()),
+            variants=tuple(variants),
+            num_graphs=num_graphs,
+            default_graphs=default_graphs,
+            params=_freeze_params(params),
+            table=table,
+        )
+
+    def resolved_num_graphs(self, override: int | None = None) -> int:
+        if override is not None:
+            return max(1, override)
+        if self.num_graphs is not None:
+            return self.num_graphs
+        return default_num_graphs(self.default_graphs)
+
+    def with_overrides(
+        self,
+        topologies: Mapping[str, int] | None = None,
+        pe_sweeps: Mapping[str, Sequence[int]] | None = None,
+        num_graphs: int | None = None,
+        params: Mapping[str, Any] | None = None,
+        variants: Sequence[str] | None = None,
+    ) -> "Scenario":
+        """A copy with some sweep axes replaced (harness entry points)."""
+        out = self
+        if topologies is not None:
+            out = replace(out, topologies=tuple(topologies.items()))
+        if pe_sweeps is not None:
+            out = replace(
+                out, pe_sweeps=tuple((t, tuple(p)) for t, p in pe_sweeps.items())
+            )
+        if num_graphs is not None:
+            out = replace(out, num_graphs=max(1, num_graphs))
+        if params is not None:
+            merged = dict(self.params)
+            merged.update(params)
+            out = replace(out, params=_freeze_params(merged))
+        if variants is not None:
+            out = replace(out, variants=tuple(variants))
+        return out
+
+    def cells(
+        self, num_graphs: int | None = None, limit: int | None = None
+    ) -> list[CellSpec]:
+        """Expand the scenario into its cell list.
+
+        Expansion is fully deterministic: graph seeds are exactly
+        ``range(num_graphs)`` per (topology, PE, variant) combination,
+        matching the serial harnesses seed-for-seed, so parallel and
+        serial runs measure identical populations.
+        """
+        n = self.resolved_num_graphs(num_graphs)
+        sweeps = dict(self.pe_sweeps)
+        out: list[CellSpec] = []
+        if limit is not None and limit <= 0:
+            return out
+        for topo, size in self.topologies:
+            for num_pes in sweeps.get(topo, (ALL_PES,)):
+                for variant in self.variants:
+                    for seed in range(n):
+                        out.append(
+                            CellSpec(
+                                scenario=self.name,
+                                kind=self.kind,
+                                topology=topo,
+                                size=size,
+                                graph_seed=seed,
+                                num_pes=num_pes,
+                                variant=variant,
+                                params=self.params,
+                            )
+                        )
+                        if limit is not None and len(out) >= limit:
+                            return out
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "description": self.description,
+            "topologies": [[t, s] for t, s in self.topologies],
+            "pe_sweeps": [[t, list(p)] for t, p in self.pe_sweeps],
+            "variants": list(self.variants),
+            "num_graphs": self.num_graphs,
+            "default_graphs": self.default_graphs,
+            "params": [[k, v] for k, v in self.params],
+            "table": self.table,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "Scenario":
+        return cls(
+            name=doc["name"],
+            kind=doc["kind"],
+            description=doc.get("description", ""),
+            topologies=tuple((t, int(s)) for t, s in doc.get("topologies", [])),
+            pe_sweeps=tuple(
+                (t, tuple(int(x) for x in p)) for t, p in doc.get("pe_sweeps", [])
+            ),
+            variants=tuple(doc.get("variants", ())),
+            num_graphs=doc.get("num_graphs"),
+            default_graphs=int(doc.get("default_graphs", 100)),
+            params=_freeze_params([tuple(p) for p in doc.get("params", [])]),
+            table=doc.get("table"),
+        )

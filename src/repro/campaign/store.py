@@ -1,0 +1,102 @@
+"""Content-addressed result store for campaign cells.
+
+One JSON-lines file per scenario under the store directory; each line is
+a completed cell keyed by a hash of its spec *and* the code version
+(:func:`repro.campaign.spec.cell_key`).  Re-running a campaign loads the
+file, serves every already-measured cell from memory, and appends only
+the newly computed ones — so an interrupted 10k-cell sweep resumes where
+it stopped, and a finished one replays instantly.  Appending is
+line-atomic (single writer: the campaign parent process), and unreadable
+lines from a torn write are skipped on load.
+
+The default location is ``.repro-campaigns/`` under the working
+directory, overridable with ``REPRO_CAMPAIGN_DIR`` or ``--store``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterable
+
+from .spec import CellResult, CellSpec, cell_key
+
+__all__ = ["ResultStore", "default_store_dir"]
+
+ENV_STORE_DIR = "REPRO_CAMPAIGN_DIR"
+DEFAULT_DIRNAME = ".repro-campaigns"
+
+
+def default_store_dir() -> Path:
+    return Path(os.environ.get(ENV_STORE_DIR, DEFAULT_DIRNAME))
+
+
+class ResultStore:
+    """Append-only JSONL store of cell results for one scenario."""
+
+    def __init__(self, directory: str | Path, scenario: str) -> None:
+        self.directory = Path(directory)
+        self.scenario = scenario
+        self.path = self.directory / f"{scenario}.jsonl"
+        self._records: dict[str, CellResult] = {}
+        self._loaded = False
+
+    # -- reading -----------------------------------------------------------
+
+    def load(self) -> dict[str, CellResult]:
+        """Read the scenario file into memory (idempotent)."""
+        if self._loaded:
+            return self._records
+        self._loaded = True
+        if self.path.exists():
+            with open(self.path) as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        doc = json.loads(line)
+                        result = CellResult.from_dict(doc, cached=True)
+                    except (ValueError, KeyError, TypeError):
+                        continue  # torn line: recompute that cell
+                    key = cell_key(result.spec)
+                    if doc.get("key") != key:
+                        continue  # written by a different code version: miss
+                    self._records[key] = result
+        return self._records
+
+    def get(self, spec: CellSpec) -> CellResult | None:
+        return self.load().get(cell_key(spec))
+
+    def __contains__(self, spec: CellSpec) -> bool:
+        return cell_key(spec) in self.load()
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+    def results(self) -> list[CellResult]:
+        return list(self.load().values())
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, results: CellResult | Iterable[CellResult]) -> None:
+        """Persist results (newline-delimited, flushed per batch)."""
+        if isinstance(results, CellResult):
+            results = [results]
+        results = list(results)
+        if not results:
+            return
+        self.load()
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as fh:
+            for r in results:
+                fh.write(json.dumps(r.to_dict(), sort_keys=True) + "\n")
+                self._records[cell_key(r.spec)] = r
+
+    def clear(self) -> None:
+        """Drop every stored result for this scenario."""
+        self._records = {}
+        self._loaded = True
+        if self.path.exists():
+            self.path.unlink()

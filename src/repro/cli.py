@@ -1,4 +1,4 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``python -m repro <command>`` (or ``repro``).
 
 Commands
 --------
@@ -6,7 +6,8 @@ Commands
 ``info``        print statistics of a saved graph
 ``schedule``    schedule a saved graph (streaming or non-streaming)
 ``simulate``    schedule + cycle-accurate validation
-``experiment``  run one of the paper's figure/table harnesses
+``experiment``  run one of the paper's figure/table harnesses (serial)
+``campaign``    declarative experiment campaigns: parallel + cached
 """
 
 from __future__ import annotations
@@ -31,7 +32,7 @@ from .core.serialize import (
     schedule_to_chrome_trace,
     schedule_to_dict,
 )
-from .graphs import PAPER_SIZES, random_canonical_graph
+from .graphs import DEFAULT_SIZES, random_canonical_graph
 
 __all__ = ["main", "build_parser"]
 
@@ -45,7 +46,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = p.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", help="generate a synthetic canonical graph")
-    gen.add_argument("topology", choices=sorted(PAPER_SIZES))
+    gen.add_argument("topology", choices=sorted(DEFAULT_SIZES))
     gen.add_argument("size", type=int, help="topology size parameter")
     gen.add_argument("-o", "--output", required=True, help="output JSON path")
     gen.add_argument("--seed", type=int, default=0)
@@ -72,13 +73,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--pacing", choices=["steady", "greedy"], default="steady"
     )
 
-    exp = sub.add_parser("experiment", help="run a paper harness")
+    exp = sub.add_parser("experiment", help="run a paper harness (serial)")
     exp.add_argument(
         "name",
         choices=["fig10", "fig11", "fig12", "fig13", "table2", "ablations"],
     )
     exp.add_argument("--num-graphs", type=int, default=None)
     exp.add_argument("--full", action="store_true", help="paper-sized ML graphs")
+
+    camp = sub.add_parser(
+        "campaign", help="parallel, cached experiment campaigns"
+    )
+    csub = camp.add_subparsers(dest="campaign_command", required=True)
+
+    crun = csub.add_parser("run", help="run a registered scenario")
+    crun.add_argument("scenario", help="scenario name (see `campaign list`)")
+    crun.add_argument(
+        "-w", "--workers", type=int, default=0,
+        help="worker processes (0/1 = serial in-process)",
+    )
+    crun.add_argument("--num-graphs", type=int, default=None)
+    crun.add_argument(
+        "--limit", type=int, default=None, help="cap the number of cells (smoke runs)"
+    )
+    crun.add_argument("--store", default=None, help="result store directory")
+    crun.add_argument(
+        "--no-store", action="store_true", help="do not read or write the store"
+    )
+    crun.add_argument(
+        "--force", action="store_true", help="recompute cells even if stored"
+    )
+    crun.add_argument("--csv", help="export per-cell metrics as CSV here")
+    crun.add_argument("--json", dest="json_out", help="export results as JSON here")
+
+    csub.add_parser("list", help="list registered scenarios")
+
+    crep = csub.add_parser("report", help="report on stored results")
+    crep.add_argument("scenario", help="scenario name (see `campaign list`)")
+    crep.add_argument("--store", default=None, help="result store directory")
+    crep.add_argument("--csv", help="export per-cell metrics as CSV here")
+    crep.add_argument("--json", dest="json_out", help="export results as JSON here")
     return p
 
 
@@ -108,13 +142,13 @@ def _cmd_schedule(args) -> int:
         s = schedule_nonstreaming(g, args.pes)
         print(f"NSTR-SCH on {args.pes} PEs: makespan {s.makespan:,}, "
               f"speedup {speedup(g, s.makespan):.2f}x")
-        return 0
-    s = schedule_streaming(g, args.pes, args.scheduler)
-    print(
-        f"STR-SCH ({args.scheduler}) on {args.pes} PEs: makespan {s.makespan:,}, "
-        f"speedup {speedup(g, s.makespan):.2f}x, {s.num_blocks} blocks, "
-        f"{len(s.buffer_sizes)} streaming FIFOs"
-    )
+    else:
+        s = schedule_streaming(g, args.pes, args.scheduler)
+        print(
+            f"STR-SCH ({args.scheduler}) on {args.pes} PEs: makespan "
+            f"{s.makespan:,}, speedup {speedup(g, s.makespan):.2f}x, "
+            f"{s.num_blocks} blocks, {len(s.buffer_sizes)} streaming FIFOs"
+        )
     if args.output:
         with open(args.output, "w") as fh:
             json.dump(schedule_to_dict(s), fh, indent=1)
@@ -163,6 +197,72 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_campaign(args) -> int:
+    from .campaign import (
+        ResultStore,
+        default_store_dir,
+        export_csv,
+        export_json,
+        get_scenario,
+        list_scenarios,
+        render_report,
+        run_campaign,
+    )
+
+    def _export(scenario, results) -> None:
+        if args.csv:
+            export_csv(results, args.csv)
+            print(f"per-cell CSV written to {args.csv}")
+        if args.json_out:
+            export_json(scenario, results, args.json_out)
+            print(f"JSON report written to {args.json_out}")
+
+    if args.campaign_command == "list":
+        print("registered scenarios:")
+        for scn in list_scenarios():
+            cells = len(scn.cells())
+            print(f"  {scn.name:<20} {cells:>6} cells  {scn.description}")
+        return 0
+
+    try:
+        scenario = get_scenario(args.scenario)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    if args.campaign_command == "run":
+        run = run_campaign(
+            scenario,
+            workers=args.workers,
+            num_graphs=args.num_graphs,
+            limit=args.limit,
+            store_dir=args.store,
+            use_store=not args.no_store,
+            force=args.force,
+        )
+        print(f"campaign {scenario.name}: {run.report.summary()}")
+        if run.store_path is not None:
+            print(f"store: {run.store_path}")
+        print(render_report(scenario, run.results))
+        _export(scenario, run.results)
+        return 0
+
+    # report: aggregate whatever the store holds, without recomputing
+    store = ResultStore(args.store or default_store_dir(), scenario.name)
+    results = store.results()
+    if not results:
+        print(
+            f"no stored results for {scenario.name!r} in {store.directory}/ — "
+            f"run `repro campaign run {scenario.name}` first",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"campaign {scenario.name}: {len(results)} stored cells in {store.path}")
+    print(render_report(scenario, results))
+    _export(scenario, results)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -171,8 +271,17 @@ def main(argv: list[str] | None = None) -> int:
         "schedule": _cmd_schedule,
         "simulate": _cmd_simulate,
         "experiment": _cmd_experiment,
+        "campaign": _cmd_campaign,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # downstream pager/head closed the pipe; exit quietly (and keep
+        # the interpreter from re-raising at stdout shutdown)
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

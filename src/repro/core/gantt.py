@@ -5,18 +5,36 @@ right, ``#`` for occupancy, ``|`` marking spatial block boundaries.
 Intended for small schedules (examples, debugging, teaching); large
 schedules should use the Chrome trace export instead
 (:func:`repro.core.serialize.schedule_to_chrome_trace`).
+
+Works for both schedule flavors: a :class:`StreamingSchedule` (block
+boundaries drawn) and a non-streaming
+:class:`repro.baselines.ListSchedule` (occupancy only, detected
+structurally to keep this module free of a baselines dependency).
 """
 
 from __future__ import annotations
+
+from typing import Hashable
 
 from .scheduler import StreamingSchedule
 
 __all__ = ["render_gantt"]
 
 
-def render_gantt(
-    schedule: StreamingSchedule, width: int = 72, label_width: int = 10
-) -> str:
+def _occupancy(schedule) -> list[tuple[Hashable, int, int, int]]:
+    """(name, start, end, pe) spans of either schedule flavor."""
+    if isinstance(schedule, StreamingSchedule):
+        return [
+            (v, schedule.times[v].st, max(schedule.times[v].lo - 1, schedule.times[v].st), schedule.pe_of[v])
+            for v in schedule.graph.computational_nodes()
+        ]
+    return [
+        (p.name, p.start, max(p.finish - 1, p.start), p.pe)
+        for p in schedule.placements.values()
+    ]
+
+
+def render_gantt(schedule, width: int = 72, label_width: int = 10) -> str:
     """Render the schedule as a fixed-width ASCII chart.
 
     Each PE row shows the first letter(s) of the tasks occupying it;
@@ -29,22 +47,21 @@ def render_gantt(
         return min(width - 1, int(t * scale))
 
     rows = [[" "] * width for _ in range(schedule.num_pes)]
-    for v in schedule.graph.computational_nodes():
-        t = schedule.times[v]
-        pe = schedule.pe_of[v]
-        a, b = col(t.st), col(max(t.lo - 1, t.st))
-        mark = str(v)[0] if str(v) else "#"
+    for name, start, last, pe in _occupancy(schedule):
+        a, b = col(start), col(last)
+        mark = str(name)[0] if str(name) else "#"
         for c in range(a, b + 1):
             rows[pe][c] = "#" if rows[pe][c] not in (" ", "|") else mark
 
-    # block boundaries
-    release = 0
-    for block in schedule.partition.blocks[:-1]:
-        release = max(schedule.times[v].lo for v in block)
-        c = col(release)
-        for row in rows:
-            if row[c] == " ":
-                row[c] = "|"
+    # block boundaries (streaming schedules only)
+    if isinstance(schedule, StreamingSchedule):
+        release = 0
+        for block in schedule.partition.blocks[:-1]:
+            release = max(schedule.times[v].lo for v in block)
+            c = col(release)
+            for row in rows:
+                if row[c] == " ":
+                    row[c] = "|"
 
     out = []
     for pe, row in enumerate(rows):

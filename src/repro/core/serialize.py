@@ -95,8 +95,29 @@ def load_graph(path: str) -> CanonicalGraph:
         return graph_from_dict(json.load(fh))
 
 
-def schedule_to_dict(schedule: StreamingSchedule) -> dict:
-    """Plain JSON summary of a streaming schedule."""
+def schedule_to_dict(schedule) -> dict:
+    """Plain JSON summary of a streaming or non-streaming schedule.
+
+    Accepts a :class:`StreamingSchedule` or a
+    :class:`repro.baselines.ListSchedule` (detected structurally to keep
+    this module free of a baselines dependency).
+    """
+    if not isinstance(schedule, StreamingSchedule):
+        return {
+            "format": "list-schedule",
+            "version": FORMAT_VERSION,
+            "num_pes": schedule.num_pes,
+            "makespan": schedule.makespan,
+            "tasks": [
+                {
+                    "name": _name_to_json(p.name),
+                    "pe": p.pe,
+                    "start": p.start,
+                    "finish": p.finish,
+                }
+                for p in schedule.placements.values()
+            ],
+        }
     return {
         "format": "streaming-schedule",
         "version": FORMAT_VERSION,
@@ -122,12 +143,27 @@ def schedule_to_dict(schedule: StreamingSchedule) -> dict:
     }
 
 
-def schedule_to_chrome_trace(schedule: StreamingSchedule) -> list[dict]:
+def schedule_to_chrome_trace(schedule) -> list[dict]:
     """Chrome trace-event JSON (load in chrome://tracing or Perfetto).
 
     One complete ("X") event per task, on the row of its PE; block
-    boundaries appear as instant events on a separate row.
+    boundaries appear as instant events on a separate row.  Also accepts
+    a non-streaming :class:`repro.baselines.ListSchedule` (no blocks).
     """
+    if not isinstance(schedule, StreamingSchedule):
+        return [
+            {
+                "name": str(p.name),
+                "cat": "task",
+                "ph": "X",
+                "ts": p.start,
+                "dur": max(1, p.finish - p.start),
+                "pid": 0,
+                "tid": p.pe,
+                "args": {"finish": p.finish},
+            }
+            for p in schedule.placements.values()
+        ]
     events: list[dict] = []
     for v in schedule.graph.computational_nodes():
         t = schedule.times[v]

@@ -9,7 +9,11 @@
 
 Each module exposes ``run(...)`` returning structured results and
 ``main()`` printing the paper-style table; all are runnable with
-``python -m``.
+``python -m``.  Every harness is a thin wrapper that submits its
+registered :mod:`repro.campaign` scenario to the campaign engine
+(serially, in process) and folds the cells back into its row
+dataclasses — ``repro campaign run <name> --workers N`` executes the
+identical population in parallel with cached re-runs.
 """
 
 from . import common

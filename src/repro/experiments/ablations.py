@@ -9,21 +9,42 @@
    conservative is the steady-state analysis against a free-running
    device?
 
+Each ablation is a registered campaign scenario (``ablation-buffers``,
+``ablation-partition``, ``ablation-pacing``); this module is the thin
+serial wrapper, see :mod:`repro.campaign`.
+
 Run: ``python -m repro.experiments.ablations [num_graphs]``
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
-import numpy as np
+from ..campaign.registry import _ablation_sweeps, get_scenario
+from ..campaign.runner import aggregate as campaign_aggregate
+from ..campaign.runner import execute_scenario
+from ..campaign.spec import CellResult
+from .common import format_table
 
-from ..core import schedule_streaming
-from ..graphs import PAPER_SIZES, random_canonical_graph
-from ..sim import simulate_schedule
-from .common import default_num_graphs, format_table
+__all__ = [
+    "run_buffer_ablation",
+    "run_partition_ablation",
+    "run_pacing_ablation",
+    "buffer_table_from_results",
+    "partition_table_from_results",
+    "pacing_table_from_results",
+    "main",
+]
 
-__all__ = ["run_buffer_ablation", "run_partition_ablation", "run_pacing_ablation", "main"]
+
+def _ablation_results(
+    name: str, num_graphs: int | None, num_pes: int
+) -> list[CellResult]:
+    scn = get_scenario(name).with_overrides(
+        pe_sweeps=_ablation_sweeps(num_pes), num_graphs=num_graphs
+    )
+    return execute_scenario(scn)
 
 
 @dataclass(frozen=True)
@@ -35,23 +56,31 @@ class BufferAblationRow:
     n: int
 
 
+def aggregate_buffer(results: Sequence[CellResult]) -> list[BufferAblationRow]:
+    return [
+        BufferAblationRow(
+            g.topology,
+            g.num_pes,
+            int(g.totals["deadlock_sized"]),
+            int(g.totals["deadlock_cap1"]),
+            g.n,
+        )
+        for g in campaign_aggregate(results)
+    ]
+
+
 def run_buffer_ablation(
     num_graphs: int | None = None, num_pes: int = 64
 ) -> list[BufferAblationRow]:
-    num_graphs = num_graphs or default_num_graphs(25)
-    rows = []
-    for topo, size in PAPER_SIZES.items():
-        pes = min(num_pes, 8) if topo == "chain" else num_pes
-        sized = cap1 = 0
-        for seed in range(num_graphs):
-            g = random_canonical_graph(topo, size, seed=seed)
-            s = schedule_streaming(g, pes, "rlx")
-            if simulate_schedule(s).deadlocked:
-                sized += 1
-            if simulate_schedule(s, capacity_override=1).deadlocked:
-                cap1 += 1
-        rows.append(BufferAblationRow(topo, pes, sized, cap1, num_graphs))
-    return rows
+    return aggregate_buffer(_ablation_results("ablation-buffers", num_graphs, num_pes))
+
+
+def buffer_table_from_results(results: Sequence[CellResult]) -> str:
+    rows = aggregate_buffer(results)
+    return "Ablation 1 — deadlocks: Section 6 sizing vs minimal FIFOs\n" + format_table(
+        ["topology", "#PEs", "deadlocks(sized)", "deadlocks(cap=1)", "n"],
+        [[r.topology, r.num_pes, r.deadlocks_sized, r.deadlocks_cap1, r.n] for r in rows],
+    )
 
 
 @dataclass(frozen=True)
@@ -64,32 +93,38 @@ class PartitionAblationRow:
     mean_makespan: float
 
 
+def aggregate_partition(results: Sequence[CellResult]) -> list[PartitionAblationRow]:
+    return [
+        PartitionAblationRow(
+            g.topology,
+            g.num_pes,
+            g.variant,
+            g.stats["blocks"].mean,
+            g.stats["fill"].mean,
+            g.stats["makespan"].mean,
+        )
+        for g in campaign_aggregate(results)
+    ]
+
+
 def run_partition_ablation(
     num_graphs: int | None = None, num_pes: int = 64
 ) -> list[PartitionAblationRow]:
-    num_graphs = num_graphs or default_num_graphs(25)
-    rows = []
-    for topo, size in PAPER_SIZES.items():
-        pes = min(num_pes, 8) if topo == "chain" else num_pes
-        for variant in ("lts", "rlx", "work"):
-            blocks, fills, makespans = [], [], []
-            for seed in range(num_graphs):
-                g = random_canonical_graph(topo, size, seed=seed)
-                s = schedule_streaming(g, pes, variant, size_buffers=False)
-                blocks.append(s.num_blocks)
-                fills.append(g.num_tasks() / (s.num_blocks * pes))
-                makespans.append(s.makespan)
-            rows.append(
-                PartitionAblationRow(
-                    topo,
-                    pes,
-                    variant,
-                    float(np.mean(blocks)),
-                    float(np.mean(fills)),
-                    float(np.mean(makespans)),
-                )
-            )
-    return rows
+    return aggregate_partition(
+        _ablation_results("ablation-partition", num_graphs, num_pes)
+    )
+
+
+def partition_table_from_results(results: Sequence[CellResult]) -> str:
+    rows = aggregate_partition(results)
+    return "Ablation 2 — partition variants\n" + format_table(
+        ["topology", "#PEs", "variant", "blocks", "fill", "makespan"],
+        [
+            [r.topology, r.num_pes, r.variant, f"{r.mean_blocks:6.1f}",
+             f"{r.mean_fill:5.2f}", f"{r.mean_makespan:9.0f}"]
+            for r in rows
+        ],
+    )
 
 
 @dataclass(frozen=True)
@@ -101,64 +136,48 @@ class PacingAblationRow:
     n: int
 
 
+def aggregate_pacing(results: Sequence[CellResult]) -> list[PacingAblationRow]:
+    return [
+        PacingAblationRow(
+            g.topology,
+            g.num_pes,
+            g.stats["gain_pct"].mean if "gain_pct" in g.stats else 0.0,
+            int(g.totals["deadlock"]),
+            g.n,
+        )
+        for g in campaign_aggregate(results)
+    ]
+
+
 def run_pacing_ablation(
     num_graphs: int | None = None, num_pes: int = 64
 ) -> list[PacingAblationRow]:
-    num_graphs = num_graphs or default_num_graphs(25)
-    rows = []
-    for topo, size in PAPER_SIZES.items():
-        pes = min(num_pes, 8) if topo == "chain" else num_pes
-        gains, deadlocks = [], 0
-        for seed in range(num_graphs):
-            g = random_canonical_graph(topo, size, seed=seed)
-            s = schedule_streaming(g, pes, "rlx")
-            steady = simulate_schedule(s, pacing="steady")
-            greedy = simulate_schedule(s, pacing="greedy")
-            if greedy.deadlocked or steady.deadlocked:
-                deadlocks += 1
-                continue
-            gains.append(100.0 * (steady.makespan - greedy.makespan) / steady.makespan)
-        rows.append(
-            PacingAblationRow(
-                topo, pes, float(np.mean(gains)) if gains else 0.0, deadlocks, num_graphs
-            )
-        )
-    return rows
+    return aggregate_pacing(_ablation_results("ablation-pacing", num_graphs, num_pes))
+
+
+def pacing_table_from_results(results: Sequence[CellResult]) -> str:
+    rows = aggregate_pacing(results)
+    return "Ablation 3 — steady-state vs greedy execution\n" + format_table(
+        ["topology", "#PEs", "greedy gain %", "deadlocks", "n"],
+        [
+            [r.topology, r.num_pes, f"{r.mean_speedup_pct:6.2f}", r.deadlocks_greedy, r.n]
+            for r in rows
+        ],
+    )
 
 
 def main(num_graphs: int | None = None) -> str:
-    parts = []
-    rows = run_buffer_ablation(num_graphs)
-    parts.append(
-        "Ablation 1 — deadlocks: Section 6 sizing vs minimal FIFOs\n"
-        + format_table(
-            ["topology", "#PEs", "deadlocks(sized)", "deadlocks(cap=1)", "n"],
-            [[r.topology, r.num_pes, r.deadlocks_sized, r.deadlocks_cap1, r.n] for r in rows],
-        )
-    )
-    rows = run_partition_ablation(num_graphs)
-    parts.append(
-        "Ablation 2 — partition variants\n"
-        + format_table(
-            ["topology", "#PEs", "variant", "blocks", "fill", "makespan"],
-            [
-                [r.topology, r.num_pes, r.variant, f"{r.mean_blocks:6.1f}",
-                 f"{r.mean_fill:5.2f}", f"{r.mean_makespan:9.0f}"]
-                for r in rows
-            ],
-        )
-    )
-    rows = run_pacing_ablation(num_graphs)
-    parts.append(
-        "Ablation 3 — steady-state vs greedy execution\n"
-        + format_table(
-            ["topology", "#PEs", "greedy gain %", "deadlocks", "n"],
-            [
-                [r.topology, r.num_pes, f"{r.mean_speedup_pct:6.2f}", r.deadlocks_greedy, r.n]
-                for r in rows
-            ],
-        )
-    )
+    parts = [
+        buffer_table_from_results(
+            _ablation_results("ablation-buffers", num_graphs, 64)
+        ),
+        partition_table_from_results(
+            _ablation_results("ablation-partition", num_graphs, 64)
+        ),
+        pacing_table_from_results(
+            _ablation_results("ablation-pacing", num_graphs, 64)
+        ),
+    ]
     out = "\n\n".join(parts)
     print(out)
     return out

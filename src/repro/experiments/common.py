@@ -15,7 +15,13 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["BoxStats", "format_table", "default_num_graphs", "PE_SWEEPS"]
+__all__ = [
+    "BoxStats",
+    "format_table",
+    "default_num_graphs",
+    "PE_SWEEPS",
+    "TABLE2_PES",
+]
 
 #: PE sweeps used in Figures 10/11/13 (chain is 8 tasks, the rest ~100-250)
 PE_SWEEPS = {
@@ -23,6 +29,12 @@ PE_SWEEPS = {
     "fft": (32, 64, 96, 128),
     "gaussian": (32, 64, 96, 128),
     "cholesky": (32, 64, 96, 128),
+}
+
+#: Table 2 PE sweeps per ML model
+TABLE2_PES = {
+    "resnet50": (512, 1024, 1536, 2048),
+    "encoder": (256, 512, 768, 1024),
 }
 
 

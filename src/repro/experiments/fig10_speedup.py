@@ -11,19 +11,34 @@ Expected shape (paper): streaming dominates non-streaming everywhere;
 the chain pins NSTR at speedup 1 while streaming scales with PEs;
 SB-RLX catches up with / passes SB-LTS as P approaches the task count.
 
+The harness is a thin wrapper around :mod:`repro.campaign`: it submits
+the registered ``fig10`` scenario to the campaign engine (serially, in
+process) and folds the cell metrics back into :class:`SpeedupCell`
+rows.  ``repro campaign run fig10 --workers N`` runs the identical
+population in parallel with cached re-runs.
+
 Run: ``python -m repro.experiments.fig10_speedup [num_graphs]``
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
-from ..baselines import schedule_nonstreaming
-from ..core import pe_utilization, schedule_streaming, speedup, total_work
-from ..graphs import PAPER_SIZES, random_canonical_graph
-from .common import BOX_HEADER, PE_SWEEPS, BoxStats, default_num_graphs, format_table
+from ..campaign.registry import get_scenario
+from ..campaign.runner import aggregate as campaign_aggregate
+from ..campaign.runner import execute_scenario
+from ..campaign.spec import SCHEDULER_LABELS, CellResult, Scenario
+from .common import BOX_HEADER, BoxStats, format_table
 
-__all__ = ["SpeedupCell", "run", "main"]
+__all__ = [
+    "SpeedupCell",
+    "scenario",
+    "aggregate",
+    "table_from_results",
+    "run",
+    "main",
+]
 
 SCHEDULERS = ("STR-SCH-1", "STR-SCH-2", "NSTR-SCH")
 
@@ -39,18 +54,28 @@ class SpeedupCell:
     mean_utilization: float
 
 
-def _schedule(graph, scheduler: str, num_pes: int):
-    """Returns (makespan, busy_time) under the requested scheduler."""
-    if scheduler == "STR-SCH-1":
-        s = schedule_streaming(graph, num_pes, "lts", size_buffers=False)
-        return s.makespan, s.busy_time()
-    if scheduler == "STR-SCH-2":
-        s = schedule_streaming(graph, num_pes, "rlx", size_buffers=False)
-        return s.makespan, s.busy_time()
-    if scheduler == "NSTR-SCH":
-        s = schedule_nonstreaming(graph, num_pes)
-        return s.makespan, s.busy_time()
-    raise ValueError(f"unknown scheduler {scheduler!r}")
+def scenario(
+    num_graphs: int | None = None,
+    topologies: dict[str, int] | None = None,
+    pe_sweeps: dict[str, tuple[int, ...]] | None = None,
+) -> Scenario:
+    return get_scenario("fig10").with_overrides(
+        topologies=topologies, pe_sweeps=pe_sweeps, num_graphs=num_graphs
+    )
+
+
+def aggregate(results: Sequence[CellResult]) -> list[SpeedupCell]:
+    """Fold cell metrics into the figure's per-combination rows."""
+    return [
+        SpeedupCell(
+            g.topology,
+            g.num_pes,
+            SCHEDULER_LABELS[g.variant],
+            g.stats["speedup"],
+            g.stats["utilization"].mean,
+        )
+        for g in campaign_aggregate(results)
+    ]
 
 
 def run(
@@ -58,36 +83,10 @@ def run(
     topologies: dict[str, int] | None = None,
     pe_sweeps: dict[str, tuple[int, ...]] | None = None,
 ) -> list[SpeedupCell]:
-    num_graphs = num_graphs or default_num_graphs()
-    topologies = topologies or PAPER_SIZES
-    pe_sweeps = pe_sweeps or PE_SWEEPS
-    cells: list[SpeedupCell] = []
-    for topo, size in topologies.items():
-        graphs = [
-            random_canonical_graph(topo, size, seed=seed) for seed in range(num_graphs)
-        ]
-        works = [total_work(g) for g in graphs]
-        for num_pes in pe_sweeps[topo]:
-            for scheduler in SCHEDULERS:
-                spds, utils = [], []
-                for g, w in zip(graphs, works):
-                    makespan, busy = _schedule(g, scheduler, num_pes)
-                    spds.append(w / makespan)
-                    utils.append(pe_utilization(busy, num_pes, makespan))
-                cells.append(
-                    SpeedupCell(
-                        topo,
-                        num_pes,
-                        scheduler,
-                        BoxStats.from_samples(spds),
-                        float(sum(utils) / len(utils)),
-                    )
-                )
-    return cells
+    return aggregate(execute_scenario(scenario(num_graphs, topologies, pe_sweeps)))
 
 
-def main(num_graphs: int | None = None) -> str:
-    cells = run(num_graphs)
+def render(cells: Sequence[SpeedupCell]) -> str:
     headers = ["topology", "#PEs", "scheduler", *BOX_HEADER, "util%"]
     rows = [
         [
@@ -99,9 +98,18 @@ def main(num_graphs: int | None = None) -> str:
         ]
         for c in cells
     ]
-    table = "Figure 10 — speedup over sequential execution\n" + format_table(
+    return "Figure 10 — speedup over sequential execution\n" + format_table(
         headers, rows
     )
+
+
+def table_from_results(results: Sequence[CellResult]) -> str:
+    """Campaign hook: the paper-style table straight from cell results."""
+    return render(aggregate(results))
+
+
+def main(num_graphs: int | None = None) -> str:
+    table = render(run(num_graphs))
     print(table)
     return table
 

@@ -6,18 +6,31 @@ paper's shape: SSLR decreases with more PEs, and SB-RLX approaches the
 minimum (1.0) once P reaches the task count, because it packs everything
 into a single spatial block.
 
+Thin wrapper over the registered ``fig11`` campaign scenario; see
+:mod:`repro.campaign`.
+
 Run: ``python -m repro.experiments.fig11_sslr [num_graphs]``
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
-from ..core import schedule_streaming, streaming_depth
-from ..graphs import PAPER_SIZES, random_canonical_graph
-from .common import BOX_HEADER, PE_SWEEPS, BoxStats, default_num_graphs, format_table
+from ..campaign.registry import get_scenario
+from ..campaign.runner import aggregate as campaign_aggregate
+from ..campaign.runner import execute_scenario
+from ..campaign.spec import SCHEDULER_LABELS, CellResult, Scenario
+from .common import BOX_HEADER, BoxStats, format_table
 
-__all__ = ["SslrCell", "run", "main"]
+__all__ = [
+    "SslrCell",
+    "scenario",
+    "aggregate",
+    "table_from_results",
+    "run",
+    "main",
+]
 
 VARIANTS = {"STR-SCH-1": "lts", "STR-SCH-2": "rlx"}
 
@@ -30,41 +43,47 @@ class SslrCell:
     sslr: BoxStats
 
 
+def scenario(
+    num_graphs: int | None = None,
+    topologies: dict[str, int] | None = None,
+    pe_sweeps: dict[str, tuple[int, ...]] | None = None,
+) -> Scenario:
+    return get_scenario("fig11").with_overrides(
+        topologies=topologies, pe_sweeps=pe_sweeps, num_graphs=num_graphs
+    )
+
+
+def aggregate(results: Sequence[CellResult]) -> list[SslrCell]:
+    return [
+        SslrCell(g.topology, g.num_pes, SCHEDULER_LABELS[g.variant], g.stats["sslr"])
+        for g in campaign_aggregate(results)
+    ]
+
+
 def run(
     num_graphs: int | None = None,
     topologies: dict[str, int] | None = None,
     pe_sweeps: dict[str, tuple[int, ...]] | None = None,
 ) -> list[SslrCell]:
-    num_graphs = num_graphs or default_num_graphs()
-    topologies = topologies or PAPER_SIZES
-    pe_sweeps = pe_sweeps or PE_SWEEPS
-    cells: list[SslrCell] = []
-    for topo, size in topologies.items():
-        graphs = [
-            random_canonical_graph(topo, size, seed=seed) for seed in range(num_graphs)
-        ]
-        depths = [streaming_depth(g) for g in graphs]
-        for num_pes in pe_sweeps[topo]:
-            for label, variant in VARIANTS.items():
-                ratios = []
-                for g, depth in zip(graphs, depths):
-                    s = schedule_streaming(g, num_pes, variant, size_buffers=False)
-                    ratios.append(s.makespan / depth)
-                cells.append(
-                    SslrCell(topo, num_pes, label, BoxStats.from_samples(ratios))
-                )
-    return cells
+    return aggregate(execute_scenario(scenario(num_graphs, topologies, pe_sweeps)))
 
 
-def main(num_graphs: int | None = None) -> str:
-    cells = run(num_graphs)
+def render(cells: Sequence[SslrCell]) -> str:
     headers = ["topology", "#PEs", "scheduler", *BOX_HEADER]
     rows = [
         [c.topology, c.num_pes, c.scheduler, *c.sslr.row("{:8.3f}")] for c in cells
     ]
-    table = "Figure 11 — Streaming SLR (makespan / streaming depth)\n" + format_table(
+    return "Figure 11 — Streaming SLR (makespan / streaming depth)\n" + format_table(
         headers, rows
     )
+
+
+def table_from_results(results: Sequence[CellResult]) -> str:
+    return render(aggregate(results))
+
+
+def main(num_graphs: int | None = None) -> str:
+    table = render(run(num_graphs))
     print(table)
     return table
 

@@ -11,20 +11,32 @@ stand-in for SDF3/Kiter, see DESIGN.md substitutions) on two axes:
 * **makespan ratio** — canonical makespan / CSDF makespan, expected
   close to 1 with the largest deviations on Cholesky.
 
+Thin wrapper over the registered ``fig12`` campaign scenario; see
+:mod:`repro.campaign`.  The timing metrics measure the machine the cell
+ran on, so cached re-runs report the originally measured times.
+
 Run: ``python -m repro.experiments.fig12_csdf [num_graphs]``
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
+from typing import Sequence
 
-from ..core import schedule_streaming
-from ..graphs import PAPER_SIZES, random_canonical_graph
-from ..sdf import AnalysisTimeout, canonical_to_csdf, self_timed_makespan
-from .common import BOX_HEADER, BoxStats, default_num_graphs, format_table
+from ..campaign.registry import get_scenario
+from ..campaign.runner import aggregate as campaign_aggregate
+from ..campaign.runner import execute_scenario
+from ..campaign.spec import CellResult, Scenario
+from .common import BOX_HEADER, BoxStats, format_table
 
-__all__ = ["CsdfComparison", "run", "main"]
+__all__ = [
+    "CsdfComparison",
+    "scenario",
+    "aggregate",
+    "table_from_results",
+    "run",
+    "main",
+]
 
 #: firing budget standing in for the paper's one-hour wall-clock cap;
 #: CSDF analysis cost grows with total data volume, so complex graphs hit it
@@ -41,46 +53,43 @@ class CsdfComparison:
     makespan_ratio: BoxStats  # ours / CSDF (completed graphs only)
 
 
+def scenario(
+    num_graphs: int | None = None,
+    topologies: dict[str, int] | None = None,
+    max_firings: int = DEFAULT_MAX_FIRINGS,
+) -> Scenario:
+    return get_scenario("fig12").with_overrides(
+        topologies=topologies,
+        num_graphs=num_graphs,
+        params={"max_firings": max_firings},
+    )
+
+
+def aggregate(results: Sequence[CellResult]) -> list[CsdfComparison]:
+    return [
+        CsdfComparison(
+            g.topology,
+            g.n,
+            int(g.totals["timeout"]),
+            g.stats["sched_time"],
+            g.stats.get("csdf_time"),  # None when every analysis timed out
+            g.stats.get("makespan_ratio"),
+        )
+        for g in campaign_aggregate(results)
+    ]
+
+
 def run(
     num_graphs: int | None = None,
     topologies: dict[str, int] | None = None,
     max_firings: int = DEFAULT_MAX_FIRINGS,
 ) -> list[CsdfComparison]:
-    num_graphs = num_graphs or default_num_graphs()
-    topologies = topologies or PAPER_SIZES
-    out: list[CsdfComparison] = []
-    for topo, size in topologies.items():
-        sched_times, csdf_times, ratios = [], [], []
-        timeouts = 0
-        for seed in range(num_graphs):
-            g = random_canonical_graph(topo, size, seed=seed)
-            t0 = time.perf_counter()
-            s = schedule_streaming(g, len(g), "rlx", size_buffers=False)
-            sched_times.append(time.perf_counter() - t0)
-            csdf = canonical_to_csdf(g)
-            t0 = time.perf_counter()
-            try:
-                res = self_timed_makespan(csdf, max_firings=max_firings)
-            except AnalysisTimeout:
-                timeouts += 1
-                continue
-            csdf_times.append(time.perf_counter() - t0)
-            ratios.append(s.makespan / res.makespan)
-        out.append(
-            CsdfComparison(
-                topo,
-                num_graphs,
-                timeouts,
-                BoxStats.from_samples(sched_times),
-                BoxStats.from_samples(csdf_times) if csdf_times else None,
-                BoxStats.from_samples(ratios) if ratios else None,
-            )
-        )
-    return out
+    return aggregate(
+        execute_scenario(scenario(num_graphs, topologies, max_firings))
+    )
 
 
-def main(num_graphs: int | None = None) -> str:
-    comparisons = run(num_graphs)
+def render(comparisons: Sequence[CsdfComparison]) -> str:
     headers = ["topology", "timeouts", "ours-med(s)", "csdf-med(s)", "cost-x", *BOX_HEADER]
     rows = []
     for c in comparisons:
@@ -96,10 +105,18 @@ def main(num_graphs: int | None = None) -> str:
                 *ratio_cols,
             ]
         )
-    table = (
+    return (
         "Figure 12 — canonical scheduling vs CSDF analysis "
         "(ratio columns: makespan ours/CSDF)\n" + format_table(headers, rows)
     )
+
+
+def table_from_results(results: Sequence[CellResult]) -> str:
+    return render(aggregate(results))
+
+
+def main(num_graphs: int | None = None) -> str:
+    table = render(run(num_graphs))
     print(table)
     return table
 

@@ -6,19 +6,31 @@ the Section 6 FIFO capacities; the experiment reports the relative error
 asserts that **no simulation deadlocks** — the paper's headline
 validation claims (median error ~0, narrow quartiles, no deadlocks).
 
+Thin wrapper over the registered ``fig13`` campaign scenario; see
+:mod:`repro.campaign`.
+
 Run: ``python -m repro.experiments.fig13_validation [num_graphs]``
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
-from ..core import schedule_streaming
-from ..graphs import PAPER_SIZES, random_canonical_graph
-from ..sim import simulate_schedule
-from .common import BOX_HEADER, PE_SWEEPS, BoxStats, default_num_graphs, format_table
+from ..campaign.registry import get_scenario
+from ..campaign.runner import aggregate as campaign_aggregate
+from ..campaign.runner import execute_scenario
+from ..campaign.spec import SCHEDULER_LABELS, CellResult, Scenario
+from .common import BOX_HEADER, BoxStats, format_table
 
-__all__ = ["ValidationCell", "run", "main"]
+__all__ = [
+    "ValidationCell",
+    "scenario",
+    "aggregate",
+    "table_from_results",
+    "run",
+    "main",
+]
 
 VARIANTS = {"STR-SCH-1": "lts", "STR-SCH-2": "rlx"}
 
@@ -32,52 +44,55 @@ class ValidationCell:
     deadlocks: int
 
 
+def scenario(
+    num_graphs: int | None = None,
+    topologies: dict[str, int] | None = None,
+    pe_sweeps: dict[str, tuple[int, ...]] | None = None,
+) -> Scenario:
+    return get_scenario("fig13").with_overrides(
+        topologies=topologies, pe_sweeps=pe_sweeps, num_graphs=num_graphs
+    )
+
+
+def aggregate(results: Sequence[CellResult]) -> list[ValidationCell]:
+    return [
+        ValidationCell(
+            g.topology,
+            g.num_pes,
+            SCHEDULER_LABELS[g.variant],
+            g.stats["error_pct"],  # errors of non-deadlocked runs only
+            int(g.totals["deadlock"]),
+        )
+        for g in campaign_aggregate(results)
+    ]
+
+
 def run(
     num_graphs: int | None = None,
     topologies: dict[str, int] | None = None,
     pe_sweeps: dict[str, tuple[int, ...]] | None = None,
 ) -> list[ValidationCell]:
-    num_graphs = num_graphs or default_num_graphs()
-    topologies = topologies or PAPER_SIZES
-    pe_sweeps = pe_sweeps or PE_SWEEPS
-    cells: list[ValidationCell] = []
-    for topo, size in topologies.items():
-        graphs = [
-            random_canonical_graph(topo, size, seed=seed) for seed in range(num_graphs)
-        ]
-        for num_pes in pe_sweeps[topo]:
-            for label, variant in VARIANTS.items():
-                errors, deadlocks = [], 0
-                for g in graphs:
-                    s = schedule_streaming(g, num_pes, variant)
-                    sim = simulate_schedule(s)
-                    if sim.deadlocked:
-                        deadlocks += 1
-                        continue
-                    errors.append(100.0 * sim.relative_error(s.makespan))
-                cells.append(
-                    ValidationCell(
-                        topo,
-                        num_pes,
-                        label,
-                        BoxStats.from_samples(errors),
-                        deadlocks,
-                    )
-                )
-    return cells
+    return aggregate(execute_scenario(scenario(num_graphs, topologies, pe_sweeps)))
 
 
-def main(num_graphs: int | None = None) -> str:
-    cells = run(num_graphs)
+def render(cells: Sequence[ValidationCell]) -> str:
     headers = ["topology", "#PEs", "scheduler", *BOX_HEADER, "deadlocks"]
     rows = [
         [c.topology, c.num_pes, c.scheduler, *c.error_pct.row("{:7.2f}"), c.deadlocks]
         for c in cells
     ]
-    table = (
+    return (
         "Figure 13 — relative error %, analytic vs simulated makespan "
         "(negative = analysis underestimates)\n" + format_table(headers, rows)
     )
+
+
+def table_from_results(results: Sequence[CellResult]) -> str:
+    return render(aggregate(results))
+
+
+def main(num_graphs: int | None = None) -> str:
+    table = render(run(num_graphs))
     print(table)
     return table
 

@@ -14,23 +14,37 @@ The default model sizes are scaled down from the paper's full graphs
 (54k / 4.7k nodes) to keep the harness fast; pass ``full=True`` (or the
 ``--full`` CLI flag) for paper-sized graphs.
 
+Thin wrapper over the registered ``table2`` campaign scenario; see
+:mod:`repro.campaign`.
+
 Run: ``python -m repro.experiments.table2_ml [--full]``
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
-from ..baselines import schedule_nonstreaming
-from ..core import schedule_streaming, speedup
-from ..ml import build_resnet50, build_transformer_encoder
-from .common import format_table
+from ..campaign.registry import get_scenario
+from ..campaign.runner import aggregate as campaign_aggregate
+from ..campaign.runner import execute_scenario
+from ..campaign.spec import CellResult, Scenario
+from .common import TABLE2_PES, format_table
 
-__all__ = ["Table2Row", "run", "main"]
+__all__ = [
+    "Table2Row",
+    "RESNET_PES",
+    "ENCODER_PES",
+    "scenario",
+    "aggregate",
+    "table_from_results",
+    "run",
+    "main",
+]
 
 #: paper's PE sweeps
-RESNET_PES = (512, 1024, 1536, 2048)
-ENCODER_PES = (256, 512, 768, 1024)
+RESNET_PES = TABLE2_PES["resnet50"]
+ENCODER_PES = TABLE2_PES["encoder"]
 
 
 @dataclass(frozen=True)
@@ -43,37 +57,34 @@ class Table2Row:
     num_blocks: int
 
 
+def scenario(full: bool = False, variant: str = "lts") -> Scenario:
+    return get_scenario("table2").with_overrides(
+        params={"full": full}, variants=(variant,)
+    )
+
+
+def aggregate(results: Sequence[CellResult]) -> list[Table2Row]:
+    # one cell per (model, P): the ML graphs are deterministic, so every
+    # group is a single measurement and the medians are the values
+    return [
+        Table2Row(
+            g.topology,
+            g.num_pes,
+            g.stats["str_speedup"].median,
+            g.stats["nstr_speedup"].median,
+            g.stats["gain"].median,
+            int(g.stats["blocks"].median),
+        )
+        for g in campaign_aggregate(results)
+    ]
+
+
 def run(full: bool = False, variant: str = "lts") -> list[Table2Row]:
     """Schedule both models across the paper's PE sweeps."""
-    if full:
-        resnet = build_resnet50(image_size=224, max_parallel=128)
-        encoder = build_transformer_encoder(seq_len=128, d_model=512, max_parallel=128)
-    else:
-        resnet = build_resnet50(image_size=112, max_parallel=64)
-        encoder = build_transformer_encoder(seq_len=64, d_model=512, max_parallel=128)
-    rows: list[Table2Row] = []
-    for model, graph, sweeps in (
-        ("resnet50", resnet, RESNET_PES),
-        ("encoder", encoder, ENCODER_PES),
-    ):
-        for num_pes in sweeps:
-            s = schedule_streaming(graph, num_pes, variant, size_buffers=False)
-            ns = schedule_nonstreaming(graph, num_pes)
-            rows.append(
-                Table2Row(
-                    model,
-                    num_pes,
-                    speedup(graph, s.makespan),
-                    speedup(graph, ns.makespan),
-                    ns.makespan / s.makespan,
-                    s.num_blocks,
-                )
-            )
-    return rows
+    return aggregate(execute_scenario(scenario(full, variant)))
 
 
-def main(full: bool = False) -> str:
-    rows = run(full)
+def render(rows: Sequence[Table2Row]) -> str:
     headers = ["model", "#PEs", "STR-SCH speedup", "NSTR-SCH speedup", "G", "blocks"]
     table_rows = [
         [
@@ -86,7 +97,15 @@ def main(full: bool = False) -> str:
         ]
         for r in rows
     ]
-    table = "Table 2 — ML inference workloads\n" + format_table(headers, table_rows)
+    return "Table 2 — ML inference workloads\n" + format_table(headers, table_rows)
+
+
+def table_from_results(results: Sequence[CellResult]) -> str:
+    return render(aggregate(results))
+
+
+def main(full: bool = False) -> str:
+    table = render(run(full))
     print(table)
     return table
 

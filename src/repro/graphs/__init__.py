@@ -1,7 +1,11 @@
-"""Synthetic workload generators (Section 7.1).
+"""Synthetic workload generators (Section 7.1 + campaign extensions).
 
 ``random_canonical_graph("fft", 32, seed=0)`` reproduces one sample of
 the paper's FFT population (223 tasks, random canonical volumes).
+Beyond the paper's four topology families, two random-structure families
+(``"layered"``, ``"serpar"``) widen the scenario space for
+:mod:`repro.campaign`; their structure *and* volumes are derived
+deterministically from the seed.
 """
 
 from __future__ import annotations
@@ -16,6 +20,8 @@ from .topologies import (
     expected_task_count,
     fft_topology,
     gaussian_elimination_topology,
+    random_layered_topology,
+    series_parallel_topology,
 )
 from .volumes import DEFAULT_VOLUME_CHOICES, assign_random_volumes
 
@@ -25,19 +31,33 @@ __all__ = [
     "expected_task_count",
     "fft_topology",
     "gaussian_elimination_topology",
+    "random_layered_topology",
+    "series_parallel_topology",
     "assign_random_volumes",
     "random_canonical_graph",
     "topology_by_name",
     "DEFAULT_VOLUME_CHOICES",
     "PAPER_SIZES",
+    "DEFAULT_SIZES",
+    "RANDOM_TOPOLOGIES",
 ]
 
 #: topology sizes used in the paper's Figures 10-13
 PAPER_SIZES = {"chain": 8, "fft": 32, "gaussian": 16, "cholesky": 8}
 
+#: families whose *structure* is random (seed-dependent), not just volumes
+RANDOM_TOPOLOGIES = {
+    "layered": random_layered_topology,
+    "serpar": series_parallel_topology,
+}
+
+#: default size per family, including the non-paper ones (sizes chosen to
+#: land in the same ~100-250 task band as the paper's topologies)
+DEFAULT_SIZES = {**PAPER_SIZES, "layered": 128, "serpar": 120}
+
 
 def topology_by_name(name: str, size: int) -> nx.DiGraph:
-    """Dispatch on the paper's four topology families."""
+    """Dispatch on the deterministic-structure topology families."""
     builders = {
         "chain": chain_topology,
         "fft": fft_topology,
@@ -58,4 +78,8 @@ def random_canonical_graph(
 ) -> CanonicalGraph:
     """One random-volume canonical task graph of the given family."""
     rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
-    return assign_random_volumes(topology_by_name(name, size), rng, volume_choices)
+    if name in RANDOM_TOPOLOGIES:
+        topology = RANDOM_TOPOLOGIES[name](size, rng)
+    else:
+        topology = topology_by_name(name, size)
+    return assign_random_volumes(topology, rng, volume_choices)

@@ -12,6 +12,16 @@ quotes:
 * **Tiled Cholesky factorization** with ``T x T`` tiles —
   ``T^3/6 + T^2/2 + T/3`` tasks (``T = 8`` gives 120).
 
+Two further synthetic families extend the evaluation beyond the paper
+(scenario diversity for :mod:`repro.campaign`):
+
+* **Random layered DAGs**: tasks arranged in layers of random width,
+  every task fed from the previous layer plus occasional skip edges —
+  the classical "layer-by-layer" random task graph model.
+* **Series-parallel graphs**: recursive series/parallel composition of
+  blocks down to single tasks — fork/join pipelines of the kind
+  map-reduce and divide-and-conquer workloads produce.
+
 These functions return pure dependency structures (a
 :class:`networkx.DiGraph` of task ids); canonical data volumes are
 assigned separately by :mod:`repro.graphs.volumes`.
@@ -22,12 +32,15 @@ from __future__ import annotations
 import math
 
 import networkx as nx
+import numpy as np
 
 __all__ = [
     "chain_topology",
     "fft_topology",
     "gaussian_elimination_topology",
     "cholesky_topology",
+    "random_layered_topology",
+    "series_parallel_topology",
     "expected_task_count",
 ]
 
@@ -138,6 +151,117 @@ def cholesky_topology(tiles: int) -> nx.DiGraph:
                 if k > 0:
                     g.add_edge(("gemm", i, j, k - 1), gemm)
     return g
+
+
+def random_layered_topology(
+    num_tasks: int,
+    rng: np.random.Generator,
+    min_width: int = 2,
+    max_width: int = 8,
+    p_skip: float = 0.15,
+) -> nx.DiGraph:
+    """A random layered DAG with ``num_tasks`` tasks.
+
+    Tasks are dealt into successive layers of width drawn uniformly from
+    ``[min_width, max_width]`` (the first and last layers are single
+    tasks, so the graph has one entry and one exit).  Every task reads
+    from one to three random tasks of the previous layer; with
+    probability ``p_skip`` it additionally reads from a random task of
+    an earlier layer (a skip edge), which creates the undirected cycles
+    that exercise the buffer-sizing pass.
+    """
+    if num_tasks < 1:
+        raise ValueError("need at least one task")
+    if not 1 <= min_width <= max_width:
+        raise ValueError("need 1 <= min_width <= max_width")
+    # deal node ids 0..n-1 into layers
+    layers: list[list[int]] = [[0]]
+    next_id = 1
+    while next_id < num_tasks:
+        remaining = num_tasks - next_id
+        if remaining == 1:
+            width = 1
+        else:
+            width = min(int(rng.integers(min_width, max_width + 1)), remaining - 1)
+        layers.append(list(range(next_id, next_id + width)))
+        next_id += width
+
+    g = nx.DiGraph()
+    g.add_nodes_from(range(num_tasks))
+    for li in range(1, len(layers)):
+        prev = layers[li - 1]
+        for v in layers[li]:
+            fan_in = min(int(rng.integers(1, 4)), len(prev))
+            for u in rng.choice(len(prev), size=fan_in, replace=False):
+                g.add_edge(prev[int(u)], v)
+            if li > 1 and rng.random() < p_skip:
+                skip_layer = layers[int(rng.integers(0, li - 1))]
+                g.add_edge(skip_layer[int(rng.integers(len(skip_layer)))], v)
+        # every previous-layer task must be read by someone, otherwise
+        # unread nodes become stray exits (the last layer is one task,
+        # so the graph keeps a single exit)
+        for u in prev:
+            if g.out_degree(u) == 0:
+                g.add_edge(u, layers[li][int(rng.integers(len(layers[li])))])
+    return g
+
+
+def series_parallel_topology(
+    num_tasks: int,
+    rng: np.random.Generator,
+    p_parallel: float = 0.55,
+    max_branches: int = 4,
+) -> nx.DiGraph:
+    """A random series-parallel task DAG with ~``num_tasks`` tasks.
+
+    Built by recursive composition: a block of budget ``n`` is either a
+    *series* of two sub-blocks, or a *parallel* section — a fork task,
+    two to ``max_branches`` independent branches, and a join task.
+    Blocks of budget <= 2 become chains.  The result always has a single
+    entry and a single exit, and every undirected cycle is a fork/join
+    diamond.
+    """
+    if num_tasks < 1:
+        raise ValueError("need at least one task")
+    g = nx.DiGraph()
+    counter = iter(range(num_tasks * 2))  # generous id pool
+
+    def fresh() -> int:
+        return next(counter)
+
+    def build(budget: int) -> tuple[int, int]:
+        """Returns (entry, exit) of a block with ~budget tasks."""
+        if budget <= 2:
+            first = fresh()
+            g.add_node(first)
+            node = first
+            for _ in range(budget - 1):
+                nxt = fresh()
+                g.add_edge(node, nxt)
+                node = nxt
+            return first, node
+        if rng.random() < p_parallel and budget >= 4:
+            branches = min(int(rng.integers(2, max_branches + 1)), budget - 2)
+            fork, join = fresh(), fresh()
+            g.add_node(fork)
+            g.add_node(join)
+            inner = budget - 2
+            per = [inner // branches] * branches
+            for i in range(inner % branches):
+                per[i] += 1
+            for b in per:
+                entry, exit_ = build(max(1, b))
+                g.add_edge(fork, entry)
+                g.add_edge(exit_, join)
+            return fork, join
+        left = int(rng.integers(1, budget))
+        a_entry, a_exit = build(left)
+        b_entry, b_exit = build(budget - left)
+        g.add_edge(a_exit, b_entry)
+        return a_entry, b_exit
+
+    build(num_tasks)
+    return nx.convert_node_labels_to_integers(g, ordering="sorted")
 
 
 def expected_task_count(topology: str, size: int) -> int:

@@ -1,0 +1,266 @@
+"""Tests for the repro.campaign subsystem.
+
+Covers: registry round-trip, deterministic cell expansion/seeding,
+parallel == serial result equality, store cache hits on re-run, code
+version invalidation, and the ``repro campaign run/list/report`` CLI.
+"""
+
+import json
+import math
+import os
+
+import pytest
+
+from repro.campaign import (
+    ALL_PES,
+    CellResult,
+    CellSpec,
+    ResultStore,
+    Scenario,
+    aggregate,
+    cell_key,
+    evaluate_cell,
+    execute_cells,
+    get_scenario,
+    list_scenarios,
+    register,
+    run_campaign,
+    scenario_names,
+)
+from repro.cli import main
+
+#: small but non-trivial sweep used across the executor tests
+SMALL = Scenario.build(
+    "test-small",
+    "speedup",
+    topologies={"fft": 8, "gaussian": 8},
+    pe_sweeps={"fft": (4, 8), "gaussian": (4, 8)},
+    variants=("lts", "rlx", "nstr"),
+    num_graphs=2,
+)
+
+
+class TestRegistry:
+    def test_paper_scenarios_registered(self):
+        for name in ("fig10", "fig11", "fig12", "fig13", "table2"):
+            assert name in scenario_names()
+        assert {"layered", "serpar"} <= set(scenario_names())
+
+    def test_listing_matches_names(self):
+        assert [s.name for s in list_scenarios()] == scenario_names()
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("fig99")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register(get_scenario("fig10"))
+
+    def test_scenario_round_trip(self):
+        for scn in list_scenarios():
+            assert Scenario.from_dict(scn.to_dict()) == scn
+        assert Scenario.from_dict(SMALL.to_dict()) == SMALL
+
+    def test_cell_spec_round_trip(self):
+        for spec in get_scenario("fig12").cells(num_graphs=2):
+            clone = CellSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+            assert clone == spec
+            assert cell_key(clone) == cell_key(spec)
+
+
+class TestExpansion:
+    def test_deterministic_seeding(self):
+        cells = SMALL.cells()
+        again = SMALL.cells()
+        assert cells == again
+        # 2 topologies x 2 PE counts x 3 variants x 2 graphs
+        assert len(cells) == 24
+        # every (topology, PEs, variant) combination sweeps seeds 0..n-1
+        seeds = {}
+        for c in cells:
+            seeds.setdefault((c.topology, c.num_pes, c.variant), []).append(c.graph_seed)
+        assert all(s == [0, 1] for s in seeds.values())
+
+    def test_limit_truncates(self):
+        assert len(SMALL.cells(limit=5)) == 5
+        assert SMALL.cells(limit=5) == SMALL.cells()[:5]
+
+    def test_num_graphs_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_GRAPHS", "3")
+        scn = get_scenario("fig10")
+        n = len(scn.cells())
+        monkeypatch.delenv("REPRO_NUM_GRAPHS")
+        assert n == len(scn.cells(num_graphs=3))
+
+    def test_fig12_uses_all_pes_sentinel(self):
+        assert all(c.num_pes == ALL_PES for c in get_scenario("fig12").cells(num_graphs=1))
+
+    def test_code_version_changes_key(self):
+        spec = SMALL.cells()[0]
+        assert cell_key(spec, "v1") != cell_key(spec, "v2")
+
+
+class TestExecutor:
+    def test_serial_matches_direct_evaluation(self):
+        cells = SMALL.cells(limit=4)
+        report = execute_cells(cells, workers=0)
+        assert report.computed == 4 and report.cached == 0
+        for r in report.results:
+            assert r.metrics == evaluate_cell(r.spec)
+
+    def test_parallel_equals_serial(self):
+        cells = SMALL.cells()
+        serial = execute_cells(cells, workers=0)
+        parallel = execute_cells(cells, workers=2)
+        assert [r.spec for r in serial.results] == [r.spec for r in parallel.results]
+        assert [r.metrics for r in serial.results] == [r.metrics for r in parallel.results]
+        # and therefore identical aggregate statistics
+        agg_s, agg_p = aggregate(serial.results), aggregate(parallel.results)
+        assert [(g.topology, g.num_pes, g.variant, g.stats) for g in agg_s] == [
+            (g.topology, g.num_pes, g.variant, g.stats) for g in agg_p
+        ]
+
+    def test_parallel_uses_worker_processes(self):
+        report = execute_cells(SMALL.cells(), workers=2, chunksize=1)
+        # evaluation happens in the pool, never in this process
+        assert os.getpid() not in report.worker_pids
+        assert 1 <= len(report.worker_pids) <= 2
+
+    def test_validation_kind_reports_nan_not_crash(self):
+        spec = CellSpec("t", "validation", "chain", 8, 0, 4, "rlx")
+        metrics = evaluate_cell(spec)
+        assert set(metrics) == {"error_pct", "deadlock"}
+        assert metrics["deadlock"] in (0.0, 1.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown cell kind"):
+            evaluate_cell(CellSpec("t", "nope", "chain", 8, 0, 4, "rlx"))
+
+
+class TestStore:
+    def test_cache_hit_on_rerun(self, tmp_path):
+        cells = SMALL.cells(limit=6)
+        store = ResultStore(tmp_path, SMALL.name)
+        first = execute_cells(cells, workers=0, store=store)
+        assert (first.computed, first.cached) == (6, 0)
+
+        fresh = ResultStore(tmp_path, SMALL.name)  # re-read from disk
+        second = execute_cells(cells, workers=0, store=fresh)
+        assert (second.computed, second.cached) == (0, 6)
+        assert all(r.cached for r in second.results)
+        assert [r.metrics for r in second.results] == [
+            r.metrics for r in first.results
+        ]
+
+    def test_force_recomputes(self, tmp_path):
+        cells = SMALL.cells(limit=3)
+        store = ResultStore(tmp_path, SMALL.name)
+        execute_cells(cells, workers=0, store=store)
+        again = execute_cells(cells, workers=0, store=store, force=True)
+        assert again.computed == 3 and again.cached == 0
+
+    def test_partial_store_completes_missing(self, tmp_path):
+        cells = SMALL.cells(limit=6)
+        store = ResultStore(tmp_path, SMALL.name)
+        execute_cells(cells[:2], workers=0, store=store)
+        report = execute_cells(cells, workers=0, store=ResultStore(tmp_path, SMALL.name))
+        assert (report.computed, report.cached) == (4, 2)
+
+    def test_other_code_version_misses(self, tmp_path):
+        cells = SMALL.cells(limit=2)
+        store = ResultStore(tmp_path, SMALL.name)
+        execute_cells(cells, workers=0, store=store)
+        # rewrite the store as if an older code version had produced it
+        lines = [json.loads(l) for l in store.path.read_text().splitlines()]
+        for doc in lines:
+            doc["key"] = cell_key(CellSpec.from_dict(doc["spec"]), "0.9.0")
+        store.path.write_text("".join(json.dumps(d) + "\n" for d in lines))
+        report = execute_cells(
+            cells, workers=0, store=ResultStore(tmp_path, SMALL.name)
+        )
+        assert (report.computed, report.cached) == (2, 0)
+
+    def test_duplicate_cells_computed_once(self):
+        spec = SMALL.cells(limit=1)[0]
+        report = execute_cells([spec, spec], workers=0)
+        assert report.computed == 1
+        assert len(report.results) == 2
+        assert report.results[0] is report.results[1]
+
+    def test_torn_line_recomputed(self, tmp_path):
+        cells = SMALL.cells(limit=2)
+        store = ResultStore(tmp_path, SMALL.name)
+        execute_cells(cells, workers=0, store=store)
+        with open(store.path, "a") as fh:
+            fh.write('{"torn": ')  # simulated crash mid-write
+        reread = ResultStore(tmp_path, SMALL.name)
+        assert len(reread) == 2
+
+    def test_run_campaign_end_to_end(self, tmp_path):
+        run1 = run_campaign(SMALL, workers=2, limit=8, store_dir=tmp_path)
+        assert run1.report.computed == 8
+        run2 = run_campaign(SMALL, workers=2, limit=8, store_dir=tmp_path)
+        assert run2.report.cached == 8 and run2.report.computed == 0
+        assert [r.metrics for r in run1.results] == [r.metrics for r in run2.results]
+
+
+class TestAggregation:
+    def test_nan_metrics_excluded_from_stats(self):
+        specs = [CellSpec("t", "k", "chain", 8, i, 4, "rlx") for i in range(3)]
+        results = [
+            CellResult(specs[0], {"x": 1.0, "miss": 1.0}, 0.0, 0),
+            CellResult(specs[1], {"x": 3.0, "miss": 0.0}, 0.0, 0),
+            CellResult(specs[2], {"x": math.nan, "miss": 1.0}, 0.0, 0),
+        ]
+        (group,) = aggregate(results)
+        assert group.n == 3
+        assert group.stats["x"].n == 2  # NaN dropped
+        assert group.totals["miss"] == 2.0
+
+
+class TestCampaignCli:
+    def test_list(self, capsys):
+        assert main(["campaign", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out and "serpar" in out
+
+    def test_unknown_scenario_errors(self, capsys):
+        assert main(["campaign", "run", "fig99"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_run_and_report(self, tmp_path, capsys):
+        store = str(tmp_path)
+        rc = main(
+            ["campaign", "run", "fig10", "--workers", "2", "--num-graphs", "2",
+             "--limit", "12", "--store", store]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "12 computed, 0 cached" in out
+        assert "Figure 10" in out  # the paper-style table
+
+        rc = main(
+            ["campaign", "run", "fig10", "--workers", "2", "--num-graphs", "2",
+             "--limit", "12", "--store", store]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 computed, 12 cached" in out
+
+        csv_path = tmp_path / "cells.csv"
+        json_path = tmp_path / "report.json"
+        rc = main(
+            ["campaign", "report", "fig10", "--store", store,
+             "--csv", str(csv_path), "--json", str(json_path)]
+        )
+        assert rc == 0
+        assert "12 stored cells" in capsys.readouterr().out
+        header, *rows = csv_path.read_text().strip().splitlines()
+        assert "speedup" in header and len(rows) == 12
+        doc = json.loads(json_path.read_text())
+        assert len(doc["cells"]) == 12 and doc["scenario"]["name"] == "fig10"
+
+    def test_report_without_results_fails(self, tmp_path, capsys):
+        assert main(["campaign", "report", "fig11", "--store", str(tmp_path)]) == 1
+        assert "no stored results" in capsys.readouterr().err

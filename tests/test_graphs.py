@@ -13,6 +13,8 @@ from repro.graphs import (
     fft_topology,
     gaussian_elimination_topology,
     random_canonical_graph,
+    random_layered_topology,
+    series_parallel_topology,
     topology_by_name,
 )
 
@@ -83,6 +85,51 @@ class TestStructure:
         assert g.has_edge(("trsm", 1, 0), ("syrk", 1, 0))
         assert g.has_edge(("syrk", 1, 0), ("potrf", 1))
         assert g.has_edge(("trsm", 2, 0), ("gemm", 2, 1, 0))
+
+
+class TestRandomFamilies:
+    """Layered DAGs and series-parallel graphs (campaign extensions)."""
+
+    @pytest.mark.parametrize("family", ["layered", "serpar"])
+    def test_structure_is_a_seeded_dag(self, family):
+        builder = {
+            "layered": random_layered_topology,
+            "serpar": series_parallel_topology,
+        }[family]
+        g = builder(60, np.random.default_rng(7))
+        assert nx.is_directed_acyclic_graph(g)
+        assert nx.is_weakly_connected(g)
+        same = builder(60, np.random.default_rng(7))
+        assert sorted(g.edges) == sorted(same.edges)
+        other = builder(60, np.random.default_rng(8))
+        assert sorted(g.edges) != sorted(other.edges)
+
+    def test_layered_exact_task_count(self):
+        for n in (1, 2, 17, 128):
+            g = random_layered_topology(n, np.random.default_rng(0))
+            assert g.number_of_nodes() == n
+
+    @pytest.mark.parametrize("family", ["layered", "serpar"])
+    def test_single_entry_and_exit(self, family):
+        builder = {
+            "layered": random_layered_topology,
+            "serpar": series_parallel_topology,
+        }[family]
+        for seed in range(10):
+            g = builder(50, np.random.default_rng(seed))
+            entries = [v for v in g if g.in_degree(v) == 0]
+            exits = [v for v in g if g.out_degree(v) == 0]
+            assert len(entries) == 1 and len(exits) == 1
+
+    @pytest.mark.parametrize("family,size", [("layered", 64), ("serpar", 60)])
+    def test_canonical_and_deterministic_by_seed(self, family, size):
+        g = random_canonical_graph(family, size, seed=5)
+        g.validate()
+        h = random_canonical_graph(family, size, seed=5)
+        assert sorted(map(str, g.nodes)) == sorted(map(str, h.nodes))
+        assert {str(v): (g.spec(v).input_volume, g.spec(v).output_volume) for v in g.nodes} == {
+            str(v): (h.spec(v).input_volume, h.spec(v).output_volume) for v in h.nodes
+        }
 
 
 class TestRandomVolumes:
