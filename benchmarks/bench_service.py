@@ -1,0 +1,127 @@
+"""Serving hot-path benchmark: cached vs forced-recompute throughput.
+
+Unlike the pytest-benchmark tables in the sibling modules, this is a
+standalone script (CI runs it directly and uploads the JSON artifact):
+
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke
+
+It boots an in-process scheduling service, replays the same Zipf-skewed
+workload twice — once with the schedule cache in front, once with
+``no_cache`` forced recomputes — verifies that cached fingerprints
+return byte-identical schedules to cold runs, and writes
+``BENCH_service.json`` with both reports and the resulting speedup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro import __version__
+from repro.core.tabulate import format_table
+from repro.service import (
+    ScheduleCache,
+    ScheduleServer,
+    ScheduleService,
+    ServiceClient,
+    build_request_pool,
+    run_loadgen,
+)
+
+
+def check_byte_identity(port: int, scenario: str, pool: int) -> bool:
+    """Cached responses must carry byte-identical schedules to recomputes."""
+    lines = build_request_pool(scenario=scenario, pool=min(pool, 4))
+    with ServiceClient(port=port) as client:
+        for line in lines:
+            doc = json.loads(line)
+            cached = client.request(doc)
+            doc["no_cache"] = True
+            recomputed = client.request(doc)
+            a = json.dumps(cached["schedule"], sort_keys=True)
+            b = json.dumps(recomputed["schedule"], sort_keys=True)
+            if a != b:
+                return False
+    return True
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast run (CI): 150 requests, pool 8")
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--pool", type=int, default=None)
+    parser.add_argument("--zipf", type=float, default=1.1)
+    parser.add_argument("--scenario", default="fig10")
+    parser.add_argument("--output", default="BENCH_service.json")
+    args = parser.parse_args(argv)
+
+    requests = args.requests or (150 if args.smoke else 500)
+    workers = args.workers or (2 if args.smoke else 4)
+    pool = args.pool or (8 if args.smoke else 16)
+
+    cache = ScheduleCache(None, capacity=4096)  # memory-only: no disk noise
+    service = ScheduleService(cache=cache)
+    with ScheduleServer(service, port=0, workers=workers) as server:
+        common = dict(
+            port=server.port, requests=requests, workers=workers,
+            pool=pool, zipf=args.zipf, scenario=args.scenario,
+        )
+        cached = run_loadgen(**common)
+        no_cache = run_loadgen(**common, no_cache=True)
+        identical = check_byte_identity(server.port, args.scenario, pool)
+
+    speedup = (
+        cached.throughput_rps / no_cache.throughput_rps
+        if no_cache.throughput_rps
+        else float("inf")
+    )
+    rows = []
+    for label, report in (("cached", cached), ("no-cache", no_cache)):
+        s = report.summary()
+        rows.append([
+            label, report.requests, f"{report.throughput_rps:9.1f}",
+            f"{s['p50_ms']:8.2f}", f"{s['p95_ms']:8.2f}", f"{s['p99_ms']:8.2f}",
+            f"{100.0 * report.hit_rate:5.1f}%",
+        ])
+    print(format_table(
+        ["mode", "requests", "req/s", "p50 ms", "p95 ms", "p99 ms", "hit rate"],
+        rows,
+    ))
+    print(f"cache speedup: {speedup:.1f}x  byte-identical schedules: {identical}")
+
+    doc = {
+        "benchmark": "service",
+        "version": __version__,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "params": {
+            "requests": requests, "workers": workers, "pool": pool,
+            "zipf": args.zipf, "scenario": args.scenario, "smoke": args.smoke,
+        },
+        "cached": cached.to_dict(),
+        "no_cache": no_cache.to_dict(),
+        "cache_speedup": round(speedup, 2),
+        "byte_identical": identical,
+    }
+    Path(args.output).write_text(json.dumps(doc, indent=1) + "\n")
+    print(f"[saved to {args.output}]")
+
+    if not identical:
+        print("FAIL: cached schedule differs from recompute", file=sys.stderr)
+        return 1
+    if cached.errors or no_cache.errors:
+        print("FAIL: request errors during load generation", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,7 @@ from .runner import (
     AggregateGroup,
     CampaignRun,
     aggregate,
+    csv_rows,
     execute_scenario,
     export_csv,
     export_json,
@@ -44,7 +45,7 @@ from .runner import (
     run_campaign,
 )
 from .spec import ALL_PES, SCHEDULER_LABELS, CellResult, CellSpec, Scenario, cell_key
-from .store import ResultStore, default_store_dir
+from .store import ResultStore, append_jsonl, default_store_dir, read_jsonl
 
 __all__ = [
     "ALL_PES",
@@ -58,7 +59,9 @@ __all__ = [
     "SCHEDULER_LABELS",
     "Scenario",
     "aggregate",
+    "append_jsonl",
     "cell_key",
+    "csv_rows",
     "default_store_dir",
     "evaluate_cell",
     "execute_cells",
@@ -69,6 +72,7 @@ __all__ = [
     "generic_table",
     "get_scenario",
     "list_scenarios",
+    "read_jsonl",
     "register",
     "render_report",
     "run_campaign",

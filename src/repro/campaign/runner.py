@@ -11,14 +11,14 @@ hook rendering the exact figure/table layout of the serial harnesses.
 
 from __future__ import annotations
 
-import csv
 import importlib
 import json
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
-from ..experiments.common import BOX_HEADER, BoxStats, format_table
+from ..core.tabulate import format_table, write_csv
+from ..experiments.common import BOX_HEADER, BoxStats
 from .cells import finite
 from .executor import ExecutionReport, execute_cells
 from .registry import get_scenario
@@ -33,6 +33,7 @@ __all__ = [
     "AggregateGroup",
     "render_report",
     "generic_table",
+    "csv_rows",
     "export_csv",
     "export_json",
 ]
@@ -178,30 +179,37 @@ def render_report(scenario: Scenario, results: Sequence[CellResult]) -> str:
 # -- export -----------------------------------------------------------------
 
 
-def export_csv(results: Sequence[CellResult], path: str | Path) -> None:
-    """One row per cell, one column per metric."""
+def csv_rows(
+    results: Sequence[CellResult],
+) -> tuple[list[str], list[dict[str, object]]]:
+    """CSV fieldnames + one dict row per cell, one column per metric."""
     metric_names = sorted({m for r in results for m in r.metrics})
     fields = [
         "scenario", "kind", "topology", "size", "graph_seed", "num_pes",
         "variant", *metric_names, "elapsed", "worker",
     ]
-    with open(path, "w", newline="") as fh:
-        writer = csv.DictWriter(fh, fieldnames=fields)
-        writer.writeheader()
-        for r in results:
-            row = {
-                "scenario": r.spec.scenario,
-                "kind": r.spec.kind,
-                "topology": r.spec.topology,
-                "size": r.spec.size,
-                "graph_seed": r.spec.graph_seed,
-                "num_pes": r.spec.num_pes,
-                "variant": r.spec.variant,
-                "elapsed": f"{r.elapsed:.6f}",
-                "worker": r.worker,
-            }
-            row.update({m: r.metrics.get(m, "") for m in metric_names})
-            writer.writerow(row)
+    rows: list[dict[str, object]] = []
+    for r in results:
+        row: dict[str, object] = {
+            "scenario": r.spec.scenario,
+            "kind": r.spec.kind,
+            "topology": r.spec.topology,
+            "size": r.spec.size,
+            "graph_seed": r.spec.graph_seed,
+            "num_pes": r.spec.num_pes,
+            "variant": r.spec.variant,
+            "elapsed": f"{r.elapsed:.6f}",
+            "worker": r.worker,
+        }
+        row.update({m: r.metrics.get(m, "") for m in metric_names})
+        rows.append(row)
+    return fields, rows
+
+
+def export_csv(results: Sequence[CellResult], path) -> None:
+    """One row per cell, one column per metric (path or open stream)."""
+    fields, rows = csv_rows(results)
+    write_csv(path, fields, rows)
 
 
 def export_json(

@@ -18,11 +18,11 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from .spec import CellResult, CellSpec, cell_key
 
-__all__ = ["ResultStore", "default_store_dir"]
+__all__ = ["ResultStore", "default_store_dir", "read_jsonl", "append_jsonl"]
 
 ENV_STORE_DIR = "REPRO_CAMPAIGN_DIR"
 DEFAULT_DIRNAME = ".repro-campaigns"
@@ -30,6 +30,38 @@ DEFAULT_DIRNAME = ".repro-campaigns"
 
 def default_store_dir() -> Path:
     return Path(os.environ.get(ENV_STORE_DIR, DEFAULT_DIRNAME))
+
+
+def read_jsonl(path: str | Path) -> Iterator[dict]:
+    """Yield the parsed objects of a JSON-lines file.
+
+    Blank lines, torn lines from an interrupted write and non-object
+    lines are skipped — callers treat them as cache misses.  Also used
+    by the :mod:`repro.service` schedule store.
+    """
+    path = Path(path)
+    if not path.exists():
+        return
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(doc, dict):
+                yield doc
+
+
+def append_jsonl(path: str | Path, docs: Iterable[dict]) -> None:
+    """Append documents to a JSON-lines file, creating parents."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a") as fh:
+        for doc in docs:
+            fh.write(json.dumps(doc, sort_keys=True) + "\n")
 
 
 class ResultStore:
@@ -49,21 +81,15 @@ class ResultStore:
         if self._loaded:
             return self._records
         self._loaded = True
-        if self.path.exists():
-            with open(self.path) as fh:
-                for line in fh:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        doc = json.loads(line)
-                        result = CellResult.from_dict(doc, cached=True)
-                    except (ValueError, KeyError, TypeError):
-                        continue  # torn line: recompute that cell
-                    key = cell_key(result.spec)
-                    if doc.get("key") != key:
-                        continue  # written by a different code version: miss
-                    self._records[key] = result
+        for doc in read_jsonl(self.path):
+            try:
+                result = CellResult.from_dict(doc, cached=True)
+            except (ValueError, KeyError, TypeError):
+                continue  # malformed record: recompute that cell
+            key = cell_key(result.spec)
+            if doc.get("key") != key:
+                continue  # written by a different code version: miss
+            self._records[key] = result
         return self._records
 
     def get(self, spec: CellSpec) -> CellResult | None:
@@ -88,11 +114,9 @@ class ResultStore:
         if not results:
             return
         self.load()
-        self.directory.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a") as fh:
-            for r in results:
-                fh.write(json.dumps(r.to_dict(), sort_keys=True) + "\n")
-                self._records[cell_key(r.spec)] = r
+        append_jsonl(self.path, (r.to_dict() for r in results))
+        for r in results:
+            self._records[cell_key(r.spec)] = r
 
     def clear(self) -> None:
         """Drop every stored result for this scenario."""

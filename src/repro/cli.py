@@ -8,6 +8,9 @@ Commands
 ``simulate``    schedule + cycle-accurate validation
 ``experiment``  run one of the paper's figure/table harnesses (serial)
 ``campaign``    declarative experiment campaigns: parallel + cached
+``serve``       run the scheduling service (JSON-lines TCP)
+``request``     submit one graph to a running service
+``loadgen``     drive a running service with Zipf-skewed traffic
 """
 
 from __future__ import annotations
@@ -111,8 +114,61 @@ def build_parser() -> argparse.ArgumentParser:
     crep = csub.add_parser("report", help="report on stored results")
     crep.add_argument("scenario", help="scenario name (see `campaign list`)")
     crep.add_argument("--store", default=None, help="result store directory")
+    crep.add_argument(
+        "--format", choices=["table", "csv"], default="table",
+        help="stdout format (csv prints per-cell rows instead of the table)",
+    )
     crep.add_argument("--csv", help="export per-cell metrics as CSV here")
     crep.add_argument("--json", dest="json_out", help="export results as JSON here")
+
+    from .service.server import DEFAULT_PORT
+
+    srv = sub.add_parser("serve", help="run the scheduling service")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=DEFAULT_PORT)
+    srv.add_argument("-w", "--workers", type=int, default=4, help="worker threads")
+    srv.add_argument(
+        "--store", default=None,
+        help="persistent schedule store (JSONL); default "
+             ".repro-service/schedules.jsonl, '-' disables persistence",
+    )
+    srv.add_argument("--cache-size", type=int, default=1024, help="LRU capacity")
+    srv.add_argument(
+        "--no-cache", action="store_true", help="disable caching entirely"
+    )
+
+    req = sub.add_parser("request", help="submit one graph to a service")
+    req.add_argument("graph", help="graph JSON path")
+    req.add_argument("-p", "--pes", type=int, required=True)
+    req.add_argument("--objective", choices=["makespan", "throughput", "buffer"],
+                     default="makespan")
+    req.add_argument(
+        "--schedulers", default=None,
+        help="comma-separated portfolio, e.g. rlx,lts,nstr (default: server's)",
+    )
+    req.add_argument("--budget-ms", type=float, default=None)
+    req.add_argument("--no-cache", action="store_true")
+    req.add_argument("--host", default="127.0.0.1")
+    req.add_argument("--port", type=int, default=DEFAULT_PORT)
+    req.add_argument("-o", "--output", help="write the schedule JSON here")
+
+    lg = sub.add_parser("loadgen", help="drive a running service with traffic")
+    lg.add_argument("--requests", type=int, default=500)
+    lg.add_argument("-w", "--workers", type=int, default=4, help="client threads")
+    lg.add_argument("--pool", type=int, default=16, help="distinct requests")
+    lg.add_argument("--zipf", type=float, default=1.1, help="skew exponent")
+    lg.add_argument("--scenario", default="fig10", help="request pool source")
+    lg.add_argument("--objective", choices=["makespan", "throughput", "buffer"],
+                    default="makespan")
+    lg.add_argument("--schedulers", default=None, help="comma-separated portfolio")
+    lg.add_argument("--num-pes", type=int, default=None, help="override PE counts")
+    lg.add_argument("--no-cache", action="store_true",
+                    help="send no_cache requests (forced recomputes)")
+    lg.add_argument("--seed", type=int, default=0)
+    lg.add_argument("--host", default="127.0.0.1")
+    lg.add_argument("--port", type=int, default=DEFAULT_PORT)
+    lg.add_argument("--csv", help="write per-request latencies as CSV here")
+    lg.add_argument("--json", dest="json_out", help="write the report JSON here")
     return p
 
 
@@ -257,10 +313,142 @@ def _cmd_campaign(args) -> int:
             file=sys.stderr,
         )
         return 1
-    print(f"campaign {scenario.name}: {len(results)} stored cells in {store.path}")
-    print(render_report(scenario, results))
+    if getattr(args, "format", "table") == "csv":
+        from .campaign import export_csv
+
+        export_csv(results, sys.stdout)
+    else:
+        print(
+            f"campaign {scenario.name}: {len(results)} stored cells in {store.path}"
+        )
+        print(render_report(scenario, results))
     _export(scenario, results)
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from .service import ScheduleCache, ScheduleServer, ScheduleService
+
+    cache = None
+    if not args.no_cache:
+        if args.store == "-":
+            path = None
+        elif args.store:
+            path = args.store
+        else:
+            import os
+
+            path = (
+                os.environ.get("REPRO_SERVICE_DIR", ".repro-service")
+                + "/schedules.jsonl"
+            )
+        cache = ScheduleCache(path, capacity=args.cache_size)
+        tier = path if path else "memory-only"
+        print(f"schedule cache: {tier} ({len(cache)} stored entries)")
+    service = ScheduleService(cache=cache)
+    server = ScheduleServer(
+        service, host=args.host, port=args.port, workers=args.workers
+    )
+    server.start()
+    print(
+        f"serving on {server.host}:{server.port} "
+        f"({args.workers} workers; send {{\"op\": \"shutdown\"}} to stop)",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.stop()
+        server.join()
+    print("server stopped")
+    return 0
+
+
+def _parse_schedulers(raw: str | None) -> list[str] | None:
+    if not raw:
+        return None
+    return [s.strip() for s in raw.split(",") if s.strip()]
+
+
+def _cmd_request(args) -> int:
+    from .service import ServiceClient, ServiceError
+
+    with open(args.graph) as fh:
+        graph_doc = json.load(fh)
+    try:
+        with ServiceClient(args.host, args.port) as client:
+            response = client.schedule(
+                graph_doc,
+                num_pes=args.pes,
+                objective=args.objective,
+                schedulers=_parse_schedulers(args.schedulers),
+                budget_ms=args.budget_ms,
+                no_cache=args.no_cache,
+            )
+    except OSError as exc:
+        print(f"cannot reach service at {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    except ServiceError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 1
+    tier = response["cached"] or "computed"
+    print(
+        f"{response['winner']} wins {response['objective']} on {args.pes} PEs: "
+        f"makespan {response['makespan']:,}, value {response['value']:.4f} "
+        f"({tier}, {response['elapsed_ms']:.1f} ms, "
+        f"fingerprint {response['fingerprint'][:16]}…)"
+    )
+    for cand in response["candidates"]:
+        print(
+            f"  {cand['name']:<5} makespan {cand['makespan']:>12,}  "
+            f"fifo {cand['fifo_total']:>8,}  {cand['elapsed_ms']:8.1f} ms"
+        )
+    if response.get("truncated"):
+        print("  (race truncated by budget; result not cached)")
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(response["schedule"], fh, indent=1)
+        print(f"schedule written to {args.output}")
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    from .service import run_loadgen
+
+    try:
+        report = run_loadgen(
+            host=args.host,
+            port=args.port,
+            requests=args.requests,
+            workers=args.workers,
+            pool=args.pool,
+            zipf=args.zipf,
+            scenario=args.scenario,
+            objective=args.objective,
+            schedulers=_parse_schedulers(args.schedulers),
+            num_pes=args.num_pes,
+            no_cache=args.no_cache,
+            seed=args.seed,
+        )
+    except OSError as exc:
+        print(
+            f"cannot reach service at {args.host}:{args.port}: {exc} "
+            f"(start one with `repro serve`)",
+            file=sys.stderr,
+        )
+        return 1
+    print(report.table())
+    tiers = ", ".join(f"{k}={v}" for k, v in sorted(report.tiers.items()))
+    print(f"cache tiers: {tiers or 'n/a'}")
+    if args.csv:
+        report.write_csv(args.csv)
+        print(f"per-request latencies written to {args.csv}")
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=1)
+        print(f"report written to {args.json_out}")
+    return 1 if report.errors else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -272,6 +460,9 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "experiment": _cmd_experiment,
         "campaign": _cmd_campaign,
+        "serve": _cmd_serve,
+        "request": _cmd_request,
+        "loadgen": _cmd_loadgen,
     }
     try:
         return handlers[args.command](args)

@@ -8,7 +8,7 @@ from .block_schedule import BlockSchedule, TaskTimes, schedule_block
 from .buffer_sizing import compute_buffer_sizes
 from .depth import streaming_depth, streaming_depth_bound
 from .gantt import render_gantt
-from .graph import CanonicalGraph, CanonicalityError
+from .graph import CanonicalGraph, CanonicalityError, graph_fingerprint
 from .levels import (
     bottom_levels,
     critical_path_length,
@@ -29,6 +29,7 @@ from .serialize import (
     schedule_to_dict,
 )
 from .streaming import StreamingIntervals, compute_streaming_intervals
+from .tabulate import format_table, write_csv
 from .transform import (
     BufferHalf,
     check_buffer_placement,
@@ -56,6 +57,8 @@ __all__ = [
     "compute_spatial_blocks",
     "compute_streaming_intervals",
     "critical_path_length",
+    "format_table",
+    "graph_fingerprint",
     "graph_from_dict",
     "graph_to_dict",
     "load_graph",
@@ -78,4 +81,5 @@ __all__ = [
     "summarize_schedule",
     "total_work",
     "weakly_connected_components",
+    "write_csv",
 ]

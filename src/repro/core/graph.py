@@ -13,13 +13,79 @@ validator used by generators and front-ends.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Hashable, Iterable, Iterator
 
 import networkx as nx
 
 from .node_types import NodeKind, NodeSpec, classify_rate
 
-__all__ = ["CanonicalGraph", "CanonicalityError"]
+__all__ = ["CanonicalGraph", "CanonicalityError", "graph_fingerprint"]
+
+#: bump when the fingerprint construction changes — folded into the hash
+#: so fingerprints from different algorithm versions can never collide
+FINGERPRINT_VERSION = "cg1"
+
+
+def _label_digest(payload: str) -> str:
+    """Short (16 hex chars) digest used for intermediate node labels."""
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def graph_fingerprint(graph: "CanonicalGraph") -> str:
+    """Canonical, isomorphism-stable fingerprint of a task graph.
+
+    Two graphs that differ only in node naming (or node insertion order)
+    hash identically; any change to the topology or to a node's
+    cost/volume data changes the fingerprint.  The construction is
+    1-WL (Weisfeiler-Leman) color refinement over the DAG:
+
+    1. every node starts from a digest of its cost data
+       ``(kind, I(v), O(v))`` — exactly what the schedulers consume;
+    2. each round rehashes a node's label together with the *sorted*
+       multisets of its predecessor and successor labels (direction-
+       aware, so mirrored DAGs do not collide), until the label
+       partition stops refining (at most ``|V|`` rounds);
+    3. the fingerprint is the SHA-256 over a version tag, the node and
+       edge counts, the sorted stable node labels and the sorted
+       per-edge ``(label(u), label(v))`` pairs.
+
+    Refinement to stability makes the digest a *topological canon*: the
+    final labels are a canonical ordering of the nodes up to graph
+    automorphism, so the sorted node/edge label lists are invariant
+    under any relabeling.  Like every 1-WL scheme it can in principle
+    assign one fingerprint to non-isomorphic regular graphs, but DAGs
+    with volume-labelled nodes (our entire workload space) are separated
+    in practice.
+    """
+    g = graph._g
+    labels: dict[Hashable, str] = {}
+    for v in g:
+        spec = graph.spec(v)
+        labels[v] = _label_digest(
+            f"{spec.kind.value}|{spec.input_volume}|{spec.output_volume}"
+        )
+    num_classes = len(set(labels.values()))
+    for _ in range(len(labels)):
+        refined = {}
+        for v in g:
+            preds = ",".join(sorted(labels[u] for u in g.predecessors(v)))
+            succs = ",".join(sorted(labels[w] for w in g.successors(v)))
+            refined[v] = _label_digest(f"{labels[v]}<{preds}>{succs}")
+        labels = refined
+        refined_classes = len(set(labels.values()))
+        if refined_classes == num_classes:  # partition is stable
+            break
+        num_classes = refined_classes
+    h = hashlib.sha256()
+    h.update(
+        f"{FINGERPRINT_VERSION}|{g.number_of_nodes()}|{g.number_of_edges()}".encode()
+    )
+    for label in sorted(labels.values()):
+        h.update(label.encode())
+    for edge in sorted(f"{labels[u]}>{labels[v]}" for u, v in g.edges):
+        h.update(edge.encode())
+    return h.hexdigest()
 
 
 class CanonicalityError(ValueError):
@@ -185,6 +251,10 @@ class CanonicalGraph:
     # ------------------------------------------------------------------
     # analysis helpers
     # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Isomorphism-stable content hash (see :func:`graph_fingerprint`)."""
+        return graph_fingerprint(self)
+
     def total_work(self) -> int:
         """``T_1`` — the sequential execution time (sum of node works)."""
         return sum(self.spec(v).work for v in self._g)

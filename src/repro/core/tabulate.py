@@ -1,0 +1,51 @@
+"""Shared plain-text table and CSV writers.
+
+Every surface that renders tabular output — the experiment harnesses,
+``repro campaign report``, the service load generator — goes through
+these two functions, so column alignment and CSV quoting behave the same
+everywhere.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import IO, Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "write_csv"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Plain-text table with right-aligned columns."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join("-" * w for w in widths)
+    out = ["  ".join(h.rjust(w) for h, w in zip(headers, widths)), line]
+    for row in rows:
+        out.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def write_csv(
+    dest: str | Path | IO[str],
+    fieldnames: Sequence[str],
+    rows: Iterable[Mapping[str, object]],
+) -> None:
+    """Write dict rows as CSV to a path or an open text stream."""
+    if hasattr(dest, "write"):
+        _write_csv(dest, fieldnames, rows)
+    else:
+        with open(dest, "w", newline="") as fh:
+            _write_csv(fh, fieldnames, rows)
+
+
+def _write_csv(
+    fh: IO[str], fieldnames: Sequence[str], rows: Iterable[Mapping[str, object]]
+) -> None:
+    writer = csv.DictWriter(fh, fieldnames=list(fieldnames))
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)

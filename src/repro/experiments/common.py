@@ -11,9 +11,11 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable
 
 import numpy as np
+
+from ..core.tabulate import format_table
 
 __all__ = [
     "BoxStats",
@@ -96,17 +98,3 @@ class BoxStats:
 
 
 BOX_HEADER = ["median", "q1", "q3", "whisk-", "whisk+", "outl"]
-
-
-def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
-    """Plain-text table with right-aligned columns."""
-    rows = [[str(c) for c in row] for row in rows]
-    widths = [len(h) for h in headers]
-    for row in rows:
-        for i, cell in enumerate(row):
-            widths[i] = max(widths[i], len(cell))
-    line = "  ".join("-" * w for w in widths)
-    out = ["  ".join(h.rjust(w) for h, w in zip(headers, widths)), line]
-    for row in rows:
-        out.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
-    return "\n".join(out)

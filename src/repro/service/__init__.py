@@ -1,0 +1,102 @@
+"""repro.service — high-throughput scheduling as a service.
+
+The paper's pipeline (partition → spatial block schedule → buffer
+sizing) runs here as an *online* subsystem: a JSON-lines socket server
+accepts task graphs plus objectives and answers with the best schedule
+a racing portfolio of schedulers finds, behind a two-tier schedule
+cache keyed by an isomorphism-stable graph fingerprint.
+
+Pieces
+------
+* :mod:`~repro.service.fingerprint` — request identity on top of
+  :func:`repro.core.graph.graph_fingerprint`;
+* :mod:`~repro.service.cache` — in-memory LRU over a persistent JSONL
+  schedule store (hit/miss/eviction counters);
+* :mod:`~repro.service.portfolio` — scheduler registry (``lts``,
+  ``rlx``, ``work``, ``nstr``, ``heft``) raced per request with an
+  early-cutoff budget, winner picked by makespan/throughput/buffer
+  objective;
+* :mod:`~repro.service.server` / :mod:`~repro.service.client` —
+  stdlib-only newline-delimited-JSON TCP server (thread pool,
+  single-flight batching of identical fingerprints, graceful shutdown)
+  and its client;
+* :mod:`~repro.service.loadgen` — Zipf-skewed load generator over the
+  campaign scenario registry, reporting p50/p95/p99 latency and req/s.
+
+Fingerprint format
+------------------
+A graph fingerprint is 64 lowercase hex characters: the SHA-256 of
+
+``"cg1|<num_nodes>|<num_edges>"`` ++ sorted node labels ++ sorted
+``"<label(u)>><label(v)>"`` edge pairs,
+
+where node labels are 16-hex-char SHA-256 prefixes obtained by 1-WL
+color refinement — seeds are digests of ``(kind, I(v), O(v))``, each
+round rehashes a label with the sorted predecessor and successor label
+multisets, and refinement stops when the label partition stabilizes
+(at most ``|V|`` rounds).  Renaming or reordering nodes never changes
+the fingerprint; changing topology or any node's volumes does.  The
+``cg1`` version tag is folded into the hash, so algorithm revisions can
+never collide with old fingerprints.
+
+Cache entries are keyed by the *request* identity
+``"<fingerprint>:p<num_pes>:<objective>:<sched+sched+...>"``
+(:func:`~repro.service.fingerprint.request_key`); the scheduler list is
+order-sensitive because racing order breaks objective ties.
+
+Quickstart::
+
+    from repro.service import ScheduleCache, ScheduleServer, ScheduleService
+    from repro.service import ServiceClient
+
+    service = ScheduleService(cache=ScheduleCache("schedules.jsonl"))
+    with ScheduleServer(service, port=0) as server:
+        with ServiceClient(port=server.port) as client:
+            response = client.schedule(graph, num_pes=64, objective="makespan")
+            print(response["winner"], response["makespan"])
+
+or, from the command line::
+
+    repro serve --workers 4 &
+    repro request graph.json -p 64 --objective makespan
+    repro loadgen --requests 500 --workers 4
+"""
+
+from .cache import ScheduleCache
+from .client import ServiceClient, ServiceError
+from .fingerprint import doc_digest, fingerprint_graph_doc, graph_fingerprint, request_key
+from .loadgen import LoadgenReport, build_request_pool, percentile, run_loadgen
+from .portfolio import (
+    DEFAULT_SCHEDULERS,
+    OBJECTIVES,
+    CandidateResult,
+    PortfolioResult,
+    register_scheduler,
+    run_portfolio,
+    scheduler_names,
+)
+from .server import DEFAULT_PORT, ScheduleServer, ScheduleService
+
+__all__ = [
+    "DEFAULT_PORT",
+    "DEFAULT_SCHEDULERS",
+    "CandidateResult",
+    "LoadgenReport",
+    "OBJECTIVES",
+    "PortfolioResult",
+    "ScheduleCache",
+    "ScheduleServer",
+    "ScheduleService",
+    "ServiceClient",
+    "ServiceError",
+    "build_request_pool",
+    "doc_digest",
+    "fingerprint_graph_doc",
+    "graph_fingerprint",
+    "percentile",
+    "register_scheduler",
+    "request_key",
+    "run_loadgen",
+    "run_portfolio",
+    "scheduler_names",
+]

@@ -1,0 +1,106 @@
+"""Two-tier schedule cache: in-memory LRU over a persistent JSONL store.
+
+The memory tier is a capacity-bounded LRU of response entries; the disk
+tier (optional) reuses the campaign store's JSON-lines machinery — one
+``{"key": ..., "entry": ...}`` object per line, append-only, torn lines
+skipped on load — so a restarted server warms up from everything any
+previous instance computed.  A get promotes disk hits into the LRU;
+eviction only ever drops the memory copy.
+
+All operations are thread-safe (the server handles requests from a
+thread pool) and counted: ``hits`` (memory), ``store_hits`` (disk),
+``misses``, ``evictions``, ``puts`` feed the ``stats`` op and the load
+generator's report.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+from ..campaign.store import append_jsonl, read_jsonl
+
+__all__ = ["ScheduleCache"]
+
+
+class ScheduleCache:
+    """LRU + JSONL-backed map from request key to response entry."""
+
+    def __init__(self, path: str | Path | None = None, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self.path = Path(path) if path is not None else None
+        self.capacity = capacity
+        self._lru: OrderedDict[str, dict] = OrderedDict()
+        self._disk: dict[str, dict] = {}
+        self._lock = threading.Lock()
+        # disk appends serialize on their own lock so a put's file write
+        # never stalls concurrent get() fast paths
+        self._io_lock = threading.Lock()
+        self.hits = 0
+        self.store_hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.puts = 0
+        if self.path is not None:
+            for doc in read_jsonl(self.path):
+                key, entry = doc.get("key"), doc.get("entry")
+                if isinstance(key, str) and isinstance(entry, dict):
+                    self._disk[key] = entry
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._lru.keys() | self._disk.keys())
+
+    def get(self, key: str) -> tuple[dict, str] | None:
+        """Look up ``key``; returns ``(entry, tier)`` or ``None``.
+
+        ``tier`` is ``"lru"`` for a memory hit, ``"store"`` for a disk
+        hit (which is promoted into the LRU).
+        """
+        with self._lock:
+            entry = self._lru.get(key)
+            if entry is not None:
+                self._lru.move_to_end(key)
+                self.hits += 1
+                return entry, "lru"
+            entry = self._disk.get(key)
+            if entry is not None:
+                self.store_hits += 1
+                self._insert(key, entry)
+                return entry, "store"
+            self.misses += 1
+            return None
+
+    def put(self, key: str, entry: dict) -> None:
+        """Insert into both tiers; appends to the JSONL file if backed."""
+        with self._lock:
+            self.puts += 1
+            self._insert(key, entry)
+            append_needed = self.path is not None and key not in self._disk
+            if self.path is not None:
+                self._disk[key] = entry
+        if append_needed:
+            with self._io_lock:
+                append_jsonl(self.path, [{"key": key, "entry": entry}])
+
+    def _insert(self, key: str, entry: dict) -> None:
+        self._lru[key] = entry
+        self._lru.move_to_end(key)
+        while len(self._lru) > self.capacity:
+            self._lru.popitem(last=False)
+            self.evictions += 1
+
+    def counters(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "lru_entries": len(self._lru),
+                "store_entries": len(self._disk),
+                "hits": self.hits,
+                "store_hits": self.store_hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "puts": self.puts,
+            }

@@ -1,0 +1,111 @@
+"""Blocking JSON-lines client for the scheduling service.
+
+One socket, one request object per line out, one response object per
+line back.  The client is deliberately boring: no retries, no pooling —
+the load generator opens one client per worker thread, the CLI opens
+one per invocation.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Mapping, Sequence
+
+from ..core.graph import CanonicalGraph
+from ..core.serialize import graph_to_dict
+from .server import DEFAULT_PORT
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """The service answered ``ok: false``; carries the response."""
+
+    def __init__(self, response: dict):
+        self.response = response
+        super().__init__(response.get("error", "service error"))
+
+
+class ServiceClient:
+    """A connected client; use as a context manager to close cleanly."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = DEFAULT_PORT, timeout: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._stream = self._sock.makefile("rwb")
+
+    def close(self) -> None:
+        try:
+            self._stream.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def request_raw(self, line: bytes) -> dict:
+        """Send one pre-encoded request line; return the parsed response.
+
+        The fast path for load generation: the caller encodes each
+        distinct request once and replays the bytes.
+        """
+        self._stream.write(line)
+        if not line.endswith(b"\n"):
+            self._stream.write(b"\n")
+        self._stream.flush()
+        reply = self._stream.readline()
+        if not reply:
+            raise ConnectionError("service closed the connection")
+        return json.loads(reply)
+
+    def request(self, doc: Mapping) -> dict:
+        """Send one request document; raise :class:`ServiceError` on failure."""
+        response = self.request_raw(json.dumps(dict(doc)).encode())
+        if not response.get("ok", False):
+            raise ServiceError(response)
+        return response
+
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        graph: CanonicalGraph | Mapping,
+        num_pes: int,
+        objective: str = "makespan",
+        schedulers: Sequence[str] | None = None,
+        budget_ms: float | None = None,
+        no_cache: bool = False,
+    ) -> dict:
+        """Request the best schedule for ``graph`` on ``num_pes`` PEs."""
+        doc: dict = {
+            "op": "schedule",
+            "graph": graph_to_dict(graph)
+            if isinstance(graph, CanonicalGraph)
+            else dict(graph),
+            "num_pes": num_pes,
+            "objective": objective,
+        }
+        if schedulers:
+            doc["schedulers"] = list(schedulers)
+        if budget_ms is not None:
+            doc["budget_ms"] = budget_ms
+        if no_cache:
+            doc["no_cache"] = True
+        return self.request(doc)
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> dict:
+        """Ask the server to stop (gracefully) after replying."""
+        return self.request({"op": "shutdown"})

@@ -1,0 +1,58 @@
+"""Request fingerprinting for the scheduling service.
+
+The graph-level hash lives in :func:`repro.core.graph.graph_fingerprint`
+(isomorphism-stable 1-WL refinement over kinds and volumes); this module
+layers the *request* identity on top: a schedule request is the graph
+plus the PE count, the objective and the scheduler portfolio raced for
+it, and two requests are interchangeable — may share one cache entry,
+one in-flight computation — exactly when all four coincide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Mapping, Sequence
+
+from ..core.graph import CanonicalGraph, graph_fingerprint
+from ..core.serialize import graph_from_dict
+
+__all__ = [
+    "graph_fingerprint",
+    "request_key",
+    "fingerprint_graph_doc",
+    "doc_digest",
+]
+
+
+def doc_digest(doc: Mapping) -> str:
+    """Cheap content hash of a JSON document (canonical dump, SHA-256).
+
+    Not isomorphism-stable — two dumps of the *same* document collide,
+    renamed nodes do not.  Used only to memoize the expensive WL
+    fingerprint per wire-level graph document.
+    """
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def fingerprint_graph_doc(doc: Mapping) -> tuple[CanonicalGraph, str]:
+    """Parse + validate a graph document and fingerprint the result."""
+    graph = graph_from_dict(dict(doc))
+    return graph, graph_fingerprint(graph)
+
+
+def request_key(
+    fingerprint: str,
+    num_pes: int,
+    objective: str,
+    schedulers: Sequence[str],
+) -> str:
+    """Cache / coalescing key of one schedule request.
+
+    Human-readable composite (documented in the package docstring):
+    ``<graph fingerprint>:p<PEs>:<objective>:<scheduler+scheduler+...>``.
+    The scheduler list is order-sensitive on purpose — order is the
+    racing priority and breaks objective ties, so it shapes the answer.
+    """
+    return f"{fingerprint}:p{num_pes}:{objective}:{'+'.join(schedulers)}"

@@ -1,0 +1,275 @@
+"""Load generator for the scheduling service.
+
+Builds a pool of distinct schedule requests from a registered campaign
+scenario (one graph per unique (topology, size, seed, PEs) combination,
+round-robined across topology/PE groups so the pool mixes small and
+large graphs), then replays a Zipf-skewed sequence of them over worker
+threads — popular requests repeat, exactly the traffic shape a schedule
+cache is for.  The report carries wall-clock throughput, latency
+percentiles (p50/p95/p99) and the cache-tier breakdown observed in the
+responses.
+
+Everything is deterministic in ``seed``: the pool, the Zipf sequence
+and its assignment to workers.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..campaign.registry import get_scenario
+from ..campaign.spec import ALL_PES
+from ..core.serialize import graph_to_dict
+from ..core.tabulate import format_table, write_csv
+from ..graphs import random_canonical_graph
+from .client import ServiceClient
+from .server import DEFAULT_PORT
+
+__all__ = ["LoadgenReport", "build_request_pool", "run_loadgen", "percentile"]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of a non-empty sample:
+    ``rank = ceil(q/100 * N)``, clamped to [1, N]."""
+    if not samples:
+        raise ValueError("no samples")
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass
+class LoadgenReport:
+    """Outcome of one load-generation run."""
+
+    requests: int
+    workers: int
+    pool: int
+    zipf: float
+    objective: str
+    no_cache: bool
+    elapsed: float
+    latencies_ms: list[float] = field(repr=False, default_factory=list)
+    tiers: dict[str, int] = field(default_factory=dict)  #: cached-tier counts
+    errors: int = 0
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.requests / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests served without a fresh computation."""
+        served = sum(self.tiers.values())
+        cold = self.tiers.get("cold", 0)
+        return (served - cold) / served if served else 0.0
+
+    def summary(self) -> dict[str, float]:
+        xs = self.latencies_ms
+        return {
+            "p50_ms": percentile(xs, 50),
+            "p95_ms": percentile(xs, 95),
+            "p99_ms": percentile(xs, 99),
+            "mean_ms": sum(xs) / len(xs),
+            "max_ms": max(xs),
+        }
+
+    def table(self) -> str:
+        s = self.summary()
+        headers = [
+            "requests", "workers", "pool", "zipf", "req/s",
+            "p50 ms", "p95 ms", "p99 ms", "mean ms", "hit rate", "errors",
+        ]
+        row = [
+            self.requests,
+            self.workers,
+            self.pool,
+            f"{self.zipf:.2f}",
+            f"{self.throughput_rps:8.1f}",
+            f"{s['p50_ms']:8.2f}",
+            f"{s['p95_ms']:8.2f}",
+            f"{s['p99_ms']:8.2f}",
+            f"{s['mean_ms']:8.2f}",
+            f"{100.0 * self.hit_rate:5.1f}%",
+            self.errors,
+        ]
+        return format_table(headers, [row])
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "workers": self.workers,
+            "pool": self.pool,
+            "zipf": self.zipf,
+            "objective": self.objective,
+            "no_cache": self.no_cache,
+            "elapsed_s": round(self.elapsed, 4),
+            "throughput_rps": round(self.throughput_rps, 2),
+            "hit_rate": round(self.hit_rate, 4),
+            "tiers": dict(self.tiers),
+            "errors": self.errors,
+            **{k: round(v, 3) for k, v in self.summary().items()},
+        }
+
+    def write_csv(self, path) -> None:
+        """One row per request: sequence index, latency, cache tier."""
+        rows = [
+            {"index": i, "latency_ms": f"{ms:.3f}"}
+            for i, ms in enumerate(self.latencies_ms)
+        ]
+        write_csv(path, ["index", "latency_ms"], rows)
+
+
+def build_request_pool(
+    scenario: str = "fig10",
+    pool: int = 16,
+    num_pes: int | None = None,
+    objective: str = "makespan",
+    schedulers: Sequence[str] | None = None,
+    no_cache: bool = False,
+) -> list[bytes]:
+    """Distinct schedule requests, pre-encoded as JSON lines.
+
+    Unique (topology, size, graph seed, PEs) combinations are drawn from
+    the scenario's cell expansion and taken round-robin across
+    (topology, PEs) groups, so a 16-deep pool over ``fig10`` mixes all
+    four topologies at all four PE counts instead of 16 seeds of the
+    first combination.  Only random-graph scenarios are supported (the
+    ML builder topologies of ``table2`` have no seed dimension).
+    """
+    cells = get_scenario(scenario).cells(num_graphs=max(1, pool))
+    groups: dict[tuple[str, int], list[tuple[str, int, int, int]]] = {}
+    seen: set[tuple[str, int, int, int]] = set()
+    for cell in cells:
+        pes = cell.num_pes
+        if pes == ALL_PES:
+            pes = num_pes or 0  # resolved after the graph is built
+        combo = (cell.topology, cell.size, cell.graph_seed, pes)
+        if combo in seen:
+            continue
+        seen.add(combo)
+        groups.setdefault((cell.topology, pes), []).append(combo)
+    combos: list[tuple[str, int, int, int]] = []
+    queues = list(groups.values())
+    while len(combos) < pool and queues:
+        queues = [q for q in queues if q]
+        for q in queues:
+            if len(combos) >= pool:
+                break
+            combos.append(q.pop(0))
+    lines: list[bytes] = []
+    for topology, size, graph_seed, pes in combos:
+        graph = random_canonical_graph(topology, size, seed=graph_seed)
+        doc: dict = {
+            "op": "schedule",
+            "graph": graph_to_dict(graph),
+            "num_pes": num_pes or pes or len(graph),
+            "objective": objective,
+        }
+        if schedulers:
+            doc["schedulers"] = list(schedulers)
+        if no_cache:
+            doc["no_cache"] = True
+        lines.append(json.dumps(doc).encode() + b"\n")
+    if not lines:
+        raise ValueError(f"scenario {scenario!r} produced an empty request pool")
+    return lines
+
+
+def zipf_sequence(pool: int, requests: int, s: float, seed: int) -> list[int]:
+    """Zipf-skewed index sequence: P(rank i) proportional to 1/i**s."""
+    weights = [1.0 / (i + 1) ** s for i in range(pool)]
+    return random.Random(seed).choices(range(pool), weights=weights, k=requests)
+
+
+def run_loadgen(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    requests: int = 500,
+    workers: int = 4,
+    pool: int = 16,
+    zipf: float = 1.1,
+    scenario: str = "fig10",
+    objective: str = "makespan",
+    schedulers: Sequence[str] | None = None,
+    num_pes: int | None = None,
+    no_cache: bool = False,
+    seed: int = 0,
+) -> LoadgenReport:
+    """Drive a live service and measure latency + throughput."""
+    if requests < 1:
+        raise ValueError("need at least one request")
+    workers = max(1, min(workers, requests))
+    lines = build_request_pool(
+        scenario=scenario, pool=pool, num_pes=num_pes, objective=objective,
+        schedulers=schedulers, no_cache=no_cache,
+    )
+    sequence = zipf_sequence(len(lines), requests, zipf, seed)
+    shards = [sequence[w::workers] for w in range(workers)]
+
+    # preflight: fail fast (in the caller's thread) when nothing listens
+    with ServiceClient(host, port) as probe:
+        probe.request({"op": "ping"})
+
+    lock = threading.Lock()
+    latencies: list[float] = []
+    tiers: dict[str, int] = {}
+    errors = [0]
+
+    def drive(shard: list[int]) -> None:
+        local_lat: list[float] = []
+        local_tiers: dict[str, int] = {}
+        try:
+            with ServiceClient(host, port) as client:
+                for idx in shard:
+                    t0 = time.perf_counter()
+                    response = client.request_raw(lines[idx])
+                    local_lat.append(1000.0 * (time.perf_counter() - t0))
+                    if response.get("ok"):
+                        tier = response.get("cached") or "cold"
+                        local_tiers[tier] = local_tiers.get(tier, 0) + 1
+        except OSError:
+            pass  # transport died: the unserved remainder counts as errors
+        finally:
+            with lock:
+                latencies.extend(local_lat)
+                for tier, n in local_tiers.items():
+                    tiers[tier] = tiers.get(tier, 0) + n
+                # everything not answered ok — refused responses and the
+                # unsent tail after a transport failure — is an error
+                errors[0] += len(shard) - sum(local_tiers.values())
+
+    threads = [
+        threading.Thread(target=drive, args=(shard,), name=f"loadgen-{w}")
+        for w, shard in enumerate(shards)
+        if shard
+    ]
+    t_start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t_start
+    if not latencies:
+        raise ConnectionError(
+            f"no request completed against {host}:{port} "
+            f"({errors[0]} errors) — is the service healthy?"
+        )
+    return LoadgenReport(
+        requests=len(latencies),
+        workers=len(threads),
+        pool=len(lines),
+        zipf=zipf,
+        objective=objective,
+        no_cache=no_cache,
+        elapsed=elapsed,
+        latencies_ms=latencies,
+        tiers=tiers,
+        errors=errors[0],
+    )

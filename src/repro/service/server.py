@@ -1,0 +1,407 @@
+"""The scheduling service and its JSON-lines socket server.
+
+Two layers, separately testable:
+
+* :class:`ScheduleService` — the protocol-agnostic request handler:
+  dict in, dict out.  Owns the fingerprint memo, the schedule cache and
+  the in-flight table that *batches identical fingerprints* — when
+  several concurrent requests share one request key, a single leader
+  computes and every follower receives the same response (single-flight
+  coalescing, counted in the stats).
+* :class:`ScheduleServer` — a stdlib-only TCP front-end: an accept
+  thread spawns a lightweight reader per connection, and a semaphore
+  sized ``workers`` pools the concurrently *executing* requests; each
+  connection speaks newline-delimited JSON (one request object per
+  line, one response object per line).  ``stop()`` — or a ``shutdown``
+  request — closes the listener, unblocks every reader and leaves each
+  in-flight response flushed: a graceful shutdown.
+
+Wire protocol (see README for a session transcript)::
+
+    {"op": "ping"}
+    {"op": "stats"}
+    {"op": "shutdown"}
+    {"op": "schedule", "graph": <graph doc>, "num_pes": 8,
+     "objective": "makespan", "schedulers": ["rlx", "nstr"],
+     "budget_ms": 250, "no_cache": false}
+
+Every response carries ``"ok"``; schedule responses add the graph
+fingerprint, the cache tier that served it (``false`` on a cold
+compute, ``"lru"``/``"store"``/``"inflight"`` otherwise), the winning
+scheduler, per-candidate metrics and the full schedule document.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from typing import Sequence
+
+from .. import __version__
+from .cache import ScheduleCache
+from .fingerprint import doc_digest, fingerprint_graph_doc, request_key
+from .portfolio import DEFAULT_SCHEDULERS, OBJECTIVES, run_portfolio, scheduler_names
+
+__all__ = ["ScheduleService", "ScheduleServer", "DEFAULT_PORT"]
+
+DEFAULT_PORT = 7421
+
+
+class _InFlight:
+    """One leader computing a key; followers wait on the event."""
+
+    __slots__ = ("event", "response")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.response: dict | None = None
+
+
+class ScheduleService:
+    """Request handler shared by the socket server and in-process callers."""
+
+    def __init__(
+        self,
+        cache: ScheduleCache | None = None,
+        default_schedulers: Sequence[str] = DEFAULT_SCHEDULERS,
+        fingerprint_memo_size: int = 4096,
+    ) -> None:
+        self.cache = cache
+        self.default_schedulers = tuple(default_schedulers)
+        self.started = time.time()
+        self.served = 0
+        self.computed = 0
+        self.coalesced = 0
+        self.errors = 0
+        self._lock = threading.Lock()
+        self._inflight: dict[str, _InFlight] = {}
+        # raw-document digest -> WL fingerprint; load generators resend
+        # identical graph documents, so this skips re-refinement entirely
+        self._fp_memo: dict[str, str] = {}
+        self._fp_memo_size = fingerprint_memo_size
+
+    # ------------------------------------------------------------------
+    def handle(self, doc: dict) -> dict:
+        """Dispatch one request document; never raises."""
+        try:
+            op = doc.get("op")
+            if op == "ping":
+                return {"ok": True, "op": "ping", "version": __version__}
+            if op == "stats":
+                return self._stats()
+            if op == "shutdown":
+                return {"ok": True, "op": "shutdown"}
+            if op == "schedule":
+                return self._schedule(doc)
+            return self._error(f"unknown op {op!r}")
+        except Exception as exc:  # a bad request must never kill a worker
+            return self._error(str(exc) or type(exc).__name__)
+
+    def _error(self, message: str) -> dict:
+        with self._lock:
+            self.errors += 1
+        return {"ok": False, "error": message}
+
+    def _stats(self) -> dict:
+        stats = {
+            "ok": True,
+            "op": "stats",
+            "version": __version__,
+            "uptime_s": round(time.time() - self.started, 3),
+            "served": self.served,
+            "computed": self.computed,
+            "coalesced": self.coalesced,
+            "errors": self.errors,
+            "schedulers": scheduler_names(),
+            "objectives": list(OBJECTIVES),
+        }
+        stats["cache"] = self.cache.counters() if self.cache else None
+        return stats
+
+    # ------------------------------------------------------------------
+    def _fingerprint(self, graph_doc: dict):
+        digest = doc_digest(graph_doc)
+        fp = self._fp_memo.get(digest)
+        if fp is not None:
+            return None, fp  # graph parsed lazily only when computing
+        graph, fp = fingerprint_graph_doc(graph_doc)
+        with self._lock:
+            if len(self._fp_memo) >= self._fp_memo_size:
+                self._fp_memo.clear()
+            self._fp_memo[digest] = fp
+        return graph, fp
+
+    def _schedule(self, doc: dict) -> dict:
+        t0 = time.perf_counter()
+        graph_doc = doc["graph"]
+        num_pes = int(doc["num_pes"])
+        objective = doc.get("objective", "makespan")
+        schedulers = tuple(doc.get("schedulers") or self.default_schedulers)
+        budget_ms = doc.get("budget_ms")
+        no_cache = bool(doc.get("no_cache", False))
+
+        graph, fp = self._fingerprint(graph_doc)
+        key = request_key(fp, num_pes, objective, schedulers)
+
+        if not no_cache and self.cache is not None:
+            hit = self.cache.get(key)
+            if hit is not None:
+                entry, tier = hit
+                return self._respond(entry, tier, t0)
+
+        if no_cache:
+            # forced recompute: bypass coalescing as well
+            entry = self._compute(graph, graph_doc, fp, key, num_pes,
+                                  objective, schedulers, budget_ms)
+            return self._respond(entry, False, t0)
+
+        with self._lock:
+            flight = self._inflight.get(key)
+            leader = flight is None
+            if leader:
+                flight = _InFlight()
+                self._inflight[key] = flight
+        if not leader:
+            flight.event.wait()
+            with self._lock:
+                self.coalesced += 1
+            response = flight.response
+            if response is None or not response.get("ok", False):
+                return self._error("coalesced computation failed")
+            return self._respond(response, "inflight", t0)
+
+        # double-check the cache under leadership: a previous leader may
+        # have completed between our miss and taking the in-flight slot
+        if self.cache is not None:
+            hit = self.cache.get(key)
+            if hit is not None:
+                entry, tier = hit
+                flight.response = entry
+                with self._lock:
+                    self._inflight.pop(key, None)
+                flight.event.set()
+                return self._respond(entry, tier, t0)
+
+        try:
+            entry = self._compute(graph, graph_doc, fp, key, num_pes,
+                                  objective, schedulers, budget_ms)
+        except Exception:
+            flight.response = {"ok": False}
+            raise
+        else:
+            flight.response = entry
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.event.set()
+        return self._respond(entry, False, t0)
+
+    def _compute(
+        self, graph, graph_doc, fp, key, num_pes, objective, schedulers, budget_ms
+    ) -> dict:
+        if graph is None:  # fingerprint came from the memo
+            from ..core.serialize import graph_from_dict
+
+            graph = graph_from_dict(dict(graph_doc))
+        budget_s = float(budget_ms) / 1000.0 if budget_ms is not None else None
+        result = run_portfolio(
+            graph, num_pes, objective=objective,
+            schedulers=schedulers, budget_s=budget_s,
+        )
+        entry = {
+            "ok": True,
+            "op": "schedule",
+            "fingerprint": fp,
+            "key": key,
+            "num_pes": num_pes,
+            "objective": objective,
+            "schedulers": list(schedulers),
+            "winner": result.winner.name,
+            "value": result.winner.value,
+            "makespan": result.winner.makespan,
+            "fifo_total": result.winner.fifo_total,
+            "truncated": result.truncated,
+            "candidates": [c.to_dict() for c in result.candidates],
+            "schedule": result.schedule_doc(),
+        }
+        with self._lock:
+            self.computed += 1
+        # a budget-truncated race is not reproducible: never cache it
+        if self.cache is not None and not result.truncated:
+            self.cache.put(key, entry)
+        return entry
+
+    def _respond(self, entry: dict, tier, t0: float) -> dict:
+        response = dict(entry)
+        response["cached"] = tier
+        response["elapsed_ms"] = round(1000.0 * (time.perf_counter() - t0), 3)
+        with self._lock:
+            self.served += 1
+        return response
+
+
+class ScheduleServer:
+    """Threaded newline-delimited-JSON TCP server around a service.
+
+    One lightweight reader thread per connection — connections spend
+    most of their life blocked on ``readline``, so an idle client never
+    occupies an execution slot — while a semaphore sized ``workers``
+    bounds the number of *concurrently executing* requests: the
+    thread-pool discipline applies to the CPU-bound scheduling work,
+    not to connection lifetimes, and more clients than workers queue at
+    the semaphore instead of starving.
+    """
+
+    def __init__(
+        self,
+        service: ScheduleService,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        workers: int = 4,
+        backlog: int = 128,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker slot")
+        self.service = service
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.backlog = backlog
+        self._sock: socket.socket | None = None
+        self._work_slots = threading.BoundedSemaphore(workers)
+        self._conns: set[socket.socket] = set()
+        self._threads: list[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """Bound (host, port); ``port=0`` resolves after :meth:`start`."""
+        return self.host, self.port
+
+    def start(self) -> "ScheduleServer":
+        """Bind, listen and launch the accept + worker threads."""
+        if self._sock is not None:
+            return self
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self.host, self.port))
+        sock.listen(self.backlog)
+        # fallback wakeup for platforms where shutdown() does not
+        # interrupt a blocked accept (see stop())
+        sock.settimeout(0.5)
+        self.port = sock.getsockname()[1]
+        self._sock = sock
+        accept = threading.Thread(target=self._accept_loop, daemon=True,
+                                  name="repro-serve-accept")
+        accept.start()
+        with self._lock:
+            self._threads.append(accept)
+        return self
+
+    @staticmethod
+    def _close_socket(sock: socket.socket) -> None:
+        """shutdown() + close(): the shutdown wakes any thread blocked in
+        accept()/recv() on the socket (a plain close() only frees the fd
+        number; the kernel socket would live until the syscall returns)."""
+        try:
+            sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    def stop(self) -> None:
+        """Graceful shutdown: stop accepting, then close every connection
+        (their reader threads finish the in-flight response first — the
+        writes already happened by the time a reader blocks again)."""
+        if self._stop.is_set():
+            return
+        self._stop.set()
+        if self._sock is not None:
+            self._close_socket(self._sock)
+        with self._lock:
+            conns = list(self._conns)
+        for conn in conns:
+            self._close_socket(conn)
+
+    def join(self, timeout: float = 5.0) -> None:
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            threads = list(self._threads)
+        for t in threads:
+            if t is threading.current_thread():
+                continue
+            t.join(max(0.0, deadline - time.monotonic()))
+
+    def serve_forever(self) -> None:
+        """Start (if needed), then block until :meth:`stop` is called."""
+        self.start()
+        self._stop.wait()
+        self.join()
+
+    def __enter__(self) -> "ScheduleServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+        self.join()
+
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._sock is not None
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:  # listener closed by stop()
+                return
+            conn.settimeout(None)
+            reader = threading.Thread(target=self._connection_main,
+                                      args=(conn,), daemon=True,
+                                      name="repro-serve-conn")
+            with self._lock:
+                self._conns.add(conn)
+                self._threads = [t for t in self._threads if t.is_alive()]
+                self._threads.append(reader)
+            reader.start()
+
+    def _connection_main(self, conn: socket.socket) -> None:
+        try:
+            self._serve_connection(conn)
+        except (OSError, ValueError):  # client vanished / closed by stop()
+            pass
+        finally:
+            with self._lock:
+                self._conns.discard(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with conn.makefile("rwb") as stream:
+            for line in stream:
+                if not line.strip():
+                    continue
+                try:
+                    doc = json.loads(line)
+                    if not isinstance(doc, dict):
+                        raise ValueError("request must be a JSON object")
+                except ValueError as exc:
+                    response = {"ok": False, "error": f"bad request: {exc}"}
+                    doc = {}
+                else:
+                    with self._work_slots:
+                        response = self.service.handle(doc)
+                stream.write(json.dumps(response).encode() + b"\n")
+                stream.flush()
+                if doc.get("op") == "shutdown" and response.get("ok"):
+                    self.stop()
+                    return

@@ -37,10 +37,15 @@ class DeadlockError(SimulationError):
 
     def __init__(self, time: int, blocked: list[str]):
         self.time = time
-        self.blocked = blocked
-        preview = ", ".join(blocked[:8])
-        more = "" if len(blocked) <= 8 else f" (+{len(blocked) - 8} more)"
-        super().__init__(f"deadlock at t={time}: blocked processes: {preview}{more}")
+        self.blocked = sorted(blocked)
+        preview = ", ".join(self.blocked[:8])
+        more = (
+            "" if len(self.blocked) <= 8 else f" (+{len(self.blocked) - 8} more)"
+        )
+        super().__init__(
+            f"deadlock at t={time}: {len(self.blocked)} blocked "
+            f"process{'' if len(self.blocked) == 1 else 'es'}: {preview}{more}"
+        )
 
 
 class Event:
@@ -162,14 +167,18 @@ class Environment:
     def run(self, until: int | None = None) -> int:
         """Run to completion (or ``until``); returns the final time.
 
+        A bounded run leaves every event past the horizon on the heap,
+        so calling ``run`` again resumes the simulation losslessly.
         Raises :class:`DeadlockError` when the heap empties while
         processes remain blocked.
         """
         while self._heap:
-            time, _, event = heapq.heappop(self._heap)
+            time, _, event = self._heap[0]
             if until is not None and time > until:
+                # the event stays scheduled for a later resume
                 self.now = until
                 return self.now
+            heapq.heappop(self._heap)
             self.now = time
             event.processed = True
             callbacks, event.callbacks = event.callbacks, []

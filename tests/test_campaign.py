@@ -264,3 +264,15 @@ class TestCampaignCli:
     def test_report_without_results_fails(self, tmp_path, capsys):
         assert main(["campaign", "report", "fig11", "--store", str(tmp_path)]) == 1
         assert "no stored results" in capsys.readouterr().err
+
+    def test_report_format_csv_prints_cells(self, tmp_path, capsys):
+        store = str(tmp_path)
+        main(["campaign", "run", "fig10", "--num-graphs", "1",
+              "--limit", "3", "--store", store])
+        capsys.readouterr()
+        rc = main(["campaign", "report", "fig10", "--store", store,
+                   "--format", "csv"])
+        assert rc == 0
+        header, *rows = capsys.readouterr().out.strip().splitlines()
+        assert header.startswith("scenario,kind,topology")
+        assert "speedup" in header and len(rows) == 3

@@ -1,0 +1,433 @@
+"""Tests for the scheduling service: fingerprint, cache, portfolio,
+server/client wire protocol, load generator and CLI wiring."""
+
+import json
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.core import graph_fingerprint, graph_to_dict, save_graph
+from repro.core.graph import CanonicalGraph
+from repro.core.node_types import NodeSpec
+from repro.graphs import random_canonical_graph
+from repro.service import (
+    DEFAULT_SCHEDULERS,
+    ScheduleCache,
+    ScheduleServer,
+    ScheduleService,
+    ServiceClient,
+    ServiceError,
+    build_request_pool,
+    percentile,
+    request_key,
+    run_loadgen,
+    run_portfolio,
+    scheduler_names,
+)
+
+
+def relabel(graph: CanonicalGraph, prefix: str = "r") -> CanonicalGraph:
+    """Same graph, different node names and insertion order."""
+    mapping = {v: f"{prefix}{i}" for i, v in enumerate(graph.nodes)}
+    clone = CanonicalGraph()
+    for v in reversed(list(graph.nodes)):
+        s = graph.spec(v)
+        clone.add_node(
+            NodeSpec(mapping[v], s.kind, s.input_volume, s.output_volume)
+        )
+    for u, v in graph.edges:
+        clone.nx.add_edge(mapping[u], mapping[v])
+    return clone
+
+
+class TestFingerprint:
+    def test_stable_under_relabeling(self):
+        g = random_canonical_graph("fft", 8, seed=3)
+        assert graph_fingerprint(g) == graph_fingerprint(relabel(g))
+
+    def test_method_matches_function(self):
+        g = random_canonical_graph("chain", 8, seed=0)
+        assert g.fingerprint() == graph_fingerprint(g)
+
+    def test_volume_change_changes_fingerprint(self):
+        a = random_canonical_graph("gaussian", 4, seed=1)
+        b = random_canonical_graph("gaussian", 4, seed=2)
+        assert graph_fingerprint(a) != graph_fingerprint(b)
+
+    def test_topology_change_changes_fingerprint(self):
+        a = random_canonical_graph("chain", 6, seed=0)
+        b = random_canonical_graph("chain", 7, seed=0)
+        assert graph_fingerprint(a) != graph_fingerprint(b)
+
+    def test_distinct_across_families_and_seeds(self):
+        fps = {
+            graph_fingerprint(random_canonical_graph(topo, size, seed=s))
+            for topo, size in (("chain", 8), ("fft", 8), ("gaussian", 6))
+            for s in range(5)
+        }
+        assert len(fps) == 15
+
+    def test_direction_matters(self):
+        # fan-out vs fan-in over identically-labelled nodes: only the
+        # edge directions differ, so an undirected hash would collide
+        def three_nodes():
+            g = CanonicalGraph()
+            for name in ("p", "q", "r"):
+                g.add_task(name, 8, 8)
+            return g
+
+        fan_out = three_nodes()
+        fan_out.add_edge("p", "q")
+        fan_out.add_edge("p", "r")
+        fan_in = three_nodes()
+        fan_in.add_edge("p", "r")
+        fan_in.add_edge("q", "r")
+        assert graph_fingerprint(fan_out) != graph_fingerprint(fan_in)
+
+    def test_request_key_composition(self):
+        key = request_key("f" * 64, 8, "makespan", ("rlx", "nstr"))
+        assert key == f"{'f' * 64}:p8:makespan:rlx+nstr"
+        assert key != request_key("f" * 64, 8, "makespan", ("nstr", "rlx"))
+
+
+class TestScheduleCache:
+    def test_lru_hit_and_miss_counters(self):
+        cache = ScheduleCache(None, capacity=4)
+        assert cache.get("a") is None
+        cache.put("a", {"x": 1})
+        entry, tier = cache.get("a")
+        assert entry == {"x": 1} and tier == "lru"
+        counters = cache.counters()
+        assert counters["hits"] == 1 and counters["misses"] == 1
+
+    def test_eviction_drops_least_recent(self):
+        cache = ScheduleCache(None, capacity=2)
+        cache.put("a", {"v": "a"})
+        cache.put("b", {"v": "b"})
+        cache.get("a")  # a is now most recent
+        cache.put("c", {"v": "c"})  # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.counters()["evictions"] == 1
+
+    def test_persistent_tier_survives_reopen(self, tmp_path):
+        path = tmp_path / "schedules.jsonl"
+        cache = ScheduleCache(path, capacity=4)
+        cache.put("k", {"answer": 42})
+        reopened = ScheduleCache(path, capacity=4)
+        entry, tier = reopened.get("k")
+        assert entry == {"answer": 42} and tier == "store"
+        # promoted into the LRU: second get is a memory hit
+        assert reopened.get("k")[1] == "lru"
+
+    def test_torn_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "schedules.jsonl"
+        ScheduleCache(path).put("good", {"v": 1})
+        with open(path, "a") as fh:
+            fh.write('{"key": "torn", "entry": {tr')  # torn write
+        reopened = ScheduleCache(path)
+        assert reopened.get("good") is not None
+        assert reopened.get("torn") is None
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ScheduleCache(None, capacity=0)
+
+
+class TestPortfolio:
+    def test_default_race_and_winner(self):
+        g = random_canonical_graph("fft", 8, seed=0)
+        result = run_portfolio(g, 8)
+        assert [c.name for c in result.candidates] == list(DEFAULT_SCHEDULERS)
+        assert result.winner.makespan == min(c.makespan for c in result.candidates)
+        assert result.schedule_doc()["makespan"] == result.winner.makespan
+        assert not result.truncated
+
+    def test_registry_contains_all_five(self):
+        assert set(scheduler_names()) >= {"lts", "rlx", "work", "nstr", "heft"}
+
+    def test_heft_and_work_candidates_run(self):
+        g = random_canonical_graph("gaussian", 6, seed=1)
+        result = run_portfolio(g, 4, schedulers=("heft", "work"))
+        assert {c.name for c in result.candidates} == {"heft", "work"}
+
+    def test_buffer_objective_prefers_fifo_free_schedules(self):
+        g = random_canonical_graph("fft", 8, seed=0)
+        result = run_portfolio(g, 8, objective="buffer",
+                               schedulers=("rlx", "nstr"))
+        # nstr needs no FIFOs at all, so it wins the buffer objective
+        assert result.winner.name == "nstr"
+        assert result.winner.fifo_total == 0
+
+    def test_throughput_value_is_speedup(self):
+        from repro.core import total_work
+
+        g = random_canonical_graph("chain", 8, seed=0)
+        result = run_portfolio(g, 4, objective="throughput")
+        assert result.winner.value == pytest.approx(
+            total_work(g) / result.winner.makespan
+        )
+
+    def test_budget_truncates_but_returns_a_schedule(self):
+        g = random_canonical_graph("fft", 8, seed=0)
+        result = run_portfolio(g, 8, budget_s=0.0)
+        assert result.truncated
+        assert len(result.candidates) == 1
+        assert result.winner.name == DEFAULT_SCHEDULERS[0]
+
+    def test_unknown_scheduler_rejected(self):
+        g = random_canonical_graph("chain", 4, seed=0)
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            run_portfolio(g, 2, schedulers=("nope",))
+
+    def test_unknown_objective_rejected(self):
+        g = random_canonical_graph("chain", 4, seed=0)
+        with pytest.raises(ValueError, match="unknown objective"):
+            run_portfolio(g, 2, objective="vibes")
+
+
+class TestScheduleService:
+    def setup_method(self):
+        self.service = ScheduleService(cache=ScheduleCache(None, capacity=16))
+        self.graph = random_canonical_graph("fft", 8, seed=1)
+        self.doc = {
+            "op": "schedule",
+            "graph": graph_to_dict(self.graph),
+            "num_pes": 8,
+        }
+
+    def test_cold_then_cached_byte_identical(self):
+        cold = self.service.handle(dict(self.doc))
+        warm = self.service.handle(dict(self.doc))
+        assert cold["ok"] and cold["cached"] is False
+        assert warm["cached"] == "lru"
+        assert json.dumps(cold["schedule"], sort_keys=True) == json.dumps(
+            warm["schedule"], sort_keys=True
+        )
+
+    def test_relabeled_graph_hits_the_same_entry(self):
+        self.service.handle(dict(self.doc))
+        renamed = {
+            "op": "schedule",
+            "graph": graph_to_dict(relabel(self.graph)),
+            "num_pes": 8,
+        }
+        response = self.service.handle(renamed)
+        assert response["cached"] == "lru"
+
+    def test_no_cache_forces_recompute(self):
+        self.service.handle(dict(self.doc))
+        forced = self.service.handle({**self.doc, "no_cache": True})
+        assert forced["cached"] is False
+        assert self.service.computed == 2
+
+    def test_distinct_pes_do_not_collide(self):
+        a = self.service.handle(dict(self.doc))
+        b = self.service.handle({**self.doc, "num_pes": 4})
+        assert a["key"] != b["key"] and b["cached"] is False
+
+    def test_truncated_results_are_not_cached(self):
+        truncated = self.service.handle({**self.doc, "budget_ms": 0})
+        assert truncated["truncated"]
+        again = self.service.handle({**self.doc, "budget_ms": 0})
+        assert again["cached"] is False  # never served from cache
+
+    def test_bad_requests_answer_ok_false(self):
+        assert not self.service.handle({"op": "nope"})["ok"]
+        assert not self.service.handle({"op": "schedule"})["ok"]
+        bad_graph = {"op": "schedule", "graph": {"format": "x"}, "num_pes": 2}
+        assert not self.service.handle(bad_graph)["ok"]
+        assert self.service.errors == 3
+
+    def test_stats_shape(self):
+        self.service.handle(dict(self.doc))
+        stats = self.service.handle({"op": "stats"})
+        assert stats["ok"] and stats["served"] == 1 and stats["computed"] == 1
+        assert stats["cache"]["puts"] == 1
+
+    def test_coalescing_batches_identical_fingerprints(self):
+        line = dict(self.doc)
+        n = 6
+        barrier = threading.Barrier(n)
+        responses = []
+        lock = threading.Lock()
+
+        def fire():
+            barrier.wait()
+            response = self.service.handle(dict(line))
+            with lock:
+                responses.append(response)
+
+        threads = [threading.Thread(target=fire) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(r["ok"] for r in responses)
+        payloads = {json.dumps(r["schedule"], sort_keys=True) for r in responses}
+        assert len(payloads) == 1
+        # exactly one computation; everyone else waited or hit the cache
+        assert self.service.computed == 1
+        assert self.service.coalesced + 1 + sum(
+            1 for r in responses if r["cached"] == "lru"
+        ) == n
+
+
+@pytest.fixture
+def live_server():
+    service = ScheduleService(cache=ScheduleCache(None, capacity=64))
+    with ScheduleServer(service, port=0, workers=2) as server:
+        yield server
+
+
+class TestServerClient:
+    def test_ping_schedule_stats_roundtrip(self, live_server):
+        g = random_canonical_graph("chain", 6, seed=0)
+        with ServiceClient(port=live_server.port) as client:
+            assert client.ping()["ok"]
+            first = client.schedule(g, 4)
+            second = client.schedule(g, 4)
+            assert first["cached"] is False and second["cached"] == "lru"
+            assert client.stats()["served"] == 2
+
+    def test_service_error_raised_for_bad_request(self, live_server):
+        with ServiceClient(port=live_server.port) as client:
+            with pytest.raises(ServiceError):
+                g = random_canonical_graph("chain", 4, seed=0)
+                client.schedule(g, 4, schedulers=["bogus"])
+
+    def test_malformed_line_gets_error_response(self, live_server):
+        with ServiceClient(port=live_server.port) as client:
+            response = client.request_raw(b"this is not json\n")
+            assert response["ok"] is False
+
+    def test_more_clients_than_workers_are_all_served(self):
+        # connections must not pin worker slots: with a single worker
+        # slot, a second concurrent client still gets answers while the
+        # first connection stays open and idle
+        service = ScheduleService(cache=ScheduleCache(None, capacity=8))
+        with ScheduleServer(service, port=0, workers=1) as server:
+            g = random_canonical_graph("chain", 4, seed=0)
+            with ServiceClient(port=server.port, timeout=5.0) as first:
+                assert first.ping()["ok"]
+                with ServiceClient(port=server.port, timeout=5.0) as second:
+                    assert second.ping()["ok"]
+                    assert second.schedule(g, 2)["ok"]
+                assert first.schedule(g, 2)["ok"]
+
+    def test_shutdown_is_graceful(self):
+        service = ScheduleService()
+        server = ScheduleServer(service, port=0, workers=2).start()
+        with ServiceClient(port=server.port) as client:
+            assert client.shutdown()["ok"]
+        server.join()
+        with pytest.raises(OSError):
+            ServiceClient(port=server.port, timeout=0.5)
+
+
+class TestLoadgen:
+    def test_pool_is_diverse_and_deterministic(self):
+        lines = build_request_pool(scenario="fig10", pool=8)
+        assert lines == build_request_pool(scenario="fig10", pool=8)
+        docs = [json.loads(line) for line in lines]
+        assert len(lines) == 8
+        assert len({d["num_pes"] for d in docs}) > 1  # mixes PE counts
+
+    def test_percentile_nearest_rank(self):
+        xs = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(xs, 50) == 20.0
+        assert percentile(xs, 100) == 40.0
+        # rank = ceil(q/100 * N), exactly: p50 of 1..10 is the 5th value
+        assert percentile(list(range(1, 11)), 50) == 5
+        assert percentile(list(range(1, 501)), 99) == 495
+        assert percentile(xs, 0) == 10.0
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_loadgen_against_live_server(self, live_server):
+        report = run_loadgen(
+            port=live_server.port, requests=30, workers=2, pool=4,
+            scenario="fig10", seed=1,
+        )
+        assert report.requests == 30 and report.errors == 0
+        assert report.tiers.get("cold", 0) <= 4 + 2  # pool + races
+        assert report.hit_rate > 0.5
+        assert report.summary()["p50_ms"] > 0
+        assert "req/s" in report.table()
+
+    def test_loadgen_fails_fast_without_server(self):
+        with pytest.raises(OSError):
+            run_loadgen(port=1, requests=2, workers=1, pool=2)
+
+
+class TestServiceCli:
+    def test_request_and_loadgen_cli(self, live_server, tmp_path, capsys):
+        graph_path = tmp_path / "g.json"
+        save_graph(random_canonical_graph("chain", 6, seed=0), str(graph_path))
+        out_path = tmp_path / "sched.json"
+        rc = main([
+            "request", str(graph_path), "-p", "4",
+            "--schedulers", "rlx,nstr",
+            "--host", "127.0.0.1", "--port", str(live_server.port),
+            "-o", str(out_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "wins makespan" in out
+        assert json.loads(out_path.read_text())["num_pes"] == 4
+
+        json_out = tmp_path / "loadgen.json"
+        csv_out = tmp_path / "lat.csv"
+        rc = main([
+            "loadgen", "--requests", "20", "--workers", "2", "--pool", "3",
+            "--port", str(live_server.port),
+            "--json", str(json_out), "--csv", str(csv_out),
+        ])
+        assert rc == 0
+        report = json.loads(json_out.read_text())
+        assert report["requests"] == 20 and report["errors"] == 0
+        assert csv_out.read_text().startswith("index,latency_ms")
+
+    def test_request_cli_unreachable_service(self, tmp_path, capsys):
+        graph_path = tmp_path / "g.json"
+        save_graph(random_canonical_graph("chain", 4, seed=0), str(graph_path))
+        rc = main(["request", str(graph_path), "-p", "2", "--port", "1"])
+        assert rc == 1
+        assert "cannot reach service" in capsys.readouterr().err
+
+    def test_serve_cli_runs_and_shuts_down(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_DIR", str(tmp_path / "svc"))
+        # pick a free port first
+        import socket as socketlib
+
+        with socketlib.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        rc_box = {}
+
+        def run_serve():
+            rc_box["rc"] = main(["serve", "--port", str(port), "-w", "2"])
+
+        thread = threading.Thread(target=run_serve)
+        thread.start()
+        g = random_canonical_graph("chain", 4, seed=0)
+        client = None
+        for _ in range(100):
+            try:
+                client = ServiceClient(port=port, timeout=5.0)
+                break
+            except OSError:
+                import time
+
+                time.sleep(0.05)
+        assert client is not None
+        with client:
+            assert client.schedule(g, 2)["ok"]
+            client.shutdown()
+        thread.join(timeout=10)
+        assert not thread.is_alive() and rc_box["rc"] == 0
+        # the persistent schedule store was created and holds the entry
+        store = tmp_path / "svc" / "schedules.jsonl"
+        assert store.exists()
+        assert len(store.read_text().strip().splitlines()) == 1

@@ -49,6 +49,22 @@ class TestEvents:
         ev.add_callback(lambda e: hits.append(True))
         assert hits == [True]
 
+    def test_callback_after_processing_sees_the_value(self):
+        env = Environment()
+
+        def worker():
+            yield env.timeout(2)
+            return "payload"
+
+        proc = env.process(worker(), "w")
+        env.run()
+        seen = []
+        proc.completion.add_callback(lambda e: seen.append(e.value))
+        assert seen == ["payload"]
+        # further callbacks keep running immediately, in call order
+        proc.completion.add_callback(lambda e: seen.append("again"))
+        assert seen == ["payload", "again"]
+
     def test_all_of_waits_for_all(self):
         env = Environment()
         done = []
@@ -77,6 +93,49 @@ class TestEvents:
         env.process(proc(), "p")
         env.run()
         assert hits == [0]
+
+    def test_all_of_empty_generator_input(self):
+        env = Environment()
+        combined = env.all_of(ev for ev in [])
+        env.run()
+        assert combined.triggered and combined.processed
+
+    def test_all_of_with_already_fired_events(self):
+        env = Environment()
+        fired = [env.event(f"e{i}") for i in range(3)]
+        for ev in fired:
+            ev.trigger()
+        env.run()
+        assert all(ev.processed for ev in fired)
+        hits = []
+
+        def waiter():
+            yield env.all_of(fired)
+            hits.append(env.now)
+
+        env.process(waiter(), "w")
+        env.run()
+        assert hits == [0]
+
+    def test_all_of_mixing_fired_and_pending_events(self):
+        env = Environment()
+        done = env.event("done")
+        done.trigger()
+        env.run()
+        hits = []
+
+        def worker():
+            yield env.timeout(4)
+
+        proc = env.process(worker(), "w")
+
+        def waiter():
+            yield env.all_of([done, proc.completion])
+            hits.append(env.now)
+
+        env.process(waiter(), "waiter")
+        env.run()
+        assert hits == [4]
 
     def test_completion_value(self):
         env = Environment()
@@ -117,6 +176,58 @@ class TestEvents:
         assert env.run(until=35) == 35
         assert env.now == 35
 
+    def test_run_until_resumes_without_losing_events(self):
+        env = Environment()
+        hits = []
+
+        def proc():
+            for _ in range(10):
+                yield env.timeout(10)
+                hits.append(env.now)
+
+        env.process(proc(), "p")
+        assert env.run(until=35) == 35
+        assert hits == [10, 20, 30]
+        # the t=40 event must still be on the heap: resuming completes
+        # the run instead of deadlocking on the dropped wakeup
+        assert env.run() == 100
+        assert hits == [10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+
+    def test_run_until_fires_events_at_the_horizon(self):
+        env = Environment()
+        hits = []
+
+        def proc():
+            yield env.timeout(5)
+            hits.append(env.now)
+            yield env.timeout(5)
+            hits.append(env.now)
+
+        env.process(proc(), "p")
+        assert env.run(until=10) == 10
+        assert hits == [5, 10]
+
+    def test_run_until_repeated_resume_matches_unbounded_run(self):
+        def build():
+            env = Environment()
+            log = []
+
+            def worker(delay, count):
+                for _ in range(count):
+                    yield env.timeout(delay)
+                    log.append((env.now, delay))
+
+            env.process(worker(3, 5), "w3")
+            env.process(worker(7, 3), "w7")
+            return env, log
+
+        env_a, log_a = build()
+        env_a.run()
+        env_b, log_b = build()
+        for horizon in (4, 9, 13, 100):
+            env_b.run(until=horizon)
+        assert log_b == log_a
+
     def test_negative_timeout_rejected(self):
         env = Environment()
         with pytest.raises(ValueError):
@@ -144,6 +255,33 @@ class TestDeadlockDetection:
 
         env.process(proc(), "ok")
         env.run()  # no exception
+
+    def test_deadlock_message_counts_and_sorts_blocked(self):
+        env = Environment()
+        never = env.event("never")
+
+        def proc():
+            yield never
+
+        # registration order is deliberately unsorted
+        for name in ("zeta", "alpha", "mid"):
+            env.process(proc(), name)
+        with pytest.raises(DeadlockError) as exc:
+            env.run()
+        message = str(exc.value)
+        assert "3 blocked processes" in message
+        assert message.index("alpha") < message.index("mid") < message.index("zeta")
+        assert exc.value.blocked == sorted(exc.value.blocked)
+
+    def test_deadlock_message_singular(self):
+        env = Environment()
+
+        def proc():
+            yield env.event("never")
+
+        env.process(proc(), "only")
+        with pytest.raises(DeadlockError, match=r"1 blocked process: only"):
+            env.run()
 
 
 class TestFifoChannel:
