@@ -36,8 +36,9 @@ def read_jsonl(path: str | Path) -> Iterator[dict]:
     """Yield the parsed objects of a JSON-lines file.
 
     Blank lines, torn lines from an interrupted write and non-object
-    lines are skipped — callers treat them as cache misses.  Also used
-    by the :mod:`repro.service` schedule store.
+    lines are skipped — callers treat them as cache misses.  The
+    :mod:`repro.service` schedule store writes the same format but
+    keeps its own offset-indexed reader.
     """
     path = Path(path)
     if not path.exists():

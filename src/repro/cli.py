@@ -136,6 +136,10 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument(
         "--no-cache", action="store_true", help="disable caching entirely"
     )
+    srv.add_argument(
+        "--allow-remote-shutdown", action="store_true",
+        help="honour the shutdown op from non-loopback peers too",
+    )
 
     req = sub.add_parser("request", help="submit one graph to a service")
     req.add_argument("graph", help="graph JSON path")
@@ -347,7 +351,8 @@ def _cmd_serve(args) -> int:
         print(f"schedule cache: {tier} ({len(cache)} stored entries)")
     service = ScheduleService(cache=cache)
     server = ScheduleServer(
-        service, host=args.host, port=args.port, workers=args.workers
+        service, host=args.host, port=args.port, workers=args.workers,
+        allow_remote_shutdown=args.allow_remote_shutdown,
     )
     server.start()
     print(

@@ -8,7 +8,12 @@ from .block_schedule import BlockSchedule, TaskTimes, schedule_block
 from .buffer_sizing import compute_buffer_sizes
 from .depth import streaming_depth, streaming_depth_bound
 from .gantt import render_gantt
-from .graph import CanonicalGraph, CanonicalityError, graph_fingerprint
+from .graph import (
+    CanonicalGraph,
+    CanonicalityError,
+    find_isomorphism,
+    graph_fingerprint,
+)
 from .levels import (
     bottom_levels,
     critical_path_length,
@@ -57,6 +62,7 @@ __all__ = [
     "compute_spatial_blocks",
     "compute_streaming_intervals",
     "critical_path_length",
+    "find_isomorphism",
     "format_table",
     "graph_fingerprint",
     "graph_from_dict",

@@ -20,7 +20,12 @@ import networkx as nx
 
 from .node_types import NodeKind, NodeSpec, classify_rate
 
-__all__ = ["CanonicalGraph", "CanonicalityError", "graph_fingerprint"]
+__all__ = [
+    "CanonicalGraph",
+    "CanonicalityError",
+    "graph_fingerprint",
+    "find_isomorphism",
+]
 
 #: bump when the fingerprint construction changes — folded into the hash
 #: so fingerprints from different algorithm versions can never collide
@@ -30,6 +35,44 @@ FINGERPRINT_VERSION = "cg1"
 def _label_digest(payload: str) -> str:
     """Short (16 hex chars) digest used for intermediate node labels."""
     return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def _wl_seed_labels(graph: "CanonicalGraph") -> dict[Hashable, str]:
+    """Initial 1-WL labels: a digest of each node's cost data
+    ``(kind, I(v), O(v))`` — exactly what the schedulers consume."""
+    labels: dict[Hashable, str] = {}
+    for v in graph._g:
+        spec = graph.spec(v)
+        labels[v] = _label_digest(
+            f"{spec.kind.value}|{spec.input_volume}|{spec.output_volume}"
+        )
+    return labels
+
+
+def _wl_refine(
+    graph: "CanonicalGraph", labels: dict[Hashable, str]
+) -> dict[Hashable, str]:
+    """1-WL color refinement to stability (at most ``|V|`` rounds).
+
+    Each round rehashes a node's label together with the *sorted*
+    multisets of its predecessor and successor labels (direction-aware,
+    so mirrored DAGs do not collide), until the label partition stops
+    refining.
+    """
+    g = graph._g
+    num_classes = len(set(labels.values()))
+    for _ in range(len(labels)):
+        refined = {}
+        for v in g:
+            preds = ",".join(sorted(labels[u] for u in g.predecessors(v)))
+            succs = ",".join(sorted(labels[w] for w in g.successors(v)))
+            refined[v] = _label_digest(f"{labels[v]}<{preds}>{succs}")
+        labels = refined
+        refined_classes = len(set(labels.values()))
+        if refined_classes == num_classes:  # partition is stable
+            break
+        num_classes = refined_classes
+    return labels
 
 
 def graph_fingerprint(graph: "CanonicalGraph") -> str:
@@ -59,24 +102,7 @@ def graph_fingerprint(graph: "CanonicalGraph") -> str:
     in practice.
     """
     g = graph._g
-    labels: dict[Hashable, str] = {}
-    for v in g:
-        spec = graph.spec(v)
-        labels[v] = _label_digest(
-            f"{spec.kind.value}|{spec.input_volume}|{spec.output_volume}"
-        )
-    num_classes = len(set(labels.values()))
-    for _ in range(len(labels)):
-        refined = {}
-        for v in g:
-            preds = ",".join(sorted(labels[u] for u in g.predecessors(v)))
-            succs = ",".join(sorted(labels[w] for w in g.successors(v)))
-            refined[v] = _label_digest(f"{labels[v]}<{preds}>{succs}")
-        labels = refined
-        refined_classes = len(set(labels.values()))
-        if refined_classes == num_classes:  # partition is stable
-            break
-        num_classes = refined_classes
+    labels = _wl_refine(graph, _wl_seed_labels(graph))
     h = hashlib.sha256()
     h.update(
         f"{FINGERPRINT_VERSION}|{g.number_of_nodes()}|{g.number_of_edges()}".encode()
@@ -86,6 +112,75 @@ def graph_fingerprint(graph: "CanonicalGraph") -> str:
     for edge in sorted(f"{labels[u]}>{labels[v]}" for u, v in g.edges):
         h.update(edge.encode())
     return h.hexdigest()
+
+
+def find_isomorphism(
+    src: "CanonicalGraph", dst: "CanonicalGraph"
+) -> dict[Hashable, Hashable] | None:
+    """An explicit node bijection ``src → dst`` witnessing isomorphism.
+
+    Two graphs can share a :func:`graph_fingerprint` without being
+    relabelings of each other (1-WL is complete only up to color
+    refinement), and even for genuinely isomorphic graphs the
+    fingerprint does not say *which* node corresponds to which.  This
+    function answers both questions: it returns a mapping from every
+    node of ``src`` to a node of ``dst`` that preserves node cost data
+    and the exact edge set, or ``None`` when no such witness is found.
+
+    The search is individualization-refinement without backtracking:
+    refine both graphs with 1-WL, and while some label class holds more
+    than one node, individualize one deterministic pick per graph inside
+    the smallest ambiguous class and re-refine.  The candidate mapping
+    is then *verified* edge-by-edge and spec-by-spec before being
+    returned — so a non-``None`` result is always a correct witness,
+    and a 1-WL collision between non-isomorphic graphs yields ``None``
+    rather than a wrong mapping.  (Forgoing backtracking means highly
+    symmetric non-orbit classes could miss a witness that exists; the
+    failure mode is a recompute, never a wrong answer.)
+    """
+    gs, gd = src._g, dst._g
+    if gs.number_of_nodes() != gd.number_of_nodes():
+        return None
+    if gs.number_of_edges() != gd.number_of_edges():
+        return None
+    ls = _wl_refine(src, _wl_seed_labels(src))
+    ld = _wl_refine(dst, _wl_seed_labels(dst))
+    mapping: dict[Hashable, Hashable] | None = None
+    for round_no in range(gs.number_of_nodes() + 1):
+        classes_s: dict[str, list[Hashable]] = {}
+        classes_d: dict[str, list[Hashable]] = {}
+        for v, lab in ls.items():
+            classes_s.setdefault(lab, []).append(v)
+        for v, lab in ld.items():
+            classes_d.setdefault(lab, []).append(v)
+        if set(classes_s) != set(classes_d) or any(
+            len(classes_s[lab]) != len(classes_d[lab]) for lab in classes_s
+        ):
+            return None
+        ambiguous = [lab for lab, vs in classes_s.items() if len(vs) > 1]
+        if not ambiguous:
+            mapping = {classes_s[lab][0]: classes_d[lab][0] for lab in classes_s}
+            break
+        lab = min(ambiguous, key=lambda x: (len(classes_s[x]), x))
+        tag = _label_digest(f"individualized|{lab}|{round_no}")
+        ls[min(classes_s[lab], key=repr)] = tag
+        ld[min(classes_d[lab], key=repr)] = tag
+        ls = _wl_refine(src, ls)
+        ld = _wl_refine(dst, ld)
+    if mapping is None:
+        return None
+    for v in gs:
+        sv, dv = src.spec(v), dst.spec(mapping[v])
+        if (sv.kind, sv.input_volume, sv.output_volume) != (
+            dv.kind,
+            dv.input_volume,
+            dv.output_volume,
+        ):
+            return None
+    for u, v in gs.edges:
+        if not gd.has_edge(mapping[u], mapping[v]):
+            return None
+    return mapping
 
 
 class CanonicalityError(ValueError):

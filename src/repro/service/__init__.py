@@ -40,9 +40,22 @@ the fingerprint; changing topology or any node's volumes does.  The
 never collide with old fingerprints.
 
 Cache entries are keyed by the *request* identity
-``"<fingerprint>:p<num_pes>:<objective>:<sched+sched+...>"``
+``"sv2:<fingerprint>:p<num_pes>:<objective>:<sched+sched+...>"``
 (:func:`~repro.service.fingerprint.request_key`); the scheduler list is
-order-sensitive because racing order breaks objective ties.
+order-sensitive because racing order breaks objective ties, and the
+leading :data:`~repro.service.fingerprint.SCHEDULE_KEY_VERSION` tag
+makes entries persisted by older code unreachable after a schedule
+schema or scheduler change instead of being served stale forever.
+
+Because the key is isomorphism stable, a hit may have been computed for
+a *differently named* copy of the requester's graph.  Each cached entry
+therefore carries the exact graph document it was computed from: on a
+cross-document hit the service finds an explicit isomorphism witness
+(:func:`repro.core.graph.find_isomorphism`) between the two documents
+and remaps the stored schedule's node names onto the requester's before
+answering; when no witness exists — 1-WL can in principle collide
+non-isomorphic graphs — the request is recomputed rather than answered
+with names from someone else's graph.
 
 Quickstart::
 
@@ -64,7 +77,13 @@ or, from the command line::
 
 from .cache import ScheduleCache
 from .client import ServiceClient, ServiceError
-from .fingerprint import doc_digest, fingerprint_graph_doc, graph_fingerprint, request_key
+from .fingerprint import (
+    SCHEDULE_KEY_VERSION,
+    doc_digest,
+    fingerprint_graph_doc,
+    graph_fingerprint,
+    request_key,
+)
 from .loadgen import LoadgenReport, build_request_pool, percentile, run_loadgen
 from .portfolio import (
     DEFAULT_SCHEDULERS,
@@ -80,6 +99,7 @@ from .server import DEFAULT_PORT, ScheduleServer, ScheduleService
 __all__ = [
     "DEFAULT_PORT",
     "DEFAULT_SCHEDULERS",
+    "SCHEDULE_KEY_VERSION",
     "CandidateResult",
     "LoadgenReport",
     "OBJECTIVES",

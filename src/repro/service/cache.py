@@ -1,25 +1,33 @@
 """Two-tier schedule cache: in-memory LRU over a persistent JSONL store.
 
 The memory tier is a capacity-bounded LRU of response entries; the disk
-tier (optional) reuses the campaign store's JSON-lines machinery — one
-``{"key": ..., "entry": ...}`` object per line, append-only, torn lines
-skipped on load — so a restarted server warms up from everything any
-previous instance computed.  A get promotes disk hits into the LRU;
-eviction only ever drops the memory copy.
+tier (optional) is an append-only JSON-lines file — one
+``{"key": ..., "entry": ...}`` object per line, torn lines skipped on
+load, format-compatible with the campaign store — so a restarted server
+warms up from everything any previous instance computed.  In memory the
+disk tier is only a ``key → byte offset`` index: entries (which embed
+full graph documents and schedules) are re-read from the file on a
+store hit and promoted into the LRU, so ``capacity`` genuinely bounds
+resident entries no matter how many the store accumulates.
 
 All operations are thread-safe (the server handles requests from a
 thread pool) and counted: ``hits`` (memory), ``store_hits`` (disk),
 ``misses``, ``evictions``, ``puts`` feed the ``stats`` op and the load
 generator's report.
+
+The cache itself is a dumb map: staleness across code changes is the
+*key's* problem, and the service's request keys carry a schema version
+tag (:data:`~repro.service.fingerprint.SCHEDULE_KEY_VERSION`) precisely
+so that entries persisted by older code become unreachable here instead
+of being served forever.
 """
 
 from __future__ import annotations
 
+import json
 import threading
 from collections import OrderedDict
 from pathlib import Path
-
-from ..campaign.store import append_jsonl, read_jsonl
 
 __all__ = ["ScheduleCache"]
 
@@ -33,7 +41,7 @@ class ScheduleCache:
         self.path = Path(path) if path is not None else None
         self.capacity = capacity
         self._lru: OrderedDict[str, dict] = OrderedDict()
-        self._disk: dict[str, dict] = {}
+        self._disk: dict[str, int] = {}  #: key -> byte offset in the file
         self._lock = threading.Lock()
         # disk appends serialize on their own lock so a put's file write
         # never stalls concurrent get() fast paths
@@ -43,21 +51,37 @@ class ScheduleCache:
         self.misses = 0
         self.evictions = 0
         self.puts = 0
-        if self.path is not None:
-            for doc in read_jsonl(self.path):
-                key, entry = doc.get("key"), doc.get("entry")
-                if isinstance(key, str) and isinstance(entry, dict):
-                    self._disk[key] = entry
+        if self.path is not None and self.path.exists():
+            with open(self.path, "rb") as fh:
+                offset = 0
+                for line in fh:
+                    start, offset = offset, offset + len(line)
+                    stripped = line.strip()
+                    if not stripped:
+                        continue
+                    try:
+                        doc = json.loads(stripped)
+                    except ValueError:  # torn line from an interrupted write
+                        continue
+                    if (
+                        isinstance(doc, dict)
+                        and isinstance(doc.get("key"), str)
+                        and isinstance(doc.get("entry"), dict)
+                    ):
+                        self._disk[doc["key"]] = start
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._lru.keys() | self._disk.keys())
 
-    def get(self, key: str) -> tuple[dict, str] | None:
+    def get(self, key: str, count_miss: bool = True) -> tuple[dict, str] | None:
         """Look up ``key``; returns ``(entry, tier)`` or ``None``.
 
         ``tier`` is ``"lru"`` for a memory hit, ``"store"`` for a disk
-        hit (which is promoted into the LRU).
+        hit (re-read from the file and promoted into the LRU).  Pass
+        ``count_miss=False`` for a re-probe of a key whose miss was
+        already counted (the service's single-flight double-check), so
+        one cold request never inflates ``misses`` twice.
         """
         with self._lock:
             entry = self._lru.get(key)
@@ -65,25 +89,57 @@ class ScheduleCache:
                 self._lru.move_to_end(key)
                 self.hits += 1
                 return entry, "lru"
-            entry = self._disk.get(key)
-            if entry is not None:
-                self.store_hits += 1
-                self._insert(key, entry)
-                return entry, "store"
-            self.misses += 1
+            offset = self._disk.get(key)
+            if offset is None:
+                if count_miss:
+                    self.misses += 1
+                return None
+        # file IO happens outside the map lock; a concurrent promotion
+        # of the same key is benign (same entry, idempotent insert)
+        entry = self._read_store_entry(key, offset)
+        with self._lock:
+            if entry is None:
+                if count_miss:
+                    self.misses += 1
+                return None
+            self.store_hits += 1
+            self._insert(key, entry)
+        return entry, "store"
+
+    def _read_store_entry(self, key: str, offset: int) -> dict | None:
+        try:
+            with open(self.path, "rb") as fh:
+                fh.seek(offset)
+                doc = json.loads(fh.readline())
+        except (OSError, ValueError):
             return None
+        if not isinstance(doc, dict) or doc.get("key") != key:
+            return None
+        entry = doc.get("entry")
+        return entry if isinstance(entry, dict) else None
 
     def put(self, key: str, entry: dict) -> None:
-        """Insert into both tiers; appends to the JSONL file if backed."""
+        """Insert into the LRU; appends to the JSONL file if backed."""
         with self._lock:
             self.puts += 1
             self._insert(key, entry)
             append_needed = self.path is not None and key not in self._disk
-            if self.path is not None:
-                self._disk[key] = entry
         if append_needed:
             with self._io_lock:
-                append_jsonl(self.path, [{"key": key, "entry": entry}])
+                with self._lock:
+                    if key in self._disk:  # a concurrent put won the race
+                        return
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                with open(self.path, "ab") as fh:
+                    offset = fh.tell()
+                    fh.write(
+                        json.dumps(
+                            {"key": key, "entry": entry}, sort_keys=True
+                        ).encode()
+                        + b"\n"
+                    )
+                with self._lock:
+                    self._disk[key] = offset
 
     def _insert(self, key: str, entry: dict) -> None:
         self._lru[key] = entry

@@ -18,11 +18,20 @@ from ..core.graph import CanonicalGraph, graph_fingerprint
 from ..core.serialize import graph_from_dict
 
 __all__ = [
+    "SCHEDULE_KEY_VERSION",
     "graph_fingerprint",
     "request_key",
     "fingerprint_graph_doc",
     "doc_digest",
 ]
+
+#: bump when the schedule document schema, the cached-entry layout or a
+#: scheduler's behaviour changes: the tag prefixes every request key, so
+#: a restarted server never serves entries persisted by older code —
+#: they simply become unreachable in the JSONL store (the graph
+#: fingerprint itself folds its own ``cg1`` version into the hash, but
+#: that only guards the *graph* hashing, not the schedule format).
+SCHEDULE_KEY_VERSION = "sv2"
 
 
 def doc_digest(doc: Mapping) -> str:
@@ -51,8 +60,13 @@ def request_key(
     """Cache / coalescing key of one schedule request.
 
     Human-readable composite (documented in the package docstring):
-    ``<graph fingerprint>:p<PEs>:<objective>:<scheduler+scheduler+...>``.
+    ``sv2:<graph fingerprint>:p<PEs>:<objective>:<sched+sched+...>``.
     The scheduler list is order-sensitive on purpose — order is the
     racing priority and breaks objective ties, so it shapes the answer.
+    The leading :data:`SCHEDULE_KEY_VERSION` tag keeps entries persisted
+    by older code unreachable after a schema or scheduler change.
     """
-    return f"{fingerprint}:p{num_pes}:{objective}:{'+'.join(schedulers)}"
+    return (
+        f"{SCHEDULE_KEY_VERSION}:{fingerprint}"
+        f":p{num_pes}:{objective}:{'+'.join(schedulers)}"
+    )

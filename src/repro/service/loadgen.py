@@ -46,7 +46,14 @@ def percentile(samples: Sequence[float], q: float) -> float:
 
 @dataclass
 class LoadgenReport:
-    """Outcome of one load-generation run."""
+    """Outcome of one load-generation run.
+
+    ``requests`` counts requests answered ``ok`` — exactly the ones
+    with a latency sample — and ``errors`` everything else that was
+    scheduled for sending (refused responses and the unsent tail after
+    a transport failure), so ``requests + errors`` is the total
+    workload and the columns are mutually consistent.
+    """
 
     requests: int
     workers: int
@@ -118,7 +125,7 @@ class LoadgenReport:
         }
 
     def write_csv(self, path) -> None:
-        """One row per request: sequence index, latency, cache tier."""
+        """One row per ok-answered request: sequence index, latency."""
         rows = [
             {"index": i, "latency_ms": f"{ms:.3f}"}
             for i, ms in enumerate(self.latencies_ms)
@@ -230,8 +237,12 @@ def run_loadgen(
                 for idx in shard:
                     t0 = time.perf_counter()
                     response = client.request_raw(lines[idx])
-                    local_lat.append(1000.0 * (time.perf_counter() - t0))
                     if response.get("ok"):
+                        # only successful answers feed the latency (and
+                        # therefore requests/throughput) columns, so
+                        # requests + errors == the shard total and a
+                        # refused response is never counted twice
+                        local_lat.append(1000.0 * (time.perf_counter() - t0))
                         tier = response.get("cached") or "cold"
                         local_tiers[tier] = local_tiers.get(tier, 0) + 1
         except OSError:

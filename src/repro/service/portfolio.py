@@ -74,7 +74,18 @@ OBJECTIVES = ("makespan", "throughput", "buffer")
 def register_scheduler(
     name: str, build: Callable[[CanonicalGraph, int], object], overwrite: bool = False
 ) -> None:
-    """Extend the portfolio registry (name must be unique)."""
+    """Extend the portfolio registry (name must be unique).
+
+    Names become cache-key components — ``request_key`` joins the
+    scheduler list with ``+`` and delimits fields with ``:`` — so names
+    containing either character (or nothing at all) are rejected:
+    ``["rlx+lts"]`` and ``["rlx", "lts"]`` must never share a key.
+    """
+    if not name or name != name.strip() or any(c in name for c in ":+"):
+        raise ValueError(
+            f"invalid scheduler name {name!r}: need a non-empty, "
+            f"unpadded name without ':' or '+'"
+        )
     if not overwrite and name in _SCHEDULERS:
         raise ValueError(f"scheduler {name!r} already registered")
     _SCHEDULERS[name] = build

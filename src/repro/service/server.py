@@ -7,14 +7,23 @@ Two layers, separately testable:
   the in-flight table that *batches identical fingerprints* — when
   several concurrent requests share one request key, a single leader
   computes and every follower receives the same response (single-flight
-  coalescing, counted in the stats).
+  coalescing, counted in the stats).  The request key is isomorphism
+  stable, so a hit may come from a *differently named* copy of the
+  graph; before answering, the service remaps the cached schedule's
+  node names onto the requester's through an explicit, verified
+  isomorphism witness (``remapped`` in the stats) — and recomputes
+  instead of answering wrongly when no witness exists (a 1-WL
+  collision between non-isomorphic graphs).
 * :class:`ScheduleServer` — a stdlib-only TCP front-end: an accept
   thread spawns a lightweight reader per connection, and a semaphore
-  sized ``workers`` pools the concurrently *executing* requests; each
-  connection speaks newline-delimited JSON (one request object per
-  line, one response object per line).  ``stop()`` — or a ``shutdown``
-  request — closes the listener, unblocks every reader and leaves each
-  in-flight response flushed: a graceful shutdown.
+  sized ``workers`` bounds the concurrently *computing* requests (the
+  scheduling races; cheap ops, cache hits and coalesced waiters never
+  occupy a slot); each connection speaks newline-delimited JSON (one
+  request object per line, one response object per line).  ``stop()``
+  — or a ``shutdown`` request, honoured only from loopback peers
+  unless ``allow_remote_shutdown`` — closes the listener, unblocks
+  every reader and leaves each in-flight response flushed: a graceful
+  shutdown.
 
 Wire protocol (see README for a session transcript)::
 
@@ -37,9 +46,12 @@ import json
 import socket
 import threading
 import time
+from contextlib import nullcontext
 from typing import Sequence
 
 from .. import __version__
+from ..core.graph import find_isomorphism
+from ..core.serialize import _name_from_json, _name_to_json, graph_from_dict
 from .cache import ScheduleCache
 from .fingerprint import doc_digest, fingerprint_graph_doc, request_key
 from .portfolio import DEFAULT_SCHEDULERS, OBJECTIVES, run_portfolio, scheduler_names
@@ -59,6 +71,25 @@ class _InFlight:
         self.response: dict | None = None
 
 
+def _remap_name(obj, mapping):
+    return _name_to_json(mapping[_name_from_json(obj)])
+
+
+def _remap_entry(entry: dict, mapping: dict, digest: str, graph_doc: dict) -> dict:
+    """A deep copy of ``entry`` whose schedule names every node the way
+    the requester's graph document does (``mapping``: cached → requester)."""
+    remapped = json.loads(json.dumps(entry))
+    remapped["graph_digest"] = digest
+    remapped["graph"] = dict(graph_doc)
+    schedule = remapped.get("schedule") or {}
+    for task in schedule.get("tasks", ()):
+        task["name"] = _remap_name(task["name"], mapping)
+    for fifo in schedule.get("fifo_sizes", ()):
+        fifo["src"] = _remap_name(fifo["src"], mapping)
+        fifo["dst"] = _remap_name(fifo["dst"], mapping)
+    return remapped
+
+
 class ScheduleService:
     """Request handler shared by the socket server and in-process callers."""
 
@@ -74,6 +105,7 @@ class ScheduleService:
         self.served = 0
         self.computed = 0
         self.coalesced = 0
+        self.remapped = 0
         self.errors = 0
         self._lock = threading.Lock()
         self._inflight: dict[str, _InFlight] = {}
@@ -83,8 +115,16 @@ class ScheduleService:
         self._fp_memo_size = fingerprint_memo_size
 
     # ------------------------------------------------------------------
-    def handle(self, doc: dict) -> dict:
-        """Dispatch one request document; never raises."""
+    def handle(self, doc: dict, work_slots=None) -> dict:
+        """Dispatch one request document; never raises.
+
+        ``work_slots`` (an acquirable context manager, typically a
+        semaphore) is held only around actual scheduling computation:
+        cheap ops, cache hits and coalesced waiters never occupy a
+        slot, so a pool of blocked followers cannot starve unrelated
+        requests.
+        """
+        slots = work_slots if work_slots is not None else nullcontext()
         try:
             op = doc.get("op")
             if op == "ping":
@@ -94,7 +134,7 @@ class ScheduleService:
             if op == "shutdown":
                 return {"ok": True, "op": "shutdown"}
             if op == "schedule":
-                return self._schedule(doc)
+                return self._schedule(doc, slots)
             return self._error(f"unknown op {op!r}")
         except Exception as exc:  # a bad request must never kill a worker
             return self._error(str(exc) or type(exc).__name__)
@@ -113,6 +153,7 @@ class ScheduleService:
             "served": self.served,
             "computed": self.computed,
             "coalesced": self.coalesced,
+            "remapped": self.remapped,
             "errors": self.errors,
             "schedulers": scheduler_names(),
             "objectives": list(OBJECTIVES),
@@ -125,15 +166,40 @@ class ScheduleService:
         digest = doc_digest(graph_doc)
         fp = self._fp_memo.get(digest)
         if fp is not None:
-            return None, fp  # graph parsed lazily only when computing
+            return None, fp, digest  # graph parsed lazily only when needed
         graph, fp = fingerprint_graph_doc(graph_doc)
         with self._lock:
             if len(self._fp_memo) >= self._fp_memo_size:
                 self._fp_memo.clear()
             self._fp_memo[digest] = fp
-        return graph, fp
+        return graph, fp, digest
 
-    def _schedule(self, doc: dict) -> dict:
+    def _adapt(self, entry: dict, digest: str, graph, graph_doc: dict) -> dict | None:
+        """Make a cached or coalesced ``entry`` answer *this* request.
+
+        Same wire document (digest match): serve as-is.  Different
+        document under the same isomorphism-stable key: the stored
+        schedule names the original submitter's nodes, so remap them
+        through an explicit isomorphism witness between the two graphs.
+        Returns ``None`` — recompute, never answer wrongly — when no
+        witness is found (a 1-WL collision between non-isomorphic
+        graphs, or an entry persisted without its graph document).
+        """
+        if entry.get("graph_digest") == digest:
+            return entry
+        cached_doc = entry.get("graph")
+        if cached_doc is None:
+            return None
+        if graph is None:
+            graph = graph_from_dict(dict(graph_doc))
+        mapping = find_isomorphism(graph_from_dict(dict(cached_doc)), graph)
+        if mapping is None:
+            return None
+        with self._lock:
+            self.remapped += 1
+        return _remap_entry(entry, mapping, digest, graph_doc)
+
+    def _schedule(self, doc: dict, slots) -> dict:
         t0 = time.perf_counter()
         graph_doc = doc["graph"]
         num_pes = int(doc["num_pes"])
@@ -142,20 +208,26 @@ class ScheduleService:
         budget_ms = doc.get("budget_ms")
         no_cache = bool(doc.get("no_cache", False))
 
-        graph, fp = self._fingerprint(graph_doc)
+        graph, fp, digest = self._fingerprint(graph_doc)
         key = request_key(fp, num_pes, objective, schedulers)
+        def compute() -> dict:
+            return self._compute(
+                slots, graph, graph_doc, digest, fp, key, num_pes,
+                objective, schedulers, budget_ms,
+            )
 
         if not no_cache and self.cache is not None:
             hit = self.cache.get(key)
             if hit is not None:
                 entry, tier = hit
-                return self._respond(entry, tier, t0)
+                served = self._adapt(entry, digest, graph, graph_doc)
+                if served is not None:
+                    return self._respond(served, tier, t0)
+                return self._respond(compute(), False, t0)
 
         if no_cache:
             # forced recompute: bypass coalescing as well
-            entry = self._compute(graph, graph_doc, fp, key, num_pes,
-                                  objective, schedulers, budget_ms)
-            return self._respond(entry, False, t0)
+            return self._respond(compute(), False, t0)
 
         with self._lock:
             flight = self._inflight.get(key)
@@ -164,29 +236,37 @@ class ScheduleService:
                 flight = _InFlight()
                 self._inflight[key] = flight
         if not leader:
+            # waiting on the leader must not pin a work slot: followers
+            # hold nothing while blocked, then adapt the leader's entry
             flight.event.wait()
             with self._lock:
                 self.coalesced += 1
             response = flight.response
             if response is None or not response.get("ok", False):
                 return self._error("coalesced computation failed")
-            return self._respond(response, "inflight", t0)
+            served = self._adapt(response, digest, graph, graph_doc)
+            if served is None:
+                return self._respond(compute(), False, t0)
+            return self._respond(served, "inflight", t0)
 
         # double-check the cache under leadership: a previous leader may
         # have completed between our miss and taking the in-flight slot
+        # (the miss was already counted once — don't count it again)
         if self.cache is not None:
-            hit = self.cache.get(key)
+            hit = self.cache.get(key, count_miss=False)
             if hit is not None:
                 entry, tier = hit
                 flight.response = entry
                 with self._lock:
                     self._inflight.pop(key, None)
                 flight.event.set()
-                return self._respond(entry, tier, t0)
+                served = self._adapt(entry, digest, graph, graph_doc)
+                if served is not None:
+                    return self._respond(served, tier, t0)
+                return self._respond(compute(), False, t0)
 
         try:
-            entry = self._compute(graph, graph_doc, fp, key, num_pes,
-                                  objective, schedulers, budget_ms)
+            entry = compute()
         except Exception:
             flight.response = {"ok": False}
             raise
@@ -199,22 +279,26 @@ class ScheduleService:
         return self._respond(entry, False, t0)
 
     def _compute(
-        self, graph, graph_doc, fp, key, num_pes, objective, schedulers, budget_ms
+        self, slots, graph, graph_doc, digest, fp, key, num_pes,
+        objective, schedulers, budget_ms,
     ) -> dict:
-        if graph is None:  # fingerprint came from the memo
-            from ..core.serialize import graph_from_dict
-
-            graph = graph_from_dict(dict(graph_doc))
         budget_s = float(budget_ms) / 1000.0 if budget_ms is not None else None
-        result = run_portfolio(
-            graph, num_pes, objective=objective,
-            schedulers=schedulers, budget_s=budget_s,
-        )
+        with slots:  # the CPU-bound part runs under a work slot
+            if graph is None:  # fingerprint came from the memo
+                graph = graph_from_dict(dict(graph_doc))
+            result = run_portfolio(
+                graph, num_pes, objective=objective,
+                schedulers=schedulers, budget_s=budget_s,
+            )
         entry = {
             "ok": True,
             "op": "schedule",
             "fingerprint": fp,
             "key": key,
+            # the exact wire document and its digest ride along so a
+            # later hit from a renamed isomorphic copy can be remapped
+            "graph_digest": digest,
+            "graph": dict(graph_doc),
             "num_pes": num_pes,
             "objective": objective,
             "schedulers": list(schedulers),
@@ -235,6 +319,7 @@ class ScheduleService:
 
     def _respond(self, entry: dict, tier, t0: float) -> dict:
         response = dict(entry)
+        response.pop("graph", None)  # the requester already has it
         response["cached"] = tier
         response["elapsed_ms"] = round(1000.0 * (time.perf_counter() - t0), 3)
         with self._lock:
@@ -248,10 +333,18 @@ class ScheduleServer:
     One lightweight reader thread per connection — connections spend
     most of their life blocked on ``readline``, so an idle client never
     occupies an execution slot — while a semaphore sized ``workers``
-    bounds the number of *concurrently executing* requests: the
-    thread-pool discipline applies to the CPU-bound scheduling work,
-    not to connection lifetimes, and more clients than workers queue at
-    the semaphore instead of starving.
+    bounds the number of *concurrently computing* requests: the
+    thread-pool discipline applies to the CPU-bound scheduling races
+    only (the service acquires a slot around computation, never while a
+    coalesced follower waits for its leader or a cache hit is served),
+    so more computations than workers queue at the semaphore while
+    cheap traffic keeps flowing.
+
+    A ``shutdown`` request is honoured only from loopback peers unless
+    ``allow_remote_shutdown`` is set — otherwise a non-local bind
+    (``repro serve --host 0.0.0.0``) would hand every client a remote
+    kill switch.  :meth:`stop` from the owning process is always
+    available.
     """
 
     def __init__(
@@ -261,6 +354,7 @@ class ScheduleServer:
         port: int = DEFAULT_PORT,
         workers: int = 4,
         backlog: int = 128,
+        allow_remote_shutdown: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker slot")
@@ -269,6 +363,7 @@ class ScheduleServer:
         self.port = port
         self.workers = workers
         self.backlog = backlog
+        self.allow_remote_shutdown = allow_remote_shutdown
         self._sock: socket.socket | None = None
         self._work_slots = threading.BoundedSemaphore(workers)
         self._conns: set[socket.socket] = set()
@@ -367,6 +462,11 @@ class ScheduleServer:
                                       args=(conn,), daemon=True,
                                       name="repro-serve-conn")
             with self._lock:
+                if self._stop.is_set():
+                    # stop() snapshotted _conns before this accept
+                    # landed: close instead of serving past the stop
+                    self._close_socket(conn)
+                    return
                 self._conns.add(conn)
                 self._threads = [t for t in self._threads if t.is_alive()]
                 self._threads.append(reader)
@@ -385,6 +485,15 @@ class ScheduleServer:
             except OSError:
                 pass
 
+    def _shutdown_permitted(self, conn: socket.socket) -> bool:
+        if self.allow_remote_shutdown:
+            return True
+        try:
+            peer = conn.getpeername()[0]
+        except OSError:
+            return False
+        return peer == "::1" or peer.startswith("127.")
+
     def _serve_connection(self, conn: socket.socket) -> None:
         with conn.makefile("rwb") as stream:
             for line in stream:
@@ -398,8 +507,14 @@ class ScheduleServer:
                     response = {"ok": False, "error": f"bad request: {exc}"}
                     doc = {}
                 else:
-                    with self._work_slots:
-                        response = self.service.handle(doc)
+                    if doc.get("op") == "shutdown" and not self._shutdown_permitted(conn):
+                        response = {
+                            "ok": False,
+                            "error": "shutdown refused: not a loopback peer "
+                                     "(serve with --allow-remote-shutdown to enable)",
+                        }
+                    else:
+                        response = self.service.handle(doc, self._work_slots)
                 stream.write(json.dumps(response).encode() + b"\n")
                 stream.flush()
                 if doc.get("op") == "shutdown" and response.get("ok"):

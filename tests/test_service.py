@@ -3,16 +3,18 @@ server/client wire protocol, load generator and CLI wiring."""
 
 import json
 import threading
+import time
 
 import pytest
 
 from repro.cli import main
-from repro.core import graph_fingerprint, graph_to_dict, save_graph
+from repro.core import find_isomorphism, graph_fingerprint, graph_to_dict, save_graph
 from repro.core.graph import CanonicalGraph
 from repro.core.node_types import NodeSpec
 from repro.graphs import random_canonical_graph
 from repro.service import (
     DEFAULT_SCHEDULERS,
+    SCHEDULE_KEY_VERSION,
     ScheduleCache,
     ScheduleServer,
     ScheduleService,
@@ -87,8 +89,63 @@ class TestFingerprint:
 
     def test_request_key_composition(self):
         key = request_key("f" * 64, 8, "makespan", ("rlx", "nstr"))
-        assert key == f"{'f' * 64}:p8:makespan:rlx+nstr"
+        assert key == f"{SCHEDULE_KEY_VERSION}:{'f' * 64}:p8:makespan:rlx+nstr"
         assert key != request_key("f" * 64, 8, "makespan", ("nstr", "rlx"))
+
+    def test_request_key_carries_schema_version(self):
+        # entries persisted by older code must become unreachable after
+        # a schedule-schema or scheduler change: the version leads the key
+        assert request_key("a", 2, "makespan", ("rlx",)).startswith(
+            f"{SCHEDULE_KEY_VERSION}:"
+        )
+
+
+class TestFindIsomorphism:
+    def test_witness_maps_relabeled_graph(self):
+        g = random_canonical_graph("fft", 8, seed=3)
+        h = relabel(g)
+        mapping = find_isomorphism(g, h)
+        assert mapping is not None
+        assert set(mapping) == set(g.nodes)
+        assert set(mapping.values()) == set(h.nodes)
+        assert {(mapping[u], mapping[v]) for u, v in g.edges} == set(h.edges)
+
+    def test_witness_respects_symmetric_orbits(self):
+        # two identical parallel chains: 1-WL alone cannot tell the
+        # twins apart, so the witness must pair chains consistently
+        def chains(prefix_a, prefix_b):
+            g = CanonicalGraph()
+            for p in (prefix_a, prefix_b):
+                for i in range(3):
+                    g.add_task(f"{p}{i}", 8, 8)
+                for i in range(2):
+                    g.add_edge(f"{p}{i}", f"{p}{i + 1}")
+            return g
+
+        src, dst = chains("a", "b"), chains("x", "y")
+        mapping = find_isomorphism(src, dst)
+        assert mapping is not None
+        assert {(mapping[u], mapping[v]) for u, v in src.edges} == set(dst.edges)
+
+    def test_non_isomorphic_same_sizes_yield_none(self):
+        def three_nodes():
+            g = CanonicalGraph()
+            for name in ("p", "q", "r"):
+                g.add_task(name, 8, 8)
+            return g
+
+        fan_out = three_nodes()
+        fan_out.add_edge("p", "q")
+        fan_out.add_edge("p", "r")
+        fan_in = three_nodes()
+        fan_in.add_edge("p", "r")
+        fan_in.add_edge("q", "r")
+        assert find_isomorphism(fan_out, fan_in) is None
+
+    def test_size_mismatch_yields_none(self):
+        a = random_canonical_graph("chain", 6, seed=0)
+        b = random_canonical_graph("chain", 7, seed=0)
+        assert find_isomorphism(a, b) is None
 
 
 class TestScheduleCache:
@@ -133,6 +190,18 @@ class TestScheduleCache:
     def test_capacity_must_be_positive(self):
         with pytest.raises(ValueError):
             ScheduleCache(None, capacity=0)
+
+    def test_store_entries_stay_on_disk_until_hit(self, tmp_path):
+        # the disk tier is an offset index, not resident entries: a key
+        # evicted from the LRU is re-read from the file on demand
+        path = tmp_path / "schedules.jsonl"
+        cache = ScheduleCache(path, capacity=1)
+        cache.put("a", {"v": "a"})
+        cache.put("b", {"v": "b"})  # evicts a from the LRU
+        assert cache.counters()["evictions"] == 1
+        entry, tier = cache.get("a")
+        assert entry == {"v": "a"} and tier == "store"
+        assert cache.get("a")[1] == "lru"  # promoted back
 
 
 class TestPortfolio:
@@ -186,6 +255,15 @@ class TestPortfolio:
         with pytest.raises(ValueError, match="unknown objective"):
             run_portfolio(g, 2, objective="vibes")
 
+    def test_scheduler_names_with_key_delimiters_rejected(self):
+        from repro.service import register_scheduler
+
+        # names land in cache keys joined by '+' and delimited by ':',
+        # so ["rlx+lts"] must never collide with ["rlx", "lts"]
+        for bad in ("rlx+lts", "a:b", "", " padded "):
+            with pytest.raises(ValueError, match="invalid scheduler name"):
+                register_scheduler(bad, lambda g, p: None)
+
 
 class TestScheduleService:
     def setup_method(self):
@@ -207,14 +285,45 @@ class TestScheduleService:
         )
 
     def test_relabeled_graph_hits_the_same_entry(self):
-        self.service.handle(dict(self.doc))
+        cold = self.service.handle(dict(self.doc))
+        renamed_graph = relabel(self.graph)
         renamed = {
             "op": "schedule",
-            "graph": graph_to_dict(relabel(self.graph)),
+            "graph": graph_to_dict(renamed_graph),
             "num_pes": 8,
         }
         response = self.service.handle(renamed)
         assert response["cached"] == "lru"
+        # the hit must be *applicable*: the served schedule names the
+        # requester's nodes, not the original submitter's
+        assert self.service.remapped == 1
+        assert response["makespan"] == cold["makespan"]
+        names = {t["name"] for t in response["schedule"]["tasks"]}
+        assert names and names <= set(renamed_graph.nodes)
+        for fifo in response["schedule"].get("fifo_sizes", ()):
+            assert fifo["src"] in renamed_graph and fifo["dst"] in renamed_graph
+
+    def test_relabeled_store_hit_remaps_after_restart(self, tmp_path):
+        path = tmp_path / "schedules.jsonl"
+        first = ScheduleService(cache=ScheduleCache(path, capacity=8))
+        first.handle(dict(self.doc))
+        # a fresh service warming from disk must still remap the entry
+        reopened = ScheduleService(cache=ScheduleCache(path, capacity=8))
+        renamed_graph = relabel(self.graph)
+        response = reopened.handle({
+            "op": "schedule",
+            "graph": graph_to_dict(renamed_graph),
+            "num_pes": 8,
+        })
+        assert response["cached"] == "store"
+        assert reopened.remapped == 1
+        names = {t["name"] for t in response["schedule"]["tasks"]}
+        assert names and names <= set(renamed_graph.nodes)
+
+    def test_responses_do_not_echo_the_graph_document(self):
+        cold = self.service.handle(dict(self.doc))
+        warm = self.service.handle(dict(self.doc))
+        assert "graph" not in cold and "graph" not in warm
 
     def test_no_cache_forces_recompute(self):
         self.service.handle(dict(self.doc))
@@ -245,6 +354,9 @@ class TestScheduleService:
         stats = self.service.handle({"op": "stats"})
         assert stats["ok"] and stats["served"] == 1 and stats["computed"] == 1
         assert stats["cache"]["puts"] == 1
+        # one cold request is exactly one miss: the leader's in-flight
+        # double-check re-probe must not count a second one
+        assert stats["cache"]["misses"] == 1
 
     def test_coalescing_batches_identical_fingerprints(self):
         line = dict(self.doc)
@@ -272,6 +384,51 @@ class TestScheduleService:
         assert self.service.coalesced + 1 + sum(
             1 for r in responses if r["cached"] == "lru"
         ) == n
+
+    def test_coalesced_followers_do_not_hold_work_slots(self):
+        from repro.service import portfolio as portfolio_mod
+        from repro.service import register_scheduler
+
+        entered = threading.Event()
+        release = threading.Event()
+
+        def slow(graph, num_pes):
+            entered.set()
+            release.wait(10.0)
+            return portfolio_mod._SCHEDULERS["nstr"](graph, num_pes)
+
+        register_scheduler("slowtest", slow)
+        try:
+            slots = threading.BoundedSemaphore(2)
+            doc = {**self.doc, "schedulers": ["slowtest"]}
+            responses = []
+            lock = threading.Lock()
+
+            def call():
+                response = self.service.handle(dict(doc), slots)
+                with lock:
+                    responses.append(response)
+
+            leader = threading.Thread(target=call)
+            leader.start()
+            assert entered.wait(10.0)  # the leader computes, holding a slot
+            followers = [threading.Thread(target=call) for _ in range(3)]
+            for t in followers:
+                t.start()
+            time.sleep(0.2)  # let the followers reach the in-flight wait
+            # blocked followers must not pin the second slot: unrelated
+            # work could still claim it while the leader computes
+            assert slots.acquire(timeout=5.0)
+            slots.release()
+            release.set()
+            leader.join(10.0)
+            for t in followers:
+                t.join(10.0)
+            assert len(responses) == 4 and all(r["ok"] for r in responses)
+            assert self.service.computed == 1
+        finally:
+            release.set()
+            portfolio_mod._SCHEDULERS.pop("slowtest", None)
 
 
 @pytest.fixture
@@ -325,6 +482,32 @@ class TestServerClient:
         with pytest.raises(OSError):
             ServiceClient(port=server.port, timeout=0.5)
 
+    def test_shutdown_permitted_only_from_loopback(self):
+        class FakePeer:
+            def __init__(self, host):
+                self._host = host
+
+            def getpeername(self):
+                return (self._host, 40000)
+
+        service = ScheduleService()
+        server = ScheduleServer(service, port=0)
+        assert server._shutdown_permitted(FakePeer("127.0.0.1"))
+        assert not server._shutdown_permitted(FakePeer("192.0.2.7"))
+        remote_ok = ScheduleServer(service, port=0, allow_remote_shutdown=True)
+        assert remote_ok._shutdown_permitted(FakePeer("192.0.2.7"))
+
+    def test_refused_shutdown_keeps_server_alive(self, monkeypatch):
+        monkeypatch.setattr(
+            ScheduleServer, "_shutdown_permitted", lambda self, conn: False
+        )
+        service = ScheduleService()
+        with ScheduleServer(service, port=0, workers=1) as server:
+            with ServiceClient(port=server.port) as client:
+                with pytest.raises(ServiceError, match="shutdown refused"):
+                    client.shutdown()
+                assert client.ping()["ok"]
+
 
 class TestLoadgen:
     def test_pool_is_diverse_and_deterministic(self):
@@ -359,6 +542,13 @@ class TestLoadgen:
     def test_loadgen_fails_fast_without_server(self):
         with pytest.raises(OSError):
             run_loadgen(port=1, requests=2, workers=1, pool=2)
+
+    def test_refused_responses_are_errors_not_requests(self, live_server):
+        # every request names an unknown scheduler, so every answer is
+        # ok:false — nothing may be double-counted as a served request
+        with pytest.raises(ConnectionError, match="no request completed"):
+            run_loadgen(port=live_server.port, requests=6, workers=2,
+                        pool=2, schedulers=["bogus"], seed=0)
 
 
 class TestServiceCli:
@@ -407,7 +597,10 @@ class TestServiceCli:
         rc_box = {}
 
         def run_serve():
-            rc_box["rc"] = main(["serve", "--port", str(port), "-w", "2"])
+            rc_box["rc"] = main([
+                "serve", "--port", str(port), "-w", "2",
+                "--allow-remote-shutdown",
+            ])
 
         thread = threading.Thread(target=run_serve)
         thread.start()
