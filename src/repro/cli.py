@@ -6,6 +6,7 @@ Commands
 ``info``        print statistics of a saved graph
 ``schedule``    schedule a saved graph (streaming or non-streaming)
 ``simulate``    schedule + cycle-accurate validation
+``profile``     cProfile the end-to-end pipeline of a scenario
 ``experiment``  run one of the paper's figure/table harnesses (serial)
 ``campaign``    declarative experiment campaigns: parallel + cached
 ``serve``       run the scheduling service (JSON-lines TCP)
@@ -76,6 +77,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--pacing", choices=["steady", "greedy"], default="steady"
     )
 
+    prof = sub.add_parser(
+        "profile", help="cProfile the end-to-end pipeline of a scenario"
+    )
+    prof.add_argument("scenario", help="scenario name (see `campaign list`)")
+    prof.add_argument(
+        "--pes", type=int, default=None,
+        help="override the scenario's PE sweep with one PE count",
+    )
+    prof.add_argument(
+        "--sort", choices=["cumtime", "tottime", "ncalls"], default="cumtime",
+        help="profile table ordering",
+    )
+    prof.add_argument(
+        "--cells", type=int, default=8,
+        help="number of scenario cells to run under the profiler",
+    )
+    prof.add_argument(
+        "--limit", type=int, default=25, help="rows in the printed table"
+    )
+
     exp = sub.add_parser("experiment", help="run a paper harness (serial)")
     exp.add_argument(
         "name",
@@ -139,6 +160,11 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument(
         "--allow-remote-shutdown", action="store_true",
         help="honour the shutdown op from non-loopback peers too",
+    )
+    srv.add_argument(
+        "--portfolio-workers", type=int, default=0,
+        help="race portfolio candidates on this many worker processes "
+             "(0/1 = sequential in-process race)",
     )
 
     req = sub.add_parser("request", help="submit one graph to a service")
@@ -238,6 +264,60 @@ def _cmd_simulate(args) -> int:
         f"simulated makespan {sim.makespan:,} vs analytic {s.makespan:,} "
         f"(error {err:+.2f}%)"
     )
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    """cProfile the end-to-end pipeline so perf work starts from data.
+
+    Runs the first ``--cells`` cells of a registered scenario (graph
+    generation + scheduling + scenario-specific analysis) under
+    :mod:`cProfile` and prints the hottest functions as a table.
+    """
+    import cProfile
+    import pstats
+
+    from .campaign import evaluate_cell, get_scenario
+    from .campaign.spec import CellSpec
+    from .core.tabulate import format_table
+
+    try:
+        scenario = get_scenario(args.scenario)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    cells = scenario.cells(limit=args.cells)
+    if args.pes is not None:
+        cells = [
+            CellSpec.from_dict({**c.to_dict(), "num_pes": args.pes})
+            for c in cells
+        ]
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for cell in cells:
+        evaluate_cell(cell)
+    profiler.disable()
+
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort)
+    total_calls = stats.total_calls  # populated by Stats.__init__
+    rows = []
+    for func in stats.fcn_list[: args.limit]:
+        cc, nc, tt, ct, _ = stats.stats[func]
+        path, line, name = func
+        where = f"{path.rsplit('/', 1)[-1]}:{line}" if line else path
+        rows.append([
+            nc if nc == cc else f"{nc}/{cc}",
+            f"{tt:.4f}",
+            f"{ct:.4f}",
+            f"{name} ({where})",
+        ])
+    print(
+        f"profile of {len(cells)} {scenario.name!r} cells "
+        f"({total_calls} calls, sorted by {args.sort}):"
+    )
+    print(format_table(["ncalls", "tottime", "cumtime", "function"], rows))
     return 0
 
 
@@ -349,7 +429,11 @@ def _cmd_serve(args) -> int:
         cache = ScheduleCache(path, capacity=args.cache_size)
         tier = path if path else "memory-only"
         print(f"schedule cache: {tier} ({len(cache)} stored entries)")
-    service = ScheduleService(cache=cache)
+    service = ScheduleService(
+        cache=cache, portfolio_workers=args.portfolio_workers
+    )
+    if service.portfolio_pool is not None:
+        print(f"portfolio pool: {args.portfolio_workers} worker processes")
     server = ScheduleServer(
         service, host=args.host, port=args.port, workers=args.workers,
         allow_remote_shutdown=args.allow_remote_shutdown,
@@ -463,6 +547,7 @@ def main(argv: list[str] | None = None) -> int:
         "info": _cmd_info,
         "schedule": _cmd_schedule,
         "simulate": _cmd_simulate,
+        "profile": _cmd_profile,
         "experiment": _cmd_experiment,
         "campaign": _cmd_campaign,
         "serve": _cmd_serve,

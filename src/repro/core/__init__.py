@@ -14,6 +14,7 @@ from .graph import (
     find_isomorphism,
     graph_fingerprint,
 )
+from .indexed import IndexedGraph, freeze
 from .levels import (
     bottom_levels,
     critical_path_length,
@@ -48,6 +49,7 @@ __all__ = [
     "BufferHalf",
     "CanonicalGraph",
     "CanonicalityError",
+    "IndexedGraph",
     "NodeKind",
     "NodeSpec",
     "Partition",
@@ -64,6 +66,7 @@ __all__ = [
     "critical_path_length",
     "find_isomorphism",
     "format_table",
+    "freeze",
     "graph_fingerprint",
     "graph_from_dict",
     "graph_to_dict",

@@ -29,18 +29,28 @@ cross them, so they contribute to ``base`` instead of to the in-block
 Buffer nodes themselves are not scheduled on a PE but still get times:
 ``stored(b)`` (all inputs absorbed, recorded as ``ST``),
 ``FO(b) = stored + 1`` and ``LO(b) = stored + ceil((O-1)*S_o) + 1``.
+
+Hot-path note: the steady-state intervals inside one block are
+``S_i(v) = C/I(v)`` and ``S_o(v) = C/O(v)`` for the per-WCC constant
+``C`` (Theorem 4.1), so every ceiling above is an exact integer ceiling
+division — the recurrences run in plain integer arithmetic over the
+:class:`~repro.core.indexed.IndexedGraph` arrays, with no
+:class:`~fractions.Fraction` in the loop.  ``C`` is found with a
+union-find over the block's streaming edges instead of building a
+buffer-split networkx graph per block.  The original Fraction
+implementation lives in :mod:`repro.core.reference`.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Hashable, Mapping
 
 from .graph import CanonicalGraph
+from .indexed import IndexedGraph, freeze
 from .node_types import NodeKind
-from .streaming import StreamingIntervals, compute_streaming_intervals
+from .streaming import StreamingIntervals
 
 __all__ = ["TaskTimes", "BlockSchedule", "schedule_block"]
 
@@ -80,8 +90,81 @@ class BlockSchedule:
         return out
 
 
-def _ceil(x: Fraction | int) -> int:
-    return math.ceil(x)
+def _block_constants(
+    ig: IndexedGraph, members: list[int]
+) -> tuple[dict[int, int], dict[int, int], list[int]]:
+    """Theorem 4.1 constants for the block's *computational* members.
+
+    Union-find over the streaming (comp-to-comp, in-block) edges, then a
+    per-component max of ``max(I(v), O(v))``, floored at 1 (matching the
+    legacy ``compute_streaming_intervals`` top seed).  Returns the
+    per-node constant ``C``, the per-node component index (first-seen
+    member order) and the per-component maxima."""
+    comp = ig.comp
+    comp_members = [v for v in members if comp[v]]
+    parent = {v: v for v in comp_members}
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    in_block = set(comp_members)
+    sp, sa = ig.succ_ptr, ig.succ_adj
+    for u in comp_members:
+        for j in range(sp[u], sp[u + 1]):
+            w = sa[j]
+            if w in in_block:
+                ru, rw = find(u), find(w)
+                if ru != rw:
+                    parent[ru] = rw
+    top: dict[int, int] = {}
+    for v in comp_members:
+        r = find(v)
+        vol = ig.in_vol[v]
+        if ig.out_vol[v] > vol:
+            vol = ig.out_vol[v]
+        if vol < 1:
+            vol = 1
+        if top.get(r, 0) < vol:
+            top[r] = vol
+    constants: dict[int, int] = {}
+    comp_of: dict[int, int] = {}
+    maxima: list[int] = []
+    root_index: dict[int, int] = {}
+    for v in comp_members:  # component ids in first-seen member order
+        r = find(v)
+        k = root_index.get(r)
+        if k is None:
+            k = root_index[r] = len(maxima)
+            maxima.append(top[r])
+        comp_of[v] = k
+        constants[v] = top[r]
+    return constants, comp_of, maxima
+
+
+def _intervals_view(
+    ig: IndexedGraph,
+    constants: dict[int, int],
+    comp_of: dict[int, int],
+    maxima: list[int],
+) -> StreamingIntervals:
+    """A :class:`StreamingIntervals` over the block's computational
+    members (API-compatible with the legacy per-block analysis)."""
+    so: dict[Hashable, Fraction] = {}
+    si: dict[Hashable, Fraction] = {}
+    wcc_of: dict[Hashable, int] = {}
+    for v, c in constants.items():
+        name = ig.names[v]
+        if ig.in_vol[v] > 0:
+            si[name] = Fraction(c, ig.in_vol[v])
+        if ig.out_vol[v] > 0:
+            so[name] = Fraction(c, ig.out_vol[v])
+        wcc_of[name] = comp_of[v]
+    return StreamingIntervals(so, si, wcc_of, tuple(maxima))
 
 
 def schedule_block(
@@ -114,113 +197,169 @@ def schedule_block(
     BlockSchedule with integer times for every node in ``block_nodes``
     and the block's steady-state streaming intervals.
     """
-    comp = [v for v in block_nodes if graph.spec(v).kind.is_computational]
-    sub = graph.subgraph(comp)
-    intervals = compute_streaming_intervals(sub)
+    ig = freeze(graph)
+    index = ig.index
+    topo_pos = ig.topo_pos
+    members = sorted((index[v] for v in block_nodes), key=topo_pos.__getitem__)
+    ready_idx: dict[int, int] = {}
+    for name, t in ready.items():
+        i = index.get(name)
+        if i is not None:
+            ready_idx[i] = t
+    times_idx, si_idx, so_idx, iview = _schedule_block_indexed(
+        ig, members, ready_idx, release
+    )
+    names = ig.names
+    return BlockSchedule(
+        {names[i]: t for i, t in times_idx.items()},
+        {names[i]: s for i, s in si_idx.items()},
+        {names[i]: s for i, s in so_idx.items()},
+        iview,
+    )
 
-    times: dict[Hashable, TaskTimes] = {}
-    si: dict[Hashable, Fraction] = {}
-    so: dict[Hashable, Fraction] = {}
 
-    def node_ready(u: Hashable) -> int:
+def _schedule_block_indexed(
+    ig: IndexedGraph,
+    members: list[int],
+    ready: dict[int, int],
+    release: int,
+) -> tuple[
+    dict[int, TaskTimes],
+    dict[int, Fraction],
+    dict[int, Fraction],
+    StreamingIntervals,
+]:
+    """Integer-arithmetic Section 5.1 recurrences over one block.
+
+    ``members`` must be in topological order; ``ready`` maps node index
+    to memory-readiness time for previously scheduled nodes.
+    """
+    constants, comp_of, maxima = _block_constants(ig, members)
+
+    kinds, comp = ig.kinds, ig.comp
+    in_vol, out_vol = ig.in_vol, ig.out_vol
+    pp, pa = ig.pred_ptr, ig.pred_adj
+    member_set = set(members)
+
+    times: dict[int, TaskTimes] = {}
+    si: dict[int, Fraction] = {}
+    so: dict[int, Fraction] = {}
+
+    def node_ready(u: int) -> int:
         """Memory-readiness of predecessor ``u`` (any block, any kind)."""
-        if u in times:  # scheduled in this block already
-            kind = graph.kind(u)
-            if kind.is_computational:
-                return times[u].lo
-            if kind is NodeKind.BUFFER:
-                return times[u].st
+        t = times.get(u)
+        if t is not None:  # scheduled in this block already
+            if comp[u]:
+                return t.lo
+            if kinds[u] is NodeKind.BUFFER:
+                return t.st
             return 0  # source
         if u in ready:
             return ready[u]
-        kind = graph.kind(u)
-        if kind is NodeKind.SOURCE:
+        if kinds[u] is NodeKind.SOURCE:
             return 0
-        raise KeyError(f"predecessor {u!r} of the block is not scheduled yet")
+        raise KeyError(
+            f"predecessor {ig.names[u]!r} of the block is not scheduled yet"
+        )
 
-    # ---- passive nodes assigned to this block -------------------------
-    # Buffers: absorb all inputs, then re-emit; sources: memory ports.
-    # Scheduled lazily below once their predecessors have times; since we
-    # walk in topological order of the full graph restricted to the block,
-    # a single pass suffices.
-    order = [v for v in graph.topological_order() if v in block_nodes]
-
-    for v in order:
-        spec = graph.spec(v)
-        kind = spec.kind
+    for v in members:
+        kind = kinds[v]
 
         if kind is NodeKind.SOURCE:
             # informational times: memory port streaming from t=0
-            out_iv = Fraction(1)
-            so[v] = out_iv
-            lo = _ceil((spec.output_volume - 1) * out_iv) + 1
-            times[v] = TaskTimes(st=0, fo=1, lo=lo)
+            so[v] = Fraction(1)
+            times[v] = TaskTimes(st=0, fo=1, lo=out_vol[v])
             continue
 
         if kind is NodeKind.BUFFER:
-            preds = list(graph.predecessors(v))
-            stored = max((node_ready(u) for u in preds), default=0)
+            stored = 0
+            for j in range(pp[v], pp[v + 1]):
+                r = node_ready(pa[j])
+                if r > stored:
+                    stored = r
             # emission pacing: the paper uses the block's S_o; consumers in
             # this implementation self-pace reads, so we record the
             # canonical emission window for reference.
-            out_iv = Fraction(1)
             si[v] = Fraction(1)
-            so[v] = out_iv
-            lo = stored + _ceil((spec.output_volume - 1) * out_iv) + 1
-            times[v] = TaskTimes(st=stored, fo=stored + 1, lo=lo)
+            so[v] = Fraction(1)
+            times[v] = TaskTimes(
+                st=stored, fo=stored + 1, lo=stored + out_vol[v]
+            )
             continue
 
         if kind is NodeKind.SINK:
-            preds = list(graph.predecessors(v))
-            fo = max(
-                (times[u].fo for u in preds if u in times and graph.kind(u).is_computational),
-                default=0,
-            ) + 1
-            lo = max((node_ready(u) for u in preds), default=0) + 1
+            fo = 0
+            lo = 0
+            for j in range(pp[v], pp[v + 1]):
+                u = pa[j]
+                tu = times.get(u)
+                if tu is not None and comp[u] and tu.fo > fo:
+                    fo = tu.fo
+                r = node_ready(u)
+                if r > lo:
+                    lo = r
+            fo += 1
+            lo += 1
             times[v] = TaskTimes(st=max(0, fo - 1), fo=fo, lo=lo)
             continue
 
         # ---- computational node ---------------------------------------
-        rate = spec.production_rate
-        s_i = intervals.si.get(v, Fraction(1))
-        s_o = intervals.so.get(v, Fraction(1))
-        si[v], so[v] = s_i, s_o
+        i_vol, o_vol = in_vol[v], out_vol[v]
+        c = constants[v]
+        si[v] = Fraction(c, i_vol)
+        so[v] = Fraction(c, o_vol)
 
-        in_block_fo: list[int] = []
-        in_block_lo: list[int] = []
+        in_block_fo = 0
+        in_block_lo = 0
+        has_in_block = False
         base = release
-        has_memory_input = False
-        preds = list(graph.predecessors(v))
-        if not preds:
-            has_memory_input = True  # graph entry: reads its input from memory
-        for u in preds:
-            if u in block_nodes and graph.kind(u).is_computational:
-                in_block_fo.append(times[u].fo)
-                in_block_lo.append(times[u].lo)
+        has_memory_input = pp[v] == pp[v + 1]  # graph entry reads memory
+        for j in range(pp[v], pp[v + 1]):
+            u = pa[j]
+            if u in member_set and comp[u]:
+                tu = times[u]
+                has_in_block = True
+                if tu.fo > in_block_fo:
+                    in_block_fo = tu.fo
+                if tu.lo > in_block_lo:
+                    in_block_lo = tu.lo
             else:
                 has_memory_input = True
-                base = max(base, node_ready(u))
+                r = node_ready(u)
+                if r > base:
+                    base = r
 
-        lat_fo = _ceil((1 / rate - 1) * s_i) + 1 if rate < 1 else 1
-        lat_lo = _ceil((rate - 1) * s_o) + 1 if rate > 1 else 1
+        # lat_fo = ceil((1/R - 1) * C/I) + 1 = ceil((I-O)*C / (O*I)) + 1
+        if o_vol < i_vol:
+            lat_fo = -(-((i_vol - o_vol) * c) // (o_vol * i_vol)) + 1
+        else:
+            lat_fo = 1
+        # lat_lo = ceil((R - 1) * C/O) + 1 = ceil((O-I)*C / (I*O)) + 1
+        if o_vol > i_vol:
+            lat_lo = -(-((o_vol - i_vol) * c) // (i_vol * o_vol)) + 1
+        else:
+            lat_lo = 1
 
-        first_avail = max(in_block_fo, default=0)
+        first_avail = in_block_fo
         if has_memory_input:
-            first_avail = max(first_avail, base)
-        elif release:
-            first_avail = max(first_avail, release)
+            if base > first_avail:
+                first_avail = base
+        elif release and release > first_avail:
+            first_avail = release
         fo = first_avail + lat_fo
 
-        last_avail = max(in_block_lo, default=0)
+        last_avail = in_block_lo
         if has_memory_input:
-            mem_la = base + _ceil((spec.input_volume - 1) * s_i)
-            last_avail = max(last_avail, mem_la)
+            # memLA = base + ceil((I-1) * C/I)
+            mem_la = base + -(-((i_vol - 1) * c) // i_vol)
+            if mem_la > last_avail:
+                last_avail = mem_la
         lo = last_avail + lat_lo
 
-        st_candidates = list(in_block_fo)
-        if has_memory_input or not preds:
-            st_candidates.append(base)
-        st = max(st_candidates, default=release)
+        if has_memory_input:
+            st = base if not has_in_block else max(in_block_fo, base)
+        else:
+            st = in_block_fo if has_in_block else release
         times[v] = TaskTimes(st=st, fo=fo, lo=lo)
 
-    return BlockSchedule(times, si, so, intervals)
+    return times, si, so, _intervals_view(ig, constants, comp_of, maxima)

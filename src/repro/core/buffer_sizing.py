@@ -22,14 +22,22 @@ but *do* delay ``v``'s consumption of the streaming inputs.
 Every streaming edge not involved in an undirected cycle keeps the
 minimal capacity of 1: a deadlock needs a cycle in the blocked-on
 relation, which is a subgraph of the undirected channel topology.
+
+The pass runs over the :class:`~repro.core.indexed.IndexedGraph` CSR
+arrays with an iterative bridge-finding DFS and exact integer ceiling
+divisions (``S_o(u) = C/O(u)`` is rational, so ``ceil(slack / S_o)`` is
+``ceil(slack * den / num)``); the original networkx implementation is
+kept in :mod:`repro.core.reference`.
 """
 
 from __future__ import annotations
 
-import math
-from typing import TYPE_CHECKING, Hashable
+from typing import TYPE_CHECKING, Hashable, Iterable
 
 import networkx as nx
+
+from .indexed import freeze
+from .node_types import NodeKind
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .scheduler import StreamingSchedule
@@ -56,6 +64,56 @@ def cycle_nodes_of_block(
     return on_cycle
 
 
+def _cycle_nodes_flat(
+    nodes: Iterable[int], edges: list[tuple[int, int]]
+) -> set[int]:
+    """Endpoints of non-bridge edges, via one iterative low-link DFS.
+
+    ``edges`` are undirected (the block's streaming topology is a simple
+    graph: the underlying task graph is a DAG with no parallel edges, so
+    skipping the single tree-parent per DFS child is sound).
+    """
+    adj: dict[int, list[int]] = {v: [] for v in nodes}
+    for u, v in edges:
+        adj[u].append(v)
+        adj[v].append(u)
+    disc: dict[int, int] = {}
+    low: dict[int, int] = {}
+    bridges: set[frozenset[int]] = set()
+    clock = 0
+    for root in adj:
+        if root in disc:
+            continue
+        disc[root] = low[root] = clock
+        clock += 1
+        stack: list[tuple[int, int, Iterable[int]]] = [(root, -1, iter(adj[root]))]
+        while stack:
+            v, parent, it = stack[-1]
+            descended = False
+            for w in it:
+                if w not in disc:
+                    disc[w] = low[w] = clock
+                    clock += 1
+                    stack.append((w, v, iter(adj[w])))
+                    descended = True
+                    break
+                if w != parent and disc[w] < low[v]:
+                    low[v] = disc[w]
+            if not descended:
+                stack.pop()
+                if parent >= 0:
+                    if low[v] < low[parent]:
+                        low[parent] = low[v]
+                    if low[v] > disc[parent]:
+                        bridges.add(frozenset((parent, v)))
+    on_cycle: set[int] = set()
+    for u, v in edges:
+        if frozenset((u, v)) not in bridges:
+            on_cycle.add(u)
+            on_cycle.add(v)
+    return on_cycle
+
+
 def compute_buffer_sizes(
     schedule: "StreamingSchedule",
     default_capacity: int = 1,
@@ -66,59 +124,69 @@ def compute_buffer_sizes(
     edges are absent (they go through global memory).
     """
     graph = schedule.graph
-    sizes: dict[tuple[Hashable, Hashable], int] = {}
+    ig = freeze(graph)
+    names, index = ig.names, ig.index
+    comp, kinds, out_vol = ig.comp, ig.kinds, ig.out_vol
+    sp, sa = ig.succ_ptr, ig.succ_adj
+    pp, pa = ig.pred_ptr, ig.pred_adj
 
-    for b in range(schedule.num_blocks):
-        members = [
-            v
-            for v, blk in schedule.partition.block_of.items()
-            if blk == b and graph.kind(v).is_computational
-        ]
+    # per-block computational members in block_of insertion order (the
+    # edge iteration order — and hence the serialized FIFO order — must
+    # match the reference implementation exactly)
+    members_by_block: list[list[int]] = [[] for _ in range(schedule.num_blocks)]
+    block_arr = [-1] * ig.n
+    for name, b in schedule.partition.block_of.items():
+        i = index[name]
+        block_arr[i] = b
+        if comp[i]:
+            members_by_block[b].append(i)
+
+    times = [schedule.times.get(name) for name in names]
+
+    def memory_ready(u: int) -> int:
+        if kinds[u] is NodeKind.SOURCE:
+            return 0
+        t = times[u]
+        return t.st if kinds[u] is NodeKind.BUFFER else t.lo
+
+    sizes: dict[tuple[Hashable, Hashable], int] = {}
+    for b, members in enumerate(members_by_block):
         member_set = set(members)
         stream_edges = [
-            (u, v)
+            (u, sa[j])
             for u in members
-            for v in graph.successors(u)
-            if v in member_set
+            for j in range(sp[u], sp[u + 1])
+            if sa[j] in member_set
         ]
         if not stream_edges:
             continue
-        undirected = nx.Graph()
-        undirected.add_nodes_from(members)
-        undirected.add_edges_from(stream_edges)
-        hot = cycle_nodes_of_block(undirected)
+        hot = _cycle_nodes_flat(members, stream_edges)
 
         for u, v in stream_edges:
+            edge = (names[u], names[v])
             if v not in hot or u not in hot:
-                sizes[(u, v)] = default_capacity
+                sizes[edge] = default_capacity
                 continue
             # slowest arrival across all of v's inputs
             worst = 0
-            for t in graph.predecessors(v):
+            for j in range(pp[v], pp[v + 1]):
+                t = pa[j]
                 if t in member_set:
-                    worst = max(worst, schedule.times[t].fo)
+                    arrival = times[t].fo
                 else:
                     # memory-backed input: first element readable right
                     # after the data is ready in global memory
-                    ready = _memory_ready(schedule, t)
-                    worst = max(worst, ready + 1)
-            slack = worst - schedule.times[u].fo
+                    arrival = memory_ready(t) + 1
+                if arrival > worst:
+                    worst = arrival
+            slack = worst - times[u].fo
             if slack <= 0:
-                sizes[(u, v)] = default_capacity
+                sizes[edge] = default_capacity
                 continue
-            space = math.ceil(slack / schedule.so[u])
-            space = min(space, graph.volume(u, v))
-            sizes[(u, v)] = max(default_capacity, space)
+            # ceil(slack / S_o(u)) with S_o(u) = num/den exactly
+            s_o = schedule.so[names[u]]
+            space = -(-slack * s_o.denominator // s_o.numerator)
+            if space > out_vol[u]:
+                space = out_vol[u]
+            sizes[edge] = space if space > default_capacity else default_capacity
     return sizes
-
-
-def _memory_ready(schedule: "StreamingSchedule", u: Hashable) -> int:
-    from .node_types import NodeKind
-
-    kind = schedule.graph.kind(u)
-    if kind is NodeKind.SOURCE:
-        return 0
-    t = schedule.times[u]
-    if kind is NodeKind.BUFFER:
-        return t.st
-    return t.lo

@@ -18,6 +18,7 @@ from typing import Hashable, Iterable, Iterator
 
 import networkx as nx
 
+from .indexed import IndexedGraph, freeze
 from .node_types import NodeKind, NodeSpec, classify_rate
 
 __all__ = [
@@ -28,51 +29,70 @@ __all__ = [
 ]
 
 #: bump when the fingerprint construction changes — folded into the hash
-#: so fingerprints from different algorithm versions can never collide
-FINGERPRINT_VERSION = "cg1"
+#: so fingerprints from different algorithm versions can never collide.
+#: ``cg2``: byte-packed labels over the indexed arrays (the construction
+#: refines the same 1-WL partition as ``cg1`` but hashes raw digest
+#: bytes with length framing instead of joined hex strings).
+FINGERPRINT_VERSION = "cg2"
+
+#: label width in bytes; labels are sha-256 prefixes, so 16 bytes keep
+#: the collision probability negligible at any realistic graph size
+_LABEL_BYTES = 16
 
 
-def _label_digest(payload: str) -> str:
-    """Short (16 hex chars) digest used for intermediate node labels."""
-    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+def _digest16(payload: bytes) -> bytes:
+    """Short (16 byte) digest used for intermediate node labels."""
+    return hashlib.sha256(payload).digest()[:_LABEL_BYTES]
 
 
-def _wl_seed_labels(graph: "CanonicalGraph") -> dict[Hashable, str]:
+def _wl_seed_labels(ig: IndexedGraph) -> list[bytes]:
     """Initial 1-WL labels: a digest of each node's cost data
     ``(kind, I(v), O(v))`` — exactly what the schedulers consume."""
-    labels: dict[Hashable, str] = {}
-    for v in graph._g:
-        spec = graph.spec(v)
-        labels[v] = _label_digest(
-            f"{spec.kind.value}|{spec.input_volume}|{spec.output_volume}"
+    return [
+        _digest16(
+            f"{ig.kinds[i].value}|{ig.in_vol[i]}|{ig.out_vol[i]}".encode()
         )
-    return labels
+        for i in range(ig.n)
+    ]
 
 
-def _wl_refine(
-    graph: "CanonicalGraph", labels: dict[Hashable, str]
-) -> dict[Hashable, str]:
+def _wl_refine(ig: IndexedGraph, labels: list[bytes]) -> list[bytes]:
     """1-WL color refinement to stability (at most ``|V|`` rounds).
 
     Each round rehashes a node's label together with the *sorted*
     multisets of its predecessor and successor labels (direction-aware,
     so mirrored DAGs do not collide), until the label partition stops
-    refining.
+    refining.  Labels are fixed-width digest bytes concatenated with an
+    explicit predecessor count, so the packing is unambiguous without
+    per-label string joins.
     """
-    g = graph._g
-    num_classes = len(set(labels.values()))
-    for _ in range(len(labels)):
-        refined = {}
-        for v in g:
-            preds = ",".join(sorted(labels[u] for u in g.predecessors(v)))
-            succs = ",".join(sorted(labels[w] for w in g.successors(v)))
-            refined[v] = _label_digest(f"{labels[v]}<{preds}>{succs}")
+    n = ig.n
+    pp, pa = ig.pred_ptr, ig.pred_adj
+    sp, sa = ig.succ_ptr, ig.succ_adj
+    num_classes = len(set(labels))
+    for _ in range(n):
+        refined: list[bytes] = []
+        for v in range(n):
+            h = hashlib.sha256(labels[v])
+            h.update((pp[v + 1] - pp[v]).to_bytes(4, "big"))
+            for lb in sorted(labels[pa[j]] for j in range(pp[v], pp[v + 1])):
+                h.update(lb)
+            for lb in sorted(labels[sa[j]] for j in range(sp[v], sp[v + 1])):
+                h.update(lb)
+            refined.append(h.digest()[:_LABEL_BYTES])
         labels = refined
-        refined_classes = len(set(labels.values()))
+        refined_classes = len(set(labels))
         if refined_classes == num_classes:  # partition is stable
             break
         num_classes = refined_classes
     return labels
+
+
+def _wl_stable_labels(ig: IndexedGraph) -> list[bytes]:
+    """Refined-to-stability labels, memoized on the frozen view."""
+    if ig._wl_stable is None:
+        ig._wl_stable = _wl_refine(ig, _wl_seed_labels(ig))
+    return ig._wl_stable
 
 
 def graph_fingerprint(graph: "CanonicalGraph") -> str:
@@ -101,16 +121,20 @@ def graph_fingerprint(graph: "CanonicalGraph") -> str:
     with volume-labelled nodes (our entire workload space) are separated
     in practice.
     """
-    g = graph._g
-    labels = _wl_refine(graph, _wl_seed_labels(graph))
+    ig = freeze(graph)
+    labels = _wl_stable_labels(ig)
     h = hashlib.sha256()
-    h.update(
-        f"{FINGERPRINT_VERSION}|{g.number_of_nodes()}|{g.number_of_edges()}".encode()
-    )
-    for label in sorted(labels.values()):
-        h.update(label.encode())
-    for edge in sorted(f"{labels[u]}>{labels[v]}" for u, v in g.edges):
-        h.update(edge.encode())
+    h.update(f"{FINGERPRINT_VERSION}|{ig.n}|{len(ig.succ_adj)}".encode())
+    for label in sorted(labels):
+        h.update(label)
+    sp, sa = ig.succ_ptr, ig.succ_adj
+    edge_labels = [
+        labels[u] + labels[sa[j]]
+        for u in range(ig.n)
+        for j in range(sp[u], sp[u + 1])
+    ]
+    for edge in sorted(edge_labels):
+        h.update(edge)
     return h.hexdigest()
 
 
@@ -138,20 +162,20 @@ def find_isomorphism(
     symmetric non-orbit classes could miss a witness that exists; the
     failure mode is a recompute, never a wrong answer.)
     """
-    gs, gd = src._g, dst._g
-    if gs.number_of_nodes() != gd.number_of_nodes():
+    igs, igd = freeze(src), freeze(dst)
+    if igs.n != igd.n:
         return None
-    if gs.number_of_edges() != gd.number_of_edges():
+    if len(igs.succ_adj) != len(igd.succ_adj):
         return None
-    ls = _wl_refine(src, _wl_seed_labels(src))
-    ld = _wl_refine(dst, _wl_seed_labels(dst))
-    mapping: dict[Hashable, Hashable] | None = None
-    for round_no in range(gs.number_of_nodes() + 1):
-        classes_s: dict[str, list[Hashable]] = {}
-        classes_d: dict[str, list[Hashable]] = {}
-        for v, lab in ls.items():
+    ls = list(_wl_stable_labels(igs))  # copies: individualization mutates
+    ld = list(_wl_stable_labels(igd))
+    idx_map: dict[int, int] | None = None
+    for round_no in range(igs.n + 1):
+        classes_s: dict[bytes, list[int]] = {}
+        classes_d: dict[bytes, list[int]] = {}
+        for v, lab in enumerate(ls):
             classes_s.setdefault(lab, []).append(v)
-        for v, lab in ld.items():
+        for v, lab in enumerate(ld):
             classes_d.setdefault(lab, []).append(v)
         if set(classes_s) != set(classes_d) or any(
             len(classes_s[lab]) != len(classes_d[lab]) for lab in classes_s
@@ -159,28 +183,32 @@ def find_isomorphism(
             return None
         ambiguous = [lab for lab, vs in classes_s.items() if len(vs) > 1]
         if not ambiguous:
-            mapping = {classes_s[lab][0]: classes_d[lab][0] for lab in classes_s}
+            idx_map = {classes_s[lab][0]: classes_d[lab][0] for lab in classes_s}
             break
         lab = min(ambiguous, key=lambda x: (len(classes_s[x]), x))
-        tag = _label_digest(f"individualized|{lab}|{round_no}")
-        ls[min(classes_s[lab], key=repr)] = tag
-        ld[min(classes_d[lab], key=repr)] = tag
-        ls = _wl_refine(src, ls)
-        ld = _wl_refine(dst, ld)
-    if mapping is None:
+        tag = _digest16(b"individualized|" + lab + b"|%d" % round_no)
+        ls[min(classes_s[lab], key=lambda i: repr(igs.names[i]))] = tag
+        ld[min(classes_d[lab], key=lambda i: repr(igd.names[i]))] = tag
+        ls = _wl_refine(igs, ls)
+        ld = _wl_refine(igd, ld)
+    if idx_map is None:
         return None
-    for v in gs:
-        sv, dv = src.spec(v), dst.spec(mapping[v])
-        if (sv.kind, sv.input_volume, sv.output_volume) != (
-            dv.kind,
-            dv.input_volume,
-            dv.output_volume,
+    for v in range(igs.n):
+        w = idx_map[v]
+        if (igs.kinds[v], igs.in_vol[v], igs.out_vol[v]) != (
+            igd.kinds[w],
+            igd.in_vol[w],
+            igd.out_vol[w],
         ):
             return None
-    for u, v in gs.edges:
-        if not gd.has_edge(mapping[u], mapping[v]):
-            return None
-    return mapping
+    gd = dst._g
+    names_s, names_d = igs.names, igd.names
+    sp, sa = igs.succ_ptr, igs.succ_adj
+    for u in range(igs.n):
+        for j in range(sp[u], sp[u + 1]):
+            if not gd.has_edge(names_d[idx_map[u]], names_d[idx_map[sa[j]]]):
+                return None
+    return {names_s[v]: names_d[w] for v, w in idx_map.items()}
 
 
 class CanonicalityError(ValueError):
@@ -196,6 +224,18 @@ class CanonicalGraph:
 
     def __init__(self) -> None:
         self._g = nx.DiGraph()
+        #: derived-data memo (topological order, entry/exit sets, the
+        #: frozen :class:`~repro.core.indexed.IndexedGraph`); cleared on
+        #: every mutation through this class's construction API
+        self._cache: dict[str, object] = {}
+
+    def invalidate_caches(self) -> None:
+        """Drop memoized derived data (topological order, entry/exit
+        sets, the frozen indexed view).  Mutations through
+        :meth:`add_node` / :meth:`add_edge` invalidate automatically;
+        code mutating the raw ``graph.nx`` escape hatch must call this
+        afterwards."""
+        self._cache.clear()
 
     # ------------------------------------------------------------------
     # construction
@@ -205,6 +245,8 @@ class CanonicalGraph:
         if spec.name in self._g:
             raise CanonicalityError(f"duplicate node {spec.name!r}")
         self._g.add_node(spec.name, spec=spec)
+        if self._cache:
+            self._cache.clear()
         return spec.name
 
     def add_task(
@@ -250,6 +292,8 @@ class CanonicalGraph:
                 f"!= consumer volume I(v)={sv.input_volume}"
             )
         self._g.add_edge(u, v)
+        if self._cache:
+            self._cache.clear()
 
     # ------------------------------------------------------------------
     # accessors
@@ -307,25 +351,46 @@ class CanonicalGraph:
         return self._g.out_degree(v)
 
     def topological_order(self) -> list[Hashable]:
-        return list(nx.topological_sort(self._g))
+        """A topological order of the nodes (memoized; fresh copy)."""
+        topo = self._cache.get("topo")
+        if topo is None:
+            topo = list(nx.topological_sort(self._g))
+            self._cache["topo"] = topo
+        return list(topo)
 
     def entry_nodes(self) -> list[Hashable]:
         """Nodes with no predecessors (graph sources in the broad sense)."""
-        return [v for v in self._g if self._g.in_degree(v) == 0]
+        entries = self._cache.get("entries")
+        if entries is None:
+            entries = [v for v in self._g if self._g.in_degree(v) == 0]
+            self._cache["entries"] = entries
+        return list(entries)
 
     def exit_nodes(self) -> list[Hashable]:
         """Nodes with no successors."""
-        return [v for v in self._g if self._g.out_degree(v) == 0]
+        exits = self._cache.get("exits")
+        if exits is None:
+            exits = [v for v in self._g if self._g.out_degree(v) == 0]
+            self._cache["exits"] = exits
+        return list(exits)
 
     def computational_nodes(self) -> list[Hashable]:
-        return [v for v in self._g if self.spec(v).kind.is_computational]
+        comp = self._cache.get("comp")
+        if comp is None:
+            comp = [v for v in self._g if self.spec(v).kind.is_computational]
+            self._cache["comp"] = comp
+        return list(comp)
 
     def buffer_nodes(self) -> list[Hashable]:
         return [v for v in self._g if self.spec(v).kind is NodeKind.BUFFER]
 
     def num_tasks(self) -> int:
-        """Number of schedulable (computational) tasks."""
-        return sum(1 for v in self._g if self.spec(v).kind.is_computational)
+        """Number of schedulable (computational) tasks (memoized)."""
+        n = self._cache.get("num_tasks")
+        if n is None:
+            n = sum(1 for v in self._g if self.spec(v).kind.is_computational)
+            self._cache["num_tasks"] = n
+        return n
 
     def subgraph(self, nodes: Iterable[Hashable]) -> "CanonicalGraph":
         """Induced subgraph as a new CanonicalGraph (specs shared)."""

@@ -1,0 +1,237 @@
+"""Flat, integer-indexed view of a canonical task graph — the hot-path IR.
+
+Every scheduling and analysis pass used to re-walk the underlying
+:class:`networkx.DiGraph` through per-node dict/hash lookups and redo
+``topological_order()`` / ``node_levels()`` from scratch on each call.
+:func:`freeze` performs that traversal *once* and lays the graph out in
+contiguous Python lists indexed by a dense integer node id:
+
+* ``names`` / ``index`` — the id <-> original-name bijection (ids follow
+  node insertion order, so iteration order matches ``graph.nodes``);
+* ``kinds`` / ``in_vol`` / ``out_vol`` / ``comp`` / ``work`` — the
+  :class:`~repro.core.node_types.NodeSpec` data the schedulers consume;
+* ``pred_ptr``/``pred_adj`` and ``succ_ptr``/``succ_adj`` — CSR
+  adjacency (successor order per node preserves edge insertion order,
+  which the greedy partitioners rely on for deterministic tie-breaks);
+* ``topo`` / ``topo_pos`` — the cached topological order and each
+  node's position in it;
+* ``entries`` / ``exits`` / ``num_tasks`` — the derived sets every
+  analysis recomputed per call.
+
+Derived quantities that need rational arithmetic (node levels, the
+Section 4.2 ``L(v)`` recurrence) are memoized here as exact integers
+over a single precomputed common denominator of the production rates —
+the float projection used as a heap tie-break key is bit-identical to
+``float(Fraction(...))`` of the legacy path because CPython rounds both
+``int/int`` true division and ``Fraction -> float`` conversion
+correctly.
+
+The frozen view is cached on the :class:`CanonicalGraph` itself and
+invalidated on mutation, so the portfolio racing several schedulers over
+one graph pays the freeze exactly once.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import lcm
+from typing import TYPE_CHECKING, Hashable
+
+from .node_types import NodeKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .graph import CanonicalGraph
+
+__all__ = ["IndexedGraph", "freeze"]
+
+
+class IndexedGraph:
+    """Immutable flat-array mirror of one :class:`CanonicalGraph`."""
+
+    __slots__ = (
+        "graph",
+        "n",
+        "names",
+        "index",
+        "kinds",
+        "in_vol",
+        "out_vol",
+        "comp",
+        "work",
+        "pred_ptr",
+        "pred_adj",
+        "succ_ptr",
+        "succ_adj",
+        "topo",
+        "topo_pos",
+        "entries",
+        "exits",
+        "num_tasks",
+        "_level_num",
+        "_level_den",
+        "_level_key",
+        "_levels_by_name",
+        "_wl_stable",
+    )
+
+    def __init__(self, graph: "CanonicalGraph") -> None:
+        self.graph = graph
+        names = list(graph.nodes)
+        self.names = names
+        self.n = len(names)
+        self.index = {name: i for i, name in enumerate(names)}
+
+        kinds: list[NodeKind] = []
+        in_vol: list[int] = []
+        out_vol: list[int] = []
+        comp: list[bool] = []
+        work: list[int] = []
+        for name in names:
+            spec = graph.spec(name)
+            kinds.append(spec.kind)
+            in_vol.append(spec.input_volume)
+            out_vol.append(spec.output_volume)
+            comp.append(spec.kind.is_computational)
+            work.append(spec.work)
+        self.kinds = kinds
+        self.in_vol = in_vol
+        self.out_vol = out_vol
+        self.comp = comp
+        self.work = work
+        self.num_tasks = sum(comp)
+
+        # CSR adjacency; successor order per source node preserves the
+        # underlying edge insertion order (nx adjacency dicts), which the
+        # partitioners' ready-counter tie-breaks depend on.
+        index = self.index
+        succs: list[list[int]] = [[] for _ in range(self.n)]
+        preds: list[list[int]] = [[] for _ in range(self.n)]
+        for u, v in graph.edges:
+            ui, vi = index[u], index[v]
+            succs[ui].append(vi)
+            preds[vi].append(ui)
+        self.succ_ptr, self.succ_adj = _csr(succs)
+        self.pred_ptr, self.pred_adj = _csr(preds)
+
+        self.topo = [index[v] for v in graph.topological_order()]
+        topo_pos = [0] * self.n
+        for pos, i in enumerate(self.topo):
+            topo_pos[i] = pos
+        self.topo_pos = topo_pos
+
+        self.entries = [i for i in range(self.n) if preds[i] == []]
+        self.exits = [i for i in range(self.n) if succs[i] == []]
+
+        self._level_num: list[int] | None = None
+        self._level_den: int = 1
+        self._level_key: list[float] | None = None
+        self._levels_by_name: dict[Hashable, Fraction] | None = None
+        self._wl_stable: list[bytes] | None = None
+
+    # ------------------------------------------------------------------
+    # adjacency helpers (hot loops index the CSR arrays directly; these
+    # exist for the colder callers and the tests)
+    # ------------------------------------------------------------------
+    def preds(self, i: int) -> list[int]:
+        return self.pred_adj[self.pred_ptr[i] : self.pred_ptr[i + 1]]
+
+    def succs(self, i: int) -> list[int]:
+        return self.succ_adj[self.succ_ptr[i] : self.succ_ptr[i + 1]]
+
+    def in_degree(self, i: int) -> int:
+        return self.pred_ptr[i + 1] - self.pred_ptr[i]
+
+    def out_degree(self, i: int) -> int:
+        return self.succ_ptr[i + 1] - self.succ_ptr[i]
+
+    # ------------------------------------------------------------------
+    # levels (Section 4.2) — exact integers over one common denominator
+    # ------------------------------------------------------------------
+    def _compute_levels(self) -> None:
+        """``L(v) = max(R(v), 1) + max_preds L(u)`` without Fractions.
+
+        All rate terms ``O(v)/I(v)`` (only nodes with ``O > I``
+        contribute a non-unit term) share the common denominator
+        ``D = lcm(I(v))``, so the recurrence runs in plain integers.
+        """
+        den = 1
+        for i in range(self.n):
+            if (
+                self.kinds[i] is not NodeKind.SOURCE
+                and self.in_vol[i] > 0
+                and self.out_vol[i] > self.in_vol[i]
+            ):
+                den = lcm(den, self.in_vol[i])
+        num = [0] * self.n
+        pp, pa = self.pred_ptr, self.pred_adj
+        for i in self.topo:
+            lo, hi = pp[i], pp[i + 1]
+            if lo == hi:
+                num[i] = den
+                continue
+            term = den
+            if (
+                self.kinds[i] is not NodeKind.SOURCE
+                and self.out_vol[i] > self.in_vol[i]
+            ):
+                term = self.out_vol[i] * den // self.in_vol[i]
+            best = 0
+            for j in range(lo, hi):
+                lu = num[pa[j]]
+                if lu > best:
+                    best = lu
+            num[i] = term + best
+        self._level_num = num
+        self._level_den = den
+        # correctly-rounded int/int division == float(Fraction(num, den))
+        self._level_key = [x / den for x in num]
+
+    def level_keys(self) -> list[float]:
+        """Float projection of the exact levels (heap tie-break keys)."""
+        if self._level_key is None:
+            self._compute_levels()
+        return self._level_key
+
+    def levels_by_name(self) -> dict[Hashable, Fraction]:
+        """The legacy ``node_levels`` mapping, materialized once."""
+        if self._levels_by_name is None:
+            if self._level_num is None:
+                self._compute_levels()
+            den = self._level_den
+            self._levels_by_name = {
+                self.names[i]: Fraction(self._level_num[i], den)
+                for i in range(self.n)
+            }
+        return self._levels_by_name
+
+    def max_level(self) -> Fraction:
+        """``L(G)``; 0 for the empty graph."""
+        if self.n == 0:
+            return Fraction(0)
+        if self._level_num is None:
+            self._compute_levels()
+        return Fraction(max(self._level_num), self._level_den)
+
+
+def _csr(adj: list[list[int]]) -> tuple[list[int], list[int]]:
+    ptr = [0] * (len(adj) + 1)
+    flat: list[int] = []
+    for i, row in enumerate(adj):
+        flat.extend(row)
+        ptr[i + 1] = len(flat)
+    return ptr, flat
+
+
+def freeze(graph: "CanonicalGraph") -> IndexedGraph:
+    """The (memoized) indexed view of ``graph``.
+
+    Cached on the graph and invalidated when the graph mutates through
+    its own construction API; code mutating the raw ``graph.nx`` escape
+    hatch must call ``graph.invalidate_caches()`` itself.
+    """
+    cache = graph._cache
+    ig = cache.get("indexed")
+    if ig is None:
+        ig = IndexedGraph(graph)
+        cache["indexed"] = ig
+    return ig

@@ -12,6 +12,11 @@ execution time) and the graph work ``T_1 = sum_v W(v)`` equals the
 sequential execution time on one PE.  The *critical path* (sum of works
 along the heaviest path) is the classical non-streaming depth used by the
 Scheduling Length Ratio of the NSTR baseline.
+
+All of these are memoized on (or computed over) the frozen
+:class:`~repro.core.indexed.IndexedGraph`, so repeated calls on one
+graph — the portfolio races several schedulers over the same graph —
+pay the traversal once.
 """
 
 from __future__ import annotations
@@ -20,7 +25,7 @@ from fractions import Fraction
 from typing import Hashable
 
 from .graph import CanonicalGraph
-from .node_types import NodeKind
+from .indexed import freeze
 
 __all__ = [
     "node_levels",
@@ -31,31 +36,14 @@ __all__ = [
 ]
 
 
-def _rate_term(graph: CanonicalGraph, v: Hashable) -> Fraction:
-    """``max(R(v), 1)`` with sensible values for passive nodes."""
-    spec = graph.spec(v)
-    if spec.kind is NodeKind.SOURCE:
-        return Fraction(1)
-    rate = spec.production_rate
-    return rate if rate > 1 else Fraction(1)
-
-
 def node_levels(graph: CanonicalGraph) -> dict[Hashable, Fraction]:
     """The level ``L(v)`` of every node (general canonical DAG form)."""
-    levels: dict[Hashable, Fraction] = {}
-    for v in graph.topological_order():
-        preds = list(graph.predecessors(v))
-        if not preds:
-            levels[v] = Fraction(1)
-        else:
-            levels[v] = _rate_term(graph, v) + max(levels[u] for u in preds)
-    return levels
+    return dict(freeze(graph).levels_by_name())
 
 
 def num_levels(graph: CanonicalGraph) -> Fraction:
     """``L(G)`` — the maximum level over all vertices; 0 for empty graphs."""
-    levels = node_levels(graph)
-    return max(levels.values(), default=Fraction(0))
+    return freeze(graph).max_level()
 
 
 def total_work(graph: CanonicalGraph) -> int:
@@ -70,12 +58,23 @@ def critical_path_length(graph: CanonicalGraph) -> int:
     only start once all its predecessors have finished, so any path costs
     the sum of its works.
     """
-    best: dict[Hashable, int] = {}
-    for v in graph.topological_order():
-        w = graph.spec(v).work
-        preds = list(graph.predecessors(v))
-        best[v] = w + (max(best[u] for u in preds) if preds else 0)
-    return max(best.values(), default=0)
+    ig = freeze(graph)
+    if ig.n == 0:
+        return 0
+    pp, pa, work = ig.pred_ptr, ig.pred_adj, ig.work
+    best = [0] * ig.n
+    out = 0
+    for v in ig.topo:
+        acc = 0
+        for j in range(pp[v], pp[v + 1]):
+            b = best[pa[j]]
+            if b > acc:
+                acc = b
+        acc += work[v]
+        best[v] = acc
+        if acc > out:
+            out = acc
+    return out
 
 
 def bottom_levels(graph: CanonicalGraph) -> dict[Hashable, int]:
@@ -84,8 +83,15 @@ def bottom_levels(graph: CanonicalGraph) -> dict[Hashable, int]:
     Used as the list-scheduling priority of the non-streaming baseline
     (CP/MISF-style, Section 7 "comparison metrics").
     """
-    bl: dict[Hashable, int] = {}
-    for v in reversed(graph.topological_order()):
-        succs = list(graph.successors(v))
-        bl[v] = graph.spec(v).work + (max(bl[s] for s in succs) if succs else 0)
-    return bl
+    ig = freeze(graph)
+    sp, sa, work = ig.succ_ptr, ig.succ_adj, ig.work
+    bl = [0] * ig.n
+    for v in reversed(ig.topo):
+        acc = 0
+        for j in range(sp[v], sp[v + 1]):
+            b = bl[sa[j]]
+            if b > acc:
+                acc = b
+        bl[v] = work[v] + acc
+    names = ig.names
+    return {names[v]: bl[v] for v in reversed(ig.topo)}

@@ -20,6 +20,12 @@ Two variants of Algorithm 1:
 Passive nodes (buffers, sources, sinks) occupy no PE slot; they are
 auto-assigned to the block that is open when they become ready, purely for
 bookkeeping — the schedule treats them as memory anchors either way.
+
+The partitioners run entirely over the flat integer arrays of the
+memoized :class:`~repro.core.indexed.IndexedGraph` (CSR adjacency,
+precomputed float level keys); the original dict/hash implementation is
+preserved in :mod:`repro.core.reference` and the golden-output tests
+assert both produce identical partitions.
 """
 
 from __future__ import annotations
@@ -30,7 +36,7 @@ from dataclasses import dataclass, field
 from typing import Hashable, Literal
 
 from .graph import CanonicalGraph
-from .levels import node_levels
+from .indexed import IndexedGraph, freeze
 
 __all__ = ["Partition", "compute_spatial_blocks", "partition_by_work", "Variant"]
 
@@ -78,56 +84,76 @@ class Partition:
 
 
 class _State:
-    """Shared bookkeeping for the greedy partitioners."""
+    """Shared integer-indexed bookkeeping for the greedy partitioners."""
 
-    def __init__(self, graph: CanonicalGraph):
-        self.graph = graph
-        self.indeg: dict[Hashable, int] = {v: graph.in_degree(v) for v in graph.nodes}
-        self.assigned: dict[Hashable, int] = {}
-        self.blocks: list[list[Hashable]] = [[]]
+    __slots__ = (
+        "ig",
+        "indeg",
+        "assigned",
+        "assigned_order",
+        "blocks",
+        "block_idx",
+        "reach_min",
+        "is_source",
+        "sources_per_block",
+    )
+
+    def __init__(self, ig: IndexedGraph):
+        self.ig = ig
+        pp = ig.pred_ptr
+        self.indeg = [pp[i + 1] - pp[i] for i in range(ig.n)]
+        self.assigned = [-1] * ig.n
+        #: assignment event order, so ``block_of`` keeps the insertion
+        #: order of the pre-indexed implementation
+        self.assigned_order: list[int] = []
+        self.blocks: list[list[int]] = [[]]
         self.block_idx = 0
         # minimum block-source volume reaching each assigned node through
         # streaming (computational) paths inside its own block; None for
         # block sources themselves and for passive nodes.
-        self.reach_min: dict[Hashable, int | None] = {}
-        self.is_block_source: dict[Hashable, bool] = {}
-        self.sources_per_block: list[set[Hashable]] = [set()]
+        self.reach_min: list[int | None] = [None] * ig.n
+        self.is_source = [False] * ig.n
+        self.sources_per_block: list[set[int]] = [set()]
 
-    def in_block_comp_preds(self, v: Hashable) -> list[Hashable]:
-        g = self.graph
-        return [
-            u
-            for u in g.predecessors(v)
-            if self.assigned.get(u) == self.block_idx and g.spec(u).kind.is_computational
-        ]
-
-    def min_reaching_source_volume(self, v: Hashable) -> int | None:
+    def min_reaching_source_volume(self, v: int) -> int | None:
         """Smallest O(s) over block sources reaching ``v`` in the open block.
 
         ``None`` when ``v`` would itself become a block source (no
         streaming predecessor inside the open block).
         """
+        ig = self.ig
+        pp, pa = ig.pred_ptr, ig.pred_adj
+        assigned, comp = self.assigned, ig.comp
+        bi = self.block_idx
         best: int | None = None
-        for u in self.in_block_comp_preds(v):
-            vol = (
-                self.graph.spec(u).output_volume
-                if self.is_block_source[u]
-                else self.reach_min[u]
-            )
+        for j in range(pp[v], pp[v + 1]):
+            u = pa[j]
+            if assigned[u] != bi or not comp[u]:
+                continue
+            vol = ig.out_vol[u] if self.is_source[u] else self.reach_min[u]
             if vol is not None and (best is None or vol < best):
                 best = vol
         return best
 
-    def assign(self, v: Hashable, *, passive: bool = False) -> None:
+    def assign(self, v: int, *, passive: bool = False) -> None:
         self.assigned[v] = self.block_idx
+        self.assigned_order.append(v)
         if not passive:
-            preds = self.in_block_comp_preds(v)
-            source = not preds
-            self.is_block_source[v] = source
-            self.reach_min[v] = None if source else self.min_reaching_source_volume(v)
-            self.blocks[self.block_idx].append(v)
+            ig = self.ig
+            pp, pa = ig.pred_ptr, ig.pred_adj
+            assigned, comp = self.assigned, ig.comp
+            bi = self.block_idx
+            source = not any(
+                assigned[pa[j]] == bi and comp[pa[j]]
+                for j in range(pp[v], pp[v + 1])
+            )
+            self.is_source[v] = source
+            self.reach_min[v] = (
+                None if source else self.min_reaching_source_volume(v)
+            )
+            self.blocks[bi].append(v)
             if source:
-                self.sources_per_block[self.block_idx].add(v)
+                self.sources_per_block[bi].add(v)
 
     def close_block(self) -> None:
         self.blocks.append([])
@@ -138,8 +164,13 @@ class _State:
         if self.blocks and not self.blocks[-1]:
             self.blocks.pop()
             self.sources_per_block.pop()
+        names = self.ig.names
         return Partition(
-            self.blocks, self.assigned, variant, num_pes, self.sources_per_block
+            [[names[i] for i in block] for block in self.blocks],
+            {names[i]: self.assigned[i] for i in self.assigned_order},
+            variant,
+            num_pes,
+            [{names[i] for i in srcs} for srcs in self.sources_per_block],
         )
 
 
@@ -158,29 +189,33 @@ def compute_spatial_blocks(
     if variant not in ("lts", "rlx"):
         raise ValueError(f"unknown variant {variant!r}")
 
-    state = _State(graph)
-    levels = node_levels(graph)
+    ig = freeze(graph)
+    state = _State(ig)
+    level_key = ig.level_keys()
+    out_vol, comp = ig.out_vol, ig.comp
+    sp, sa = ig.succ_ptr, ig.succ_adj
     counter = itertools.count()
 
-    ready_heap: list[tuple[int, float, int, Hashable]] = []
-    deferred: list[tuple[int, float, int, Hashable]] = []
+    ready_heap: list[tuple[int, float, int, int]] = []
+    deferred: list[tuple[int, float, int, int]] = []
 
-    def push_ready(v: Hashable) -> None:
-        spec = graph.spec(v)
+    def push_ready(v: int) -> None:
         heapq.heappush(
-            ready_heap,
-            (spec.output_volume, float(levels[v]), next(counter), v),
+            ready_heap, (out_vol[v], level_key[v], next(counter), v)
         )
 
-    def release_successors(v: Hashable) -> None:
+    indeg = state.indeg
+
+    def release_successors(v: int) -> None:
         """Decrement successor indegrees; cascade through passive nodes."""
         stack = [v]
         while stack:
             u = stack.pop()
-            for w in graph.successors(u):
-                state.indeg[w] -= 1
-                if state.indeg[w] == 0:
-                    if graph.spec(w).kind.is_computational:
+            for j in range(sp[u], sp[u + 1]):
+                w = sa[j]
+                indeg[w] -= 1
+                if indeg[w] == 0:
+                    if comp[w]:
                         push_ready(w)
                     else:
                         state.assign(w, passive=True)
@@ -188,29 +223,29 @@ def compute_spatial_blocks(
 
     # seed: entry nodes (snapshot first — the passive cascade mutates
     # indegrees, and a node it already assigned must not be re-seeded)
-    entries = [v for v in graph.nodes if state.indeg[v] == 0]
-    for v in entries:
-        if graph.spec(v).kind.is_computational:
+    for v in ig.entries:
+        if comp[v]:
             push_ready(v)
         else:
             state.assign(v, passive=True)
             release_successors(v)
 
-    remaining = graph.num_tasks()
+    remaining = ig.num_tasks
     while remaining > 0:
-        cand: Hashable | None = None
+        cand = -1
         while ready_heap:
-            vol, lvl, seq, v = heapq.heappop(ready_heap)
+            item = heapq.heappop(ready_heap)
+            v = item[3]
             reach = state.min_reaching_source_volume(v)
-            if reach is None or vol <= reach:
+            if reach is None or item[0] <= reach:
                 cand = v
                 break
-            deferred.append((vol, lvl, seq, v))
-        if cand is None and variant == "rlx" and deferred:
+            deferred.append(item)
+        if cand < 0 and variant == "rlx" and deferred:
             # relaxed: admit the ready node producing the least data anyway
             deferred.sort()
             cand = deferred.pop(0)[3]
-        if cand is None:
+        if cand < 0:
             # SB-LTS with no eligible candidate: close the block; deferred
             # nodes become eligible again (their preds leave the open block)
             if not state.blocks[state.block_idx] and not deferred:
@@ -229,8 +264,7 @@ def compute_spatial_blocks(
                 heapq.heappush(ready_heap, item)
             deferred.clear()
 
-    part = state.finish(f"sb-{variant}", num_pes)
-    return part
+    return state.finish(f"sb-{variant}", num_pes)
 
 
 def partition_by_work(graph: CanonicalGraph, num_pes: int) -> Partition:
@@ -244,37 +278,41 @@ def partition_by_work(graph: CanonicalGraph, num_pes: int) -> Partition:
     """
     if num_pes < 1:
         raise ValueError("need at least one processing element")
-    state = _State(graph)
-    levels = node_levels(graph)
+    ig = freeze(graph)
+    state = _State(ig)
+    level_key = ig.level_keys()
+    work, comp = ig.work, ig.comp
+    sp, sa = ig.succ_ptr, ig.succ_adj
     counter = itertools.count()
-    heap: list[tuple[int, float, int, Hashable]] = []
+    heap: list[tuple[int, float, int, int]] = []
 
-    def push_ready(v: Hashable) -> None:
-        spec = graph.spec(v)
-        heapq.heappush(heap, (-spec.work, float(levels[v]), next(counter), v))
+    def push_ready(v: int) -> None:
+        heapq.heappush(heap, (-work[v], level_key[v], next(counter), v))
 
-    def release_successors(v: Hashable) -> None:
+    indeg = state.indeg
+
+    def release_successors(v: int) -> None:
         stack = [v]
         while stack:
             u = stack.pop()
-            for w in graph.successors(u):
-                state.indeg[w] -= 1
-                if state.indeg[w] == 0:
-                    if graph.spec(w).kind.is_computational:
+            for j in range(sp[u], sp[u + 1]):
+                w = sa[j]
+                indeg[w] -= 1
+                if indeg[w] == 0:
+                    if comp[w]:
                         push_ready(w)
                     else:
                         state.assign(w, passive=True)
                         stack.append(w)
 
-    entries = [v for v in graph.nodes if state.indeg[v] == 0]
-    for v in entries:
-        if graph.spec(v).kind.is_computational:
+    for v in ig.entries:
+        if comp[v]:
             push_ready(v)
         else:
             state.assign(v, passive=True)
             release_successors(v)
 
-    remaining = graph.num_tasks()
+    remaining = ig.num_tasks
     while remaining > 0:
         _, _, _, cand = heapq.heappop(heap)
         if len(state.blocks[state.block_idx]) >= num_pes:

@@ -21,9 +21,14 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Hashable, Literal
 
-from .block_schedule import BlockSchedule, TaskTimes, schedule_block
+from .block_schedule import (
+    BlockSchedule,
+    TaskTimes,
+    _schedule_block_indexed,
+)
 from .buffer_sizing import compute_buffer_sizes
 from .graph import CanonicalGraph
+from .indexed import freeze
 from .node_types import NodeKind
 from .partition import Partition, Variant, compute_spatial_blocks, partition_by_work
 
@@ -120,45 +125,56 @@ def schedule_streaming(
     else:
         partition = compute_spatial_blocks(graph, num_pes, variant)
 
+    ig = freeze(graph)
+    names, index = ig.names, ig.index
+    kinds, comp = ig.kinds, ig.comp
+    topo_pos = ig.topo_pos
+
     times: dict[Hashable, TaskTimes] = {}
     si: dict[Hashable, Fraction] = {}
     so: dict[Hashable, Fraction] = {}
-    ready: dict[Hashable, int] = {}
+    ready: dict[int, int] = {}
     pe_of: dict[Hashable, int] = {}
     block_schedules: list[BlockSchedule] = []
 
     release = 0
     makespan = 0
-    members_by_block: list[list[Hashable]] = [[] for _ in range(partition.num_blocks)]
+    members_by_block: list[list[int]] = [[] for _ in range(partition.num_blocks)]
     for v, b in partition.block_of.items():
-        members_by_block[b].append(v)
+        members_by_block[b].append(index[v])
 
     for b, members in enumerate(members_by_block):
-        block = schedule_block(
-            graph,
-            set(members),
+        members.sort(key=topo_pos.__getitem__)
+        b_times, b_si, b_so, iview = _schedule_block_indexed(
+            ig,
+            members,
             ready,
             release=release if sequential_blocks else 0,
         )
-        block_schedules.append(block)
-        times.update(block.times)
-        si.update(block.si)
-        so.update(block.so)
+        block_times = {names[i]: t for i, t in b_times.items()}
+        block_si = {names[i]: s for i, s in b_si.items()}
+        block_so = {names[i]: s for i, s in b_so.items()}
+        block_schedules.append(
+            BlockSchedule(block_times, block_si, block_so, iview)
+        )
+        times.update(block_times)
+        si.update(block_si)
+        so.update(block_so)
         block_end = release
-        for v in members:
-            kind = graph.kind(v)
-            t = block.times[v]
-            if kind.is_computational:
-                ready[v] = t.lo
+        for i in members:
+            kind = kinds[i]
+            t = b_times[i]
+            if comp[i]:
+                ready[i] = t.lo
                 block_end = max(block_end, t.lo)
                 makespan = max(makespan, t.lo)
             elif kind is NodeKind.BUFFER:
-                ready[v] = t.st  # stored time
+                ready[i] = t.st  # stored time
                 makespan = max(makespan, t.st)
             elif kind is NodeKind.SOURCE:
-                ready[v] = 0
+                ready[i] = 0
             else:  # sink
-                ready[v] = t.lo
+                ready[i] = t.lo
         for pe, v in enumerate(partition.blocks[b]):
             pe_of[v] = pe
         release = block_end

@@ -62,8 +62,14 @@ def graph_to_dict(graph: CanonicalGraph) -> dict:
     }
 
 
-def graph_from_dict(doc: dict) -> CanonicalGraph:
-    """Inverse of :func:`graph_to_dict`; validates the result."""
+def graph_from_dict(doc: dict, validate: bool = True) -> CanonicalGraph:
+    """Inverse of :func:`graph_to_dict`; validates the result.
+
+    ``validate=False`` skips the final DAG/volume re-check — only for
+    documents that provably came from :func:`graph_to_dict` of an
+    already-validated graph (e.g. portfolio workers re-hydrating the
+    parent's wire document); untrusted input must keep the default.
+    """
     if doc.get("format") != "canonical-task-graph":
         raise ValueError("not a canonical task graph document")
     if doc.get("version") != FORMAT_VERSION:
@@ -81,7 +87,8 @@ def graph_from_dict(doc: dict) -> CanonicalGraph:
         )
     for u, v in doc["edges"]:
         g.add_edge(_name_from_json(u), _name_from_json(v))
-    g.validate()
+    if validate:
+        g.validate()
     return g
 
 

@@ -15,6 +15,11 @@ That cost is the experiment's point: canonical task graph analysis is
 ~linear in nodes + edges regardless of data volumes, while CSDF analysis
 scales with the token counts, which is why the paper observes 2-3 orders
 of magnitude slow-downs and timeouts on the larger graphs.
+
+The executor flattens actors and channels into integer-indexed arrays
+once per call (actor names never enter the event loop), so the
+Theta(volume) firing loop runs on list indexing instead of per-name
+dict hashing.
 """
 
 from __future__ import annotations
@@ -22,7 +27,6 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Hashable
 
 from .csdf import CsdfGraph
 
@@ -55,47 +59,47 @@ def self_timed_makespan(
     :class:`AnalysisTimeout` — the stand-in for SDF3/Kiter's wall-clock
     time-out on complex graphs.
     """
+    # ---- flatten to integer-indexed arrays ----------------------------
+    names = list(graph.actors)
+    aidx = {name: i for i, name in enumerate(names)}
+    n = len(names)
     q = graph.repetition_vector()
-    remaining = {
-        a: q[a] * graph.actors[a].num_phases * iterations for a in graph.actors
-    }
-    phase = {a: 0 for a in graph.actors}
-    busy = {a: False for a in graph.actors}
-    tokens: dict[int, int] = {
-        i: ch.initial_tokens for i, ch in enumerate(graph.channels)
-    }
-    in_edges: dict[Hashable, list[int]] = {a: [] for a in graph.actors}
-    out_edges: dict[Hashable, list[int]] = {a: [] for a in graph.actors}
+    num_phases = [graph.actors[name].num_phases for name in names]
+    durations = [graph.actors[name].durations for name in names]
+    remaining = [q[name] * num_phases[i] * iterations for i, name in enumerate(names)]
+    phase = [0] * n
+    busy = [False] * n
+    tokens = [ch.initial_tokens for ch in graph.channels]
+    consumption = [ch.consumption for ch in graph.channels]
+    production = [ch.production for ch in graph.channels]
+    channel_dst = [aidx[ch.dst] for ch in graph.channels]
+    in_edges: list[list[int]] = [[] for _ in range(n)]
+    out_edges: list[list[int]] = [[] for _ in range(n)]
     for i, ch in enumerate(graph.channels):
-        out_edges[ch.src].append(i)
-        in_edges[ch.dst].append(i)
+        out_edges[aidx[ch.src]].append(i)
+        in_edges[aidx[ch.dst]].append(i)
 
-    def can_fire(a: Hashable) -> bool:
-        if busy[a] or remaining[a] == 0:
-            return False
-        p = phase[a]
-        return all(
-            tokens[i] >= graph.channels[i].consumption[p] for i in in_edges[a]
-        )
-
-    heap: list[tuple[int, int, str, Hashable]] = []
+    heap: list[tuple[int, int, int]] = []
     seq = itertools.count()
     now = 0
     fired = 0
 
-    def try_start(a: Hashable) -> None:
+    def try_start(a: int) -> None:
         nonlocal fired
-        if not can_fire(a):
+        if busy[a] or remaining[a] == 0:
             return
         p = phase[a]
-        for i in in_edges[a]:
-            tokens[i] -= graph.channels[i].consumption[p]
+        ins = in_edges[a]
+        for i in ins:
+            if tokens[i] < consumption[i][p]:
+                return
+        for i in ins:
+            tokens[i] -= consumption[i][p]
         busy[a] = True
         fired += 1
-        duration = graph.actors[a].durations[p]
-        heapq.heappush(heap, (now + duration, next(seq), "end", a))
+        heapq.heappush(heap, (now + durations[a][p], next(seq), a))
 
-    for a in graph.actors:
+    for a in range(n):
         try_start(a)
 
     makespan = 0
@@ -104,20 +108,22 @@ def self_timed_makespan(
             raise AnalysisTimeout(
                 f"self-timed execution exceeded {max_firings} firings"
             )
-        now, _, _, a = heapq.heappop(heap)
-        makespan = max(makespan, now)
+        now, _, a = heapq.heappop(heap)
+        if now > makespan:
+            makespan = now
         p = phase[a]
-        for i in out_edges[a]:
-            tokens[i] += graph.channels[i].production[p]
-        phase[a] = (p + 1) % graph.actors[a].num_phases
+        outs = out_edges[a]
+        for i in outs:
+            tokens[i] += production[i][p]
+        phase[a] = (p + 1) % num_phases[a]
         busy[a] = False
         remaining[a] -= 1
         # the completed actor and every consumer may now be startable
         try_start(a)
-        for i in out_edges[a]:
-            try_start(graph.channels[i].dst)
+        for i in outs:
+            try_start(channel_dst[i])
 
-    if any(r > 0 for r in remaining.values()):
-        stuck = [a for a, r in remaining.items() if r > 0]
+    if any(r > 0 for r in remaining):
+        stuck = [names[a] for a in range(n) if remaining[a] > 0]
         raise RuntimeError(f"self-timed execution deadlocked: {stuck[:5]}")
     return SelfTimedResult(makespan=makespan, firings=fired)

@@ -27,17 +27,19 @@ Fingerprint format
 ------------------
 A graph fingerprint is 64 lowercase hex characters: the SHA-256 of
 
-``"cg1|<num_nodes>|<num_edges>"`` ++ sorted node labels ++ sorted
-``"<label(u)>><label(v)>"`` edge pairs,
+``"cg2|<num_nodes>|<num_edges>"`` ++ sorted node labels ++ sorted
+``label(u) ++ label(v)`` edge pairs,
 
-where node labels are 16-hex-char SHA-256 prefixes obtained by 1-WL
-color refinement — seeds are digests of ``(kind, I(v), O(v))``, each
-round rehashes a label with the sorted predecessor and successor label
-multisets, and refinement stops when the label partition stabilizes
-(at most ``|V|`` rounds).  Renaming or reordering nodes never changes
-the fingerprint; changing topology or any node's volumes does.  The
-``cg1`` version tag is folded into the hash, so algorithm revisions can
-never collide with old fingerprints.
+where node labels are 16-*byte* SHA-256 prefixes obtained by 1-WL
+color refinement over the flat :class:`~repro.core.indexed.IndexedGraph`
+arrays — seeds are digests of ``(kind, I(v), O(v))``, each round
+rehashes a label with its predecessor count and the sorted predecessor
+and successor label multisets (byte-packed, no string joins), and
+refinement stops when the label partition stabilizes (at most ``|V|``
+rounds).  Renaming or reordering nodes never changes the fingerprint;
+changing topology or any node's volumes does.  The ``cg2`` version tag
+is folded into the hash, so algorithm revisions can never collide with
+old fingerprints.
 
 Cache entries are keyed by the *request* identity
 ``"sv2:<fingerprint>:p<num_pes>:<objective>:<sched+sched+...>"``
@@ -89,6 +91,7 @@ from .portfolio import (
     DEFAULT_SCHEDULERS,
     OBJECTIVES,
     CandidateResult,
+    PortfolioPool,
     PortfolioResult,
     register_scheduler,
     run_portfolio,
@@ -103,6 +106,7 @@ __all__ = [
     "CandidateResult",
     "LoadgenReport",
     "OBJECTIVES",
+    "PortfolioPool",
     "PortfolioResult",
     "ScheduleCache",
     "ScheduleServer",

@@ -14,16 +14,29 @@ objective deciding the winner:
   and trivially win this objective, so restrict the portfolio to
   streaming variants when sizing on-chip memory.
 
-Candidates are CPU-bound pure Python, so under the GIL the "race" is an
-*anytime* one: candidates run in priority order and an optional
-wall-clock budget cuts the tail off once at least one has finished.  A
-truncated portfolio still returns the best schedule found — callers
-(the service) simply refrain from caching it, since a rerun with more
-budget could answer differently.
+Candidates are CPU-bound pure Python, so under the GIL the in-process
+"race" is an *anytime* one: candidates run in priority order and an
+optional wall-clock budget cuts the tail off once at least one has
+finished.  A truncated portfolio still returns the best schedule found —
+callers (the service) simply refrain from caching it, since a rerun with
+more budget could answer differently.
+
+Passing a :class:`PortfolioPool` races the candidates **concurrently**
+on a persistent ``multiprocessing`` pool instead (the same
+chunked-dispatch worker discipline as :mod:`repro.campaign.executor`,
+with warm-started workers that pre-import the scheduler stack).  The
+miss latency then tracks the slowest candidate instead of the sum, and —
+because the candidates escape the GIL — several concurrent misses
+pipeline through the worker processes.  Winner selection is identical to
+the sequential race: every candidate is deterministic, so the same
+objective key and the same priority-order tie-break pick the same
+schedule either way.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -31,11 +44,12 @@ from typing import Callable, Sequence
 from ..baselines import schedule_heft, schedule_nonstreaming
 from ..core import schedule_streaming, total_work
 from ..core.graph import CanonicalGraph
-from ..core.serialize import schedule_to_dict
+from ..core.serialize import graph_from_dict, graph_to_dict, schedule_to_dict
 
 __all__ = [
     "CandidateResult",
     "PortfolioResult",
+    "PortfolioPool",
     "run_portfolio",
     "register_scheduler",
     "scheduler_names",
@@ -117,16 +131,132 @@ class CandidateResult:
 
 @dataclass
 class PortfolioResult:
-    """Outcome of one portfolio race."""
+    """Outcome of one portfolio race.
+
+    ``schedule`` is the winning schedule object for an in-process race,
+    or the already-serialized schedule document when the race ran on a
+    :class:`PortfolioPool` (worker processes ship documents, not
+    objects).
+    """
 
     objective: str
     winner: CandidateResult
-    schedule: object = field(repr=False)  #: the winning schedule object
+    schedule: object = field(repr=False)
     candidates: list[CandidateResult] = field(default_factory=list)
     truncated: bool = False  #: the budget cut candidates off
 
     def schedule_doc(self) -> dict:
+        if isinstance(self.schedule, dict):
+            return self.schedule
         return schedule_to_dict(self.schedule)
+
+
+def _warm_worker() -> None:  # pragma: no cover - runs in worker processes
+    """Pool initializer: pre-import the scheduler stack so the first
+    race a worker serves does not pay the import latency (the same
+    worker-seeding idea as the campaign executor's chunked dispatch:
+    amortize per-process setup once, not per task)."""
+    from .. import baselines, core  # noqa: F401
+    from ..core import indexed, reference  # noqa: F401
+
+
+def _race_candidate(payload: tuple[dict, int, str]) -> dict:
+    """Worker-side entry point: schedule one candidate from wire data.
+
+    Receives the graph as its JSON document (cheap to pickle, and the
+    rebuilt graph is frozen once per worker call); returns plain data —
+    the schedule document, never the schedule object.
+    """
+    graph_doc, num_pes, name = payload
+    t0 = time.perf_counter()
+    # the parent serialized an already-validated graph: skip the re-check
+    graph = graph_from_dict(graph_doc, validate=False)
+    schedule = _SCHEDULERS[name](graph, num_pes)
+    return {
+        "name": name,
+        "makespan": int(schedule.makespan),
+        "fifo_total": int(sum(getattr(schedule, "buffer_sizes", {}).values())),
+        "elapsed": time.perf_counter() - t0,
+        "schedule": schedule_to_dict(schedule),
+    }
+
+
+class PortfolioPool:
+    """A persistent ``multiprocessing`` pool for portfolio races.
+
+    Created once (eagerly, from the owning thread — forking lazily from
+    a server worker thread risks inheriting held locks) and reused for
+    every miss until :meth:`close`.  Safe for concurrent submission from
+    multiple server threads: ``multiprocessing.Pool`` serializes task
+    dispatch internally, and results are futures.
+    """
+
+    def __init__(self, workers: int = 4):
+        if workers < 2:
+            raise ValueError("a portfolio pool needs at least two workers")
+        self.workers = workers
+        self._pool = multiprocessing.Pool(processes=workers, initializer=_warm_worker)
+        self._lock = threading.Lock()
+        self._closed = False
+
+    #: bounded-wait cap per candidate: a lost pool task (worker killed
+    #: mid-compute; ``multiprocessing.Pool`` respawns the process but
+    #: the in-flight ``AsyncResult`` never completes) must degrade to an
+    #: in-process recompute, never a permanent hang
+    task_timeout_s = 300.0
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def submit(self, graph_doc: dict, num_pes: int, name: str):
+        """Async-submit one candidate; returns an ``AsyncResult``."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("portfolio pool is closed")
+            return self._pool.apply_async(
+                _race_candidate, ((graph_doc, num_pes, name),)
+            )
+
+    def wait(self, future, deadline: float | None):
+        """Collect ``future`` without ever blocking unboundedly.
+
+        Polls so that :meth:`close` (the pool owner shutting down while
+        races are in flight) and lost tasks are both survivable: raises
+        ``RuntimeError`` when the pool closes or the per-task cap
+        expires — the caller recomputes in-process — and
+        ``multiprocessing.TimeoutError`` when ``deadline`` passes first.
+        """
+        cap = time.perf_counter() + self.task_timeout_s
+        while True:
+            if self._closed:
+                raise RuntimeError("portfolio pool closed while waiting")
+            now = time.perf_counter()
+            if deadline is not None and now >= deadline:
+                raise multiprocessing.TimeoutError
+            if now >= cap:
+                raise RuntimeError("portfolio pool task timed out")
+            step = min(cap, now + 0.05)
+            if deadline is not None:
+                step = min(step, deadline)
+            try:
+                return future.get(timeout=max(0.0, step - now))
+            except multiprocessing.TimeoutError:
+                continue  # re-check closed/deadline/cap and poll again
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._pool.terminate()
+        self._pool.join()
+
+    def __enter__(self) -> "PortfolioPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 def _sort_key(objective: str, makespan: int, fifo_total: int):
@@ -146,18 +276,92 @@ def _report_value(objective: str, makespan: int, fifo_total: int, t1: int) -> fl
     return float(makespan)
 
 
+def _run_portfolio_pooled(
+    graph: CanonicalGraph,
+    num_pes: int,
+    objective: str,
+    names: list[str],
+    budget_s: float | None,
+    t1: int,
+    pool: PortfolioPool,
+) -> PortfolioResult:
+    """Race all candidates concurrently on the persistent pool.
+
+    Results are collected in priority order so the tie-break matches the
+    sequential race exactly; the budget caps the *collection* wait (the
+    first candidate is always collected, mirroring "at least one always
+    runs").  A worker that cannot serve a candidate — e.g. a scheduler
+    registered after the pool forked, the pool closing mid-race, a lost
+    task — falls back to an in-process compute of that one candidate,
+    never a wrong or missing answer.
+
+    Known budget caveat: all candidates are submitted up front, so a
+    truncated race abandons its uncollected futures and their compute
+    still drains through the pool workers behind later races — the
+    budget bounds the answer latency, not the work spent.  (The
+    sequential race stops *launching* instead; callers already treat
+    truncated results as non-cacheable either way.)
+    """
+    graph_doc = graph_to_dict(graph)
+    t_race = time.perf_counter()
+    futures = [(name, pool.submit(graph_doc, num_pes, name)) for name in names]
+    deadline = None if budget_s is None else t_race + budget_s
+    candidates: list[CandidateResult] = []
+    best: tuple | None = None
+    best_doc: dict | None = None
+    truncated = False
+    for i, (name, fut) in enumerate(futures):
+        try:
+            # the first candidate always completes (no deadline), like
+            # the sequential race's "at least one always runs"
+            doc = pool.wait(fut, deadline if i > 0 else None)
+        except multiprocessing.TimeoutError:
+            truncated = True
+            break
+        except Exception:
+            doc = _race_candidate((graph_doc, num_pes, name))
+        makespan, fifo_total = doc["makespan"], doc["fifo_total"]
+        candidates.append(
+            CandidateResult(
+                name=name,
+                makespan=makespan,
+                value=_report_value(objective, makespan, fifo_total, t1),
+                fifo_total=fifo_total,
+                elapsed=doc["elapsed"],
+            )
+        )
+        key = _sort_key(objective, makespan, fifo_total)
+        if best is None or key < best:
+            best = key
+            best_doc = doc["schedule"]
+    winner = min(
+        candidates,
+        key=lambda c: _sort_key(objective, c.makespan, c.fifo_total),
+    )
+    return PortfolioResult(
+        objective=objective,
+        winner=winner,
+        schedule=best_doc,
+        candidates=candidates,
+        truncated=truncated,
+    )
+
+
 def run_portfolio(
     graph: CanonicalGraph,
     num_pes: int,
     objective: str = "makespan",
     schedulers: Sequence[str] | None = None,
     budget_s: float | None = None,
+    pool: PortfolioPool | None = None,
 ) -> PortfolioResult:
     """Race candidate schedulers over ``graph``; return the best found.
 
     ``schedulers`` orders the race (and breaks objective ties: earlier
     wins); ``budget_s`` stops launching further candidates once the
     race has spent that much wall-clock (at least one always runs).
+    With ``pool`` the candidates race concurrently on worker processes
+    (see :class:`PortfolioPool`); the winner is identical either way.
     """
     if num_pes < 1:
         raise ValueError("need at least one processing element")
@@ -173,6 +377,10 @@ def run_portfolio(
             f"(known: {', '.join(scheduler_names())})"
         )
     t1 = total_work(graph)
+    if pool is not None and len(names) > 1:
+        return _run_portfolio_pooled(
+            graph, num_pes, objective, names, budget_s, t1, pool
+        )
     t_race = time.perf_counter()
     candidates: list[CandidateResult] = []
     best: tuple | None = None

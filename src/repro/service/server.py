@@ -54,7 +54,13 @@ from ..core.graph import find_isomorphism
 from ..core.serialize import _name_from_json, _name_to_json, graph_from_dict
 from .cache import ScheduleCache
 from .fingerprint import doc_digest, fingerprint_graph_doc, request_key
-from .portfolio import DEFAULT_SCHEDULERS, OBJECTIVES, run_portfolio, scheduler_names
+from .portfolio import (
+    DEFAULT_SCHEDULERS,
+    OBJECTIVES,
+    PortfolioPool,
+    run_portfolio,
+    scheduler_names,
+)
 
 __all__ = ["ScheduleService", "ScheduleServer", "DEFAULT_PORT"]
 
@@ -98,9 +104,17 @@ class ScheduleService:
         cache: ScheduleCache | None = None,
         default_schedulers: Sequence[str] = DEFAULT_SCHEDULERS,
         fingerprint_memo_size: int = 4096,
+        portfolio_workers: int = 0,
     ) -> None:
         self.cache = cache
         self.default_schedulers = tuple(default_schedulers)
+        # the miss path: with >= 2 portfolio workers the candidate race
+        # runs on a persistent process pool (created eagerly here, from
+        # the owning thread — forking lazily under server threads risks
+        # inheriting held locks) instead of sequentially under the GIL
+        self.portfolio_pool = (
+            PortfolioPool(portfolio_workers) if portfolio_workers >= 2 else None
+        )
         self.started = time.time()
         self.served = 0
         self.computed = 0
@@ -157,9 +171,17 @@ class ScheduleService:
             "errors": self.errors,
             "schedulers": scheduler_names(),
             "objectives": list(OBJECTIVES),
+            "portfolio_workers": (
+                self.portfolio_pool.workers if self.portfolio_pool else 0
+            ),
         }
         stats["cache"] = self.cache.counters() if self.cache else None
         return stats
+
+    def close(self) -> None:
+        """Release owned resources (the portfolio worker pool)."""
+        if self.portfolio_pool is not None:
+            self.portfolio_pool.close()
 
     # ------------------------------------------------------------------
     def _fingerprint(self, graph_doc: dict):
@@ -289,6 +311,7 @@ class ScheduleService:
             result = run_portfolio(
                 graph, num_pes, objective=objective,
                 schedulers=schedulers, budget_s=budget_s,
+                pool=self.portfolio_pool,
             )
         entry = {
             "ok": True,
@@ -424,6 +447,7 @@ class ScheduleServer:
             conns = list(self._conns)
         for conn in conns:
             self._close_socket(conn)
+        self.service.close()
 
     def join(self, timeout: float = 5.0) -> None:
         deadline = time.monotonic() + timeout
