@@ -17,7 +17,16 @@ Two measurements, both against the original implementation preserved in
   scheduler portfolio from 4 concurrent threads, the way service misses
   arrive — the new stack (indexed core + persistent 4-worker
   :class:`~repro.service.portfolio.PortfolioPool`) vs the pre-indexed
-  sequential in-process race.
+  sequential in-process race;
+* an **ingest** section reporting the wire→graph split — legacy
+  ``graph_from_dict`` (+freeze) vs the zero-copy
+  :func:`repro.core.ingest.ingest_graph_doc` path (validated and
+  trusted), the streaming cg2 fingerprint, and schedule serialization
+  (dict+dumps vs :func:`repro.core.serialize.schedule_doc_bytes`) — at
+  1k and 10k nodes.
+
+The sweep includes serving-scale ``layered-10k`` / ``serpar-10k``
+scenarios (one graph each — the reference path is ~10x slower there).
 
 Writes ``BENCH_hotpaths.json``.  With ``--baseline <file>`` the smoke
 numbers are gated: the run fails when any measured throughput regresses
@@ -57,6 +66,13 @@ SWEEP = [
     ("cholesky", "cholesky", 8, 16, "lts"),
 ]
 
+#: serving-scale scenarios measured with a single graph (the reference
+#: path is an order of magnitude slower at this size)
+SWEEP_10K = [
+    ("layered-10k", "layered", 10000, 128, "rlx"),
+    ("serpar-10k", "serpar", 10000, 128, "lts"),
+]
+
 PORTFOLIO_SCHEDULERS = ("rlx", "lts", "nstr")
 
 
@@ -80,6 +96,9 @@ def bench_schedule(repeats: int, smoke: bool) -> list[dict]:
     for label, topo, size, pes, variant in SWEEP:
         graphs = [random_canonical_graph(topo, size, seed=r) for r in range(repeats)]
         cases.append((label, graphs, pes, variant))
+    for label, topo, size, pes, variant in SWEEP_10K:
+        cases.append((label, [random_canonical_graph(topo, size, seed=0)],
+                      pes, variant))
     if not smoke:
         for label, graph, pes, variant in _ml_graphs():
             cases.append((label, [graph], pes, variant))
@@ -215,6 +234,66 @@ def bench_portfolio(misses: int, workers: int) -> dict:
     }
 
 
+def bench_ingest(smoke: bool) -> list[dict]:
+    """Wire→IndexedGraph split: parse, freeze, fingerprint, serialize."""
+    from repro.core.graph import graph_fingerprint
+    from repro.core.indexed import freeze
+    from repro.core.ingest import ingest_graph_doc
+    from repro.core.serialize import (
+        graph_from_dict,
+        graph_to_dict,
+        schedule_doc_bytes,
+    )
+
+    cases = [("layered-1k", "layered", 1000, 64, "rlx", 5 if smoke else 10)]
+    for label, topo, size, pes, variant in SWEEP_10K:
+        cases.append((label, topo, size, pes, variant, 1 if smoke else 3))
+
+    rows = []
+    for label, topo, size, pes, variant, reps in cases:
+        doc = graph_to_dict(random_canonical_graph(topo, size, seed=0))
+
+        def timed(fn) -> float:
+            t0 = time.perf_counter()
+            for _ in range(reps):
+                fn()
+            return (time.perf_counter() - t0) / reps
+
+        parse_s = timed(lambda: graph_from_dict(doc))
+        parse_freeze_s = timed(lambda: freeze(graph_from_dict(doc)))
+        ingest_s = timed(lambda: ingest_graph_doc(doc))
+        trusted_s = timed(lambda: ingest_graph_doc(doc, validate=False))
+        # fingerprint over a fresh ingest each round: the full cost a
+        # service pays the first time it sees a document
+        fingerprint_s = timed(
+            lambda: graph_fingerprint(ingest_graph_doc(doc, validate=False))
+        ) - trusted_s
+
+        ig = ingest_graph_doc(doc)
+        schedule = schedule_streaming(ig, pes, variant)
+        to_dict_s = timed(
+            lambda: json.dumps(schedule_to_dict(schedule)).encode()
+        )
+        doc_bytes_s = timed(lambda: schedule_doc_bytes(schedule))
+
+        rows.append({
+            "scenario": label,
+            "nodes": len(doc["nodes"]),
+            "edges": len(doc["edges"]),
+            "repeats": reps,
+            "graph_from_dict_s": round(parse_s, 4),
+            "legacy_parse_freeze_s": round(parse_freeze_s, 4),
+            "ingest_s": round(ingest_s, 4),
+            "ingest_trusted_s": round(trusted_s, 4),
+            "fingerprint_s": round(max(0.0, fingerprint_s), 4),
+            "schedule_dict_dumps_s": round(to_dict_s, 4),
+            "schedule_doc_bytes_s": round(doc_bytes_s, 4),
+            "ingest_speedup": round(parse_freeze_s / ingest_s, 2),
+            "trusted_speedup": round(parse_freeze_s / trusted_s, 2),
+        })
+    return rows
+
+
 def check_baseline(doc: dict, baseline_path: str, tolerance: float) -> list[str]:
     """Gate on the indexed-vs-reference *speedup ratios*, not wall clock.
 
@@ -268,6 +347,7 @@ def main(argv: list[str] | None = None) -> int:
     misses = args.misses or (6 if args.smoke else 16)
 
     schedule_rows = bench_schedule(repeats, args.smoke)
+    ingest_rows = bench_ingest(args.smoke)
     portfolio = bench_portfolio(misses, args.workers)
 
     print(format_table(
@@ -279,6 +359,19 @@ def main(argv: list[str] | None = None) -> int:
              f"{r['nodes_per_sec']:,.0f}", f"{r['speedup']:.1f}x",
              r["byte_identical"]]
             for r in schedule_rows
+        ],
+    ))
+    print(format_table(
+        ["scenario", "nodes", "legacy parse+freeze", "ingest", "trusted",
+         "fingerprint", "sched dict+dumps", "sched bytes", "ingest speedup"],
+        [
+            [r["scenario"], r["nodes"], f"{r['legacy_parse_freeze_s']*1e3:.1f} ms",
+             f"{r['ingest_s']*1e3:.1f} ms", f"{r['ingest_trusted_s']*1e3:.1f} ms",
+             f"{r['fingerprint_s']*1e3:.1f} ms",
+             f"{r['schedule_dict_dumps_s']*1e3:.1f} ms",
+             f"{r['schedule_doc_bytes_s']*1e3:.1f} ms",
+             f"{r['ingest_speedup']:.1f}x"]
+            for r in ingest_rows
         ],
     ))
     print(
@@ -301,6 +394,7 @@ def main(argv: list[str] | None = None) -> int:
             "misses": misses, "workers": args.workers,
         },
         "schedule": schedule_rows,
+        "ingest": ingest_rows,
         "portfolio": portfolio,
     }
     Path(args.output).write_text(json.dumps(doc, indent=1) + "\n")

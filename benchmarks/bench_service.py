@@ -5,11 +5,21 @@ standalone script (CI runs it directly and uploads the JSON artifact):
 
     PYTHONPATH=src python benchmarks/bench_service.py --smoke
 
-It boots an in-process scheduling service, replays the same Zipf-skewed
-workload twice — once with the schedule cache in front, once with
-``no_cache`` forced recomputes — verifies that cached fingerprints
-return byte-identical schedules to cold runs, and writes
-``BENCH_service.json`` with both reports and the resulting speedup.
+It boots an in-process scheduling service and measures two loadgen
+profiles against it:
+
+* ``fig10`` — the paper-topology mix (small graphs, high request rate);
+* ``layered-1k`` — 1000-node random layered DAGs at 64 PEs, the
+  serving-scale acceptance anchor where parse/fingerprint/serialize
+  overheads actually show.
+
+Each profile replays the same Zipf-skewed workload twice — once with
+the schedule cache in front, once with ``no_cache`` forced recomputes —
+verifies that cached fingerprints return byte-identical schedules to
+cold runs, and writes ``BENCH_service.json`` with both reports, the
+resulting speedup and (with ``--baseline``) the req/s and latency
+improvements against the committed pre-ingest baseline
+(``benchmarks/baselines/service_smoke.json``).
 """
 
 from __future__ import annotations
@@ -35,10 +45,25 @@ from repro.service import (
     run_loadgen,
 )
 
+#: per-profile loadgen parameters; request counts by (smoke, full)
+PROFILES = {
+    "fig10": dict(scenario="fig10", pool=8, workers=2, num_pes=None,
+                  zipf=1.1, requests=(150, 500), no_cache_requests=(150, 500),
+                  warmup=0),
+    "layered-1k": dict(scenario="layered-1k", pool=6, workers=2, num_pes=64,
+                       zipf=1.1, requests=(240, 600),
+                       no_cache_requests=(24, 48),
+                       # absorb the cold computes before measuring the
+                       # cached profile, so req/s reflects the hit path
+                       warmup=12),
+}
 
-def check_byte_identity(port: int, scenario: str, pool: int) -> bool:
+
+def check_byte_identity(port: int, scenario: str, pool: int,
+                        num_pes: int | None) -> bool:
     """Cached responses must carry byte-identical schedules to recomputes."""
-    lines = build_request_pool(scenario=scenario, pool=min(pool, 4))
+    lines = build_request_pool(scenario=scenario, pool=min(pool, 4),
+                               num_pes=num_pes)
     with ServiceClient(port=port) as client:
         for line in lines:
             doc = json.loads(line)
@@ -52,73 +77,128 @@ def check_byte_identity(port: int, scenario: str, pool: int) -> bool:
     return True
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--smoke", action="store_true",
-                        help="small fast run (CI): 150 requests, pool 8")
-    parser.add_argument("--requests", type=int, default=None)
-    parser.add_argument("--workers", type=int, default=None)
-    parser.add_argument("--pool", type=int, default=None)
-    parser.add_argument("--zipf", type=float, default=1.1)
-    parser.add_argument("--scenario", default="fig10")
-    parser.add_argument("--output", default="BENCH_service.json")
-    args = parser.parse_args(argv)
-
-    requests = args.requests or (150 if args.smoke else 500)
-    workers = args.workers or (2 if args.smoke else 4)
-    pool = args.pool or (8 if args.smoke else 16)
-
+def run_profile(name: str, smoke: bool, seed: int = 0) -> dict:
+    p = PROFILES[name]
+    idx = 0 if smoke else 1
     cache = ScheduleCache(None, capacity=4096)  # memory-only: no disk noise
     service = ScheduleService(cache=cache)
-    with ScheduleServer(service, port=0, workers=workers) as server:
+    with ScheduleServer(service, port=0, workers=p["workers"]) as server:
         common = dict(
-            port=server.port, requests=requests, workers=workers,
-            pool=pool, zipf=args.zipf, scenario=args.scenario,
+            port=server.port, workers=p["workers"], pool=p["pool"],
+            zipf=p["zipf"], scenario=p["scenario"], num_pes=p["num_pes"],
+            seed=seed,
         )
-        cached = run_loadgen(**common)
-        no_cache = run_loadgen(**common, no_cache=True)
-        identical = check_byte_identity(server.port, args.scenario, pool)
-
+        if p["warmup"]:
+            run_loadgen(**common, requests=p["warmup"])
+        cached = run_loadgen(**common, requests=p["requests"][idx])
+        no_cache = run_loadgen(
+            **common, requests=p["no_cache_requests"][idx], no_cache=True
+        )
+        identical = check_byte_identity(
+            server.port, p["scenario"], p["pool"], p["num_pes"]
+        )
     speedup = (
         cached.throughput_rps / no_cache.throughput_rps
         if no_cache.throughput_rps
         else float("inf")
     )
+    return {
+        "profile": name,
+        "cached": cached.to_dict(),
+        "no_cache": no_cache.to_dict(),
+        "cache_speedup": round(speedup, 2),
+        "byte_identical": identical,
+        "fastpath_served": service.fastpath,
+    }
+
+
+def compare_to_baseline(results: dict[str, dict], baseline_path: str) -> list[str]:
+    """Improvement of this run over the committed pre-ingest numbers."""
+    baseline = json.loads(Path(baseline_path).read_text())
+    lines = []
+    for name, result in results.items():
+        base = baseline.get("profiles", {}).get(name)
+        if base is None:
+            continue
+        hit_x = result["cached"]["throughput_rps"] / base["cached_rps"]
+        miss_x = base["no_cache_p50_ms"] / result["no_cache"]["p50_ms"]
+        result["vs_baseline"] = {
+            "cached_rps_speedup": round(hit_x, 2),
+            "no_cache_p50_speedup": round(miss_x, 2),
+            "baseline": dict(base),
+        }
+        lines.append(
+            f"{name}: cache-hit {result['cached']['throughput_rps']:.1f} req/s "
+            f"vs {base['cached_rps']:.1f} baseline ({hit_x:.2f}x); "
+            f"cache-miss p50 {result['no_cache']['p50_ms']:.1f} ms "
+            f"vs {base['no_cache_p50_ms']:.1f} ms ({miss_x:.2f}x)"
+        )
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast run (CI request counts)")
+    parser.add_argument("--profile", choices=[*PROFILES, "all"], default="all")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default="BENCH_service.json")
+    parser.add_argument("--baseline", default=None,
+                        help="committed baseline JSON to report speedups "
+                             "against (benchmarks/baselines/service_smoke.json)")
+    args = parser.parse_args(argv)
+
+    names = list(PROFILES) if args.profile == "all" else [args.profile]
+    results = {name: run_profile(name, args.smoke, args.seed) for name in names}
+
     rows = []
-    for label, report in (("cached", cached), ("no-cache", no_cache)):
-        s = report.summary()
-        rows.append([
-            label, report.requests, f"{report.throughput_rps:9.1f}",
-            f"{s['p50_ms']:8.2f}", f"{s['p95_ms']:8.2f}", f"{s['p99_ms']:8.2f}",
-            f"{100.0 * report.hit_rate:5.1f}%",
-        ])
+    for name, result in results.items():
+        for label, report in (("cached", result["cached"]),
+                              ("no-cache", result["no_cache"])):
+            rows.append([
+                name, label, report["requests"],
+                f"{report['throughput_rps']:9.1f}",
+                f"{report['wire_bytes_per_s'] / 1e6:7.2f}",
+                f"{report['p50_ms']:8.2f}", f"{report['p95_ms']:8.2f}",
+                f"{report['p99_ms']:8.2f}",
+                f"{100.0 * report['hit_rate']:5.1f}%",
+            ])
     print(format_table(
-        ["mode", "requests", "req/s", "p50 ms", "p95 ms", "p99 ms", "hit rate"],
+        ["profile", "mode", "requests", "req/s", "MB/s",
+         "p50 ms", "p95 ms", "p99 ms", "hit rate"],
         rows,
     ))
-    print(f"cache speedup: {speedup:.1f}x  byte-identical schedules: {identical}")
+    for name, result in results.items():
+        print(f"{name}: cache speedup {result['cache_speedup']:.1f}x  "
+              f"byte-identical schedules: {result['byte_identical']}")
+
+    if args.baseline:
+        for line in compare_to_baseline(results, args.baseline):
+            print(line)
 
     doc = {
         "benchmark": "service",
         "version": __version__,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-        "params": {
-            "requests": requests, "workers": workers, "pool": pool,
-            "zipf": args.zipf, "scenario": args.scenario, "smoke": args.smoke,
-        },
-        "cached": cached.to_dict(),
-        "no_cache": no_cache.to_dict(),
-        "cache_speedup": round(speedup, 2),
-        "byte_identical": identical,
+        "params": {"smoke": args.smoke, "seed": args.seed,
+                   "profiles": names},
+        "profiles": results,
     }
     Path(args.output).write_text(json.dumps(doc, indent=1) + "\n")
     print(f"[saved to {args.output}]")
 
-    if not identical:
-        print("FAIL: cached schedule differs from recompute", file=sys.stderr)
+    bad = [n for n, r in results.items() if not r["byte_identical"]]
+    if bad:
+        print(f"FAIL: cached schedule differs from recompute in "
+              f"{', '.join(bad)}", file=sys.stderr)
         return 1
-    if cached.errors or no_cache.errors:
-        print("FAIL: request errors during load generation", file=sys.stderr)
+    errors = [
+        n for n, r in results.items()
+        if r["cached"]["errors"] or r["no_cache"]["errors"]
+    ]
+    if errors:
+        print(f"FAIL: request errors during load generation in "
+              f"{', '.join(errors)}", file=sys.stderr)
         return 1
     return 0
 

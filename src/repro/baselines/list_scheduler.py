@@ -74,20 +74,27 @@ def condensed_dependencies(
     """Dependencies between computational tasks, skipping passive nodes.
 
     ``u -> buffer -> v`` means ``v`` depends on the completion of ``u``:
-    passive nodes are transparent memory hops.
+    passive nodes are transparent memory hops.  Runs over the frozen
+    integer arrays; the returned mapping uses node names.
     """
+    from ..core.indexed import freeze
+
+    ig = freeze(graph)
+    comp = ig.comp
+    pp, pa = ig.pred_ptr, ig.pred_adj
+    names = ig.names
+    comp_preds: list[set[int] | None] = [None] * ig.n
     deps: dict[Hashable, set[Hashable]] = {}
-    comp_preds: dict[Hashable, set[Hashable]] = {}
-    for v in graph.topological_order():
-        spec = graph.spec(v)
-        acc: set[Hashable] = set()
-        for u in graph.predecessors(v):
-            if graph.spec(u).kind.is_computational:
+    for v in ig.topo:
+        acc: set[int] = set()
+        for j in range(pp[v], pp[v + 1]):
+            u = pa[j]
+            if comp[u]:
                 acc.add(u)
             else:
-                acc |= comp_preds.get(u, set())
-        if spec.kind.is_computational:
-            deps[v] = acc
+                acc |= comp_preds[u]
+        if comp[v]:
+            deps[names[v]] = {names[u] for u in acc}
             comp_preds[v] = {v}
         else:
             comp_preds[v] = acc
@@ -162,21 +169,35 @@ def schedule_nonstreaming(graph: CanonicalGraph, num_pes: int) -> ListSchedule:
     """
     if num_pes < 1:
         raise ValueError("need at least one processing element")
-    deps = condensed_dependencies(graph)
-    bl = bottom_levels(graph)
+    from ..core.indexed import freeze
+
+    ig = freeze(graph)
+    # condensed dependencies and bottom levels are graph-intrinsic (no
+    # request parameters), so memoize them on the frozen view like the
+    # levels: the portfolio re-runs nstr over the same graph repeatedly
+    derived = ig._derived
+    if derived is None:
+        derived = ig._derived = {}
+    cached = derived.get("nstr")
+    if cached is None:
+        cached = derived["nstr"] = (
+            condensed_dependencies(graph), bottom_levels(graph)
+        )
+    deps, bl = cached
     counter = itertools.count()
     order = [
         (-bl[v], next(counter), v)
-        for v in graph.computational_nodes()
+        for v in ig.computational_nodes()
     ]
     heapq.heapify(order)
 
+    work, index = ig.work, ig.index
     timelines = [_Timeline() for _ in range(num_pes)]
     placements: dict[Hashable, PlacedTask] = {}
     makespan = 0
     while order:
         _, _, v = heapq.heappop(order)
-        duration = graph.spec(v).work
+        duration = work[index[v]]
         ready = max((placements[u].finish for u in deps[v]), default=0)
         best_pe, best_start = 0, None
         for pe, timeline in enumerate(timelines):

@@ -186,6 +186,50 @@ register(
     )
 )
 
+# serving-scale graph families: pools for the service load generator and
+# the ingest/hot-path benchmarks (1k nodes is the service acceptance
+# anchor; the 10k families exercise parse/freeze/fingerprint at a scale
+# where every quadratic slip shows)
+
+register(
+    Scenario.build(
+        "layered-1k",
+        "speedup",
+        description="Random layered DAGs (~1000 tasks): serving-scale anchor",
+        topologies={"layered": 1000},
+        pe_sweeps={"layered": (64, 128)},
+        variants=("lts", "rlx", "nstr"),
+        default_graphs=10,
+        table="repro.experiments.fig10_speedup:table_from_results",
+    )
+)
+
+register(
+    Scenario.build(
+        "layered-10k",
+        "speedup",
+        description="Random layered DAGs (~10000 tasks): ingest stress scale",
+        topologies={"layered": 10000},
+        pe_sweeps={"layered": (128, 256)},
+        variants=("rlx", "nstr"),
+        default_graphs=3,
+        table="repro.experiments.fig10_speedup:table_from_results",
+    )
+)
+
+register(
+    Scenario.build(
+        "serpar-10k",
+        "speedup",
+        description="Series-parallel graphs (~10000 tasks): ingest stress scale",
+        topologies={"serpar": 10000},
+        pe_sweeps={"serpar": (128, 256)},
+        variants=("lts", "nstr"),
+        default_graphs=3,
+        table="repro.experiments.fig10_speedup:table_from_results",
+    )
+)
+
 register(
     Scenario.build(
         "layered-validation",

@@ -166,6 +166,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="race portfolio candidates on this many worker processes "
              "(0/1 = sequential in-process race)",
     )
+    srv.add_argument(
+        "--trusted", action="store_true",
+        help="skip wire-document validation on ingest (only behind a "
+             "validating gateway; see the README wire-format section)",
+    )
 
     req = sub.add_parser("request", help="submit one graph to a service")
     req.add_argument("graph", help="graph JSON path")
@@ -411,7 +416,12 @@ def _cmd_campaign(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from .service import ScheduleCache, ScheduleServer, ScheduleService
+    from .service import (
+        SCHEDULE_KEY_VERSION,
+        ScheduleCache,
+        ScheduleServer,
+        ScheduleService,
+    )
 
     cache = None
     if not args.no_cache:
@@ -426,12 +436,22 @@ def _cmd_serve(args) -> int:
                 os.environ.get("REPRO_SERVICE_DIR", ".repro-service")
                 + "/schedules.jsonl"
             )
-        cache = ScheduleCache(path, capacity=args.cache_size)
+        # entries persisted under an older schema version are
+        # unreachable by construction; refusing to index them lets the
+        # store compaction reclaim their bytes
+        version_prefix = f"{SCHEDULE_KEY_VERSION}:"
+        cache = ScheduleCache(
+            path, capacity=args.cache_size,
+            retain=lambda key: key.startswith(version_prefix),
+        )
         tier = path if path else "memory-only"
         print(f"schedule cache: {tier} ({len(cache)} stored entries)")
     service = ScheduleService(
-        cache=cache, portfolio_workers=args.portfolio_workers
+        cache=cache, portfolio_workers=args.portfolio_workers,
+        validate_graphs=not args.trusted,
     )
+    if args.trusted:
+        print("trusted ingest: wire-document validation disabled")
     if service.portfolio_pool is not None:
         print(f"portfolio pool: {args.portfolio_workers} worker processes")
     server = ScheduleServer(

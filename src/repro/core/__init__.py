@@ -15,6 +15,7 @@ from .graph import (
     graph_fingerprint,
 )
 from .indexed import IndexedGraph, freeze
+from .ingest import ingest_graph_doc, materialize_graph
 from .levels import (
     bottom_levels,
     critical_path_length,
@@ -31,6 +32,7 @@ from .serialize import (
     graph_to_dict,
     load_graph,
     save_graph,
+    schedule_doc_bytes,
     schedule_to_chrome_trace,
     schedule_to_dict,
 )
@@ -70,9 +72,12 @@ __all__ = [
     "graph_fingerprint",
     "graph_from_dict",
     "graph_to_dict",
+    "ingest_graph_doc",
     "load_graph",
+    "materialize_graph",
     "render_gantt",
     "save_graph",
+    "schedule_doc_bytes",
     "schedule_to_chrome_trace",
     "schedule_to_dict",
     "node_levels",

@@ -45,7 +45,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Hashable, Mapping
+from typing import Hashable, Mapping, NamedTuple
 
 from .graph import CanonicalGraph
 from .indexed import IndexedGraph, freeze
@@ -54,10 +54,26 @@ from .streaming import StreamingIntervals
 
 __all__ = ["TaskTimes", "BlockSchedule", "schedule_block"]
 
+#: shared immutable constants; Fraction construction runs a gcd, so the
+#: hot path memoizes every (num, den) pair per schedule run instead
+_ONE = Fraction(1)
 
-@dataclass(frozen=True)
-class TaskTimes:
-    """Schedule times of one node (integers, in cycles)."""
+
+def _memo_fraction(memo: dict, num: int, den: int) -> Fraction:
+    key = (num, den)
+    f = memo.get(key)
+    if f is None:
+        f = memo[key] = Fraction(num, den)
+    return f
+
+
+class TaskTimes(NamedTuple):
+    """Schedule times of one node (integers, in cycles).
+
+    A named tuple rather than a frozen dataclass: the block recurrences
+    construct one per node per schedule, and frozen-dataclass ``__init__``
+    pays an ``object.__setattr__`` per field on that hot path.
+    """
 
     st: int
     fo: int
@@ -151,6 +167,7 @@ def _intervals_view(
     constants: dict[int, int],
     comp_of: dict[int, int],
     maxima: list[int],
+    fraction_memo: dict,
 ) -> StreamingIntervals:
     """A :class:`StreamingIntervals` over the block's computational
     members (API-compatible with the legacy per-block analysis)."""
@@ -160,9 +177,9 @@ def _intervals_view(
     for v, c in constants.items():
         name = ig.names[v]
         if ig.in_vol[v] > 0:
-            si[name] = Fraction(c, ig.in_vol[v])
+            si[name] = _memo_fraction(fraction_memo, c, ig.in_vol[v])
         if ig.out_vol[v] > 0:
-            so[name] = Fraction(c, ig.out_vol[v])
+            so[name] = _memo_fraction(fraction_memo, c, ig.out_vol[v])
         wcc_of[name] = comp_of[v]
     return StreamingIntervals(so, si, wcc_of, tuple(maxima))
 
@@ -207,7 +224,7 @@ def schedule_block(
         if i is not None:
             ready_idx[i] = t
     times_idx, si_idx, so_idx, iview = _schedule_block_indexed(
-        ig, members, ready_idx, release
+        ig, members, ready_idx, release, {}
     )
     names = ig.names
     return BlockSchedule(
@@ -223,6 +240,8 @@ def _schedule_block_indexed(
     members: list[int],
     ready: dict[int, int],
     release: int,
+    fraction_memo: dict | None = None,
+    const_out: list[int | None] | None = None,
 ) -> tuple[
     dict[int, TaskTimes],
     dict[int, Fraction],
@@ -233,8 +252,16 @@ def _schedule_block_indexed(
 
     ``members`` must be in topological order; ``ready`` maps node index
     to memory-readiness time for previously scheduled nodes.
+    ``fraction_memo`` shares interval Fractions across the blocks of one
+    schedule run (the volume alphabet is tiny, so almost every
+    construction is a repeat).
     """
     constants, comp_of, maxima = _block_constants(ig, members)
+    if fraction_memo is None:
+        fraction_memo = {}
+    if const_out is not None:  # id-indexed Theorem-4.1 constants
+        for v, c in constants.items():
+            const_out[v] = c
 
     kinds, comp = ig.kinds, ig.comp
     in_vol, out_vol = ig.in_vol, ig.out_vol
@@ -267,7 +294,7 @@ def _schedule_block_indexed(
 
         if kind is NodeKind.SOURCE:
             # informational times: memory port streaming from t=0
-            so[v] = Fraction(1)
+            so[v] = _ONE
             times[v] = TaskTimes(st=0, fo=1, lo=out_vol[v])
             continue
 
@@ -280,8 +307,8 @@ def _schedule_block_indexed(
             # emission pacing: the paper uses the block's S_o; consumers in
             # this implementation self-pace reads, so we record the
             # canonical emission window for reference.
-            si[v] = Fraction(1)
-            so[v] = Fraction(1)
+            si[v] = _ONE
+            so[v] = _ONE
             times[v] = TaskTimes(
                 st=stored, fo=stored + 1, lo=stored + out_vol[v]
             )
@@ -306,8 +333,8 @@ def _schedule_block_indexed(
         # ---- computational node ---------------------------------------
         i_vol, o_vol = in_vol[v], out_vol[v]
         c = constants[v]
-        si[v] = Fraction(c, i_vol)
-        so[v] = Fraction(c, o_vol)
+        si[v] = _memo_fraction(fraction_memo, c, i_vol)
+        so[v] = _memo_fraction(fraction_memo, c, o_vol)
 
         in_block_fo = 0
         in_block_lo = 0
@@ -362,4 +389,6 @@ def _schedule_block_indexed(
             st = in_block_fo if has_in_block else release
         times[v] = TaskTimes(st=st, fo=fo, lo=lo)
 
-    return times, si, so, _intervals_view(ig, constants, comp_of, maxima)
+    return times, si, so, _intervals_view(
+        ig, constants, comp_of, maxima, fraction_memo
+    )

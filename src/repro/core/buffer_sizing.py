@@ -79,7 +79,7 @@ def _cycle_nodes_flat(
         adj[v].append(u)
     disc: dict[int, int] = {}
     low: dict[int, int] = {}
-    bridges: set[frozenset[int]] = set()
+    bridges: set[tuple[int, int]] = set()  #: normalized (min, max) pairs
     clock = 0
     for root in adj:
         if root in disc:
@@ -105,10 +105,10 @@ def _cycle_nodes_flat(
                     if low[v] < low[parent]:
                         low[parent] = low[v]
                     if low[v] > disc[parent]:
-                        bridges.add(frozenset((parent, v)))
+                        bridges.add((parent, v) if parent < v else (v, parent))
     on_cycle: set[int] = set()
     for u, v in edges:
-        if frozenset((u, v)) not in bridges:
+        if ((u, v) if u < v else (v, u)) not in bridges:
             on_cycle.add(u)
             on_cycle.add(v)
     return on_cycle
@@ -141,7 +141,12 @@ def compute_buffer_sizes(
         if comp[i]:
             members_by_block[b].append(i)
 
-    times = [schedule.times.get(name) for name in names]
+    times = (
+        schedule.times_idx
+        if getattr(schedule, "times_idx", None) is not None
+        else [schedule.times.get(name) for name in names]
+    )
+    const_idx = getattr(schedule, "const_idx", None)
 
     def memory_ready(u: int) -> int:
         if kinds[u] is NodeKind.SOURCE:
@@ -159,6 +164,12 @@ def compute_buffer_sizes(
             if sa[j] in member_set
         ]
         if not stream_edges:
+            continue
+        if len(stream_edges) < 3:
+            # an undirected cycle in a simple graph needs >= 3 edges, so
+            # everything here is a bridge: minimal capacities, no DFS
+            for u, v in stream_edges:
+                sizes[(names[u], names[v])] = default_capacity
             continue
         hot = _cycle_nodes_flat(members, stream_edges)
 
@@ -183,9 +194,13 @@ def compute_buffer_sizes(
             if slack <= 0:
                 sizes[edge] = default_capacity
                 continue
-            # ceil(slack / S_o(u)) with S_o(u) = num/den exactly
-            s_o = schedule.so[names[u]]
-            space = -(-slack * s_o.denominator // s_o.numerator)
+            # ceil(slack / S_o(u)) with S_o(u) = C/O(u) exactly; the
+            # unreduced integers give the same ceiling as the Fraction
+            if const_idx is not None and const_idx[u] is not None:
+                space = -(-slack * out_vol[u] // const_idx[u])
+            else:
+                s_o = schedule.so[names[u]]
+                space = -(-slack * s_o.denominator // s_o.numerator)
             if space > out_vol[u]:
                 space = out_vol[u]
             sizes[edge] = space if space > default_capacity else default_capacity

@@ -95,7 +95,7 @@ def _wl_stable_labels(ig: IndexedGraph) -> list[bytes]:
     return ig._wl_stable
 
 
-def graph_fingerprint(graph: "CanonicalGraph") -> str:
+def graph_fingerprint(graph: "CanonicalGraph | IndexedGraph") -> str:
     """Canonical, isomorphism-stable fingerprint of a task graph.
 
     Two graphs that differ only in node naming (or node insertion order)
@@ -139,7 +139,7 @@ def graph_fingerprint(graph: "CanonicalGraph") -> str:
 
 
 def find_isomorphism(
-    src: "CanonicalGraph", dst: "CanonicalGraph"
+    src: "CanonicalGraph | IndexedGraph", dst: "CanonicalGraph | IndexedGraph"
 ) -> dict[Hashable, Hashable] | None:
     """An explicit node bijection ``src → dst`` witnessing isomorphism.
 
@@ -201,12 +201,15 @@ def find_isomorphism(
             igd.out_vol[w],
         ):
             return None
-    gd = dst._g
+    dsp, dsa = igd.succ_ptr, igd.succ_adj
+    dst_edges = {
+        (u, dsa[j]) for u in range(igd.n) for j in range(dsp[u], dsp[u + 1])
+    }
     names_s, names_d = igs.names, igd.names
     sp, sa = igs.succ_ptr, igs.succ_adj
     for u in range(igs.n):
         for j in range(sp[u], sp[u + 1]):
-            if not gd.has_edge(names_d[idx_map[u]], names_d[idx_map[sa[j]]]):
+            if (idx_map[u], idx_map[sa[j]]) not in dst_edges:
                 return None
     return {names_s[v]: names_d[w] for v, w in idx_map.items()}
 

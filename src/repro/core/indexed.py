@@ -8,8 +8,9 @@ contiguous Python lists indexed by a dense integer node id:
 
 * ``names`` / ``index`` — the id <-> original-name bijection (ids follow
   node insertion order, so iteration order matches ``graph.nodes``);
-* ``kinds`` / ``in_vol`` / ``out_vol`` / ``comp`` / ``work`` — the
-  :class:`~repro.core.node_types.NodeSpec` data the schedulers consume;
+* ``kinds`` / ``in_vol`` / ``out_vol`` / ``comp`` / ``work`` /
+  ``labels`` — the :class:`~repro.core.node_types.NodeSpec` data the
+  schedulers consume;
 * ``pred_ptr``/``pred_adj`` and ``succ_ptr``/``succ_adj`` — CSR
   adjacency (successor order per node preserves edge insertion order,
   which the greedy partitioners rely on for deterministic tie-breaks);
@@ -17,6 +18,19 @@ contiguous Python lists indexed by a dense integer node id:
   node's position in it;
 * ``entries`` / ``exits`` / ``num_tasks`` — the derived sets every
   analysis recomputed per call.
+
+An :class:`IndexedGraph` can now exist *without* a networkx-backed
+:class:`CanonicalGraph` behind it: :mod:`repro.core.ingest` parses a
+wire document straight into these arrays.  For such graphs the
+``graph`` attribute is materialized lazily — code that only touches the
+flat arrays (the partitioners, the block recurrences, buffer sizing,
+the 1-WL fingerprint) never builds a networkx graph at all, while the
+cold callers that genuinely need one (``graph.nx`` escape hatches)
+trigger a one-time reconstruction.  To keep the scheduler stack source
+compatible either way, the class also duck-types the *read-only*
+``CanonicalGraph`` vocabulary (``spec``/``kind``/``nodes``/``edges``/
+``topological_order``/``computational_nodes``/...) directly over the
+arrays.
 
 Derived quantities that need rational arithmetic (node levels, the
 Section 4.2 ``L(v)`` recurrence) are memoized here as exact integers
@@ -35,9 +49,9 @@ from __future__ import annotations
 
 from fractions import Fraction
 from math import lcm
-from typing import TYPE_CHECKING, Hashable
+from typing import TYPE_CHECKING, Hashable, Iterator
 
-from .node_types import NodeKind
+from .node_types import NodeKind, NodeSpec, PASSIVE_KINDS
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .graph import CanonicalGraph
@@ -46,10 +60,10 @@ __all__ = ["IndexedGraph", "freeze"]
 
 
 class IndexedGraph:
-    """Immutable flat-array mirror of one :class:`CanonicalGraph`."""
+    """Immutable flat-array mirror of one canonical task graph."""
 
     __slots__ = (
-        "graph",
+        "_graph",
         "n",
         "names",
         "index",
@@ -58,6 +72,7 @@ class IndexedGraph:
         "out_vol",
         "comp",
         "work",
+        "labels",
         "pred_ptr",
         "pred_adj",
         "succ_ptr",
@@ -67,6 +82,9 @@ class IndexedGraph:
         "entries",
         "exits",
         "num_tasks",
+        "_specs",
+        "_names_json",
+        "_derived",
         "_level_num",
         "_level_den",
         "_level_key",
@@ -75,7 +93,7 @@ class IndexedGraph:
     )
 
     def __init__(self, graph: "CanonicalGraph") -> None:
-        self.graph = graph
+        self._graph = graph
         names = list(graph.nodes)
         self.names = names
         self.n = len(names)
@@ -86,18 +104,24 @@ class IndexedGraph:
         out_vol: list[int] = []
         comp: list[bool] = []
         work: list[int] = []
+        labels: list[str] = []
+        specs: list[NodeSpec] = []
         for name in names:
             spec = graph.spec(name)
+            specs.append(spec)
             kinds.append(spec.kind)
             in_vol.append(spec.input_volume)
             out_vol.append(spec.output_volume)
             comp.append(spec.kind.is_computational)
             work.append(spec.work)
+            labels.append(spec.label)
         self.kinds = kinds
         self.in_vol = in_vol
         self.out_vol = out_vol
         self.comp = comp
         self.work = work
+        self.labels = labels
+        self._specs = specs
         self.num_tasks = sum(comp)
 
         # CSR adjacency; successor order per source node preserves the
@@ -105,28 +129,99 @@ class IndexedGraph:
         # partitioners' ready-counter tie-breaks depend on.
         index = self.index
         succs: list[list[int]] = [[] for _ in range(self.n)]
-        preds: list[list[int]] = [[] for _ in range(self.n)]
         for u, v in graph.edges:
-            ui, vi = index[u], index[v]
-            succs[ui].append(vi)
-            preds[vi].append(ui)
+            succs[index[u]].append(index[v])
+        topo = [index[v] for v in graph.topological_order()]
+        self._finish(succs, topo)
+
+    @classmethod
+    def _from_parts(
+        cls,
+        names: list[Hashable],
+        kinds: list[NodeKind],
+        in_vol: list[int],
+        out_vol: list[int],
+        labels: list[str],
+        succs: list[list[int]],
+        topo: list[int],
+    ) -> "IndexedGraph":
+        """Assemble a frozen view straight from parsed arrays.
+
+        Used by :mod:`repro.core.ingest` to skip the networkx walk
+        entirely; ``succs[i]`` must list successor ids in the same
+        per-source order ``graph.edges`` iteration would yield (grouped
+        by producer in node order), and ``topo`` must reproduce the
+        generation-order Kahn traversal of ``nx.topological_sort``.
+        """
+        self = cls.__new__(cls)
+        self._graph = None
+        self.names = names
+        self.n = len(names)
+        self.index = {name: i for i, name in enumerate(names)}
+        self.kinds = kinds
+        self.in_vol = in_vol
+        self.out_vol = out_vol
+        comp = [k.is_computational for k in kinds]
+        self.comp = comp
+        self.work = [
+            0 if kinds[i] in PASSIVE_KINDS else max(in_vol[i], out_vol[i])
+            for i in range(self.n)
+        ]
+        self.labels = labels
+        self._specs = None
+        self.num_tasks = sum(comp)
+        self._finish(succs, topo)
+        return self
+
+    def _finish(self, succs: list[list[int]], topo: list[int]) -> None:
+        """Derive CSR arrays and memo slots shared by both constructors."""
+        preds: list[list[int]] = [[] for _ in range(self.n)]
+        for u in range(self.n):
+            for v in succs[u]:
+                preds[v].append(u)
         self.succ_ptr, self.succ_adj = _csr(succs)
         self.pred_ptr, self.pred_adj = _csr(preds)
 
-        self.topo = [index[v] for v in graph.topological_order()]
+        self.topo = topo
         topo_pos = [0] * self.n
-        for pos, i in enumerate(self.topo):
+        for pos, i in enumerate(topo):
             topo_pos[i] = pos
         self.topo_pos = topo_pos
 
         self.entries = [i for i in range(self.n) if preds[i] == []]
         self.exits = [i for i in range(self.n) if succs[i] == []]
 
-        self._level_num: list[int] | None = None
-        self._level_den: int = 1
-        self._level_key: list[float] | None = None
-        self._levels_by_name: dict[Hashable, Fraction] | None = None
-        self._wl_stable: list[bytes] | None = None
+        self._names_json = None
+        self._derived = None
+        self._level_num = None
+        self._level_den = 1
+        self._level_key = None
+        self._levels_by_name = None
+        self._wl_stable = None
+
+    # ------------------------------------------------------------------
+    # the (lazily materialized) networkx-backed view
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> "CanonicalGraph":
+        """The :class:`CanonicalGraph` behind this view.
+
+        For graphs frozen from a ``CanonicalGraph`` this is the original
+        object; for wire-ingested graphs a networkx-backed twin is built
+        on first access (and caches *this* view as its frozen form, so
+        ``freeze(ig.graph) is ig``).
+        """
+        g = self._graph
+        if g is None:
+            from .ingest import materialize_graph
+
+            g = self._graph = materialize_graph(self)
+        return g
+
+    @property
+    def nx(self):
+        """The underlying networkx graph (materializes it if needed)."""
+        return self.graph.nx
 
     # ------------------------------------------------------------------
     # adjacency helpers (hot loops index the CSR arrays directly; these
@@ -143,6 +238,112 @@ class IndexedGraph:
 
     def out_degree(self, i: int) -> int:
         return self.succ_ptr[i + 1] - self.succ_ptr[i]
+
+    # ------------------------------------------------------------------
+    # read-only CanonicalGraph vocabulary over the arrays, so the
+    # scheduler stack (partitioners, list schedulers, serializers)
+    # accepts an ingested graph without materializing networkx
+    # ------------------------------------------------------------------
+    def spec(self, name: Hashable) -> NodeSpec:
+        try:
+            i = self.index[name]
+        except KeyError:
+            raise KeyError(f"unknown node {name!r}") from None
+        specs = self._specs
+        if specs is None:
+            specs = self._specs = [
+                NodeSpec(
+                    self.names[j],
+                    self.kinds[j],
+                    self.in_vol[j],
+                    self.out_vol[j],
+                    self.labels[j],
+                )
+                for j in range(self.n)
+            ]
+        return specs[i]
+
+    def kind(self, name: Hashable) -> NodeKind:
+        try:
+            return self.kinds[self.index[name]]
+        except KeyError:
+            raise KeyError(f"unknown node {name!r}") from None
+
+    def volume(self, u: Hashable, v: Hashable) -> int:
+        """Data volume carried by edge ``(u, v)``."""
+        ui, vi = self.index[u], self.index[v]
+        sp, sa = self.succ_ptr, self.succ_adj
+        for j in range(sp[ui], sp[ui + 1]):
+            if sa[j] == vi:
+                return self.out_vol[ui]
+        raise KeyError(f"no edge ({u!r}, {v!r})")
+
+    @property
+    def nodes(self) -> list[Hashable]:
+        return list(self.names)
+
+    @property
+    def edges(self) -> list[tuple[Hashable, Hashable]]:
+        names, sp, sa = self.names, self.succ_ptr, self.succ_adj
+        return [
+            (names[u], names[sa[j]])
+            for u in range(self.n)
+            for j in range(sp[u], sp[u + 1])
+        ]
+
+    def number_of_edges(self) -> int:
+        return len(self.succ_adj)
+
+    def __contains__(self, name: Hashable) -> bool:
+        return name in self.index
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self.names)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def predecessors(self, v: Hashable) -> Iterator[Hashable]:
+        i = self.index[v]
+        names, pp, pa = self.names, self.pred_ptr, self.pred_adj
+        return iter([names[pa[j]] for j in range(pp[i], pp[i + 1])])
+
+    def successors(self, v: Hashable) -> Iterator[Hashable]:
+        i = self.index[v]
+        names, sp, sa = self.names, self.succ_ptr, self.succ_adj
+        return iter([names[sa[j]] for j in range(sp[i], sp[i + 1])])
+
+    def topological_order(self) -> list[Hashable]:
+        names = self.names
+        return [names[i] for i in self.topo]
+
+    def entry_nodes(self) -> list[Hashable]:
+        return [self.names[i] for i in self.entries]
+
+    def exit_nodes(self) -> list[Hashable]:
+        return [self.names[i] for i in self.exits]
+
+    def computational_nodes(self) -> list[Hashable]:
+        names, comp = self.names, self.comp
+        return [names[i] for i in range(self.n) if comp[i]]
+
+    def buffer_nodes(self) -> list[Hashable]:
+        kinds = self.kinds
+        return [
+            self.names[i]
+            for i in range(self.n)
+            if kinds[i] is NodeKind.BUFFER
+        ]
+
+    def total_work(self) -> int:
+        """``T_1`` — the sequential execution time (sum of node works)."""
+        return sum(self.work)
+
+    def fingerprint(self) -> str:
+        """Isomorphism-stable content hash (cg2 1-WL over the arrays)."""
+        from .graph import graph_fingerprint
+
+        return graph_fingerprint(self)
 
     # ------------------------------------------------------------------
     # levels (Section 4.2) — exact integers over one common denominator
@@ -222,13 +423,17 @@ def _csr(adj: list[list[int]]) -> tuple[list[int], list[int]]:
     return ptr, flat
 
 
-def freeze(graph: "CanonicalGraph") -> IndexedGraph:
+def freeze(graph: "CanonicalGraph | IndexedGraph") -> IndexedGraph:
     """The (memoized) indexed view of ``graph``.
 
-    Cached on the graph and invalidated when the graph mutates through
-    its own construction API; code mutating the raw ``graph.nx`` escape
-    hatch must call ``graph.invalidate_caches()`` itself.
+    An :class:`IndexedGraph` is already frozen and passes through
+    unchanged.  For a :class:`CanonicalGraph` the view is cached on the
+    graph and invalidated when it mutates through its own construction
+    API; code mutating the raw ``graph.nx`` escape hatch must call
+    ``graph.invalidate_caches()`` itself.
     """
+    if isinstance(graph, IndexedGraph):
+        return graph
     cache = graph._cache
     ig = cache.get("indexed")
     if ig is None:

@@ -1,0 +1,180 @@
+"""Zero-copy wire ingest: graph documents straight to IndexedGraph.
+
+:func:`repro.core.serialize.graph_from_dict` rebuilds a wire document
+through the full :class:`~repro.core.graph.CanonicalGraph` stack — one
+networkx node dict, one :class:`~repro.core.node_types.NodeSpec` and a
+handful of hash lookups per node — only for :func:`~repro.core.indexed.freeze`
+to immediately flatten all of it back into arrays.  On the service
+request path that round trip dominates everything but the scheduling
+itself.
+
+:func:`ingest_graph_doc` removes the round trip: it parses the document
+*directly* into the flat :class:`~repro.core.indexed.IndexedGraph`
+arrays in one pass — dense integer ids in node-document order, CSR
+adjacency grouped per producer, and a generation-order Kahn topological
+sort that reproduces ``nx.topological_sort`` exactly — so every derived
+quantity (levels, 1-WL fingerprint labels, partitions, block times,
+FIFO sizes, serialized schedule documents) is **byte-identical** to the
+``graph_from_dict`` + ``freeze`` path; the golden tests in
+``tests/test_ingest.py`` assert this across all scenario families.
+
+Validation parity: with ``validate=True`` (the default, required for
+untrusted input) the same checks run in the same order as
+``graph_from_dict`` and raise the same exception types and messages —
+document format/version, node-kind and volume rules (via
+:class:`NodeSpec` itself), duplicate nodes, unknown edge endpoints,
+sink/source edge direction, producer/consumer volume matching, and
+acyclicity.  ``validate=False`` is the *trusted* contract (documented
+in the README wire-format section): only for documents that provably
+came from :func:`~repro.core.serialize.graph_to_dict` of an
+already-validated graph, e.g. portfolio workers re-hydrating the
+parent's wire document or a service fronted by a validating gateway.
+
+The ingested view has no networkx graph behind it until something asks:
+``IndexedGraph.graph`` materializes a ``CanonicalGraph`` twin on first
+access (:func:`materialize_graph`), and the twin caches the ingested
+view as its frozen form so ``freeze(ig.graph) is ig``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from .graph import CanonicalGraph, CanonicalityError
+from .indexed import IndexedGraph
+from .node_types import NodeKind, NodeSpec
+from .serialize import FORMAT_VERSION, _name_from_json
+
+__all__ = ["ingest_graph_doc", "materialize_graph"]
+
+#: value -> member, avoiding the Enum ``__call__`` dispatch per node
+_KINDS: dict[str, NodeKind] = {k.value: k for k in NodeKind}
+
+_SOURCE = NodeKind.SOURCE
+_SINK = NodeKind.SINK
+
+
+def ingest_graph_doc(doc: dict, validate: bool = True) -> IndexedGraph:
+    """Parse a graph document into an :class:`IndexedGraph` in one pass.
+
+    The result is indistinguishable from
+    ``freeze(graph_from_dict(doc, validate))`` — same array contents,
+    same fingerprint, same schedules — without ever materializing a
+    networkx graph.  See the module docstring for the ``validate=False``
+    trusted-input contract.
+    """
+    if doc.get("format") != "canonical-task-graph":
+        raise ValueError("not a canonical task graph document")
+    if doc.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported version {doc.get('version')!r}")
+
+    node_docs = doc["nodes"]
+    names: list[Hashable] = []
+    kinds: list[NodeKind] = []
+    in_vol: list[int] = []
+    out_vol: list[int] = []
+    labels: list[str] = []
+    index: dict[Hashable, int] = {}
+    specs: list[NodeSpec] | None = [] if validate else None
+    for n in node_docs:
+        name = _name_from_json(n["name"])
+        kind_value = n["kind"]
+        kind = _KINDS.get(kind_value)
+        if kind is None:
+            kind = NodeKind(kind_value)  # authentic enum ValueError
+        iv = n["input_volume"]
+        ov = n["output_volume"]
+        label = n.get("label", "")
+        if validate:
+            # NodeSpec enforces the per-kind volume rules with the exact
+            # messages graph_from_dict raises; keep the objects so a
+            # later materialization reuses them
+            specs.append(NodeSpec(name, kind, iv, ov, label))
+            if name in index:
+                raise CanonicalityError(f"duplicate node {name!r}")
+        index[name] = len(names)
+        names.append(name)
+        kinds.append(kind)
+        in_vol.append(iv)
+        out_vol.append(ov)
+        labels.append(label)
+
+    n_nodes = len(names)
+    succs: list[list[int]] = [[] for _ in range(n_nodes)]
+    indeg = [0] * n_nodes
+    if validate:
+        seen_edges: set[tuple[int, int]] = set()
+        for u_doc, v_doc in doc["edges"]:
+            u = _name_from_json(u_doc)
+            v = _name_from_json(v_doc)
+            ui = index.get(u)
+            if ui is None:
+                raise KeyError(f"unknown node {u!r}")
+            vi = index.get(v)
+            if vi is None:
+                raise KeyError(f"unknown node {v!r}")
+            if kinds[ui] is _SINK:
+                raise CanonicalityError(f"sink {u!r} cannot have outgoing edges")
+            if kinds[vi] is _SOURCE:
+                raise CanonicalityError(f"source {v!r} cannot have incoming edges")
+            if out_vol[ui] != in_vol[vi]:
+                raise CanonicalityError(
+                    f"edge ({u!r}, {v!r}): producer volume O(u)={out_vol[ui]} "
+                    f"!= consumer volume I(v)={in_vol[vi]}"
+                )
+            if (ui, vi) in seen_edges:  # nx.add_edge is idempotent
+                continue
+            seen_edges.add((ui, vi))
+            succs[ui].append(vi)
+            indeg[vi] += 1
+    else:
+        for u_doc, v_doc in doc["edges"]:
+            ui = index[_name_from_json(u_doc)]
+            vi = index[_name_from_json(v_doc)]
+            succs[ui].append(vi)
+            indeg[vi] += 1
+
+    # generation-order Kahn traversal — the exact node sequence
+    # nx.topological_sort yields, so topo-position tie-breaks match the
+    # legacy path bit for bit
+    topo: list[int] = []
+    generation = [i for i in range(n_nodes) if indeg[i] == 0]
+    while generation:
+        topo.extend(generation)
+        nxt: list[int] = []
+        for u in generation:
+            for v in succs[u]:
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    nxt.append(v)
+        generation = nxt
+    if len(topo) != n_nodes:
+        raise CanonicalityError("task graph must be acyclic")
+
+    ig = IndexedGraph._from_parts(names, kinds, in_vol, out_vol, labels, succs, topo)
+    if validate:
+        ig._specs = specs
+    return ig
+
+
+def materialize_graph(ig: IndexedGraph) -> CanonicalGraph:
+    """Networkx-backed twin of an ingested :class:`IndexedGraph`.
+
+    Built only when something genuinely needs the ``CanonicalGraph``
+    object (the ``nx`` escape hatch, the DES validator); the scheduling
+    and fingerprint paths run on the arrays alone.  The twin adopts
+    ``ig`` as its frozen view, so freezing it costs nothing.
+    """
+    g = CanonicalGraph()
+    gx = g.nx
+    names = ig.names
+    for i in range(ig.n):
+        gx.add_node(names[i], spec=ig.spec(names[i]))
+    sp, sa = ig.succ_ptr, ig.succ_adj
+    for u in range(ig.n):
+        name_u = names[u]
+        for j in range(sp[u], sp[u + 1]):
+            gx.add_edge(name_u, names[sa[j]])
+    g._cache["indexed"] = ig
+    g._cache["topo"] = [names[i] for i in ig.topo]
+    return g

@@ -135,22 +135,28 @@ class _State:
                 best = vol
         return best
 
-    def assign(self, v: int, *, passive: bool = False) -> None:
+    _RECOMPUTE = -1  #: sentinel: assign() must compute the reach itself
+
+    def assign(self, v: int, *, passive: bool = False,
+               reach: int | None = _RECOMPUTE) -> None:
+        """Assign ``v`` to the open block.
+
+        ``reach`` may pass a *fresh* result of
+        :meth:`min_reaching_source_volume` (the admission check just
+        computed it with no assignment in between) to skip the second
+        predecessor scan; a non-source node's reach is ``None`` exactly
+        when it has no computational predecessor in the open block,
+        i.e. when it is itself a block source.
+        """
         self.assigned[v] = self.block_idx
         self.assigned_order.append(v)
         if not passive:
-            ig = self.ig
-            pp, pa = ig.pred_ptr, ig.pred_adj
-            assigned, comp = self.assigned, ig.comp
-            bi = self.block_idx
-            source = not any(
-                assigned[pa[j]] == bi and comp[pa[j]]
-                for j in range(pp[v], pp[v + 1])
-            )
+            if reach is _State._RECOMPUTE:
+                reach = self.min_reaching_source_volume(v)
+            source = reach is None
             self.is_source[v] = source
-            self.reach_min[v] = (
-                None if source else self.min_reaching_source_volume(v)
-            )
+            self.reach_min[v] = reach
+            bi = self.block_idx
             self.blocks[bi].append(v)
             if source:
                 self.sources_per_block[bi].add(v)
@@ -233,16 +239,19 @@ def compute_spatial_blocks(
     remaining = ig.num_tasks
     while remaining > 0:
         cand = -1
+        cand_reach: int | None = _State._RECOMPUTE
         while ready_heap:
             item = heapq.heappop(ready_heap)
             v = item[3]
             reach = state.min_reaching_source_volume(v)
             if reach is None or item[0] <= reach:
                 cand = v
+                cand_reach = reach  # fresh: nothing assigned since
                 break
             deferred.append(item)
         if cand < 0 and variant == "rlx" and deferred:
-            # relaxed: admit the ready node producing the least data anyway
+            # relaxed: admit the ready node producing the least data
+            # anyway (its deferred reach may be stale: recompute)
             deferred.sort()
             cand = deferred.pop(0)[3]
         if cand < 0:
@@ -255,7 +264,7 @@ def compute_spatial_blocks(
                 heapq.heappush(ready_heap, item)
             deferred.clear()
             continue
-        state.assign(cand)
+        state.assign(cand, reach=cand_reach)
         remaining -= 1
         release_successors(cand)
         if len(state.blocks[state.block_idx]) >= num_pes:

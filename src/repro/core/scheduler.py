@@ -28,7 +28,7 @@ from .block_schedule import (
 )
 from .buffer_sizing import compute_buffer_sizes
 from .graph import CanonicalGraph
-from .indexed import freeze
+from .indexed import IndexedGraph, freeze
 from .node_types import NodeKind
 from .partition import Partition, Variant, compute_spatial_blocks, partition_by_work
 
@@ -37,7 +37,16 @@ __all__ = ["StreamingSchedule", "schedule_streaming"]
 
 @dataclass
 class StreamingSchedule:
-    """A complete streaming schedule for a canonical task graph."""
+    """A complete streaming schedule for a canonical task graph.
+
+    ``graph`` may be a :class:`CanonicalGraph` or an already-frozen
+    :class:`~repro.core.indexed.IndexedGraph` (the service ingest path);
+    both expose the read vocabulary the consumers use.  ``times_idx`` /
+    ``const_idx`` are optional id-indexed mirrors of ``times`` and the
+    per-node Theorem-4.1 constants, populated by ``schedule_streaming``
+    so the FIFO sizing pass and the serializers skip per-name dict
+    round trips (absent on schedules built by the reference path).
+    """
 
     graph: CanonicalGraph
     num_pes: int
@@ -49,6 +58,8 @@ class StreamingSchedule:
     block_schedules: list[BlockSchedule] = field(repr=False, default_factory=list)
     buffer_sizes: dict[tuple[Hashable, Hashable], int] = field(default_factory=dict)
     makespan: int = 0
+    times_idx: list[TaskTimes | None] | None = field(repr=False, default=None)
+    const_idx: list[int | None] | None = field(repr=False, default=None)
 
     @property
     def num_blocks(self) -> int:
@@ -99,7 +110,7 @@ class StreamingSchedule:
 
 
 def schedule_streaming(
-    graph: CanonicalGraph,
+    graph: "CanonicalGraph | IndexedGraph",
     num_pes: int,
     variant: Variant | Literal["work"] = "lts",
     *,
@@ -143,6 +154,9 @@ def schedule_streaming(
     for v, b in partition.block_of.items():
         members_by_block[b].append(index[v])
 
+    times_idx: list[TaskTimes | None] = [None] * ig.n
+    const_idx: list[int | None] = [None] * ig.n
+    fraction_memo: dict = {}  # interval Fractions shared across blocks
     for b, members in enumerate(members_by_block):
         members.sort(key=topo_pos.__getitem__)
         b_times, b_si, b_so, iview = _schedule_block_indexed(
@@ -150,6 +164,8 @@ def schedule_streaming(
             members,
             ready,
             release=release if sequential_blocks else 0,
+            fraction_memo=fraction_memo,
+            const_out=const_idx,
         )
         block_times = {names[i]: t for i, t in b_times.items()}
         block_si = {names[i]: s for i, s in b_si.items()}
@@ -164,6 +180,7 @@ def schedule_streaming(
         for i in members:
             kind = kinds[i]
             t = b_times[i]
+            times_idx[i] = t
             if comp[i]:
                 ready[i] = t.lo
                 block_end = max(block_end, t.lo)
@@ -189,6 +206,8 @@ def schedule_streaming(
         pe_of=pe_of,
         block_schedules=block_schedules,
         makespan=makespan,
+        times_idx=times_idx,
+        const_idx=const_idx,
     )
     if size_buffers:
         schedule.buffer_sizes = compute_buffer_sizes(schedule)

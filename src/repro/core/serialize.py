@@ -22,6 +22,7 @@ __all__ = [
     "save_graph",
     "load_graph",
     "schedule_to_dict",
+    "schedule_doc_bytes",
     "schedule_to_chrome_trace",
 ]
 
@@ -125,6 +126,7 @@ def schedule_to_dict(schedule) -> dict:
                 for p in schedule.placements.values()
             ],
         }
+    times = schedule.times
     return {
         "format": "streaming-schedule",
         "version": FORMAT_VERSION,
@@ -137,9 +139,9 @@ def schedule_to_dict(schedule) -> dict:
                 "name": _name_to_json(v),
                 "block": schedule.block_of(v),
                 "pe": schedule.pe_of[v],
-                "st": schedule.times[v].st,
-                "fo": schedule.times[v].fo,
-                "lo": schedule.times[v].lo,
+                "st": times[v].st,
+                "fo": times[v].fo,
+                "lo": times[v].lo,
             }
             for v in schedule.graph.computational_nodes()
         ],
@@ -148,6 +150,97 @@ def schedule_to_dict(schedule) -> dict:
             for (u, v), c in schedule.buffer_sizes.items()
         ],
     }
+
+
+def _names_json(ig) -> list[str]:
+    """Per-node JSON encodings of the node names, memoized on the
+    frozen view (schedule serialization re-encodes the same names for
+    every candidate raced over one graph)."""
+    cached = ig._names_json
+    if cached is None:
+        cached = ig._names_json = [
+            json.dumps(_name_to_json(name)) for name in ig.names
+        ]
+    return cached
+
+
+def schedule_doc_bytes(schedule, out: bytearray | None = None) -> bytes:
+    """Serialize a schedule document straight to JSON bytes.
+
+    Byte-identical to ``json.dumps(schedule_to_dict(schedule)).encode()``
+    (asserted by the golden tests), but assembled directly from the
+    frozen :class:`~repro.core.indexed.IndexedGraph` arrays and the
+    schedule's time/placement tables — no intermediate per-task dicts.
+    Node-name encodings are memoized on the frozen view, so racing
+    several schedulers over one graph pays them once.
+
+    ``out`` is an optional preallocated ``bytearray`` to append to (the
+    serving path reuses one buffer per response assembly); the returned
+    value is always the document's own bytes.
+    """
+    from .indexed import freeze
+    from .scheduler import StreamingSchedule
+
+    if not isinstance(schedule, StreamingSchedule):
+        parts = [
+            '{"format": "list-schedule", "version": %d, "num_pes": %d, '
+            '"makespan": %d, "tasks": [' % (
+                FORMAT_VERSION, schedule.num_pes, schedule.makespan,
+            )
+        ]
+        parts.append(", ".join(
+            '{"name": %s, "pe": %d, "start": %d, "finish": %d}' % (
+                json.dumps(_name_to_json(p.name)), p.pe, p.start, p.finish,
+            )
+            for p in schedule.placements.values()
+        ))
+        parts.append("]}")
+        blob = "".join(parts).encode()
+        if out is not None:
+            out += blob
+        return blob
+
+    ig = freeze(schedule.graph)
+    names_json = _names_json(ig)
+    times_idx = getattr(schedule, "times_idx", None)
+    if times_idx is None:
+        times = schedule.times
+        times_idx = [times.get(name) for name in ig.names]
+    pe_of = schedule.pe_of
+    block_of = schedule.partition.block_of
+    names, comp = ig.names, ig.comp
+    parts = [
+        '{"format": "streaming-schedule", "version": %d, "num_pes": %d, '
+        '"variant": %s, "makespan": %d, "num_blocks": %d, "tasks": [' % (
+            FORMAT_VERSION, schedule.num_pes,
+            json.dumps(schedule.partition.variant),
+            schedule.makespan, schedule.num_blocks,
+        )
+    ]
+    task_parts = []
+    for i in range(ig.n):
+        if not comp[i]:
+            continue
+        v = names[i]
+        t = times_idx[i]
+        task_parts.append(
+            '{"name": %s, "block": %d, "pe": %d, "st": %d, "fo": %d, "lo": %d}'
+            % (names_json[i], block_of[v], pe_of[v], t.st, t.fo, t.lo)
+        )
+    parts.append(", ".join(task_parts))
+    parts.append('], "fifo_sizes": [')
+    index = ig.index
+    parts.append(", ".join(
+        '{"src": %s, "dst": %s, "capacity": %d}' % (
+            names_json[index[u]], names_json[index[v]], c,
+        )
+        for (u, v), c in schedule.buffer_sizes.items()
+    ))
+    parts.append("]}")
+    blob = "".join(parts).encode()
+    if out is not None:
+        out += blob
+    return blob
 
 
 def schedule_to_chrome_trace(schedule) -> list[dict]:

@@ -17,9 +17,11 @@ Pieces
   early-cutoff budget, winner picked by makespan/throughput/buffer
   objective;
 * :mod:`~repro.service.server` / :mod:`~repro.service.client` —
-  stdlib-only newline-delimited-JSON TCP server (thread pool,
-  single-flight batching of identical fingerprints, graceful shutdown)
-  and its client;
+  stdlib-only newline-delimited-JSON TCP server on a ``selectors``
+  event loop (idle connections cost no threads; memo/cache-servable
+  requests answered inline on the loop, computes on bounded worker
+  threads; single-flight batching of identical fingerprints; graceful
+  shutdown) and its client;
 * :mod:`~repro.service.loadgen` — Zipf-skewed load generator over the
   campaign scenario registry, reporting p50/p95/p99 latency and req/s.
 
@@ -32,7 +34,8 @@ A graph fingerprint is 64 lowercase hex characters: the SHA-256 of
 
 where node labels are 16-*byte* SHA-256 prefixes obtained by 1-WL
 color refinement over the flat :class:`~repro.core.indexed.IndexedGraph`
-arrays — seeds are digests of ``(kind, I(v), O(v))``, each round
+arrays (parsed straight from the wire by :mod:`repro.core.ingest` — no
+networkx on the request path) — seeds are digests of ``(kind, I(v), O(v))``, each round
 rehashes a label with its predecessor count and the sorted predecessor
 and successor label multisets (byte-packed, no string joins), and
 refinement stops when the label partition stabilizes (at most ``|V|``
@@ -86,7 +89,14 @@ from .fingerprint import (
     graph_fingerprint,
     request_key,
 )
-from .loadgen import LoadgenReport, build_request_pool, percentile, run_loadgen
+from .loadgen import (
+    MIN_RELIABLE_SAMPLES,
+    LoadgenReport,
+    build_request_pool,
+    percentile,
+    quantile,
+    run_loadgen,
+)
 from .portfolio import (
     DEFAULT_SCHEDULERS,
     OBJECTIVES,
@@ -105,6 +115,7 @@ __all__ = [
     "SCHEDULE_KEY_VERSION",
     "CandidateResult",
     "LoadgenReport",
+    "MIN_RELIABLE_SAMPLES",
     "OBJECTIVES",
     "PortfolioPool",
     "PortfolioResult",
@@ -118,6 +129,7 @@ __all__ = [
     "fingerprint_graph_doc",
     "graph_fingerprint",
     "percentile",
+    "quantile",
     "register_scheduler",
     "request_key",
     "run_loadgen",

@@ -5,29 +5,45 @@ tier (optional) is an append-only JSON-lines file — one
 ``{"key": ..., "entry": ...}`` object per line, torn lines skipped on
 load, format-compatible with the campaign store — so a restarted server
 warms up from everything any previous instance computed.  In memory the
-disk tier is only a ``key → byte offset`` index: entries (which embed
-full graph documents and schedules) are re-read from the file on a
-store hit and promoted into the LRU, so ``capacity`` genuinely bounds
-resident entries no matter how many the store accumulates.
+disk tier is only a ``key → (byte offset, length)`` index: entries
+(which embed full graph documents and schedules) are re-read from the
+file on a store hit and promoted into the LRU, so ``capacity``
+genuinely bounds resident entries no matter how many the store
+accumulates.
 
-All operations are thread-safe (the server handles requests from a
-thread pool) and counted: ``hits`` (memory), ``store_hits`` (disk),
-``misses``, ``evictions``, ``puts`` feed the ``stats`` op and the load
-generator's report.
+Because the file is append-only, *dead* bytes accumulate across
+restarts and schema revisions: torn lines, older duplicates of a key
+(the last occurrence wins the index), and entries whose key the
+``retain`` predicate rejects — typically whole generations persisted
+under a superseded :data:`~repro.service.fingerprint.SCHEDULE_KEY_VERSION`
+tag, unreachable forever yet re-scanned on every start.  When dead
+bytes exceed half the file (:data:`ScheduleCache.COMPACT_DEAD_RATIO`)
+the store is compacted in place: live lines stream into a sibling
+temp file, the ``key → offset`` index is rebuilt, and an atomic
+``os.replace`` swaps it in (``compactions`` counter).  Compaction runs
+automatically on load and can be forced with :meth:`compact`.
+
+All operations are thread-safe (the server handles requests from worker
+threads) and counted: ``hits`` (memory), ``store_hits`` (disk),
+``misses``, ``evictions``, ``puts``, ``compactions`` feed the ``stats``
+op and the load generator's report.
 
 The cache itself is a dumb map: staleness across code changes is the
 *key's* problem, and the service's request keys carry a schema version
 tag (:data:`~repro.service.fingerprint.SCHEDULE_KEY_VERSION`) precisely
 so that entries persisted by older code become unreachable here instead
-of being served forever.
+of being served forever — pass that tag's prefix check as ``retain`` to
+let compaction reclaim their bytes too.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import threading
 from collections import OrderedDict
 from pathlib import Path
+from typing import Callable
 
 __all__ = ["ScheduleCache"]
 
@@ -35,13 +51,26 @@ __all__ = ["ScheduleCache"]
 class ScheduleCache:
     """LRU + JSONL-backed map from request key to response entry."""
 
-    def __init__(self, path: str | Path | None = None, capacity: int = 1024) -> None:
+    #: compact when dead bytes exceed this fraction of the file
+    COMPACT_DEAD_RATIO = 0.5
+    #: but never bother below this file size
+    COMPACT_MIN_BYTES = 4096
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        capacity: int = 1024,
+        retain: Callable[[str], bool] | None = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be positive")
         self.path = Path(path) if path is not None else None
         self.capacity = capacity
+        self.retain = retain
         self._lru: OrderedDict[str, dict] = OrderedDict()
-        self._disk: dict[str, int] = {}  #: key -> byte offset in the file
+        #: key -> (byte offset, line length) in the file
+        self._disk: dict[str, tuple[int, int]] = {}
+        self._file_bytes = 0
         self._lock = threading.Lock()
         # disk appends serialize on their own lock so a put's file write
         # never stalls concurrent get() fast paths
@@ -51,24 +80,81 @@ class ScheduleCache:
         self.misses = 0
         self.evictions = 0
         self.puts = 0
+        self.compactions = 0
         if self.path is not None and self.path.exists():
-            with open(self.path, "rb") as fh:
-                offset = 0
-                for line in fh:
-                    start, offset = offset, offset + len(line)
-                    stripped = line.strip()
-                    if not stripped:
-                        continue
-                    try:
-                        doc = json.loads(stripped)
-                    except ValueError:  # torn line from an interrupted write
-                        continue
-                    if (
-                        isinstance(doc, dict)
-                        and isinstance(doc.get("key"), str)
-                        and isinstance(doc.get("entry"), dict)
-                    ):
-                        self._disk[doc["key"]] = start
+            self._load_index()
+            if self._dead_ratio() > self.COMPACT_DEAD_RATIO:
+                self.compact()
+
+    def _load_index(self) -> None:
+        with open(self.path, "rb") as fh:
+            offset = 0
+            for line in fh:
+                start, offset = offset, offset + len(line)
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    doc = json.loads(stripped)
+                except ValueError:  # torn line from an interrupted write
+                    continue
+                if (
+                    isinstance(doc, dict)
+                    and isinstance(doc.get("key"), str)
+                    and isinstance(doc.get("entry"), dict)
+                    and (self.retain is None or self.retain(doc["key"]))
+                ):
+                    self._disk[doc["key"]] = (start, len(line))
+        self._file_bytes = offset
+
+    def _live_bytes(self) -> int:
+        return sum(length for _, length in self._disk.values())
+
+    def _dead_ratio(self) -> float:
+        """Fraction of the store file not reachable through the index."""
+        if self._file_bytes < self.COMPACT_MIN_BYTES:
+            return 0.0
+        return 1.0 - self._live_bytes() / self._file_bytes
+
+    def dead_bytes(self) -> int:
+        """Bytes in the store file no live index entry points at."""
+        with self._lock:
+            return max(0, self._file_bytes - self._live_bytes())
+
+    def compact(self) -> int:
+        """Rewrite the store keeping only live entries; returns bytes
+        reclaimed.  Safe to call at any time — store reads resolve
+        their offsets under the same IO lock the rewrite holds — and a
+        no-op without a disk tier."""
+        if self.path is None:
+            return 0
+        with self._io_lock:
+            with self._lock:
+                if not self.path.exists():
+                    return 0
+                old_index = dict(self._disk)
+                old_bytes = self._file_bytes
+            tmp = self.path.with_name(self.path.name + ".compact")
+            new_index: dict[str, tuple[int, int]] = {}
+            written = 0
+            with open(self.path, "rb") as src, open(tmp, "wb") as dst:
+                # preserve file order for debuggability (offsets sort)
+                for key, (offset, length) in sorted(
+                    old_index.items(), key=lambda kv: kv[1][0]
+                ):
+                    src.seek(offset)
+                    line = src.read(length)
+                    new_index[key] = (written, len(line))
+                    dst.write(line)
+                    written += len(line)
+                dst.flush()
+                os.fsync(dst.fileno())
+            os.replace(tmp, self.path)
+            with self._lock:
+                self._disk = new_index
+                self._file_bytes = written
+                self.compactions += 1
+            return max(0, old_bytes - written)
 
     def __len__(self) -> int:
         with self._lock:
@@ -89,14 +175,14 @@ class ScheduleCache:
                 self._lru.move_to_end(key)
                 self.hits += 1
                 return entry, "lru"
-            offset = self._disk.get(key)
-            if offset is None:
+            slot = self._disk.get(key)
+            if slot is None:
                 if count_miss:
                     self.misses += 1
                 return None
         # file IO happens outside the map lock; a concurrent promotion
         # of the same key is benign (same entry, idempotent insert)
-        entry = self._read_store_entry(key, offset)
+        entry = self._read_store_entry(key)
         with self._lock:
             if entry is None:
                 if count_miss:
@@ -106,13 +192,22 @@ class ScheduleCache:
             self._insert(key, entry)
         return entry, "store"
 
-    def _read_store_entry(self, key: str, offset: int) -> dict | None:
-        try:
-            with open(self.path, "rb") as fh:
-                fh.seek(offset)
-                doc = json.loads(fh.readline())
-        except (OSError, ValueError):
-            return None
+    def _read_store_entry(self, key: str) -> dict | None:
+        # resolve the offset *inside* the io lock: compact() rewrites
+        # the file and rebuilds the index under the same lock, so an
+        # offset captured before a concurrent compaction is never used
+        # against the compacted file
+        with self._io_lock:
+            with self._lock:
+                slot = self._disk.get(key)
+            if slot is None:
+                return None
+            try:
+                with open(self.path, "rb") as fh:
+                    fh.seek(slot[0])
+                    doc = json.loads(fh.readline())
+            except (OSError, ValueError):
+                return None
         if not isinstance(doc, dict) or doc.get("key") != key:
             return None
         entry = doc.get("entry")
@@ -130,16 +225,19 @@ class ScheduleCache:
                     if key in self._disk:  # a concurrent put won the race
                         return
                 self.path.parent.mkdir(parents=True, exist_ok=True)
+                line = (
+                    json.dumps({"key": key, "entry": entry}, sort_keys=True)
+                    .encode()
+                    + b"\n"
+                )
                 with open(self.path, "ab") as fh:
                     offset = fh.tell()
-                    fh.write(
-                        json.dumps(
-                            {"key": key, "entry": entry}, sort_keys=True
-                        ).encode()
-                        + b"\n"
-                    )
+                    fh.write(line)
                 with self._lock:
-                    self._disk[key] = offset
+                    self._disk[key] = (offset, len(line))
+                    self._file_bytes = max(
+                        self._file_bytes, offset + len(line)
+                    )
 
     def _insert(self, key: str, entry: dict) -> None:
         self._lru[key] = entry
@@ -154,9 +252,12 @@ class ScheduleCache:
                 "capacity": self.capacity,
                 "lru_entries": len(self._lru),
                 "store_entries": len(self._disk),
+                "store_bytes": self._file_bytes,
+                "dead_bytes": max(0, self._file_bytes - self._live_bytes()),
                 "hits": self.hits,
                 "store_hits": self.store_hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "puts": self.puts,
+                "compactions": self.compactions,
             }

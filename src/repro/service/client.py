@@ -35,6 +35,9 @@ class ServiceClient:
     ) -> None:
         self.host = host
         self.port = port
+        #: wire accounting (the load generator reports bytes/s)
+        self.bytes_sent = 0
+        self.bytes_received = 0
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._stream = self._sock.makefile("rwb")
 
@@ -58,12 +61,16 @@ class ServiceClient:
         distinct request once and replays the bytes.
         """
         self._stream.write(line)
+        sent = len(line)
         if not line.endswith(b"\n"):
             self._stream.write(b"\n")
+            sent += 1
         self._stream.flush()
         reply = self._stream.readline()
         if not reply:
             raise ConnectionError("service closed the connection")
+        self.bytes_sent += sent
+        self.bytes_received += len(reply)
         return json.loads(reply)
 
     def request(self, doc: Mapping) -> dict:

@@ -31,7 +31,18 @@ from ..graphs import random_canonical_graph
 from .client import ServiceClient
 from .server import DEFAULT_PORT
 
-__all__ = ["LoadgenReport", "build_request_pool", "run_loadgen", "percentile"]
+__all__ = [
+    "LoadgenReport",
+    "build_request_pool",
+    "run_loadgen",
+    "percentile",
+    "quantile",
+    "MIN_RELIABLE_SAMPLES",
+]
+
+#: below this sample count tail percentiles are mostly noise (a p99 of
+#: 10 requests is just the maximum); reports carry a warning flag
+MIN_RELIABLE_SAMPLES = 100
 
 
 def percentile(samples: Sequence[float], q: float) -> float:
@@ -42,6 +53,28 @@ def percentile(samples: Sequence[float], q: float) -> float:
     ordered = sorted(samples)
     rank = max(1, math.ceil(q / 100.0 * len(ordered)))
     return ordered[min(rank, len(ordered)) - 1]
+
+
+def quantile(samples: Sequence[float], q: float) -> float:
+    """Linearly interpolated quantile (q in [0, 100]) of a non-empty
+    sample — the numpy/R-7 definition: ``pos = (n-1) * q/100``, the
+    fractional part interpolating between the two bracketing order
+    statistics.  Unlike nearest rank it is continuous in ``q`` and far
+    less jumpy at small ``n`` (nearest-rank p99 of 10 samples is just
+    the maximum)."""
+    if not samples:
+        raise ValueError("no samples")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"quantile must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (len(ordered) - 1) * q / 100.0
+    lo = math.floor(pos)
+    frac = pos - lo
+    if frac == 0.0:
+        return ordered[lo]
+    return ordered[lo] + (ordered[lo + 1] - ordered[lo]) * frac
 
 
 @dataclass
@@ -65,10 +98,25 @@ class LoadgenReport:
     latencies_ms: list[float] = field(repr=False, default_factory=list)
     tiers: dict[str, int] = field(default_factory=dict)  #: cached-tier counts
     errors: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
 
     @property
     def throughput_rps(self) -> float:
         return self.requests / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def wire_bytes_per_s(self) -> float:
+        """Bytes on the wire (both directions) per wall-clock second."""
+        if self.elapsed <= 0:
+            return 0.0
+        return (self.bytes_sent + self.bytes_received) / self.elapsed
+
+    @property
+    def small_sample(self) -> bool:
+        """True when there are too few samples for stable tail
+        percentiles (see :data:`MIN_RELIABLE_SAMPLES`)."""
+        return len(self.latencies_ms) < MIN_RELIABLE_SAMPLES
 
     @property
     def hit_rate(self) -> float:
@@ -78,11 +126,14 @@ class LoadgenReport:
         return (served - cold) / served if served else 0.0
 
     def summary(self) -> dict[str, float]:
+        """Latency summary with interpolated quantiles (see
+        :func:`quantile`); nearest-rank :func:`percentile` remains
+        available for callers that want the classic definition."""
         xs = self.latencies_ms
         return {
-            "p50_ms": percentile(xs, 50),
-            "p95_ms": percentile(xs, 95),
-            "p99_ms": percentile(xs, 99),
+            "p50_ms": quantile(xs, 50),
+            "p95_ms": quantile(xs, 95),
+            "p99_ms": quantile(xs, 99),
             "mean_ms": sum(xs) / len(xs),
             "max_ms": max(xs),
         }
@@ -90,7 +141,7 @@ class LoadgenReport:
     def table(self) -> str:
         s = self.summary()
         headers = [
-            "requests", "workers", "pool", "zipf", "req/s",
+            "requests", "workers", "pool", "zipf", "req/s", "MB/s",
             "p50 ms", "p95 ms", "p99 ms", "mean ms", "hit rate", "errors",
         ]
         row = [
@@ -99,6 +150,7 @@ class LoadgenReport:
             self.pool,
             f"{self.zipf:.2f}",
             f"{self.throughput_rps:8.1f}",
+            f"{self.wire_bytes_per_s / 1e6:6.2f}",
             f"{s['p50_ms']:8.2f}",
             f"{s['p95_ms']:8.2f}",
             f"{s['p99_ms']:8.2f}",
@@ -106,7 +158,13 @@ class LoadgenReport:
             f"{100.0 * self.hit_rate:5.1f}%",
             self.errors,
         ]
-        return format_table(headers, [row])
+        out = format_table(headers, [row])
+        if self.small_sample:
+            out += (
+                f"\nwarning: only {len(self.latencies_ms)} latency samples "
+                f"(< {MIN_RELIABLE_SAMPLES}) — tail percentiles are noisy"
+            )
+        return out
 
     def to_dict(self) -> dict:
         return {
@@ -118,9 +176,13 @@ class LoadgenReport:
             "no_cache": self.no_cache,
             "elapsed_s": round(self.elapsed, 4),
             "throughput_rps": round(self.throughput_rps, 2),
+            "wire_bytes_per_s": round(self.wire_bytes_per_s, 1),
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
             "hit_rate": round(self.hit_rate, 4),
             "tiers": dict(self.tiers),
             "errors": self.errors,
+            "small_sample": self.small_sample,
             **{k: round(v, 3) for k, v in self.summary().items()},
         }
 
@@ -228,10 +290,12 @@ def run_loadgen(
     latencies: list[float] = []
     tiers: dict[str, int] = {}
     errors = [0]
+    wire = [0, 0]  #: bytes sent, bytes received
 
     def drive(shard: list[int]) -> None:
         local_lat: list[float] = []
         local_tiers: dict[str, int] = {}
+        client = None
         try:
             with ServiceClient(host, port) as client:
                 for idx in shard:
@@ -255,6 +319,9 @@ def run_loadgen(
                 # everything not answered ok — refused responses and the
                 # unsent tail after a transport failure — is an error
                 errors[0] += len(shard) - sum(local_tiers.values())
+                if client is not None:
+                    wire[0] += client.bytes_sent
+                    wire[1] += client.bytes_received
 
     threads = [
         threading.Thread(target=drive, args=(shard,), name=f"loadgen-{w}")
@@ -283,4 +350,6 @@ def run_loadgen(
         latencies_ms=latencies,
         tiers=tiers,
         errors=errors[0],
+        bytes_sent=wire[0],
+        bytes_received=wire[1],
     )

@@ -44,7 +44,9 @@ from typing import Callable, Sequence
 from ..baselines import schedule_heft, schedule_nonstreaming
 from ..core import schedule_streaming, total_work
 from ..core.graph import CanonicalGraph
-from ..core.serialize import graph_from_dict, graph_to_dict, schedule_to_dict
+from ..core.indexed import IndexedGraph
+from ..core.ingest import ingest_graph_doc
+from ..core.serialize import graph_to_dict, schedule_to_dict
 
 __all__ = [
     "CandidateResult",
@@ -157,7 +159,7 @@ def _warm_worker() -> None:  # pragma: no cover - runs in worker processes
     worker-seeding idea as the campaign executor's chunked dispatch:
     amortize per-process setup once, not per task)."""
     from .. import baselines, core  # noqa: F401
-    from ..core import indexed, reference  # noqa: F401
+    from ..core import indexed, ingest, reference  # noqa: F401
 
 
 def _race_candidate(payload: tuple[dict, int, str]) -> dict:
@@ -169,8 +171,9 @@ def _race_candidate(payload: tuple[dict, int, str]) -> dict:
     """
     graph_doc, num_pes, name = payload
     t0 = time.perf_counter()
-    # the parent serialized an already-validated graph: skip the re-check
-    graph = graph_from_dict(graph_doc, validate=False)
+    # the parent serialized an already-validated graph: trusted ingest
+    # straight to the flat arrays, no networkx round trip in the worker
+    graph = ingest_graph_doc(graph_doc, validate=False)
     schedule = _SCHEDULERS[name](graph, num_pes)
     return {
         "name": name,
@@ -277,13 +280,14 @@ def _report_value(objective: str, makespan: int, fifo_total: int, t1: int) -> fl
 
 
 def _run_portfolio_pooled(
-    graph: CanonicalGraph,
+    graph: CanonicalGraph | IndexedGraph,
     num_pes: int,
     objective: str,
     names: list[str],
     budget_s: float | None,
     t1: int,
     pool: PortfolioPool,
+    graph_doc: dict | None = None,
 ) -> PortfolioResult:
     """Race all candidates concurrently on the persistent pool.
 
@@ -302,7 +306,8 @@ def _run_portfolio_pooled(
     sequential race stops *launching* instead; callers already treat
     truncated results as non-cacheable either way.)
     """
-    graph_doc = graph_to_dict(graph)
+    if graph_doc is None:
+        graph_doc = graph_to_dict(graph)
     t_race = time.perf_counter()
     futures = [(name, pool.submit(graph_doc, num_pes, name)) for name in names]
     deadline = None if budget_s is None else t_race + budget_s
@@ -348,12 +353,13 @@ def _run_portfolio_pooled(
 
 
 def run_portfolio(
-    graph: CanonicalGraph,
+    graph: CanonicalGraph | IndexedGraph,
     num_pes: int,
     objective: str = "makespan",
     schedulers: Sequence[str] | None = None,
     budget_s: float | None = None,
     pool: PortfolioPool | None = None,
+    graph_doc: dict | None = None,
 ) -> PortfolioResult:
     """Race candidate schedulers over ``graph``; return the best found.
 
@@ -362,6 +368,10 @@ def run_portfolio(
     race has spent that much wall-clock (at least one always runs).
     With ``pool`` the candidates race concurrently on worker processes
     (see :class:`PortfolioPool`); the winner is identical either way.
+    ``graph`` may be a :class:`CanonicalGraph` or an already-frozen
+    :class:`~repro.core.indexed.IndexedGraph` (the service's ingest
+    path); ``graph_doc`` optionally supplies the graph's wire document
+    so a pooled race does not re-serialize it.
     """
     if num_pes < 1:
         raise ValueError("need at least one processing element")
@@ -379,7 +389,7 @@ def run_portfolio(
     t1 = total_work(graph)
     if pool is not None and len(names) > 1:
         return _run_portfolio_pooled(
-            graph, num_pes, objective, names, budget_s, t1, pool
+            graph, num_pes, objective, names, budget_s, t1, pool, graph_doc
         )
     t_race = time.perf_counter()
     candidates: list[CandidateResult] = []

@@ -1,31 +1,59 @@
-"""The scheduling service and its JSON-lines socket server.
+"""The scheduling service and its event-loop socket server.
 
 Two layers, separately testable:
 
 * :class:`ScheduleService` — the protocol-agnostic request handler:
-  dict in, dict out.  Owns the fingerprint memo, the schedule cache and
-  the in-flight table that *batches identical fingerprints* — when
-  several concurrent requests share one request key, a single leader
-  computes and every follower receives the same response (single-flight
-  coalescing, counted in the stats).  The request key is isomorphism
+  dict in, dict out (:meth:`~ScheduleService.handle`), plus a
+  wire-level byte path (:meth:`~ScheduleService.serve_line_fast` /
+  :meth:`~ScheduleService.serve_line_slow`) the server uses.  Owns the
+  fingerprint memo, the schedule cache and the in-flight table that
+  *batches identical fingerprints* — when several concurrent requests
+  share one request key, a single leader computes and every follower
+  receives the same response (single-flight coalescing, counted in the
+  stats).  Graph documents are parsed by the zero-copy ingest path
+  (:mod:`repro.core.ingest`): straight to the flat
+  :class:`~repro.core.indexed.IndexedGraph` arrays, with the cg2 1-WL
+  fingerprint streaming over them — no networkx graph is built on the
+  request path at all (``use_ingest=False`` preserves the legacy path
+  for the golden equivalence tests).  The request key is isomorphism
   stable, so a hit may come from a *differently named* copy of the
   graph; before answering, the service remaps the cached schedule's
   node names onto the requester's through an explicit, verified
   isomorphism witness (``remapped`` in the stats) — and recomputes
   instead of answering wrongly when no witness exists (a 1-WL
   collision between non-isomorphic graphs).
-* :class:`ScheduleServer` — a stdlib-only TCP front-end: an accept
-  thread spawns a lightweight reader per connection, and a semaphore
-  sized ``workers`` bounds the concurrently *computing* requests (the
-  scheduling races; cheap ops, cache hits and coalesced waiters never
-  occupy a slot); each connection speaks newline-delimited JSON (one
-  request object per line, one response object per line).  ``stop()``
-  — or a ``shutdown`` request, honoured only from loopback peers
-  unless ``allow_remote_shutdown`` — closes the listener, unblocks
-  every reader and leaves each in-flight response flushed: a graceful
-  shutdown.
 
-Wire protocol (see README for a session transcript)::
+  The wire path adds two memo layers on top of ``handle``:
+
+  - a *line memo* mapping a previously served request line (exact
+    bytes) to its ``(request key, document digest)``, so replayed
+    requests skip JSON parsing and digest hashing entirely;
+  - a *response-prefix memo* holding each served entry pre-serialized
+    (minus the per-request ``cached``/``elapsed_ms`` tail), so a cache
+    hit splices three byte strings instead of re-dumping a multi-
+    hundred-kilobyte response.
+
+  Both are pure memoization — byte-for-byte the same responses the
+  dict path produces (asserted in the tests) — and share one bounded
+  byte budget, cleared wholesale when exceeded.
+
+* :class:`ScheduleServer` — a stdlib-only TCP front-end built on a
+  ``selectors`` event loop: one loop thread owns every socket
+  (non-blocking accept/read/write), so thousands of idle keepalive
+  connections cost zero threads and zero syscalls between requests.
+  Requests that can be answered from the memo/cache tiers are served
+  inline on the loop; everything else (cold computes, coalescing
+  followers, control ops) is dispatched to a short-lived worker thread
+  while a semaphore sized ``workers`` bounds the concurrently
+  *computing* requests exactly as before.  Responses are queued per
+  connection in request order, so pipelined clients stay
+  wire-compatible with the newline-delimited JSON protocol.  ``stop()``
+  — or a ``shutdown`` request, honoured only from loopback peers
+  unless ``allow_remote_shutdown`` — closes the listener, flushes the
+  in-flight response and closes every connection: a graceful shutdown.
+
+Wire protocol (see README for a session transcript and the framing
+specification)::
 
     {"op": "ping"}
     {"op": "stats"}
@@ -43,14 +71,17 @@ scheduler, per-candidate metrics and the full schedule document.
 from __future__ import annotations
 
 import json
+import selectors
 import socket
 import threading
 import time
+from collections import deque
 from contextlib import nullcontext
 from typing import Sequence
 
 from .. import __version__
 from ..core.graph import find_isomorphism
+from ..core.ingest import ingest_graph_doc
 from ..core.serialize import _name_from_json, _name_to_json, graph_from_dict
 from .cache import ScheduleCache
 from .fingerprint import doc_digest, fingerprint_graph_doc, request_key
@@ -65,6 +96,11 @@ from .portfolio import (
 __all__ = ["ScheduleService", "ScheduleServer", "DEFAULT_PORT"]
 
 DEFAULT_PORT = 7421
+
+_SHUTDOWN_REFUSED = (
+    "shutdown refused: not a loopback peer "
+    "(serve with --allow-remote-shutdown to enable)"
+)
 
 
 class _InFlight:
@@ -105,9 +141,18 @@ class ScheduleService:
         default_schedulers: Sequence[str] = DEFAULT_SCHEDULERS,
         fingerprint_memo_size: int = 4096,
         portfolio_workers: int = 0,
+        use_ingest: bool = True,
+        validate_graphs: bool = True,
+        wire_memo_bytes: int = 32 << 20,
     ) -> None:
         self.cache = cache
         self.default_schedulers = tuple(default_schedulers)
+        #: parse wire documents through repro.core.ingest (no networkx);
+        #: False preserves the legacy graph_from_dict path bit for bit
+        self.use_ingest = use_ingest
+        #: False engages the trusted-ingest contract (documents provably
+        #: produced by graph_to_dict, e.g. behind a validating gateway)
+        self.validate_graphs = validate_graphs
         # the miss path: with >= 2 portfolio workers the candidate race
         # runs on a persistent process pool (created eagerly here, from
         # the owning thread — forking lazily under server threads risks
@@ -120,6 +165,7 @@ class ScheduleService:
         self.computed = 0
         self.coalesced = 0
         self.remapped = 0
+        self.fastpath = 0
         self.errors = 0
         self._lock = threading.Lock()
         self._inflight: dict[str, _InFlight] = {}
@@ -127,9 +173,36 @@ class ScheduleService:
         # identical graph documents, so this skips re-refinement entirely
         self._fp_memo: dict[str, str] = {}
         self._fp_memo_size = fingerprint_memo_size
+        # digest -> ingested IndexedGraph; a forced recompute of a
+        # repeated document (no_cache traffic, cache-collision retries)
+        # then skips re-parsing *and* reuses the view's memoized levels.
+        # IndexedGraphs are immutable; concurrent lazy-memo fills are
+        # idempotent, so sharing one view across request threads is safe.
+        # Bounded by *total node count* (a frozen view costs a few
+        # hundred bytes per node across its arrays and lazy memos), not
+        # by entry count — 256 ten-thousand-node views would otherwise
+        # pin hundreds of MB.
+        self._ig_memo: dict[str, object] = {}
+        self._ig_memo_nodes = 0
+        self._ig_memo_node_budget = 200_000
+        # wire-level memos (see the module docstring): request line ->
+        # (key, digest) for cache-servable lines, request line -> graph
+        # document digest for any schedule line (skips re-hashing on
+        # forced recomputes), and (key, digest) -> the response split as
+        # (meta prefix bytes, schedule document bytes).  One shared byte
+        # budget; cleared wholesale when exceeded.
+        self._line_memo: dict[bytes, tuple[str, str]] = {}
+        self._line_digest: dict[bytes, str] = {}
+        self._prefix_memo: dict[tuple[str, str], tuple[bytes, bytes]] = {}
+        # line -> parsed request document; replayed lines (including
+        # forced no_cache recomputes) skip the JSON parse.  The handler
+        # treats request documents as read-only, so sharing is safe.
+        self._doc_memo: dict[bytes, dict] = {}
+        self._wire_memo_bytes = 0
+        self._wire_memo_budget = wire_memo_bytes
 
     # ------------------------------------------------------------------
-    def handle(self, doc: dict, work_slots=None) -> dict:
+    def handle(self, doc: dict, work_slots=None, *, digest_hint=None) -> dict:
         """Dispatch one request document; never raises.
 
         ``work_slots`` (an acquirable context manager, typically a
@@ -148,11 +221,205 @@ class ScheduleService:
             if op == "shutdown":
                 return {"ok": True, "op": "shutdown"}
             if op == "schedule":
-                return self._schedule(doc, slots)
+                return self._schedule(doc, slots, digest_hint)
             return self._error(f"unknown op {op!r}")
         except Exception as exc:  # a bad request must never kill a worker
             return self._error(str(exc) or type(exc).__name__)
 
+    # ------------------------------------------------------------------
+    # wire-level byte path (used by the event-loop server)
+    # ------------------------------------------------------------------
+    def serve_line_fast(self, line: bytes) -> bytes | None:
+        """Answer a previously seen request line from the memo tiers.
+
+        Returns the full response bytes (newline-terminated), or
+        ``None`` when the line needs the slow path — never blocks on
+        scheduling computation, so the server may call this on its
+        event loop.  Semantically pure memoization of
+        :meth:`serve_line_slow`: a non-``None`` result is byte-for-byte
+        what the slow path would have produced for the same cache tier.
+        """
+        memo = self._line_memo.get(line)
+        if memo is None or self.cache is None:
+            return None
+        t0 = time.perf_counter()
+        key, digest = memo
+        # the slow path re-probes and counts the miss on a None return
+        hit = self.cache.get(key, count_miss=False)
+        if hit is None:
+            return None
+        entry, tier = hit
+        if entry.get("graph_digest") != digest:
+            # cross-document hit: the stored entry names another
+            # submitter's nodes.  A previously served remap for this
+            # exact (key, digest) is memoized as a prefix — otherwise
+            # the slow path must find the isomorphism witness.
+            parts = self._prefix_memo.get((key, digest))
+            if parts is None:
+                return None
+        else:
+            parts = self._entry_prefix(key, digest, entry)
+        with self._lock:
+            self.served += 1
+            self.fastpath += 1
+        return self._splice(parts, tier, t0)
+
+    def serve_line_slow(
+        self, line: bytes, work_slots=None, shutdown_permitted: bool = True
+    ) -> tuple[bytes, bool]:
+        """Full wire handling of one request line.
+
+        Returns ``(response bytes, shutdown accepted)``.  Populates the
+        line/prefix memos for eligible schedule responses so replays of
+        the same bytes take :meth:`serve_line_fast`.
+        """
+        doc = self._doc_memo.get(line)
+        if doc is None:
+            try:
+                doc = json.loads(line)
+                if not isinstance(doc, dict):
+                    raise ValueError("request must be a JSON object")
+            except ValueError as exc:
+                response = {"ok": False, "error": f"bad request: {exc}"}
+                return json.dumps(response).encode() + b"\n", False
+            if doc.get("op") == "schedule":
+                with self._lock:
+                    if line not in self._doc_memo:
+                        self._doc_memo[line] = doc
+                        # a parsed document costs several times its JSON
+                        # length in per-node dict/str objects
+                        self._charge_wire(4 * len(line))
+        if doc.get("op") == "shutdown" and not shutdown_permitted:
+            response = {"ok": False, "error": _SHUTDOWN_REFUSED}
+            return json.dumps(response).encode() + b"\n", False
+        response = self.handle(
+            doc, work_slots, digest_hint=self._line_digest.get(line)
+        )
+        data = self._encode_response(line, doc, response)
+        shutdown = doc.get("op") == "shutdown" and bool(response.get("ok"))
+        return data, shutdown
+
+    @staticmethod
+    def _splice(parts: tuple[bytes, bytes], tier, t0: float) -> bytes:
+        """Assemble ``(meta, schedule bytes)`` + the per-request tail;
+        byte-identical to ``json.dumps`` of the equivalent response."""
+        meta, sched = parts
+        ms = round(1000.0 * (time.perf_counter() - t0), 3)
+        return b'%s, "schedule": %s, "cached": %s, "elapsed_ms": %s}\n' % (
+            meta,
+            sched,
+            json.dumps(tier).encode(),
+            json.dumps(ms).encode(),
+        )
+
+    def _charge_wire(self, added: int) -> None:
+        """Account memo bytes; clear every wire memo over budget."""
+        self._wire_memo_bytes += added
+        if self._wire_memo_bytes > self._wire_memo_budget:
+            self._line_memo.clear()
+            self._line_digest.clear()
+            self._prefix_memo.clear()
+            self._doc_memo.clear()
+            self._wire_memo_bytes = 0
+
+    def _remember_parts(self, key: str, digest: str,
+                        parts: tuple[bytes, bytes]) -> None:
+        with self._lock:
+            pk = (key, digest)
+            # last write wins, mirroring cache.put: a forced recompute
+            # overwrites the LRU entry, so the memoized bytes must track
+            # the same (newest) response or fast and slow replies to one
+            # line would diverge in the per-candidate timing fields
+            old = self._prefix_memo.get(pk)
+            self._prefix_memo[pk] = parts
+            added = len(parts[0]) + len(parts[1])
+            if old is not None:
+                added -= len(old[0]) + len(old[1])
+            self._charge_wire(added)
+
+    def _remember_line(self, line: bytes, key: str | None, digest: str) -> None:
+        with self._lock:
+            added = 0
+            if line not in self._line_digest:
+                added += len(line)
+            self._line_digest[line] = digest
+            if key is not None and line not in self._line_memo:
+                self._line_memo[line] = (key, digest)
+                added += len(line)
+            self._charge_wire(added)
+
+    @staticmethod
+    def _split_response(response: dict) -> tuple[bytes, bytes]:
+        """(meta minus closing brace, schedule document bytes); the
+        schedule rides last in the entry layout, so splicing the two
+        back together reproduces ``json.dumps`` of the whole dict."""
+        meta_doc = {
+            k: v for k, v in response.items()
+            if k not in ("graph", "schedule", "cached", "elapsed_ms")
+        }
+        meta = json.dumps(meta_doc).encode()[:-1]
+        sched = json.dumps(response["schedule"]).encode()
+        return meta, sched
+
+    def _entry_prefix(self, key: str, digest: str,
+                      entry: dict) -> tuple[bytes, bytes]:
+        """``entry`` serialized as (meta, schedule) byte parts, memoized
+        per (key, digest)."""
+        parts = self._prefix_memo.get((key, digest))
+        if parts is None:
+            parts = self._split_response(entry)
+            self._remember_parts(key, digest, parts)
+        return parts
+
+    def _encode_response(self, line: bytes, doc: dict, response: dict) -> bytes:
+        """Serialize ``response``; memoize eligible schedule responses.
+
+        Line memo eligibility: an ``ok`` schedule answer that is
+        reproducible from the cache tiers — not truncated (never
+        cached), not a forced ``no_cache`` recompute (must recompute on
+        every replay).  The (key, digest) response parts and the
+        line → digest mapping are memoized for every deterministic
+        schedule answer, so even forced recomputes skip re-hashing the
+        graph document and re-serializing the schedule.
+        """
+        if (
+            response.get("op") == "schedule"
+            and response.get("ok")
+            and isinstance(response.get("key"), str)
+            and isinstance(response.get("graph_digest"), str)
+            and isinstance(response.get("schedule"), dict)
+            and "cached" in response
+            and "elapsed_ms" in response
+        ):
+            key = response["key"]
+            digest = response["graph_digest"]
+            if not response.get("truncated"):
+                cacheable = self.cache is not None and not doc.get("no_cache")
+                self._remember_line(
+                    bytes(line), key if cacheable else None, digest
+                )
+                parts = self._prefix_memo.get((key, digest))
+                if parts is None:
+                    parts = self._split_response(response)
+                    self._remember_parts(key, digest, parts)
+                meta, sched = parts
+                # the memoized schedule bytes are reusable (the answer
+                # is deterministic per key+digest), the rest of the
+                # response — elapsed, per-candidate timings — is not
+                meta_doc = {
+                    k: v for k, v in response.items()
+                    if k not in ("schedule", "cached", "elapsed_ms")
+                }
+                meta = json.dumps(meta_doc).encode()[:-1]
+                return b'%s, "schedule": %s, "cached": %s, "elapsed_ms": %s}\n' % (
+                    meta,
+                    sched,
+                    json.dumps(response["cached"]).encode(),
+                    json.dumps(response["elapsed_ms"]).encode(),
+                )
+        return json.dumps(response).encode() + b"\n"
+
+    # ------------------------------------------------------------------
     def _error(self, message: str) -> dict:
         with self._lock:
             self.errors += 1
@@ -168,7 +435,10 @@ class ScheduleService:
             "computed": self.computed,
             "coalesced": self.coalesced,
             "remapped": self.remapped,
+            "fastpath": self.fastpath,
             "errors": self.errors,
+            "ingest": self.use_ingest,
+            "validate_graphs": self.validate_graphs,
             "schedulers": scheduler_names(),
             "objectives": list(OBJECTIVES),
             "portfolio_workers": (
@@ -184,16 +454,54 @@ class ScheduleService:
             self.portfolio_pool.close()
 
     # ------------------------------------------------------------------
-    def _fingerprint(self, graph_doc: dict):
-        digest = doc_digest(graph_doc)
+    def _parse_graph(self, graph_doc: dict, trusted: bool = False,
+                     digest: str | None = None):
+        """Wire document → graph, on the configured ingest path.
+
+        With a ``digest`` the ingested view is memoized, so repeated
+        documents (no-cache recompute traffic, witness lookups) skip
+        the parse and share the view's memoized levels/labels.
+        """
+        if not self.use_ingest:
+            return graph_from_dict(dict(graph_doc))
+        if digest is not None:
+            ig = self._ig_memo.get(digest)
+            if ig is not None:
+                return ig
+        ig = ingest_graph_doc(
+            graph_doc, validate=self.validate_graphs and not trusted
+        )
+        if digest is not None:
+            self._remember_ig(digest, ig)
+        return ig
+
+    def _remember_ig(self, digest: str, ig) -> None:
+        with self._lock:
+            if digest in self._ig_memo:
+                return
+            if self._ig_memo_nodes + ig.n > self._ig_memo_node_budget:
+                self._ig_memo.clear()
+                self._ig_memo_nodes = 0
+            self._ig_memo[digest] = ig
+            self._ig_memo_nodes += ig.n
+
+    def _fingerprint(self, graph_doc: dict, digest_hint: str | None = None):
+        # the wire layer memoizes line -> digest: replays of the same
+        # request bytes (including forced no_cache recomputes) skip the
+        # canonical re-dump of the whole graph document
+        digest = digest_hint if digest_hint is not None else doc_digest(graph_doc)
         fp = self._fp_memo.get(digest)
         if fp is not None:
             return None, fp, digest  # graph parsed lazily only when needed
-        graph, fp = fingerprint_graph_doc(graph_doc)
+        graph, fp = fingerprint_graph_doc(
+            graph_doc, ingest=self.use_ingest, validate=self.validate_graphs
+        )
         with self._lock:
             if len(self._fp_memo) >= self._fp_memo_size:
                 self._fp_memo.clear()
             self._fp_memo[digest] = fp
+        if self.use_ingest:
+            self._remember_ig(digest, graph)
         return graph, fp, digest
 
     def _adapt(self, entry: dict, digest: str, graph, graph_doc: dict) -> dict | None:
@@ -213,15 +521,21 @@ class ScheduleService:
         if cached_doc is None:
             return None
         if graph is None:
-            graph = graph_from_dict(dict(graph_doc))
-        mapping = find_isomorphism(graph_from_dict(dict(cached_doc)), graph)
+            graph = self._parse_graph(graph_doc, digest=digest)
+        # the cached document was validated when its entry was computed
+        mapping = find_isomorphism(
+            self._parse_graph(
+                cached_doc, trusted=True, digest=entry.get("graph_digest")
+            ),
+            graph,
+        )
         if mapping is None:
             return None
         with self._lock:
             self.remapped += 1
         return _remap_entry(entry, mapping, digest, graph_doc)
 
-    def _schedule(self, doc: dict, slots) -> dict:
+    def _schedule(self, doc: dict, slots, digest_hint: str | None = None) -> dict:
         t0 = time.perf_counter()
         graph_doc = doc["graph"]
         num_pes = int(doc["num_pes"])
@@ -230,7 +544,7 @@ class ScheduleService:
         budget_ms = doc.get("budget_ms")
         no_cache = bool(doc.get("no_cache", False))
 
-        graph, fp, digest = self._fingerprint(graph_doc)
+        graph, fp, digest = self._fingerprint(graph_doc, digest_hint)
         key = request_key(fp, num_pes, objective, schedulers)
         def compute() -> dict:
             return self._compute(
@@ -307,11 +621,11 @@ class ScheduleService:
         budget_s = float(budget_ms) / 1000.0 if budget_ms is not None else None
         with slots:  # the CPU-bound part runs under a work slot
             if graph is None:  # fingerprint came from the memo
-                graph = graph_from_dict(dict(graph_doc))
+                graph = self._parse_graph(graph_doc, digest=digest)
             result = run_portfolio(
                 graph, num_pes, objective=objective,
                 schedulers=schedulers, budget_s=budget_s,
-                pool=self.portfolio_pool,
+                pool=self.portfolio_pool, graph_doc=dict(graph_doc),
             )
         entry = {
             "ok": True,
@@ -350,18 +664,55 @@ class ScheduleService:
         return response
 
 
-class ScheduleServer:
-    """Threaded newline-delimited-JSON TCP server around a service.
+class _Conn:
+    """Per-connection state owned by the event loop."""
 
-    One lightweight reader thread per connection — connections spend
-    most of their life blocked on ``readline``, so an idle client never
-    occupies an execution slot — while a semaphore sized ``workers``
-    bounds the number of *concurrently computing* requests: the
-    thread-pool discipline applies to the CPU-bound scheduling races
-    only (the service acquires a slot around computation, never while a
-    coalesced follower waits for its leader or a cache hit is served),
-    so more computations than workers queue at the semaphore while
-    cheap traffic keeps flowing.
+    __slots__ = ("sock", "inbuf", "scan", "pending", "outbuf", "events",
+                 "closed", "shutdown_pending")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.inbuf = bytearray()
+        self.scan = 0  #: offset up to which inbuf holds no newline
+        self.pending: deque[_Slot] = deque()
+        self.outbuf = bytearray()  #: preallocated, reused across responses
+        self.events = selectors.EVENT_READ
+        self.closed = False
+        self.shutdown_pending = False
+
+
+class _Slot:
+    """One response slot; keeps per-connection responses in request order."""
+
+    __slots__ = ("data", "shutdown")
+
+    def __init__(self, data: bytes | None = None, shutdown: bool = False) -> None:
+        self.data = data
+        self.shutdown = shutdown
+
+
+#: per-connection out-buffer depth beyond which the loop stops reading
+#: from that connection until the client drains it (write backpressure)
+_MAX_OUTBUF = 8 << 20
+
+
+class ScheduleServer:
+    """Event-loop newline-delimited-JSON TCP server around a service.
+
+    One ``selectors`` loop thread owns every socket: accepts are
+    non-blocking, reads are buffered per connection, and writes drain
+    through per-connection byte queues — an idle keepalive connection
+    costs one registered file descriptor and nothing else, so
+    thousands of them are free.  Requests answerable from the service's
+    memo/cache tiers (:meth:`ScheduleService.serve_line_fast`) are
+    served inline on the loop; cold computes, coalescing followers and
+    control ops run on short-lived worker threads, with a semaphore
+    sized ``workers`` bounding the number of *concurrently computing*
+    requests (the service acquires a slot around computation only, so
+    cheap traffic keeps flowing while computations queue).
+
+    Responses always leave a connection in request order (slot queue),
+    keeping pipelined clients correct on the JSONL framing.
 
     A ``shutdown`` request is honoured only from loopback peers unless
     ``allow_remote_shutdown`` is set — otherwise a non-local bind
@@ -389,9 +740,18 @@ class ScheduleServer:
         self.allow_remote_shutdown = allow_remote_shutdown
         self._sock: socket.socket | None = None
         self._work_slots = threading.BoundedSemaphore(workers)
-        self._conns: set[socket.socket] = set()
-        self._threads: list[threading.Thread] = []
-        self._lock = threading.Lock()
+        # hard cap on concurrently live slow-request threads: beyond it
+        # the loop handles the request inline (blocking intake — honest
+        # backpressure under overload) instead of letting one pipelined
+        # burst spawn an unbounded number of threads and crash start()
+        self._slow_slots = threading.BoundedSemaphore(8 * workers + 32)
+        self._selector: selectors.BaseSelector | None = None
+        self._loop_thread: threading.Thread | None = None
+        self._conns: set[_Conn] = set()
+        self._dirty: deque[_Conn] = deque()
+        self._dirty_lock = threading.Lock()
+        self._waker_r: socket.socket | None = None
+        self._waker_w: socket.socket | None = None
         self._stop = threading.Event()
 
     # ------------------------------------------------------------------
@@ -401,30 +761,32 @@ class ScheduleServer:
         return self.host, self.port
 
     def start(self) -> "ScheduleServer":
-        """Bind, listen and launch the accept + worker threads."""
+        """Bind, listen and launch the event-loop thread."""
         if self._sock is not None:
             return self
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         sock.bind((self.host, self.port))
         sock.listen(self.backlog)
-        # fallback wakeup for platforms where shutdown() does not
-        # interrupt a blocked accept (see stop())
-        sock.settimeout(0.5)
+        sock.setblocking(False)
         self.port = sock.getsockname()[1]
         self._sock = sock
-        accept = threading.Thread(target=self._accept_loop, daemon=True,
-                                  name="repro-serve-accept")
-        accept.start()
-        with self._lock:
-            self._threads.append(accept)
+        self._waker_r, self._waker_w = socket.socketpair()
+        self._waker_r.setblocking(False)
+        self._waker_w.setblocking(False)
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(sock, selectors.EVENT_READ, "listener")
+        self._selector.register(self._waker_r, selectors.EVENT_READ, "waker")
+        loop = threading.Thread(target=self._run_loop, daemon=True,
+                                name="repro-serve-loop")
+        loop.start()
+        self._loop_thread = loop
         return self
 
     @staticmethod
     def _close_socket(sock: socket.socket) -> None:
-        """shutdown() + close(): the shutdown wakes any thread blocked in
-        accept()/recv() on the socket (a plain close() only frees the fd
-        number; the kernel socket would live until the syscall returns)."""
+        """shutdown() + close(): the shutdown wakes a peer blocked on the
+        socket; the close frees the descriptor."""
         try:
             sock.shutdown(socket.SHUT_RDWR)
         except OSError:
@@ -435,28 +797,20 @@ class ScheduleServer:
             pass
 
     def stop(self) -> None:
-        """Graceful shutdown: stop accepting, then close every connection
-        (their reader threads finish the in-flight response first — the
-        writes already happened by the time a reader blocks again)."""
+        """Graceful shutdown: the loop stops accepting, flushes what it
+        can and closes every connection before exiting."""
         if self._stop.is_set():
             return
         self._stop.set()
-        if self._sock is not None:
-            self._close_socket(self._sock)
-        with self._lock:
-            conns = list(self._conns)
-        for conn in conns:
-            self._close_socket(conn)
-        self.service.close()
+        self._wake()
+        if self._loop_thread is None:
+            # never started: release owned resources directly
+            self.service.close()
 
     def join(self, timeout: float = 5.0) -> None:
-        deadline = time.monotonic() + timeout
-        with self._lock:
-            threads = list(self._threads)
-        for t in threads:
-            if t is threading.current_thread():
-                continue
-            t.join(max(0.0, deadline - time.monotonic()))
+        loop = self._loop_thread
+        if loop is not None and loop is not threading.current_thread():
+            loop.join(timeout)
 
     def serve_forever(self) -> None:
         """Start (if needed), then block until :meth:`stop` is called."""
@@ -472,42 +826,14 @@ class ScheduleServer:
         self.join()
 
     # ------------------------------------------------------------------
-    def _accept_loop(self) -> None:
-        assert self._sock is not None
-        while not self._stop.is_set():
-            try:
-                conn, _ = self._sock.accept()
-            except socket.timeout:
-                continue
-            except OSError:  # listener closed by stop()
-                return
-            conn.settimeout(None)
-            reader = threading.Thread(target=self._connection_main,
-                                      args=(conn,), daemon=True,
-                                      name="repro-serve-conn")
-            with self._lock:
-                if self._stop.is_set():
-                    # stop() snapshotted _conns before this accept
-                    # landed: close instead of serving past the stop
-                    self._close_socket(conn)
-                    return
-                self._conns.add(conn)
-                self._threads = [t for t in self._threads if t.is_alive()]
-                self._threads.append(reader)
-            reader.start()
-
-    def _connection_main(self, conn: socket.socket) -> None:
+    def _wake(self) -> None:
+        waker = self._waker_w
+        if waker is None:
+            return
         try:
-            self._serve_connection(conn)
-        except (OSError, ValueError):  # client vanished / closed by stop()
-            pass
-        finally:
-            with self._lock:
-                self._conns.discard(conn)
-            try:
-                conn.close()
-            except OSError:
-                pass
+            waker.send(b"\x00")
+        except OSError:
+            pass  # buffer full (a wake is already pending) or closing
 
     def _shutdown_permitted(self, conn: socket.socket) -> bool:
         if self.allow_remote_shutdown:
@@ -518,29 +844,203 @@ class ScheduleServer:
             return False
         return peer == "::1" or peer.startswith("127.")
 
-    def _serve_connection(self, conn: socket.socket) -> None:
-        with conn.makefile("rwb") as stream:
-            for line in stream:
-                if not line.strip():
-                    continue
-                try:
-                    doc = json.loads(line)
-                    if not isinstance(doc, dict):
-                        raise ValueError("request must be a JSON object")
-                except ValueError as exc:
-                    response = {"ok": False, "error": f"bad request: {exc}"}
-                    doc = {}
-                else:
-                    if doc.get("op") == "shutdown" and not self._shutdown_permitted(conn):
-                        response = {
-                            "ok": False,
-                            "error": "shutdown refused: not a loopback peer "
-                                     "(serve with --allow-remote-shutdown to enable)",
-                        }
+    # ------------------------------------------------------------------
+    # event loop (single thread owns the selector and every socket)
+    # ------------------------------------------------------------------
+    def _run_loop(self) -> None:
+        sel = self._selector
+        assert sel is not None
+        try:
+            while not self._stop.is_set():
+                for key, mask in sel.select(0.5):
+                    data = key.data
+                    if data == "listener":
+                        self._accept_ready()
+                    elif data == "waker":
+                        try:
+                            while self._waker_r.recv(4096):
+                                pass
+                        except (BlockingIOError, OSError):
+                            pass
                     else:
-                        response = self.service.handle(doc, self._work_slots)
-                stream.write(json.dumps(response).encode() + b"\n")
-                stream.flush()
-                if doc.get("op") == "shutdown" and response.get("ok"):
-                    self.stop()
-                    return
+                        conn = data
+                        if conn.closed:
+                            continue
+                        if mask & selectors.EVENT_WRITE:
+                            self._flush(conn)
+                        if mask & selectors.EVENT_READ and not conn.closed:
+                            self._read_ready(conn)
+                    if self._stop.is_set():
+                        break
+                while True:
+                    with self._dirty_lock:
+                        if not self._dirty:
+                            break
+                        conn = self._dirty.popleft()
+                    if not conn.closed:
+                        self._flush(conn)
+        finally:
+            self._teardown()
+
+    def _teardown(self) -> None:
+        sel = self._selector
+        for conn in list(self._conns):
+            self._close_conn(conn)
+        if self._sock is not None:
+            try:
+                sel.unregister(self._sock)
+            except (KeyError, ValueError):
+                pass
+            self._close_socket(self._sock)
+        for waker in (self._waker_r, self._waker_w):
+            if waker is not None:
+                try:
+                    waker.close()
+                except OSError:
+                    pass
+        try:
+            sel.close()
+        except OSError:
+            pass
+        self.service.close()
+
+    def _accept_ready(self) -> None:
+        assert self._sock is not None
+        while True:
+            try:
+                sock, _ = self._sock.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+            sock.setblocking(False)
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass
+            conn = _Conn(sock)
+            self._conns.add(conn)
+            self._selector.register(sock, conn.events, conn)
+
+    def _close_conn(self, conn: _Conn) -> None:
+        if conn.closed:
+            return
+        conn.closed = True
+        self._conns.discard(conn)
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        self._close_socket(conn.sock)
+
+    def _read_ready(self, conn: _Conn) -> None:
+        try:
+            chunk = conn.sock.recv(262144)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._close_conn(conn)
+            return
+        if not chunk:
+            self._close_conn(conn)
+            return
+        buf = conn.inbuf
+        buf += chunk
+        while True:
+            nl = buf.find(b"\n", conn.scan)
+            if nl < 0:
+                conn.scan = len(buf)
+                return
+            line = bytes(buf[:nl])
+            del buf[: nl + 1]
+            conn.scan = 0
+            line = line.strip()
+            if line:
+                self._process_line(conn, line)
+            if conn.closed:
+                return
+
+    def _process_line(self, conn: _Conn, line: bytes) -> None:
+        fast = self.service.serve_line_fast(line)
+        if fast is not None:
+            conn.pending.append(_Slot(fast))
+            self._flush(conn)
+            return
+        slot = _Slot()
+        conn.pending.append(slot)
+        if self._slow_slots.acquire(blocking=False):
+            try:
+                worker = threading.Thread(
+                    target=self._run_slow, args=(conn, slot, line),
+                    daemon=True, name="repro-serve-worker",
+                )
+                worker.start()
+                return
+            except RuntimeError:  # can't start a thread: degrade inline
+                self._slow_slots.release()
+        # overload: every slow slot is occupied — handle the request on
+        # the loop thread.  Intake stalls for its duration, which is the
+        # backpressure we want, and it cannot deadlock: any coalescing
+        # leader this request could wait on already runs on a live
+        # worker thread.
+        self._fill_slow(conn, slot, line)
+        self._flush(conn)
+
+    def _run_slow(self, conn: _Conn, slot: _Slot, line: bytes) -> None:
+        try:
+            self._fill_slow(conn, slot, line)
+        finally:
+            self._slow_slots.release()
+        with self._dirty_lock:
+            self._dirty.append(conn)
+        self._wake()
+
+    def _fill_slow(self, conn: _Conn, slot: _Slot, line: bytes) -> None:
+        try:
+            data, shutdown = self.service.serve_line_slow(
+                line, self._work_slots, self._shutdown_permitted(conn.sock)
+            )
+        except Exception as exc:  # defensive: the service never raises
+            data = json.dumps(
+                {"ok": False, "error": str(exc) or type(exc).__name__}
+            ).encode() + b"\n"
+            shutdown = False
+        slot.data = data
+        slot.shutdown = shutdown
+
+    def _flush(self, conn: _Conn) -> None:
+        """Move completed slots (in request order) into the out buffer
+        and push bytes to the socket; runs only on the loop thread."""
+        pending = conn.pending
+        out = conn.outbuf
+        while pending and pending[0].data is not None:
+            slot = pending.popleft()
+            out += slot.data
+            if slot.shutdown:
+                conn.shutdown_pending = True
+        if out:
+            try:
+                sent = conn.sock.send(out)
+            except (BlockingIOError, InterruptedError):
+                sent = 0
+            except OSError:
+                self._close_conn(conn)
+                return
+            if sent:
+                del out[:sent]
+        # write backpressure: a client that pipelines requests without
+        # reading responses must not grow outbuf unboundedly — stop
+        # reading from it until the buffer drains
+        want = 0 if len(out) > _MAX_OUTBUF else selectors.EVENT_READ
+        if out:
+            want |= selectors.EVENT_WRITE
+        if want != conn.events:
+            conn.events = want
+            try:
+                self._selector.modify(conn.sock, want, conn)
+            except (KeyError, ValueError, OSError):
+                self._close_conn(conn)
+                return
+        if conn.shutdown_pending and not out and not pending:
+            # the shutdown response is fully flushed: stop the server
+            self._stop.set()

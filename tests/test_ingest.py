@@ -1,0 +1,434 @@
+"""Tests for the zero-copy wire ingest path and the event-loop server.
+
+Three layers of protection:
+
+* **golden array/fingerprint equivalence** — ``ingest_graph_doc`` must
+  produce an :class:`IndexedGraph` whose every array (ids, CSR
+  adjacency, topo order, volumes, works, labels) matches
+  ``freeze(graph_from_dict(doc))`` across the scenario families, and
+  whose cg2 fingerprint and scheduled documents are byte-identical;
+* **validation parity** — with ``validate=True`` the ingest raises the
+  same exception types and messages as ``graph_from_dict`` for every
+  malformed-document class;
+* **service equivalence** — a service on the ingest path answers
+  byte-identically (modulo timing fields) to one on the legacy
+  networkx path across the layered/serpar/paper/ML sweeps, and the
+  wire fast path returns the same bytes the slow path would.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import CanonicalGraph, schedule_streaming
+from repro.core.graph import CanonicalityError, graph_fingerprint
+from repro.core.indexed import IndexedGraph, freeze
+from repro.core.ingest import ingest_graph_doc
+from repro.core.serialize import (
+    graph_from_dict,
+    graph_to_dict,
+    schedule_doc_bytes,
+    schedule_to_dict,
+)
+from repro.graphs import random_canonical_graph
+from repro.service import ScheduleCache, ScheduleServer, ScheduleService, ServiceClient
+
+FAMILIES = [
+    ("layered", 128, 64),
+    ("layered", 400, 64),
+    ("serpar", 120, 32),
+    ("chain", 8, 8),
+    ("fft", 32, 16),
+    ("gaussian", 16, 32),
+    ("cholesky", 8, 16),
+]
+
+
+def _ml_graphs():
+    from repro.ml import build_resnet50, build_transformer_encoder
+
+    return [
+        (build_resnet50(image_size=56, max_parallel=16), 16),
+        (
+            build_transformer_encoder(
+                seq_len=16, d_model=64, num_heads=4, d_ff=128, max_parallel=16
+            ),
+            16,
+        ),
+    ]
+
+
+class TestIngestGolden:
+    @pytest.mark.parametrize("topo,size,pes", FAMILIES)
+    def test_arrays_match_legacy_freeze(self, topo, size, pes):
+        doc = graph_to_dict(random_canonical_graph(topo, size, seed=1))
+        legacy = freeze(graph_from_dict(doc))
+        ig = ingest_graph_doc(doc)
+        assert ig.names == legacy.names
+        assert ig.index == legacy.index
+        assert ig.kinds == legacy.kinds
+        assert ig.in_vol == legacy.in_vol
+        assert ig.out_vol == legacy.out_vol
+        assert ig.comp == legacy.comp
+        assert ig.work == legacy.work
+        assert ig.labels == legacy.labels
+        assert ig.succ_ptr == legacy.succ_ptr
+        assert ig.succ_adj == legacy.succ_adj
+        assert ig.pred_ptr == legacy.pred_ptr
+        assert ig.pred_adj == legacy.pred_adj
+        assert ig.topo == legacy.topo
+        assert ig.entries == legacy.entries
+        assert ig.exits == legacy.exits
+        assert ig.num_tasks == legacy.num_tasks
+
+    @pytest.mark.parametrize("topo,size,pes", FAMILIES)
+    def test_fingerprint_matches_without_networkx(self, topo, size, pes):
+        doc = graph_to_dict(random_canonical_graph(topo, size, seed=2))
+        ig = ingest_graph_doc(doc)
+        assert graph_fingerprint(ig) == graph_fingerprint(graph_from_dict(doc))
+        # the streaming fingerprint never touched networkx
+        assert ig._graph is None
+
+    @pytest.mark.parametrize("topo,size,pes", FAMILIES)
+    @pytest.mark.parametrize("variant", ["lts", "rlx", "work"])
+    def test_schedules_byte_identical(self, topo, size, pes, variant):
+        doc = graph_to_dict(random_canonical_graph(topo, size, seed=0))
+        ig = ingest_graph_doc(doc)
+        a = json.dumps(schedule_to_dict(schedule_streaming(ig, pes, variant)))
+        b = json.dumps(
+            schedule_to_dict(schedule_streaming(graph_from_dict(doc), pes, variant))
+        )
+        assert a == b
+        assert ig._graph is None  # scheduling ran on the arrays alone
+
+    def test_ml_builders_roundtrip(self):
+        for graph, pes in _ml_graphs():
+            doc = graph_to_dict(graph)
+            ig = ingest_graph_doc(doc)
+            assert graph_fingerprint(ig) == graph_fingerprint(graph)
+            a = json.dumps(schedule_to_dict(schedule_streaming(ig, pes, "lts")))
+            b = json.dumps(schedule_to_dict(schedule_streaming(graph, pes, "lts")))
+            assert a == b
+
+    def test_trusted_ingest_same_arrays(self):
+        doc = graph_to_dict(random_canonical_graph("fft", 16, seed=3))
+        a, b = ingest_graph_doc(doc), ingest_graph_doc(doc, validate=False)
+        assert a.names == b.names and a.succ_adj == b.succ_adj
+        assert a.topo == b.topo and a.work == b.work
+
+    def test_tuple_names_survive(self):
+        # the paper topologies name nodes with tuples; the wire tags them
+        doc = graph_to_dict(random_canonical_graph("cholesky", 6, seed=0))
+        ig = ingest_graph_doc(doc)
+        assert any(isinstance(n, tuple) for n in ig.names)
+        assert graph_to_dict(ig.graph) == doc
+
+    def test_materialized_graph_adopts_the_view(self):
+        doc = graph_to_dict(random_canonical_graph("gaussian", 8, seed=1))
+        ig = ingest_graph_doc(doc)
+        g = ig.graph  # lazy materialization
+        assert isinstance(g, CanonicalGraph)
+        assert freeze(g) is ig
+        assert graph_to_dict(g) == doc
+        g.validate()  # the twin is a fully valid canonical graph
+
+    def test_nonstreaming_and_heft_run_on_ingested_graphs(self):
+        from repro.baselines import schedule_heft, schedule_nonstreaming
+
+        doc = graph_to_dict(random_canonical_graph("layered", 96, seed=4))
+        ig = ingest_graph_doc(doc)
+        legacy = graph_from_dict(doc)
+        a = schedule_nonstreaming(ig, 16)
+        b = schedule_nonstreaming(legacy, 16)
+        assert json.dumps(schedule_to_dict(a)) == json.dumps(schedule_to_dict(b))
+        assert schedule_heft(ig, [1.0] * 16).makespan == \
+            schedule_heft(legacy, [1.0] * 16).makespan
+        assert ig._graph is None  # neither baseline materialized networkx
+
+
+class TestScheduleDocBytes:
+    @pytest.mark.parametrize("topo,size,pes", FAMILIES[:4])
+    @pytest.mark.parametrize("variant", ["lts", "rlx"])
+    def test_streaming_bytes_match_json_dumps(self, topo, size, pes, variant):
+        ig = ingest_graph_doc(
+            graph_to_dict(random_canonical_graph(topo, size, seed=5))
+        )
+        s = schedule_streaming(ig, pes, variant)
+        assert schedule_doc_bytes(s) == json.dumps(schedule_to_dict(s)).encode()
+
+    def test_list_schedule_bytes_match(self):
+        from repro.baselines import schedule_nonstreaming
+
+        g = random_canonical_graph("fft", 16, seed=1)
+        s = schedule_nonstreaming(g, 8)
+        assert schedule_doc_bytes(s) == json.dumps(schedule_to_dict(s)).encode()
+
+    def test_out_buffer_is_appended(self):
+        g = random_canonical_graph("chain", 6, seed=0)
+        s = schedule_streaming(g, 4, "lts")
+        buf = bytearray(b"prefix:")
+        blob = schedule_doc_bytes(s, out=buf)
+        assert bytes(buf) == b"prefix:" + blob
+
+
+class TestValidationParity:
+    """Same exception type and message as ``graph_from_dict``."""
+
+    def _both(self, doc):
+        errors = []
+        for parse in (graph_from_dict, ingest_graph_doc):
+            try:
+                parse(json.loads(json.dumps(doc)))
+                errors.append(None)
+            except Exception as exc:
+                errors.append((type(exc), str(exc)))
+        assert errors[0] is not None, "expected the legacy parser to raise"
+        assert errors[0] == errors[1]
+        return errors[0]
+
+    def _doc(self, **overrides):
+        g = CanonicalGraph()
+        g.add_source("s", 4)
+        g.add_task("t", 4, 4)
+        g.add_sink("k", 4)
+        g.add_edge("s", "t")
+        g.add_edge("t", "k")
+        doc = graph_to_dict(g)
+        doc.update(overrides)
+        return doc
+
+    def test_wrong_format(self):
+        exc_type, msg = self._both({"format": "nope"})
+        assert exc_type is ValueError and "not a canonical task graph" in msg
+
+    def test_wrong_version(self):
+        exc_type, msg = self._both(self._doc(version=99))
+        assert exc_type is ValueError and "unsupported version" in msg
+
+    def test_bad_kind(self):
+        doc = self._doc()
+        doc["nodes"][1]["kind"] = "quantum"
+        exc_type, msg = self._both(doc)
+        assert exc_type is ValueError and "quantum" in msg
+
+    def test_duplicate_node(self):
+        doc = self._doc()
+        doc["nodes"].append(dict(doc["nodes"][1]))
+        exc_type, msg = self._both(doc)
+        assert exc_type is CanonicalityError and "duplicate node" in msg
+
+    def test_bad_volumes_for_kind(self):
+        doc = self._doc()
+        doc["nodes"][0]["input_volume"] = 3  # a source must have I == 0
+        exc_type, msg = self._both(doc)
+        assert exc_type is ValueError and "must have I(v) == 0" in msg
+
+    def test_kind_rate_mismatch(self):
+        doc = self._doc()
+        doc["nodes"][1]["kind"] = "downsampler"  # volumes say elementwise
+        exc_type, msg = self._both(doc)
+        assert exc_type is ValueError and "imply" in msg
+
+    def test_unknown_edge_endpoint(self):
+        doc = self._doc()
+        doc["edges"].append(["t", "ghost"])
+        exc_type, msg = self._both(doc)
+        assert exc_type is KeyError and "ghost" in msg
+
+    def test_sink_with_outgoing_edge(self):
+        doc = self._doc()
+        doc["edges"].append(["k", "t"])
+        exc_type, msg = self._both(doc)
+        assert exc_type is CanonicalityError and "cannot have outgoing" in msg
+
+    def test_source_with_incoming_edge(self):
+        doc = self._doc()
+        doc["edges"].append(["t", "s"])
+        exc_type, msg = self._both(doc)
+        assert exc_type is CanonicalityError and "cannot have incoming" in msg
+
+    def test_volume_mismatch_on_edge(self):
+        doc = self._doc()
+        doc["nodes"][1]["input_volume"] = 2
+        doc["nodes"][1]["output_volume"] = 2
+        exc_type, msg = self._both(doc)
+        assert exc_type is CanonicalityError and "volume" in msg
+
+    def test_cycle_detected(self):
+        g = CanonicalGraph()
+        g.add_task("a", 4, 4)
+        g.add_task("b", 4, 4)
+        g.add_edge("a", "b")
+        doc = graph_to_dict(g)
+        doc["edges"].append(["b", "a"])
+        exc_type, msg = self._both(doc)
+        assert exc_type is CanonicalityError and "acyclic" in msg
+
+    def test_duplicate_edges_are_idempotent(self):
+        doc = self._doc()
+        doc["edges"].append(list(doc["edges"][0]))  # nx dedupes silently
+        legacy = freeze(graph_from_dict(json.loads(json.dumps(doc))))
+        ig = ingest_graph_doc(json.loads(json.dumps(doc)))
+        assert ig.succ_adj == legacy.succ_adj
+        assert ig.pred_adj == legacy.pred_adj
+
+
+def _strip_timing(response: dict) -> str:
+    doc = {
+        k: v for k, v in response.items() if k not in ("elapsed_ms", "candidates")
+    }
+    doc["candidate_names"] = [c["name"] for c in response.get("candidates", [])]
+    doc["candidate_makespans"] = [
+        c["makespan"] for c in response.get("candidates", [])
+    ]
+    return json.dumps(doc, sort_keys=True)
+
+
+class TestServiceEquivalence:
+    """Ingest-path service vs legacy networkx-path service."""
+
+    @pytest.mark.parametrize("topo,size,pes", [
+        ("layered", 128, 64),
+        ("serpar", 120, 32),
+        ("fft", 32, 16),
+        ("gaussian", 16, 32),
+        ("cholesky", 8, 16),
+        ("chain", 8, 8),
+    ])
+    def test_byte_identical_schedule_responses(self, topo, size, pes):
+        doc = {
+            "op": "schedule",
+            "graph": graph_to_dict(random_canonical_graph(topo, size, seed=7)),
+            "num_pes": pes,
+        }
+        with_ingest = ScheduleService(
+            cache=ScheduleCache(None, capacity=8), use_ingest=True
+        )
+        legacy = ScheduleService(
+            cache=ScheduleCache(None, capacity=8), use_ingest=False
+        )
+        a = with_ingest.handle(json.loads(json.dumps(doc)))
+        b = legacy.handle(json.loads(json.dumps(doc)))
+        assert a["ok"] and b["ok"]
+        assert a["fingerprint"] == b["fingerprint"]
+        assert a["key"] == b["key"]
+        assert json.dumps(a["schedule"], sort_keys=True) == \
+            json.dumps(b["schedule"], sort_keys=True)
+        assert _strip_timing(a) == _strip_timing(b)
+
+    def test_ml_responses_match(self):
+        for graph, pes in _ml_graphs():
+            doc = {"op": "schedule", "graph": graph_to_dict(graph),
+                   "num_pes": pes}
+            a = ScheduleService(use_ingest=True).handle(
+                json.loads(json.dumps(doc)))
+            b = ScheduleService(use_ingest=False).handle(
+                json.loads(json.dumps(doc)))
+            assert a["ok"] and b["ok"]
+            assert json.dumps(a["schedule"], sort_keys=True) == \
+                json.dumps(b["schedule"], sort_keys=True)
+
+    def test_relabeled_hit_remaps_on_ingest_path(self):
+        from tests.test_service import relabel
+
+        g = random_canonical_graph("fft", 8, seed=1)
+        service = ScheduleService(cache=ScheduleCache(None, capacity=8))
+        service.handle({"op": "schedule", "graph": graph_to_dict(g),
+                        "num_pes": 8})
+        renamed = relabel(g)
+        response = service.handle({
+            "op": "schedule", "graph": graph_to_dict(renamed), "num_pes": 8,
+        })
+        assert response["cached"] == "lru" and service.remapped == 1
+        names = {t["name"] for t in response["schedule"]["tasks"]}
+        assert names and names <= set(renamed.nodes)
+
+
+class TestWireFastPath:
+    """The line/prefix memos must be pure memoization of the slow path."""
+
+    def _line(self, seed=0, **extra):
+        g = random_canonical_graph("fft", 8, seed=seed)
+        doc = {"op": "schedule", "graph": graph_to_dict(g), "num_pes": 8}
+        doc.update(extra)
+        return json.dumps(doc).encode()
+
+    def test_fast_path_bytes_match_slow_path(self):
+        service = ScheduleService(cache=ScheduleCache(None, capacity=8))
+        line = self._line()
+        assert service.serve_line_fast(line) is None  # nothing memoized yet
+        cold, _ = service.serve_line_slow(line)
+        fast = service.serve_line_fast(line)
+        assert fast is not None
+        slow, _ = service.serve_line_slow(line)
+
+        def normalize(data: bytes) -> str:
+            doc = json.loads(data)
+            doc.pop("elapsed_ms")
+            return json.dumps(doc, sort_keys=True)
+
+        cold_doc = json.loads(cold)
+        assert cold_doc["cached"] is False
+        assert normalize(fast) == normalize(slow)
+        assert json.loads(fast)["cached"] == "lru"
+        assert service.fastpath == 1
+
+    def test_no_cache_lines_never_take_the_fast_path(self):
+        service = ScheduleService(cache=ScheduleCache(None, capacity=8))
+        line = self._line(no_cache=True)
+        service.serve_line_slow(line)
+        assert service.serve_line_fast(line) is None
+        service.serve_line_slow(line)
+        assert service.computed == 2  # every replay recomputes
+
+    def test_memo_budget_bounds_memory(self):
+        service = ScheduleService(
+            cache=ScheduleCache(None, capacity=64), wire_memo_bytes=1,
+        )
+        for seed in range(3):
+            service.serve_line_slow(self._line(seed=seed))
+        # over-budget inserts clear the memos instead of growing them
+        assert len(service._line_memo) <= 1
+        assert len(service._prefix_memo) <= 1
+
+    def test_pipelined_requests_answered_in_order(self):
+        service = ScheduleService(cache=ScheduleCache(None, capacity=8))
+        with ScheduleServer(service, port=0, workers=2) as server:
+            import socket as socketlib
+
+            with socketlib.create_connection(
+                ("127.0.0.1", server.port), timeout=10
+            ) as sock:
+                # one cold compute then two pings, written back-to-back:
+                # responses must come back in request order
+                batch = self._line() + b'\n{"op": "ping"}\n{"op": "stats"}\n'
+                sock.sendall(batch)
+                stream = sock.makefile("rb")
+                first = json.loads(stream.readline())
+                second = json.loads(stream.readline())
+                third = json.loads(stream.readline())
+        assert first["op"] == "schedule" and first["ok"]
+        assert second["op"] == "ping"
+        # processing may interleave (stats can run while the schedule
+        # computes) but the responses must come back in request order
+        assert third["op"] == "stats" and third["ok"]
+
+    def test_idle_connections_cost_no_threads(self):
+        import threading
+
+        service = ScheduleService()
+        with ScheduleServer(service, port=0, workers=1) as server:
+            before = threading.active_count()
+            clients = [
+                ServiceClient(port=server.port, timeout=5.0) for _ in range(20)
+            ]
+            try:
+                assert clients[-1].ping()["ok"]
+                # 20 idle connections: at most the loop thread plus a
+                # transiently live worker — not thread-per-connection
+                assert threading.active_count() <= before + 2
+            finally:
+                for c in clients:
+                    c.close()

@@ -624,3 +624,235 @@ class TestServiceCli:
         store = tmp_path / "svc" / "schedules.jsonl"
         assert store.exists()
         assert len(store.read_text().strip().splitlines()) == 1
+
+
+def _permuted_copy(graph: CanonicalGraph, order_seed: int) -> CanonicalGraph:
+    """Same specs and edges, nodes inserted in a shuffled order."""
+    import random as random_mod
+
+    names = list(graph.nodes)
+    random_mod.Random(order_seed).shuffle(names)
+    clone = CanonicalGraph()
+    for v in names:
+        clone.add_node(graph.spec(v))
+    for u, v in graph.edges:
+        clone.nx.add_edge(u, v)
+    return clone
+
+
+def _verify_witness(src: CanonicalGraph, dst: CanonicalGraph, mapping) -> None:
+    assert mapping is not None
+    assert set(mapping) == set(src.nodes)
+    assert set(mapping.values()) == set(dst.nodes)
+    assert {(mapping[u], mapping[v]) for u, v in src.edges} == set(dst.edges)
+    for v in src.nodes:
+        a, b = src.spec(v), dst.spec(mapping[v])
+        assert (a.kind, a.input_volume, a.output_volume) == (
+            b.kind, b.input_volume, b.output_volume
+        )
+
+
+class TestIsomorphismAutomorphismRich:
+    """Witness search on graphs with large automorphism groups: every
+    1-WL class is a non-trivial orbit, so the individualization-
+    refinement loop (not plain refinement) does the work."""
+
+    @staticmethod
+    def _alternating_cycle(n_pairs: int, prefix: str = "") -> CanonicalGraph:
+        # C_{2n} with alternating orientation: even nodes feed both odd
+        # neighbours; uniform volumes make all evens (and all odds)
+        # 1-WL-equivalent, with a dihedral automorphism group
+        g = CanonicalGraph()
+        n = 2 * n_pairs
+        for i in range(n):
+            g.add_task(f"{prefix}{i}", 8, 8)
+        for i in range(0, n, 2):
+            g.add_edge(f"{prefix}{i}", f"{prefix}{(i + 1) % n}")
+            g.add_edge(f"{prefix}{i}", f"{prefix}{(i - 1) % n}")
+        return g
+
+    @staticmethod
+    def _complete_bipartite(k: int, prefix: str = "") -> CanonicalGraph:
+        g = CanonicalGraph()
+        for i in range(k):
+            g.add_task(f"{prefix}a{i}", 4, 4)
+        for j in range(k):
+            g.add_task(f"{prefix}b{j}", 4, 4)
+        for i in range(k):
+            for j in range(k):
+                g.add_edge(f"{prefix}a{i}", f"{prefix}b{j}")
+        return g
+
+    @staticmethod
+    def _uniform_layered(layers: int, width: int, prefix: str = "") -> CanonicalGraph:
+        g = CanonicalGraph()
+        for li in range(layers):
+            for w in range(width):
+                g.add_task(f"{prefix}L{li}_{w}", 4, 4)
+        for li in range(1, layers):
+            for w in range(width):
+                for pw in range(width):
+                    g.add_edge(f"{prefix}L{li - 1}_{pw}", f"{prefix}L{li}_{w}")
+        return g
+
+    def test_alternating_cycle_witness(self):
+        src = self._alternating_cycle(4)
+        dst = _permuted_copy(self._alternating_cycle(4, prefix="x"), 3)
+        _verify_witness(src, dst, find_isomorphism(src, dst))
+
+    def test_complete_bipartite_witness(self):
+        src = self._complete_bipartite(4)
+        dst = _permuted_copy(self._complete_bipartite(4, prefix="y"), 5)
+        _verify_witness(src, dst, find_isomorphism(src, dst))
+
+    def test_uniform_layered_witness(self):
+        src = self._uniform_layered(3, 4)
+        dst = _permuted_copy(self._uniform_layered(3, 4, prefix="z"), 7)
+        _verify_witness(src, dst, find_isomorphism(src, dst))
+
+    def test_different_cycle_lengths_yield_none(self):
+        # C_8 vs two C_4s: same node count, same degrees, classic
+        # 1-WL-equivalent pair — the verified witness must reject it
+        c8 = self._alternating_cycle(4)
+        two_c4 = self._alternating_cycle(2, prefix="p")
+        extra = self._alternating_cycle(2, prefix="q")
+        for v in extra.nodes:
+            two_c4.add_node(extra.spec(v))
+        for u, v in extra.edges:
+            two_c4.nx.add_edge(u, v)
+        assert len(c8) == len(two_c4)
+        assert c8.number_of_edges() == two_c4.number_of_edges()
+        assert find_isomorphism(c8, two_c4) is None
+
+    def test_fingerprint_stable_under_node_permutation(self):
+        for build in (
+            lambda p: self._alternating_cycle(4, prefix=p),
+            lambda p: self._complete_bipartite(4, prefix=p),
+            lambda p: self._uniform_layered(3, 4, prefix=p),
+        ):
+            base = build("")
+            fp = graph_fingerprint(base)
+            for seed in range(4):
+                assert graph_fingerprint(_permuted_copy(base, seed)) == fp
+
+    def test_fingerprint_stable_under_permutation_random_families(self):
+        for topo, size in (("layered", 64), ("serpar", 60), ("fft", 16)):
+            g = random_canonical_graph(topo, size, seed=2)
+            fp = graph_fingerprint(g)
+            for seed in range(3):
+                assert graph_fingerprint(_permuted_copy(g, seed)) == fp
+
+
+class TestCacheCompaction:
+    def _fill(self, path, keys, prefix="sv2:", pad=3000):
+        # lines are padded past ScheduleCache.COMPACT_MIN_BYTES so the
+        # auto-compaction thresholds are exercised with realistic sizes
+        cache = ScheduleCache(path, capacity=64)
+        for k in keys:
+            cache.put(f"{prefix}{k}", {"v": k, "pad": "x" * pad})
+        return cache
+
+    def test_dead_bytes_from_duplicates_are_reclaimed(self, tmp_path):
+        path = tmp_path / "schedules.jsonl"
+        self._fill(path, ["a", "b", "c"])
+        # simulate older generations: re-append newer lines for the same
+        # keys (an old server without the in-memory index did exactly this)
+        with open(path, "ab") as fh:
+            for k in ("a", "b", "c"):
+                fh.write(json.dumps(
+                    {"key": f"sv2:{k}", "entry": {"v": k + "2", "pad": "y" * 200}}
+                ).encode() + b"\n")
+        before = path.stat().st_size
+        cache = ScheduleCache(path, capacity=64)
+        # the last occurrence wins the index; earlier lines are dead
+        assert cache.dead_bytes() == 0  # auto-compacted on load (>50% dead)
+        assert cache.counters()["compactions"] == 1
+        assert path.stat().st_size < before
+        for k in ("a", "b", "c"):
+            entry, tier = cache.get(f"sv2:{k}")
+            assert entry["v"] == k + "2" and tier == "store"
+
+    def test_explicit_compact_shrinks_and_hits_resolve(self, tmp_path):
+        path = tmp_path / "schedules.jsonl"
+        self._fill(path, ["a", "b"])
+        with open(path, "ab") as fh:
+            fh.write(b'{"torn": \n')  # garbage lines are dead bytes
+            fh.write(b"not json at all\n" * 4)
+        cache = ScheduleCache(path, capacity=64)
+        dead = cache.dead_bytes()
+        assert dead > 0
+        before = path.stat().st_size
+        reclaimed = cache.compact()
+        assert reclaimed == dead
+        assert path.stat().st_size == before - reclaimed
+        assert cache.dead_bytes() == 0
+        assert cache.get("sv2:a")[0]["v"] == "a"
+        # a reload sees the compacted file
+        reopened = ScheduleCache(path, capacity=64)
+        assert reopened.get("sv2:b")[0]["v"] == "b"
+
+    def test_retain_drops_superseded_versions(self, tmp_path):
+        path = tmp_path / "schedules.jsonl"
+        cache = self._fill(path, ["old1", "old2", "old3"], prefix="sv1:")
+        cache.put("sv2:new", {"v": "new", "pad": "z" * 200})
+        before = path.stat().st_size
+        reopened = ScheduleCache(
+            path, capacity=64, retain=lambda k: k.startswith("sv2:")
+        )
+        # sv1 lines were never indexed -> dead -> auto-compacted away
+        assert reopened.counters()["compactions"] == 1
+        assert path.stat().st_size < before
+        assert reopened.get("sv2:new")[0]["v"] == "new"
+        assert reopened.get("sv1:old1") is None
+
+    def test_puts_after_compaction_land_at_correct_offsets(self, tmp_path):
+        path = tmp_path / "schedules.jsonl"
+        cache = self._fill(path, ["a", "b", "c", "d"])
+        with open(path, "ab") as fh:
+            fh.write(b"garbage\n" * 40)
+        cache = ScheduleCache(path, capacity=1)  # tiny LRU: force store reads
+        cache.compact()
+        cache.put("sv2:e", {"v": "e"})
+        for k in ("a", "b", "c", "d", "e"):
+            assert cache.get(f"sv2:{k}")[0]["v"] == k
+
+
+class TestQuantiles:
+    def test_interpolated_quantile_values(self):
+        from repro.service import quantile
+
+        xs = [10.0, 20.0, 30.0, 40.0]
+        assert quantile(xs, 0) == 10.0
+        assert quantile(xs, 100) == 40.0
+        assert quantile(xs, 50) == 25.0  # interpolates, unlike nearest rank
+        assert quantile(xs, 25) == pytest.approx(17.5)
+        assert quantile(list(range(1, 11)), 50) == 5.5
+        assert quantile([7.0], 99) == 7.0
+        with pytest.raises(ValueError):
+            quantile([], 50)
+        with pytest.raises(ValueError):
+            quantile(xs, 101)
+
+    def test_summary_uses_interpolated_quantiles(self):
+        from repro.service.loadgen import LoadgenReport
+
+        report = LoadgenReport(
+            requests=4, workers=1, pool=2, zipf=1.0, objective="makespan",
+            no_cache=False, elapsed=1.0,
+            latencies_ms=[10.0, 20.0, 30.0, 40.0],
+        )
+        assert report.summary()["p50_ms"] == 25.0
+        assert report.small_sample  # 4 < MIN_RELIABLE_SAMPLES
+        assert "warning" in report.table()
+        assert report.to_dict()["small_sample"] is True
+
+    def test_wire_bytes_reported(self, live_server):
+        report = run_loadgen(
+            port=live_server.port, requests=20, workers=2, pool=3,
+            scenario="fig10", seed=2,
+        )
+        assert report.bytes_sent > 0 and report.bytes_received > 0
+        assert report.wire_bytes_per_s > 0
+        doc = report.to_dict()
+        assert doc["bytes_sent"] == report.bytes_sent
+        assert doc["wire_bytes_per_s"] > 0
