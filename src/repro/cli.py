@@ -76,6 +76,21 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument(
         "--pacing", choices=["steady", "greedy"], default="steady"
     )
+    sim.add_argument(
+        "--policy", choices=["barrier", "pe", "dataflow"], default="barrier",
+        help="temporal multiplexing of the spatial blocks",
+    )
+    sim.add_argument(
+        "--engine", choices=["indexed", "reference"], default="indexed",
+        help="array-state engine (default) or the legacy process engine",
+    )
+    sim.add_argument(
+        "-o", "--output", help="write the simulated timeline JSON here"
+    )
+    sim.add_argument(
+        "--trace",
+        help="write a chrome://tracing JSON of the simulated execution here",
+    )
 
     prof = sub.add_parser(
         "profile", help="cProfile the end-to-end pipeline of a scenario"
@@ -186,6 +201,27 @@ def build_parser() -> argparse.ArgumentParser:
     req.add_argument("--host", default="127.0.0.1")
     req.add_argument("--port", type=int, default=DEFAULT_PORT)
     req.add_argument("-o", "--output", help="write the schedule JSON here")
+    req.add_argument(
+        "--simulate", action="store_true",
+        help="request a DES validation of the schedule instead of the "
+             "schedule itself (uses the first --schedulers entry)",
+    )
+    req.add_argument(
+        "--policy", choices=["barrier", "pe", "dataflow"], default="barrier",
+        help="block multiplexing policy (with --simulate)",
+    )
+    req.add_argument(
+        "--pacing", choices=["steady", "greedy"], default="steady",
+        help="task pacing (with --simulate)",
+    )
+    req.add_argument(
+        "--capacity", type=int, default=None,
+        help="override every FIFO capacity (with --simulate)",
+    )
+    req.add_argument(
+        "--engine", choices=["indexed", "reference"], default=None,
+        help="simulation engine (with --simulate; server default: indexed)",
+    )
 
     lg = sub.add_parser("loadgen", help="drive a running service with traffic")
     lg.add_argument("--requests", type=int, default=500)
@@ -196,6 +232,11 @@ def build_parser() -> argparse.ArgumentParser:
     lg.add_argument("--objective", choices=["makespan", "throughput", "buffer"],
                     default="makespan")
     lg.add_argument("--schedulers", default=None, help="comma-separated portfolio")
+    lg.add_argument(
+        "--simulate", action="store_true",
+        help="send simulate requests (DES validation) instead of schedule "
+             "requests; the first --schedulers entry is the simulated one",
+    )
     lg.add_argument("--num-pes", type=int, default=None, help="override PE counts")
     lg.add_argument("--no-cache", action="store_true",
                     help="send no_cache requests (forced recomputes)")
@@ -254,15 +295,31 @@ def _cmd_schedule(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
-    from .sim import simulate_schedule
+    from .sim import simulate_schedule, simulation_to_chrome_trace
+    from .sim import simulation_to_dict
 
     g = load_graph(args.graph)
     s = schedule_streaming(g, args.pes, args.scheduler)
     sim = simulate_schedule(
-        s, capacity_override=args.capacity, pacing=args.pacing
+        s, capacity_override=args.capacity, pacing=args.pacing,
+        policy=args.policy, engine=args.engine,
     )
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(simulation_to_dict(s, sim), fh, indent=1)
+        print(f"simulated timeline written to {args.output}")
+    if args.trace:
+        with open(args.trace, "w") as fh:
+            json.dump(simulation_to_chrome_trace(s, sim), fh)
+        print(f"trace written to {args.trace} (open in chrome://tracing)")
     if sim.deadlocked:
         print(f"DEADLOCK at t={sim.makespan}; blocked: {', '.join(sim.blocked[:5])}")
+        full = [
+            f"{name} ({occ}/{cap})"
+            for name, (occ, cap) in sorted(sim.full_channels().items())
+        ]
+        if full:
+            print(f"FIFOs at capacity: {', '.join(full[:8])}")
         return 1
     err = 100 * sim.relative_error(s.makespan)
     print(
@@ -484,16 +541,29 @@ def _cmd_request(args) -> int:
 
     with open(args.graph) as fh:
         graph_doc = json.load(fh)
+    schedulers = _parse_schedulers(args.schedulers)
     try:
         with ServiceClient(args.host, args.port) as client:
-            response = client.schedule(
-                graph_doc,
-                num_pes=args.pes,
-                objective=args.objective,
-                schedulers=_parse_schedulers(args.schedulers),
-                budget_ms=args.budget_ms,
-                no_cache=args.no_cache,
-            )
+            if args.simulate:
+                response = client.simulate(
+                    graph_doc,
+                    num_pes=args.pes,
+                    scheduler=schedulers[0] if schedulers else "lts",
+                    policy=args.policy,
+                    pacing=args.pacing,
+                    capacity=args.capacity,
+                    engine=args.engine,
+                    no_cache=args.no_cache,
+                )
+            else:
+                response = client.schedule(
+                    graph_doc,
+                    num_pes=args.pes,
+                    objective=args.objective,
+                    schedulers=schedulers,
+                    budget_ms=args.budget_ms,
+                    no_cache=args.no_cache,
+                )
     except OSError as exc:
         print(f"cannot reach service at {args.host}:{args.port}: {exc}",
               file=sys.stderr)
@@ -502,6 +572,8 @@ def _cmd_request(args) -> int:
         print(f"service error: {exc}", file=sys.stderr)
         return 1
     tier = response["cached"] or "computed"
+    if args.simulate:
+        return _print_simulate_response(args, response, tier)
     print(
         f"{response['winner']} wins {response['objective']} on {args.pes} PEs: "
         f"makespan {response['makespan']:,}, value {response['value']:.4f} "
@@ -522,6 +594,37 @@ def _cmd_request(args) -> int:
     return 0
 
 
+def _print_simulate_response(args, response: dict, tier: str) -> int:
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(response, fh, indent=1)
+        print(f"simulation response written to {args.output}")
+    head = (
+        f"{response['scheduler']} on {response['num_pes']} PEs "
+        f"[{response['policy']}/{response['pacing']}]"
+    )
+    if response["deadlocked"]:
+        print(
+            f"{head}: DEADLOCK at t={response['sim_makespan']:,} "
+            f"({tier}, {response['elapsed_ms']:.1f} ms, "
+            f"fingerprint {response['fingerprint'][:16]}…)"
+        )
+        for ch in response.get("full_channels", [])[:8]:
+            print(
+                f"  full FIFO {ch['channel']}: "
+                f"{ch['occupancy']}/{ch['capacity']}"
+            )
+        return 1
+    print(
+        f"{head}: simulated makespan {response['sim_makespan']:,} vs "
+        f"analytic {response['makespan']:,} "
+        f"(error {response['error_pct']:+.2f}%, {tier}, "
+        f"{response['elapsed_ms']:.1f} ms, "
+        f"fingerprint {response['fingerprint'][:16]}…)"
+    )
+    return 0
+
+
 def _cmd_loadgen(args) -> int:
     from .service import run_loadgen
 
@@ -539,6 +642,7 @@ def _cmd_loadgen(args) -> int:
             num_pes=args.num_pes,
             no_cache=args.no_cache,
             seed=args.seed,
+            op="simulate" if args.simulate else "schedule",
         )
     except OSError as exc:
         print(

@@ -88,6 +88,7 @@ from .fingerprint import (
     fingerprint_graph_doc,
     graph_fingerprint,
     request_key,
+    simulate_request_key,
 )
 from .loadgen import (
     MIN_RELIABLE_SAMPLES,
@@ -107,7 +108,12 @@ from .portfolio import (
     run_portfolio,
     scheduler_names,
 )
-from .server import DEFAULT_PORT, ScheduleServer, ScheduleService
+from .server import (
+    DEFAULT_PORT,
+    SIM_SCHEDULERS,
+    ScheduleServer,
+    ScheduleService,
+)
 
 __all__ = [
     "DEFAULT_PORT",
@@ -135,4 +141,6 @@ __all__ = [
     "run_loadgen",
     "run_portfolio",
     "scheduler_names",
+    "SIM_SCHEDULERS",
+    "simulate_request_key",
 ]

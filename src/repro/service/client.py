@@ -107,6 +107,39 @@ class ServiceClient:
             doc["no_cache"] = True
         return self.request(doc)
 
+    def simulate(
+        self,
+        graph: CanonicalGraph | Mapping,
+        num_pes: int,
+        scheduler: str = "lts",
+        policy: str = "barrier",
+        pacing: str = "steady",
+        capacity: int | None = None,
+        engine: str | None = None,
+        no_cache: bool = False,
+    ) -> dict:
+        """Schedule ``graph`` with one streaming scheduler and execute
+        the result under the cycle-accurate DES substrate; the response
+        reports simulated vs analytic makespan and, on a deadlock, the
+        blocked tasks and full channels."""
+        doc: dict = {
+            "op": "simulate",
+            "graph": graph_to_dict(graph)
+            if isinstance(graph, CanonicalGraph)
+            else dict(graph),
+            "num_pes": num_pes,
+            "scheduler": scheduler,
+            "policy": policy,
+            "pacing": pacing,
+        }
+        if capacity is not None:
+            doc["capacity"] = capacity
+        if engine is not None:
+            doc["engine"] = engine
+        if no_cache:
+            doc["no_cache"] = True
+        return self.request(doc)
+
     def ping(self) -> dict:
         return self.request({"op": "ping"})
 

@@ -23,6 +23,7 @@ __all__ = [
     "SCHEDULE_KEY_VERSION",
     "graph_fingerprint",
     "request_key",
+    "simulate_request_key",
     "fingerprint_graph_doc",
     "doc_digest",
 ]
@@ -87,4 +88,28 @@ def request_key(
     return (
         f"{SCHEDULE_KEY_VERSION}:{fingerprint}"
         f":p{num_pes}:{objective}:{'+'.join(schedulers)}"
+    )
+
+
+def simulate_request_key(
+    fingerprint: str,
+    num_pes: int,
+    scheduler: str,
+    policy: str,
+    pacing: str,
+    capacity: int | None,
+) -> str:
+    """Cache / coalescing key of one ``simulate`` request.
+
+    Same shape and version tag as :func:`request_key` with a ``sim``
+    marker, so schedule and simulation entries share the sv-versioned
+    cache without ever colliding.  The simulation *engine* is
+    deliberately absent: both engines are semantically identical
+    (golden-tested), so their results are interchangeable cache-wise.
+    ``capacity`` is the FIFO override (``c0`` = the schedule's own
+    Section 6 sizes).
+    """
+    return (
+        f"{SCHEDULE_KEY_VERSION}:{fingerprint}:p{num_pes}"
+        f":sim:{scheduler}:{policy}:{pacing}:c{capacity or 0}"
     )

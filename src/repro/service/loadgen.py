@@ -202,6 +202,7 @@ def build_request_pool(
     objective: str = "makespan",
     schedulers: Sequence[str] | None = None,
     no_cache: bool = False,
+    op: str = "schedule",
 ) -> list[bytes]:
     """Distinct schedule requests, pre-encoded as JSON lines.
 
@@ -211,7 +212,13 @@ def build_request_pool(
     four topologies at all four PE counts instead of 16 seeds of the
     first combination.  Only random-graph scenarios are supported (the
     ML builder topologies of ``table2`` have no seed dimension).
+
+    ``op="simulate"`` builds DES-validation requests instead: the
+    first entry of ``schedulers`` (default ``lts``) is the simulated
+    streaming scheduler and ``objective`` is ignored.
     """
+    if op not in ("schedule", "simulate"):
+        raise ValueError(f"unknown request op {op!r}")
     cells = get_scenario(scenario).cells(num_graphs=max(1, pool))
     groups: dict[tuple[str, int], list[tuple[str, int, int, int]]] = {}
     seen: set[tuple[str, int, int, int]] = set()
@@ -236,13 +243,16 @@ def build_request_pool(
     for topology, size, graph_seed, pes in combos:
         graph = random_canonical_graph(topology, size, seed=graph_seed)
         doc: dict = {
-            "op": "schedule",
+            "op": op,
             "graph": graph_to_dict(graph),
             "num_pes": num_pes or pes or len(graph),
-            "objective": objective,
         }
-        if schedulers:
-            doc["schedulers"] = list(schedulers)
+        if op == "simulate":
+            doc["scheduler"] = schedulers[0] if schedulers else "lts"
+        else:
+            doc["objective"] = objective
+            if schedulers:
+                doc["schedulers"] = list(schedulers)
         if no_cache:
             doc["no_cache"] = True
         lines.append(json.dumps(doc).encode() + b"\n")
@@ -270,14 +280,19 @@ def run_loadgen(
     num_pes: int | None = None,
     no_cache: bool = False,
     seed: int = 0,
+    op: str = "schedule",
 ) -> LoadgenReport:
-    """Drive a live service and measure latency + throughput."""
+    """Drive a live service and measure latency + throughput.
+
+    ``op="simulate"`` drives the DES-validation endpoint instead of the
+    scheduling one (same pool construction, Zipf replay and report).
+    """
     if requests < 1:
         raise ValueError("need at least one request")
     workers = max(1, min(workers, requests))
     lines = build_request_pool(
         scenario=scenario, pool=pool, num_pes=num_pes, objective=objective,
-        schedulers=schedulers, no_cache=no_cache,
+        schedulers=schedulers, no_cache=no_cache, op=op,
     )
     sequence = zipf_sequence(len(lines), requests, zipf, seed)
     shards = [sequence[w::workers] for w in range(workers)]

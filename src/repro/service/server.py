@@ -61,11 +61,26 @@ specification)::
     {"op": "schedule", "graph": <graph doc>, "num_pes": 8,
      "objective": "makespan", "schedulers": ["rlx", "nstr"],
      "budget_ms": 250, "no_cache": false}
+    {"op": "simulate", "graph": <graph doc>, "num_pes": 8,
+     "scheduler": "lts", "policy": "barrier", "pacing": "steady",
+     "capacity": null, "engine": "indexed", "no_cache": false}
 
 Every response carries ``"ok"``; schedule responses add the graph
 fingerprint, the cache tier that served it (``false`` on a cold
 compute, ``"lru"``/``"store"``/``"inflight"`` otherwise), the winning
 scheduler, per-candidate metrics and the full schedule document.
+
+``simulate`` executes one streaming scheduler's schedule under the
+cycle-accurate DES substrate (:mod:`repro.sim`) and reports the
+simulated vs analytic makespan, the relative error and — on a deadlock
+(undersized FIFOs, Figure 9) — the blocked tasks and the full
+channels.  Simulation requests are fingerprint-keyed exactly like
+schedules (:func:`~repro.service.fingerprint.simulate_request_key`,
+same sv-versioned cache, same single-flight coalescing) and the
+simulation itself runs under the same worker semaphore as scheduling
+computation.  Because the diagnostics name the submitter's nodes,
+cross-document hits from renamed isomorphic copies recompute instead
+of remapping.
 """
 
 from __future__ import annotations
@@ -84,7 +99,12 @@ from ..core.graph import find_isomorphism
 from ..core.ingest import ingest_graph_doc
 from ..core.serialize import _name_from_json, _name_to_json, graph_from_dict
 from .cache import ScheduleCache
-from .fingerprint import doc_digest, fingerprint_graph_doc, request_key
+from .fingerprint import (
+    doc_digest,
+    fingerprint_graph_doc,
+    request_key,
+    simulate_request_key,
+)
 from .portfolio import (
     DEFAULT_SCHEDULERS,
     OBJECTIVES,
@@ -93,9 +113,16 @@ from .portfolio import (
     scheduler_names,
 )
 
-__all__ = ["ScheduleService", "ScheduleServer", "DEFAULT_PORT"]
+__all__ = ["ScheduleService", "ScheduleServer", "DEFAULT_PORT", "SIM_SCHEDULERS"]
 
 DEFAULT_PORT = 7421
+
+#: schedulers whose output the DES substrate can execute (streaming
+#: variants only: list schedules carry no blocks/FIFOs to simulate)
+SIM_SCHEDULERS = ("lts", "rlx", "work")
+
+_SIM_POLICIES = ("barrier", "pe", "dataflow")
+_SIM_PACINGS = ("steady", "greedy")
 
 _SHUTDOWN_REFUSED = (
     "shutdown refused: not a loopback peer "
@@ -163,6 +190,7 @@ class ScheduleService:
         self.started = time.time()
         self.served = 0
         self.computed = 0
+        self.simulated = 0
         self.coalesced = 0
         self.remapped = 0
         self.fastpath = 0
@@ -222,6 +250,8 @@ class ScheduleService:
                 return {"ok": True, "op": "shutdown"}
             if op == "schedule":
                 return self._schedule(doc, slots, digest_hint)
+            if op == "simulate":
+                return self._simulate(doc, slots, digest_hint)
             return self._error(f"unknown op {op!r}")
         except Exception as exc:  # a bad request must never kill a worker
             return self._error(str(exc) or type(exc).__name__)
@@ -433,6 +463,7 @@ class ScheduleService:
             "uptime_s": round(time.time() - self.started, 3),
             "served": self.served,
             "computed": self.computed,
+            "simulated": self.simulated,
             "coalesced": self.coalesced,
             "remapped": self.remapped,
             "fastpath": self.fastpath,
@@ -440,6 +471,7 @@ class ScheduleService:
             "ingest": self.use_ingest,
             "validate_graphs": self.validate_graphs,
             "schedulers": scheduler_names(),
+            "sim_schedulers": list(SIM_SCHEDULERS),
             "objectives": list(OBJECTIVES),
             "portfolio_workers": (
                 self.portfolio_pool.workers if self.portfolio_pool else 0
@@ -546,17 +578,87 @@ class ScheduleService:
 
         graph, fp, digest = self._fingerprint(graph_doc, digest_hint)
         key = request_key(fp, num_pes, objective, schedulers)
+
         def compute() -> dict:
             return self._compute(
                 slots, graph, graph_doc, digest, fp, key, num_pes,
                 objective, schedulers, budget_ms,
             )
 
+        def adapt(entry: dict) -> dict | None:
+            return self._adapt(entry, digest, graph, graph_doc)
+
+        return self._serve_keyed(key, no_cache, compute, adapt, t0)
+
+    def _simulate(self, doc: dict, slots, digest_hint: str | None = None) -> dict:
+        t0 = time.perf_counter()
+        graph_doc = doc["graph"]
+        num_pes = int(doc["num_pes"])
+        scheduler = doc.get("scheduler", "lts")
+        policy = doc.get("policy", "barrier")
+        pacing = doc.get("pacing", "steady")
+        capacity = doc.get("capacity")
+        engine = doc.get("engine", "indexed")
+        no_cache = bool(doc.get("no_cache", False))
+        if scheduler not in SIM_SCHEDULERS:
+            return self._error(
+                f"cannot simulate scheduler {scheduler!r} "
+                f"(streaming variants only: {', '.join(SIM_SCHEDULERS)})"
+            )
+        if policy not in _SIM_POLICIES:
+            return self._error(
+                f"unknown block policy {policy!r} "
+                f"(known: {', '.join(_SIM_POLICIES)})"
+            )
+        if pacing not in _SIM_PACINGS:
+            return self._error(
+                f"unknown pacing {pacing!r} (known: {', '.join(_SIM_PACINGS)})"
+            )
+        from ..sim import SIM_ENGINES
+
+        if engine not in SIM_ENGINES:
+            return self._error(
+                f"unknown simulation engine {engine!r} "
+                f"(known: {', '.join(SIM_ENGINES)})"
+            )
+        if capacity is not None:
+            capacity = int(capacity)
+            if capacity < 1:
+                return self._error("FIFO capacity must be at least 1")
+
+        graph, fp, digest = self._fingerprint(graph_doc, digest_hint)
+        key = simulate_request_key(fp, num_pes, scheduler, policy, pacing,
+                                   capacity)
+
+        def compute() -> dict:
+            return self._compute_sim(
+                slots, graph, graph_doc, digest, fp, key, num_pes,
+                scheduler, policy, pacing, capacity, engine,
+            )
+
+        def adapt(entry: dict) -> dict | None:
+            # simulation diagnostics (blocked sets, channel names) name
+            # the original submitter's nodes and, unlike schedules, have
+            # no witness remap — a cross-document hit from a renamed
+            # isomorphic copy recomputes instead of answering wrongly
+            return entry if entry.get("graph_digest") == digest else None
+
+        return self._serve_keyed(key, no_cache, compute, adapt, t0)
+
+    def _serve_keyed(self, key: str, no_cache: bool, compute, adapt,
+                     t0: float) -> dict:
+        """Cache + single-flight serving discipline shared by the
+        ``schedule`` and ``simulate`` ops.
+
+        ``compute()`` produces (and caches) a fresh entry; ``adapt``
+        makes a cached or coalesced entry answer *this* request, or
+        returns ``None`` to force a recompute.
+        """
         if not no_cache and self.cache is not None:
             hit = self.cache.get(key)
             if hit is not None:
                 entry, tier = hit
-                served = self._adapt(entry, digest, graph, graph_doc)
+                served = adapt(entry)
                 if served is not None:
                     return self._respond(served, tier, t0)
                 return self._respond(compute(), False, t0)
@@ -580,7 +682,7 @@ class ScheduleService:
             response = flight.response
             if response is None or not response.get("ok", False):
                 return self._error("coalesced computation failed")
-            served = self._adapt(response, digest, graph, graph_doc)
+            served = adapt(response)
             if served is None:
                 return self._respond(compute(), False, t0)
             return self._respond(served, "inflight", t0)
@@ -596,7 +698,7 @@ class ScheduleService:
                 with self._lock:
                     self._inflight.pop(key, None)
                 flight.event.set()
-                served = self._adapt(entry, digest, graph, graph_doc)
+                served = adapt(entry)
                 if served is not None:
                     return self._respond(served, tier, t0)
                 return self._respond(compute(), False, t0)
@@ -651,6 +753,75 @@ class ScheduleService:
             self.computed += 1
         # a budget-truncated race is not reproducible: never cache it
         if self.cache is not None and not result.truncated:
+            self.cache.put(key, entry)
+        return entry
+
+    def _compute_sim(
+        self, slots, graph, graph_doc, digest, fp, key, num_pes,
+        scheduler, policy, pacing, capacity, engine,
+    ) -> dict:
+        from ..core import schedule_streaming
+        from ..sim import DeadlockError, simulate_schedule
+
+        with slots:  # schedule + simulate both run under a work slot
+            if graph is None:  # fingerprint came from the memo
+                graph = self._parse_graph(graph_doc, digest=digest)
+            schedule = schedule_streaming(graph, num_pes, scheduler)
+            try:
+                sim = simulate_schedule(
+                    schedule, policy=policy, pacing=pacing,
+                    capacity_override=capacity, engine=engine,
+                    raise_on_deadlock=True,
+                )
+                deadlocked = False
+                sim_makespan = sim.makespan
+                blocked: list[str] = []
+                channels = len(sim.channel_stats)
+                full: dict[str, tuple[int, int]] = {}
+            except DeadlockError as exc:
+                deadlocked = True
+                sim_makespan = exc.time
+                blocked = exc.blocked
+                channels = len(exc.channels)
+                full = exc.full_channels()
+        error_pct = None
+        if not deadlocked and sim_makespan > 0:
+            error_pct = round(
+                100.0 * (schedule.makespan - sim_makespan) / sim_makespan, 4
+            )
+        entry = {
+            "ok": True,
+            "op": "simulate",
+            "fingerprint": fp,
+            "key": key,
+            # digest only — unlike schedule entries there is no witness
+            # remap to feed (cross-document hits recompute), so storing
+            # the whole graph document would bloat both cache tiers for
+            # zero reads
+            "graph_digest": digest,
+            "num_pes": num_pes,
+            "scheduler": scheduler,
+            "policy": policy,
+            "pacing": pacing,
+            "capacity": capacity,
+            "engine": engine,
+            "makespan": schedule.makespan,
+            "sim_makespan": sim_makespan,
+            "error_pct": error_pct,
+            "deadlocked": deadlocked,
+            "blocked": list(blocked),
+            "fifo_total": int(sum(schedule.buffer_sizes.values())),
+            "channels": channels,
+            # Figure 9 diagnosability over the wire: the channels at
+            # capacity at deadlock time (empty on a clean run)
+            "full_channels": [
+                {"channel": name, "occupancy": occ, "capacity": cap}
+                for name, (occ, cap) in full.items()
+            ],
+        }
+        with self._lock:
+            self.simulated += 1
+        if self.cache is not None:
             self.cache.put(key, entry)
         return entry
 

@@ -1,12 +1,27 @@
 """Discrete-event simulation substrate (Appendix B validation).
 
-A from-scratch, simpy-like process/event engine plus the dataflow task
-processes needed to execute a streaming schedule cycle-accurately.
+Two engines with identical execution semantics behind one front door
+(:func:`simulate_schedule`):
+
+* :mod:`repro.sim.indexed` — the default array-state engine: flat
+  integer task/channel state over the frozen
+  :class:`~repro.core.indexed.IndexedGraph`, timestamp-dataflow
+  evaluation, no generators and no per-element events;
+* :mod:`repro.sim.reference` — the original simpy-like process engine
+  (:mod:`repro.sim.engine` + :mod:`repro.sim.channel`), kept as the
+  readable specification and the differential-testing oracle.
+
+:mod:`repro.sim.trace` exports simulated timelines in the same JSON /
+Chrome-trace schemas the analytic schedule serializers use.
 """
 
 from .channel import FifoChannel, MemoryStream
 from .engine import DeadlockError, Environment, Event, Process, SimulationError
-from .runner import BlockPolicy, SimulationResult, simulate_schedule
+from .indexed import simulate_schedule_indexed
+from .reference import simulate_schedule_reference
+from .result import BlockPolicy, SimulationResult
+from .runner import SIM_ENGINES, simulate_schedule
+from .trace import simulation_to_chrome_trace, simulation_to_dict
 
 __all__ = [
     "BlockPolicy",
@@ -16,7 +31,12 @@ __all__ = [
     "FifoChannel",
     "MemoryStream",
     "Process",
+    "SIM_ENGINES",
     "SimulationError",
     "SimulationResult",
     "simulate_schedule",
+    "simulate_schedule_indexed",
+    "simulate_schedule_reference",
+    "simulation_to_chrome_trace",
+    "simulation_to_dict",
 ]

@@ -1,0 +1,102 @@
+"""Durable artifacts of a simulated execution.
+
+``repro schedule`` exports the *analytic* timeline (``--output`` /
+``--trace``); this module gives ``repro simulate`` the same parity for
+the *simulated* timeline: a versioned JSON summary and a Chrome
+trace-event document in exactly the schema of
+:func:`repro.core.serialize.schedule_to_chrome_trace` — one complete
+("X") slice per task on its PE row, block-categorized — so analytic and
+simulated traces load side by side in chrome://tracing / Perfetto.
+"""
+
+from __future__ import annotations
+
+from ..core.serialize import FORMAT_VERSION, _name_to_json
+from .result import SimulationResult
+
+__all__ = ["simulation_to_dict", "simulation_to_chrome_trace"]
+
+
+def simulation_to_dict(schedule, sim: SimulationResult) -> dict:
+    """Versioned JSON summary of one simulated execution.
+
+    Mirrors the ``streaming-schedule`` document layout: per-task rows
+    carry the simulated ``start``/``finish`` next to the analytic
+    ``st``/``lo``; channels report capacity and observed peak occupancy.
+    Tasks that never ran (gated behind a deadlock) have ``null`` times.
+    """
+    times = schedule.times
+    return {
+        "format": "streaming-simulation",
+        "version": FORMAT_VERSION,
+        "num_pes": schedule.num_pes,
+        "variant": schedule.partition.variant,
+        "analytic_makespan": schedule.makespan,
+        "makespan": sim.makespan,
+        "deadlocked": sim.deadlocked,
+        "blocked": list(sim.blocked),
+        "tasks": [
+            {
+                "name": _name_to_json(v),
+                "block": schedule.block_of(v),
+                "pe": schedule.pe_of[v],
+                "start": sim.start_times.get(v),
+                "finish": sim.finish_times.get(v),
+                "st": times[v].st,
+                "lo": times[v].lo,
+            }
+            for v in schedule.graph.computational_nodes()
+        ],
+        "channels": [
+            {
+                "src": _name_to_json(u),
+                "dst": _name_to_json(v),
+                "capacity": cap,
+                "max_occupancy": occ,
+            }
+            for (u, v), (cap, occ) in sim.channel_stats.items()
+        ],
+        # the FIFOs at capacity at deadlock time (empty on a clean run)
+        "full_channels": [
+            {"channel": name, "occupancy": occ, "capacity": cap}
+            for name, (occ, cap) in sorted(sim.full_channels().items())
+        ],
+    }
+
+
+def simulation_to_chrome_trace(schedule, sim: SimulationResult) -> list[dict]:
+    """Chrome trace-event JSON of the simulated timeline.
+
+    Same schema as the analytic
+    :func:`~repro.core.serialize.schedule_to_chrome_trace`: one "X"
+    slice per executed task on its PE row, categorized by block, with
+    the analytic ``st``/``lo`` in ``args`` for visual comparison.  On a
+    deadlock, tasks that started but never finished are emitted as
+    slices ending at the deadlock instant with ``"deadlocked": true``.
+    """
+    events: list[dict] = []
+    for v in schedule.graph.computational_nodes():
+        start = sim.start_times.get(v)
+        if start is None:
+            continue  # never ran (e.g. gated behind the deadlock)
+        finish = sim.finish_times.get(v)
+        t = schedule.times[v]
+        args = {"st": t.st, "lo": t.lo}
+        if finish is None:
+            finish = sim.makespan
+            args["deadlocked"] = True
+        else:
+            args["finish"] = finish
+        events.append(
+            {
+                "name": str(v),
+                "cat": f"block{schedule.block_of(v)}",
+                "ph": "X",
+                "ts": start,
+                "dur": max(1, finish - start),
+                "pid": 0,
+                "tid": schedule.pe_of[v],
+                "args": args,
+            }
+        )
+    return events

@@ -57,6 +57,31 @@ class TestSimulate:
     def test_simulate_greedy_pacing(self, graph_file):
         assert main(["simulate", str(graph_file), "-p", "8", "--pacing", "greedy"]) == 0
 
+    def test_simulate_engines_agree(self, graph_file, capsys):
+        assert main(["simulate", str(graph_file), "-p", "8",
+                     "--engine", "indexed"]) == 0
+        indexed_out = capsys.readouterr().out
+        assert main(["simulate", str(graph_file), "-p", "8",
+                     "--engine", "reference"]) == 0
+        assert capsys.readouterr().out == indexed_out
+
+    def test_simulate_policy_flag(self, graph_file):
+        for policy in ("barrier", "pe", "dataflow"):
+            assert main(["simulate", str(graph_file), "-p", "8",
+                         "--policy", policy]) == 0
+
+    def test_simulate_output_and_trace(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "sim.json"
+        trace = tmp_path / "sim_trace.json"
+        assert main(["simulate", str(graph_file), "-p", "8",
+                     "-o", str(out), "--trace", str(trace)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["format"] == "streaming-simulation"
+        assert doc["makespan"] > 0 and not doc["deadlocked"]
+        events = json.loads(trace.read_text())
+        assert events and all(ev["ph"] == "X" for ev in events)
+        assert "written to" in capsys.readouterr().out
+
 
 class TestParser:
     def test_requires_command(self):

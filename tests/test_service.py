@@ -431,6 +431,127 @@ class TestScheduleService:
             portfolio_mod._SCHEDULERS.pop("slowtest", None)
 
 
+class TestSimulateOp:
+    """The DES-validation endpoint: fingerprint-keyed like schedule."""
+
+    def setup_method(self):
+        self.service = ScheduleService(cache=ScheduleCache(None, capacity=16))
+        self.graph = random_canonical_graph("fft", 8, seed=1)
+        self.doc = {
+            "op": "simulate",
+            "graph": graph_to_dict(self.graph),
+            "num_pes": 8,
+        }
+
+    def test_cold_then_cached(self):
+        cold = self.service.handle(dict(self.doc))
+        warm = self.service.handle(dict(self.doc))
+        assert cold["ok"] and cold["op"] == "simulate"
+        assert cold["cached"] is False and warm["cached"] == "lru"
+        assert cold["sim_makespan"] == warm["sim_makespan"]
+        assert cold["makespan"] > 0 and not cold["deadlocked"]
+        assert cold["error_pct"] is not None
+        assert self.service.simulated == 1  # one DES execution only
+
+    def test_key_is_sim_tagged_and_distinct_from_schedule(self):
+        sim = self.service.handle(dict(self.doc))
+        sched = self.service.handle({**self.doc, "op": "schedule"})
+        assert ":sim:" in sim["key"]
+        assert sim["key"] != sched["key"]
+        assert sim["key"].startswith(f"{SCHEDULE_KEY_VERSION}:")
+        # the schedule request must not have been served from the
+        # simulation entry or vice versa
+        assert sched["cached"] is False
+
+    def test_params_change_the_key(self):
+        base = self.service.handle(dict(self.doc))
+        for extra in ({"policy": "pe"}, {"pacing": "greedy"},
+                      {"capacity": 4}, {"scheduler": "rlx"}):
+            other = self.service.handle({**self.doc, **extra})
+            assert other["key"] != base["key"], extra
+            assert other["cached"] is False
+
+    def test_engine_not_in_key_results_interchangeable(self):
+        indexed = self.service.handle(dict(self.doc))
+        reference = self.service.handle({**self.doc, "engine": "reference"})
+        assert reference["cached"] == "lru"  # same key: engines agree
+        assert reference["sim_makespan"] == indexed["sim_makespan"]
+
+    def test_no_cache_forces_a_fresh_simulation(self):
+        self.service.handle(dict(self.doc))
+        forced = self.service.handle({**self.doc, "no_cache": True})
+        assert forced["cached"] is False
+        assert self.service.simulated == 2
+
+    def test_renamed_isomorphic_copy_recomputes(self):
+        first = self.service.handle(dict(self.doc))
+        renamed = self.service.handle({
+            "op": "simulate",
+            "graph": graph_to_dict(relabel(self.graph)),
+            "num_pes": 8,
+        })
+        # same fingerprint/key, but blocked/channel diagnostics name
+        # nodes, so a cross-document hit recomputes instead of remapping
+        assert renamed["key"] == first["key"]
+        assert renamed["cached"] is False
+        assert renamed["sim_makespan"] == first["sim_makespan"]
+        assert self.service.simulated == 2
+
+    def test_deadlock_reported_with_full_channels(self, fig9_graph1):
+        response = self.service.handle({
+            "op": "simulate",
+            "graph": graph_to_dict(fig9_graph1),
+            "num_pes": 8,
+            "capacity": 1,
+        })
+        assert response["ok"] and response["deadlocked"]
+        assert response["blocked"]
+        assert response["full_channels"]
+        for ch in response["full_channels"]:
+            assert ch["occupancy"] == ch["capacity"] == 1
+        assert response["error_pct"] is None
+
+    def test_persisted_entries_survive_restart(self, tmp_path):
+        path = tmp_path / "schedules.jsonl"
+        first = ScheduleService(cache=ScheduleCache(path, capacity=8))
+        cold = first.handle(dict(self.doc))
+        reopened = ScheduleService(cache=ScheduleCache(path, capacity=8))
+        warm = reopened.handle(dict(self.doc))
+        assert warm["cached"] == "store"
+        assert warm["sim_makespan"] == cold["sim_makespan"]
+        assert reopened.simulated == 0
+
+    def test_invalid_parameters_rejected(self):
+        for bad in ({"scheduler": "nstr"}, {"scheduler": "heft"},
+                    {"policy": "x"}, {"pacing": "x"},
+                    {"engine": "x"}, {"capacity": 0}):
+            response = self.service.handle({**self.doc, **bad})
+            assert not response["ok"], bad
+
+    def test_simulate_coalesces_identical_requests(self):
+        n = 4
+        barrier = threading.Barrier(n)
+        responses = []
+        lock = threading.Lock()
+
+        def fire():
+            barrier.wait()
+            response = self.service.handle(dict(self.doc))
+            with lock:
+                responses.append(response)
+
+        threads = [threading.Thread(target=fire) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(r["ok"] for r in responses)
+        assert self.service.simulated == 1
+        assert {r["sim_makespan"] for r in responses} == {
+            responses[0]["sim_makespan"]
+        }
+
+
 @pytest.fixture
 def live_server():
     service = ScheduleService(cache=ScheduleCache(None, capacity=64))
@@ -448,11 +569,36 @@ class TestServerClient:
             assert first["cached"] is False and second["cached"] == "lru"
             assert client.stats()["served"] == 2
 
+    def test_simulate_roundtrip(self, live_server):
+        g = random_canonical_graph("fft", 8, seed=2)
+        with ServiceClient(port=live_server.port) as client:
+            first = client.simulate(g, 8)
+            second = client.simulate(g, 8)
+            assert first["ok"] and first["op"] == "simulate"
+            assert first["cached"] is False and second["cached"] == "lru"
+            assert first["sim_makespan"] == second["sim_makespan"]
+            assert "graph" not in first  # the requester already has it
+            stats = client.stats()
+            assert stats["simulated"] == 1
+            assert stats["sim_schedulers"] == ["lts", "rlx", "work"]
+
+    def test_simulate_engines_agree_over_the_wire(self, live_server):
+        g = random_canonical_graph("gaussian", 8, seed=1)
+        with ServiceClient(port=live_server.port) as client:
+            indexed = client.simulate(g, 8, engine="indexed")
+            reference = client.simulate(g, 8, engine="reference",
+                                        no_cache=True)
+            assert indexed["sim_makespan"] == reference["sim_makespan"]
+            assert indexed["error_pct"] == reference["error_pct"]
+
     def test_service_error_raised_for_bad_request(self, live_server):
         with ServiceClient(port=live_server.port) as client:
             with pytest.raises(ServiceError):
                 g = random_canonical_graph("chain", 4, seed=0)
                 client.schedule(g, 4, schedulers=["bogus"])
+            with pytest.raises(ServiceError):
+                g = random_canonical_graph("chain", 4, seed=0)
+                client.simulate(g, 4, scheduler="nstr")
 
     def test_malformed_line_gets_error_response(self, live_server):
         with ServiceClient(port=live_server.port) as client:
@@ -539,6 +685,23 @@ class TestLoadgen:
         assert report.summary()["p50_ms"] > 0
         assert "req/s" in report.table()
 
+    def test_simulate_pool_builds_simulate_lines(self):
+        lines = build_request_pool(scenario="fig10", pool=4, op="simulate")
+        docs = [json.loads(line) for line in lines]
+        assert all(d["op"] == "simulate" for d in docs)
+        assert all(d["scheduler"] == "lts" for d in docs)
+        assert all("objective" not in d for d in docs)
+        with pytest.raises(ValueError, match="unknown request op"):
+            build_request_pool(op="teleport")
+
+    def test_loadgen_simulate_against_live_server(self, live_server):
+        report = run_loadgen(
+            port=live_server.port, requests=12, workers=2, pool=3,
+            scenario="fig10", seed=1, op="simulate",
+        )
+        assert report.requests == 12 and report.errors == 0
+        assert report.hit_rate > 0.5  # Zipf replay hits the sim cache
+
     def test_loadgen_fails_fast_without_server(self):
         with pytest.raises(OSError):
             run_loadgen(port=1, requests=2, workers=1, pool=2)
@@ -578,6 +741,31 @@ class TestServiceCli:
         report = json.loads(json_out.read_text())
         assert report["requests"] == 20 and report["errors"] == 0
         assert csv_out.read_text().startswith("index,latency_ms")
+
+    def test_request_simulate_cli(self, live_server, tmp_path, capsys):
+        graph_path = tmp_path / "g.json"
+        save_graph(random_canonical_graph("fft", 8, seed=0), str(graph_path))
+        out_path = tmp_path / "sim.json"
+        rc = main([
+            "request", str(graph_path), "-p", "8", "--simulate",
+            "--schedulers", "rlx", "--port", str(live_server.port),
+            "-o", str(out_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "simulated makespan" in out
+        response = json.loads(out_path.read_text())
+        assert response["op"] == "simulate"
+        assert response["scheduler"] == "rlx"
+        assert response["sim_makespan"] > 0
+
+    def test_loadgen_simulate_cli(self, live_server, capsys):
+        rc = main([
+            "loadgen", "--requests", "8", "--workers", "2", "--pool", "2",
+            "--simulate", "--port", str(live_server.port),
+        ])
+        assert rc == 0
+        assert "req/s" in capsys.readouterr().out
 
     def test_request_cli_unreachable_service(self, tmp_path, capsys):
         graph_path = tmp_path / "g.json"
