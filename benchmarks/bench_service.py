@@ -20,6 +20,12 @@ cold runs, and writes ``BENCH_service.json`` with both reports, the
 resulting speedup and (with ``--baseline``) the req/s and latency
 improvements against the committed pre-ingest baseline
 (``benchmarks/baselines/service_smoke.json``).
+
+``--telemetry-gate R`` additionally replays the ``fig10`` cache-hit
+workload with telemetry enabled and disabled and fails when the
+off/on throughput ratio exceeds ``R`` (the instrumentation overhead
+budget); ``--artifacts DIR`` dumps each profile's Prometheus metrics
+exposition and chrome-trace span file for CI upload.
 """
 
 from __future__ import annotations
@@ -36,6 +42,7 @@ if str(ROOT / "src") not in sys.path:
 
 from repro import __version__
 from repro.core.tabulate import format_table
+from repro.obs import Telemetry
 from repro.service import (
     ScheduleCache,
     ScheduleServer,
@@ -77,11 +84,13 @@ def check_byte_identity(port: int, scenario: str, pool: int,
     return True
 
 
-def run_profile(name: str, smoke: bool, seed: int = 0) -> dict:
+def run_profile(name: str, smoke: bool, seed: int = 0,
+                telemetry: bool = True,
+                artifacts_dir: str | None = None) -> dict:
     p = PROFILES[name]
     idx = 0 if smoke else 1
     cache = ScheduleCache(None, capacity=4096)  # memory-only: no disk noise
-    service = ScheduleService(cache=cache)
+    service = ScheduleService(cache=cache, telemetry=Telemetry(enabled=telemetry))
     with ScheduleServer(service, port=0, workers=p["workers"]) as server:
         common = dict(
             port=server.port, workers=p["workers"], pool=p["pool"],
@@ -97,6 +106,15 @@ def run_profile(name: str, smoke: bool, seed: int = 0) -> dict:
         identical = check_byte_identity(
             server.port, p["scenario"], p["pool"], p["num_pes"]
         )
+        if artifacts_dir:
+            out = Path(artifacts_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            (out / f"metrics_{name}.prom").write_text(
+                service.telemetry.registry.render()
+            )
+            (out / f"spans_{name}.trace.json").write_text(
+                json.dumps(service.telemetry.chrome_trace(), indent=1) + "\n"
+            )
     speedup = (
         cached.throughput_rps / no_cache.throughput_rps
         if no_cache.throughput_rps
@@ -104,11 +122,56 @@ def run_profile(name: str, smoke: bool, seed: int = 0) -> dict:
     )
     return {
         "profile": name,
+        "telemetry": telemetry,
         "cached": cached.to_dict(),
         "no_cache": no_cache.to_dict(),
         "cache_speedup": round(speedup, 2),
         "byte_identical": identical,
         "fastpath_served": service.fastpath,
+    }
+
+
+def _cached_rps(telemetry: bool, requests: int, seed: int) -> float:
+    """Cache-hit throughput of one fresh ``fig10`` server: warm the
+    memo tiers first, then measure only hit-path serving."""
+    p = PROFILES["fig10"]
+    cache = ScheduleCache(None, capacity=4096)
+    service = ScheduleService(cache=cache, telemetry=Telemetry(enabled=telemetry))
+    with ScheduleServer(service, port=0, workers=p["workers"]) as server:
+        common = dict(
+            port=server.port, workers=p["workers"], pool=p["pool"],
+            zipf=p["zipf"], scenario=p["scenario"], num_pes=p["num_pes"],
+            seed=seed,
+        )
+        run_loadgen(**common, requests=max(50, requests // 4))
+        report = run_loadgen(**common, requests=requests)
+    return report.throughput_rps
+
+
+def measure_telemetry_overhead(smoke: bool, seed: int, reps: int = 3) -> dict:
+    """Cache-hit throughput with telemetry enabled vs disabled.
+
+    The profile runs above are too short to compare (same-config
+    repeats spread >10%), so this uses a dedicated longer cached-only
+    workload, runs the two modes interleaved ``reps`` times and keeps
+    each mode's best throughput — best-of-N is robust against the
+    one-sided noise (scheduler preemption, page faults) that only ever
+    slows a run down.  Reports ``rps_off / rps_on``; >1 means telemetry
+    cost throughput.
+    """
+    requests = 600 if smoke else 1500
+    best = {True: 0.0, False: 0.0}
+    for _ in range(max(1, reps)):
+        for enabled in (True, False):
+            rps = _cached_rps(enabled, requests, seed)
+            best[enabled] = max(best[enabled], rps)
+    rps_on, rps_off = best[True], best[False]
+    return {
+        "cached_rps_on": rps_on,
+        "cached_rps_off": rps_off,
+        "reps": max(1, reps),
+        "requests": requests,
+        "overhead_ratio": round(rps_off / rps_on, 4) if rps_on else None,
     }
 
 
@@ -146,10 +209,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--baseline", default=None,
                         help="committed baseline JSON to report speedups "
                              "against (benchmarks/baselines/service_smoke.json)")
+    parser.add_argument("--telemetry-gate", type=float, default=None,
+                        help="also measure telemetry-on vs telemetry-off "
+                             "cached throughput and fail if the off/on "
+                             "ratio exceeds this (e.g. 1.10)")
+    parser.add_argument("--artifacts", default=None,
+                        help="write per-profile metrics expositions "
+                             "(*.prom) and span dumps (*.trace.json) into "
+                             "this directory")
     args = parser.parse_args(argv)
 
     names = list(PROFILES) if args.profile == "all" else [args.profile]
-    results = {name: run_profile(name, args.smoke, args.seed) for name in names}
+    results = {
+        name: run_profile(name, args.smoke, args.seed,
+                          artifacts_dir=args.artifacts)
+        for name in names
+    }
 
     rows = []
     for name, result in results.items():
@@ -176,6 +251,17 @@ def main(argv: list[str] | None = None) -> int:
         for line in compare_to_baseline(results, args.baseline):
             print(line)
 
+    overhead = None
+    if args.telemetry_gate is not None:
+        overhead = measure_telemetry_overhead(args.smoke, args.seed)
+        overhead["gate"] = args.telemetry_gate
+        print(
+            f"telemetry overhead: {overhead['cached_rps_on']:.1f} req/s on "
+            f"vs {overhead['cached_rps_off']:.1f} req/s off "
+            f"(off/on ratio {overhead['overhead_ratio']:.3f}, "
+            f"gate {args.telemetry_gate:.2f})"
+        )
+
     doc = {
         "benchmark": "service",
         "version": __version__,
@@ -183,6 +269,7 @@ def main(argv: list[str] | None = None) -> int:
         "params": {"smoke": args.smoke, "seed": args.seed,
                    "profiles": names},
         "profiles": results,
+        "telemetry_overhead": overhead,
     }
     Path(args.output).write_text(json.dumps(doc, indent=1) + "\n")
     print(f"[saved to {args.output}]")
@@ -199,6 +286,17 @@ def main(argv: list[str] | None = None) -> int:
     if errors:
         print(f"FAIL: request errors during load generation in "
               f"{', '.join(errors)}", file=sys.stderr)
+        return 1
+    if (
+        overhead is not None
+        and overhead["overhead_ratio"] is not None
+        and overhead["overhead_ratio"] > args.telemetry_gate
+    ):
+        print(
+            f"FAIL: telemetry overhead ratio "
+            f"{overhead['overhead_ratio']:.3f} exceeds the gate "
+            f"{args.telemetry_gate:.2f}", file=sys.stderr,
+        )
         return 1
     return 0
 

@@ -21,11 +21,19 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from ..obs import MetricsRegistry, get_registry
 from .cells import evaluate_cell
 from .spec import CellResult, CellSpec
 from .store import ResultStore
 
 __all__ = ["ExecutionReport", "execute_cells", "default_chunksize"]
+
+#: per-cell evaluation time buckets (seconds): cells run milliseconds
+#: to minutes depending on topology size
+_CELL_S_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0,
+)
 
 
 @dataclass
@@ -74,14 +82,29 @@ def execute_cells(
     force: bool = False,
     chunksize: int | None = None,
     on_result: Callable[[CellResult], None] | None = None,
+    registry: MetricsRegistry | None = None,
 ) -> ExecutionReport:
     """Evaluate every cell, reusing stored results unless ``force``.
 
     ``workers <= 1`` runs serially in-process (no pool, no pickling);
     anything larger fans out over that many processes.  Freshly computed
     cells are appended to ``store`` as they arrive.
+
+    Cell outcomes and per-cell evaluation times feed ``registry``
+    (default: the process-wide one, so a campaign run and an embedded
+    service share a single ``metrics`` exposition): ``campaign.cells``
+    counts cells per outcome (computed/cached), ``campaign.cell_s``
+    histograms the evaluation time measured where the cell ran.
     """
     t_start = time.perf_counter()
+    reg = registry if registry is not None else get_registry()
+    c_cells = reg.counter(
+        "campaign.cells", "campaign cells, per outcome", labels=("outcome",)
+    )
+    h_cell_s = reg.histogram(
+        "campaign.cell_s", "per-cell evaluation time (s)",
+        buckets=_CELL_S_BUCKETS,
+    )
     report = ExecutionReport(workers=max(0, workers))
 
     by_spec: dict[CellSpec, CellResult] = {}
@@ -92,6 +115,7 @@ def execute_cells(
         if hit is not None:
             by_spec[spec] = hit
             report.cached += 1
+            c_cells.labels(outcome="cached").inc()
         elif spec not in queued:  # dedupe identical cells
             pending.append(spec)
             queued.add(spec)
@@ -99,6 +123,8 @@ def execute_cells(
     def _absorb(result: CellResult) -> None:
         by_spec[result.spec] = result
         report.computed += 1
+        c_cells.labels(outcome="computed").inc()
+        h_cell_s.observe(result.elapsed)
         report.worker_pids.add(result.worker)
         if store is not None:
             store.append(result)

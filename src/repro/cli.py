@@ -111,6 +111,10 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument(
         "--limit", type=int, default=25, help="rows in the printed table"
     )
+    prof.add_argument(
+        "--json", dest="json_out", default=None,
+        help="also write the profile rows (and run metadata) as JSON here",
+    )
 
     exp = sub.add_parser("experiment", help="run a paper harness (serial)")
     exp.add_argument(
@@ -185,6 +189,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--trusted", action="store_true",
         help="skip wire-document validation on ingest (only behind a "
              "validating gateway; see the README wire-format section)",
+    )
+    srv.add_argument(
+        "--trace-dir", default=None,
+        help="write completed request spans to rotating JSONL files in "
+             "this directory (see the README Observability section)",
+    )
+    srv.add_argument(
+        "--no-telemetry", action="store_true",
+        help="disable request spans and latency histograms (the stats "
+             "counters stay live); metrics/trace ops degrade accordingly",
     )
 
     req = sub.add_parser("request", help="submit one graph to a service")
@@ -365,6 +379,7 @@ def _cmd_profile(args) -> int:
     stats.sort_stats(args.sort)
     total_calls = stats.total_calls  # populated by Stats.__init__
     rows = []
+    records = []
     for func in stats.fcn_list[: args.limit]:
         cc, nc, tt, ct, _ = stats.stats[func]
         path, line, name = func
@@ -375,11 +390,30 @@ def _cmd_profile(args) -> int:
             f"{ct:.4f}",
             f"{name} ({where})",
         ])
+        records.append({
+            "function": name,
+            "where": where,
+            "ncalls": nc,
+            "primitive_calls": cc,
+            "tottime_s": round(tt, 6),
+            "cumtime_s": round(ct, 6),
+        })
     print(
         f"profile of {len(cells)} {scenario.name!r} cells "
         f"({total_calls} calls, sorted by {args.sort}):"
     )
     print(format_table(["ncalls", "tottime", "cumtime", "function"], rows))
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump({
+                "scenario": scenario.name,
+                "cells": len(cells),
+                "pes": args.pes,
+                "sort": args.sort,
+                "total_calls": total_calls,
+                "functions": records,
+            }, fh, indent=1)
+        print(f"profile JSON written to {args.json_out}")
     return 0
 
 
@@ -473,6 +507,7 @@ def _cmd_campaign(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    from .obs import Telemetry, get_registry
     from .service import (
         SCHEDULE_KEY_VERSION,
         ScheduleCache,
@@ -503,12 +538,25 @@ def _cmd_serve(args) -> int:
         )
         tier = path if path else "memory-only"
         print(f"schedule cache: {tier} ({len(cache)} stored entries)")
+    # the served process binds its instruments into the process-wide
+    # registry, so anything else living in this process (an embedded
+    # campaign run, custom gauges) shares the one metrics exposition
+    telemetry = Telemetry(
+        registry=get_registry(),
+        enabled=not args.no_telemetry,
+        trace_dir=args.trace_dir,
+    )
     service = ScheduleService(
         cache=cache, portfolio_workers=args.portfolio_workers,
         validate_graphs=not args.trusted,
+        telemetry=telemetry,
     )
     if args.trusted:
         print("trusted ingest: wire-document validation disabled")
+    if args.no_telemetry:
+        print("telemetry disabled: no request spans or latency histograms")
+    elif args.trace_dir:
+        print(f"request spans: rotating JSONL under {args.trace_dir}/")
     if service.portfolio_pool is not None:
         print(f"portfolio pool: {args.portfolio_workers} worker processes")
     server = ScheduleServer(
@@ -526,6 +574,8 @@ def _cmd_serve(args) -> int:
     except KeyboardInterrupt:
         server.stop()
         server.join()
+    finally:
+        telemetry.close()  # flush + close the span log
     print("server stopped")
     return 0
 

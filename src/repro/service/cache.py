@@ -26,7 +26,12 @@ automatically on load and can be forced with :meth:`compact`.
 All operations are thread-safe (the server handles requests from worker
 threads) and counted: ``hits`` (memory), ``store_hits`` (disk),
 ``misses``, ``evictions``, ``puts``, ``compactions`` feed the ``stats``
-op and the load generator's report.
+op and the load generator's report.  The counters are named instruments
+in a :class:`repro.obs.MetricsRegistry` (``cache.hits{tier}``,
+``cache.misses``, …) — the attribute names remain as read-only views,
+and :meth:`ScheduleCache.bind_registry` re-homes them into a service's
+registry (carrying accumulated counts along) so one ``metrics``
+exposition covers the whole request path.
 
 The cache itself is a dumb map: staleness across code changes is the
 *key's* problem, and the service's request keys carry a schema version
@@ -45,6 +50,8 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Callable
 
+from ..obs import MetricsRegistry
+
 __all__ = ["ScheduleCache"]
 
 
@@ -61,6 +68,7 @@ class ScheduleCache:
         path: str | Path | None = None,
         capacity: int = 1024,
         retain: Callable[[str], bool] | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be positive")
@@ -75,16 +83,95 @@ class ScheduleCache:
         # disk appends serialize on their own lock so a put's file write
         # never stalls concurrent get() fast paths
         self._io_lock = threading.Lock()
-        self.hits = 0
-        self.store_hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.puts = 0
-        self.compactions = 0
+        self._bind(registry if registry is not None else MetricsRegistry())
         if self.path is not None and self.path.exists():
             self._load_index()
             if self._dead_ratio() > self.COMPACT_DEAD_RATIO:
                 self.compact()
+
+    # ------------------------------------------------------------------
+    # instruments (the legacy counter attributes are views over these)
+    # ------------------------------------------------------------------
+    def _bind(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        hits = registry.counter(
+            "cache.hits", "cache lookups served, per tier", labels=("tier",)
+        )
+        self._c_hits = hits.labels(tier="lru")
+        self._c_store_hits = hits.labels(tier="store")
+        self._c_misses = registry.counter(
+            "cache.misses", "lookups no tier could answer"
+        )
+        self._c_evictions = registry.counter(
+            "cache.evictions", "entries evicted, per tier", labels=("tier",)
+        ).labels(tier="lru")
+        self._c_puts = registry.counter("cache.puts", "entries inserted")
+        self._c_compactions = registry.counter(
+            "cache.compactions", "store-file compactions"
+        )
+        registry.gauge(
+            "cache.lru_entries", "entries resident in the memory tier",
+            fn=lambda: len(self._lru),
+        )
+        registry.gauge(
+            "cache.store_entries", "live keys in the disk-tier index",
+            fn=lambda: len(self._disk),
+        )
+        registry.gauge(
+            "cache.store_bytes", "disk-tier file size in bytes",
+            fn=lambda: self._file_bytes,
+        )
+        registry.gauge(
+            "cache.dead_bytes", "disk-tier bytes no index entry reaches",
+            fn=self.dead_bytes,
+        )
+
+    def bind_registry(self, registry: MetricsRegistry) -> None:
+        """Re-home the cache's instruments into ``registry``.
+
+        The service adopting a cache calls this once at construction so
+        the ``metrics`` op exposes cache counters next to its own.
+        Accumulated counts carry over (counters are monotonic, so a
+        one-time transfer preserves every delta observed afterwards).
+        """
+        if registry is self.registry:
+            return
+        carried = (
+            self.hits, self.store_hits, self.misses,
+            self.evictions, self.puts, self.compactions,
+        )
+        self._bind(registry)
+        children = (
+            self._c_hits, self._c_store_hits, self._c_misses,
+            self._c_evictions, self._c_puts, self._c_compactions,
+        )
+        for child, value in zip(children, carried):
+            if value:
+                child.inc(value)
+
+    @property
+    def hits(self) -> int:
+        return self._c_hits.value
+
+    @property
+    def store_hits(self) -> int:
+        return self._c_store_hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._c_misses.value
+
+    @property
+    def evictions(self) -> int:
+        return self._c_evictions.value
+
+    @property
+    def puts(self) -> int:
+        return self._c_puts.value
+
+    @property
+    def compactions(self) -> int:
+        return self._c_compactions.value
 
     def _load_index(self) -> None:
         with open(self.path, "rb") as fh:
@@ -153,7 +240,7 @@ class ScheduleCache:
             with self._lock:
                 self._disk = new_index
                 self._file_bytes = written
-                self.compactions += 1
+                self._c_compactions.inc()
             return max(0, old_bytes - written)
 
     def __len__(self) -> int:
@@ -173,12 +260,12 @@ class ScheduleCache:
             entry = self._lru.get(key)
             if entry is not None:
                 self._lru.move_to_end(key)
-                self.hits += 1
+                self._c_hits.inc()
                 return entry, "lru"
             slot = self._disk.get(key)
             if slot is None:
                 if count_miss:
-                    self.misses += 1
+                    self._c_misses.inc()
                 return None
         # file IO happens outside the map lock; a concurrent promotion
         # of the same key is benign (same entry, idempotent insert)
@@ -186,9 +273,9 @@ class ScheduleCache:
         with self._lock:
             if entry is None:
                 if count_miss:
-                    self.misses += 1
+                    self._c_misses.inc()
                 return None
-            self.store_hits += 1
+            self._c_store_hits.inc()
             self._insert(key, entry)
         return entry, "store"
 
@@ -216,7 +303,7 @@ class ScheduleCache:
     def put(self, key: str, entry: dict) -> None:
         """Insert into the LRU; appends to the JSONL file if backed."""
         with self._lock:
-            self.puts += 1
+            self._c_puts.inc()
             self._insert(key, entry)
             append_needed = self.path is not None and key not in self._disk
         if append_needed:
@@ -244,7 +331,7 @@ class ScheduleCache:
         self._lru.move_to_end(key)
         while len(self._lru) > self.capacity:
             self._lru.popitem(last=False)
-            self.evictions += 1
+            self._c_evictions.inc()
 
     def counters(self) -> dict[str, int]:
         with self._lock:

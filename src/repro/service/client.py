@@ -146,6 +146,16 @@ class ServiceClient:
     def stats(self) -> dict:
         return self.request({"op": "stats"})
 
+    def metrics(self) -> dict:
+        """The server's metrics registry: Prometheus text under
+        ``"text"``, the structured snapshot under ``"snapshot"``."""
+        return self.request({"op": "metrics"})
+
+    def trace(self, n: int = 50) -> dict:
+        """The server's last ``n`` request spans (``"spans"``) plus the
+        same data as chrome trace events (``"chrome"``)."""
+        return self.request({"op": "trace", "n": n})
+
     def shutdown(self) -> dict:
         """Ask the server to stop (gracefully) after replying."""
         return self.request({"op": "shutdown"})

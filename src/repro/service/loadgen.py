@@ -83,9 +83,18 @@ class LoadgenReport:
 
     ``requests`` counts requests answered ``ok`` — exactly the ones
     with a latency sample — and ``errors`` everything else that was
-    scheduled for sending (refused responses and the unsent tail after
-    a transport failure), so ``requests + errors`` is the total
-    workload and the columns are mutually consistent.
+    scheduled for sending, broken down by kind in ``error_kinds``:
+    ``refused`` (the service answered ``ok: false``), ``parse`` (an
+    unparseable reply line), ``deadlock`` (a simulate answer reporting
+    a deadlocked execution) and ``transport`` (the unserved tail after
+    the connection died).  ``requests + sum(error_kinds.values())`` is
+    the total workload, so the columns are mutually consistent.
+
+    ``server_phases`` (when the driven server exposes the ``metrics``
+    op with telemetry enabled) aggregates the *server-side* per-phase
+    latency histograms — where each request's time actually went
+    (fingerprint, cache, portfolio, serialize, …), as opposed to the
+    client-observed round-trip latencies above.
     """
 
     requests: int
@@ -98,8 +107,11 @@ class LoadgenReport:
     latencies_ms: list[float] = field(repr=False, default_factory=list)
     tiers: dict[str, int] = field(default_factory=dict)  #: cached-tier counts
     errors: int = 0
+    error_kinds: dict[str, int] = field(default_factory=dict)
     bytes_sent: int = 0
     bytes_received: int = 0
+    #: "op.phase" -> {count, total_ms, mean_ms} from the server registry
+    server_phases: dict[str, dict] = field(default_factory=dict)
 
     @property
     def throughput_rps(self) -> float:
@@ -159,6 +171,18 @@ class LoadgenReport:
             self.errors,
         ]
         out = format_table(headers, [row])
+        if self.errors and self.error_kinds:
+            out += "\nerrors by kind: " + ", ".join(
+                f"{kind}={n}" for kind, n in sorted(self.error_kinds.items())
+            )
+        if self.server_phases:
+            worst = sorted(
+                self.server_phases.items(),
+                key=lambda kv: kv[1]["total_ms"], reverse=True,
+            )[:6]
+            out += "\nserver phases (total ms): " + ", ".join(
+                f"{name}={entry['total_ms']:.1f}" for name, entry in worst
+            )
         if self.small_sample:
             out += (
                 f"\nwarning: only {len(self.latencies_ms)} latency samples "
@@ -182,6 +206,8 @@ class LoadgenReport:
             "hit_rate": round(self.hit_rate, 4),
             "tiers": dict(self.tiers),
             "errors": self.errors,
+            "error_kinds": dict(self.error_kinds),
+            "server_phases": dict(self.server_phases),
             "small_sample": self.small_sample,
             **{k: round(v, 3) for k, v in self.summary().items()},
         }
@@ -304,36 +330,58 @@ def run_loadgen(
     lock = threading.Lock()
     latencies: list[float] = []
     tiers: dict[str, int] = {}
-    errors = [0]
+    error_kinds: dict[str, int] = {}
     wire = [0, 0]  #: bytes sent, bytes received
 
     def drive(shard: list[int]) -> None:
         local_lat: list[float] = []
         local_tiers: dict[str, int] = {}
+        local_kinds: dict[str, int] = {}
+
+        def count(kind: str) -> None:
+            local_kinds[kind] = local_kinds.get(kind, 0) + 1
+
         client = None
         try:
             with ServiceClient(host, port) as client:
                 for idx in shard:
                     t0 = time.perf_counter()
-                    response = client.request_raw(lines[idx])
-                    if response.get("ok"):
+                    try:
+                        response = client.request_raw(lines[idx])
+                    except ValueError:
+                        # the reply line framed correctly but did not
+                        # parse — the connection itself is still usable
+                        count("parse")
+                        continue
+                    if not response.get("ok"):
+                        count("refused")
+                    elif response.get("deadlocked"):
+                        # a deadlocked simulation answered, but did not
+                        # do what was asked — an error kind of its own,
+                        # never a latency sample
+                        count("deadlock")
+                    else:
                         # only successful answers feed the latency (and
                         # therefore requests/throughput) columns, so
-                        # requests + errors == the shard total and a
-                        # refused response is never counted twice
+                        # requests + sum(error kinds) == the shard
+                        # total and nothing is ever counted twice
                         local_lat.append(1000.0 * (time.perf_counter() - t0))
                         tier = response.get("cached") or "cold"
                         local_tiers[tier] = local_tiers.get(tier, 0) + 1
         except OSError:
-            pass  # transport died: the unserved remainder counts as errors
+            pass  # transport died: the unserved remainder counts below
         finally:
+            answered = len(local_lat) + sum(local_kinds.values())
+            if answered < len(shard):
+                local_kinds["transport"] = (
+                    local_kinds.get("transport", 0) + len(shard) - answered
+                )
             with lock:
                 latencies.extend(local_lat)
                 for tier, n in local_tiers.items():
                     tiers[tier] = tiers.get(tier, 0) + n
-                # everything not answered ok — refused responses and the
-                # unsent tail after a transport failure — is an error
-                errors[0] += len(shard) - sum(local_tiers.values())
+                for kind, n in local_kinds.items():
+                    error_kinds[kind] = error_kinds.get(kind, 0) + n
                 if client is not None:
                     wire[0] += client.bytes_sent
                     wire[1] += client.bytes_received
@@ -349,10 +397,11 @@ def run_loadgen(
     for t in threads:
         t.join()
     elapsed = time.perf_counter() - t_start
+    errors = sum(error_kinds.values())
     if not latencies:
         raise ConnectionError(
             f"no request completed against {host}:{port} "
-            f"({errors[0]} errors) — is the service healthy?"
+            f"({errors} errors) — is the service healthy?"
         )
     return LoadgenReport(
         requests=len(latencies),
@@ -364,7 +413,40 @@ def run_loadgen(
         elapsed=elapsed,
         latencies_ms=latencies,
         tiers=tiers,
-        errors=errors[0],
+        errors=errors,
+        error_kinds=error_kinds,
         bytes_sent=wire[0],
         bytes_received=wire[1],
+        server_phases=_fetch_server_phases(host, port),
     )
+
+
+def _fetch_server_phases(host: str, port: int) -> dict[str, dict]:
+    """Server-side phase breakdown from the ``metrics`` op.
+
+    Aggregates the ``service.phase_ms`` histogram into one
+    ``"op.phase" -> {count, total_ms, mean_ms}`` entry per series.
+    Empty — never an error — against a server without the op (older
+    builds) or with telemetry disabled (no phase histograms)."""
+    try:
+        with ServiceClient(host, port) as client:
+            snapshot = client.metrics().get("snapshot", {})
+    except (OSError, ValueError, RuntimeError):
+        return {}
+    phases: dict[str, dict] = {}
+    family = snapshot.get("service.phase_ms")
+    if not isinstance(family, dict):
+        return {}
+    for series in family.get("series", ()):
+        labels = series.get("labels", {})
+        count = series.get("count", 0)
+        if not count:
+            continue
+        total = series.get("sum", 0.0)
+        name = f"{labels.get('op', '?')}.{labels.get('phase', '?')}"
+        phases[name] = {
+            "count": count,
+            "total_ms": round(total, 3),
+            "mean_ms": round(total / count, 4),
+        }
+    return phases

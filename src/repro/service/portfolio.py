@@ -120,6 +120,7 @@ class CandidateResult:
     value: float  #: objective value as reported (see module docstring)
     fifo_total: int  #: summed FIFO capacities (0 for non-streaming)
     elapsed: float  #: scheduling wall-clock seconds
+    cpu: float = 0.0  #: scheduling thread-CPU seconds (where it ran)
 
     def to_dict(self) -> dict:
         return {
@@ -128,6 +129,7 @@ class CandidateResult:
             "value": self.value,
             "fifo_total": self.fifo_total,
             "elapsed_ms": round(1000.0 * self.elapsed, 3),
+            "cpu_ms": round(1000.0 * self.cpu, 3),
         }
 
 
@@ -162,15 +164,19 @@ def _warm_worker() -> None:  # pragma: no cover - runs in worker processes
     from ..core import indexed, ingest, reference  # noqa: F401
 
 
-def _race_candidate(payload: tuple[dict, int, str]) -> dict:
+def _race_candidate(payload: tuple) -> dict:
     """Worker-side entry point: schedule one candidate from wire data.
 
     Receives the graph as its JSON document (cheap to pickle, and the
     rebuilt graph is frozen once per worker call); returns plain data —
-    the schedule document, never the schedule object.
+    the schedule document, never the schedule object.  The optional
+    fourth payload element is the parent request's trace id, echoed
+    back so the worker's timings attach to the right span.
     """
-    graph_doc, num_pes, name = payload
+    graph_doc, num_pes, name = payload[:3]
+    trace_id = payload[3] if len(payload) > 3 else None
     t0 = time.perf_counter()
+    cpu0 = time.thread_time()
     # the parent serialized an already-validated graph: trusted ingest
     # straight to the flat arrays, no networkx round trip in the worker
     graph = ingest_graph_doc(graph_doc, validate=False)
@@ -180,6 +186,8 @@ def _race_candidate(payload: tuple[dict, int, str]) -> dict:
         "makespan": int(schedule.makespan),
         "fifo_total": int(sum(getattr(schedule, "buffer_sizes", {}).values())),
         "elapsed": time.perf_counter() - t0,
+        "cpu": time.thread_time() - cpu0,
+        "trace_id": trace_id,
         "schedule": schedule_to_dict(schedule),
     }
 
@@ -212,13 +220,14 @@ class PortfolioPool:
     def closed(self) -> bool:
         return self._closed
 
-    def submit(self, graph_doc: dict, num_pes: int, name: str):
+    def submit(self, graph_doc: dict, num_pes: int, name: str,
+               trace_id: str | None = None):
         """Async-submit one candidate; returns an ``AsyncResult``."""
         with self._lock:
             if self._closed:
                 raise RuntimeError("portfolio pool is closed")
             return self._pool.apply_async(
-                _race_candidate, ((graph_doc, num_pes, name),)
+                _race_candidate, ((graph_doc, num_pes, name, trace_id),)
             )
 
     def wait(self, future, deadline: float | None):
@@ -288,6 +297,7 @@ def _run_portfolio_pooled(
     t1: int,
     pool: PortfolioPool,
     graph_doc: dict | None = None,
+    trace_id: str | None = None,
 ) -> PortfolioResult:
     """Race all candidates concurrently on the persistent pool.
 
@@ -309,7 +319,10 @@ def _run_portfolio_pooled(
     if graph_doc is None:
         graph_doc = graph_to_dict(graph)
     t_race = time.perf_counter()
-    futures = [(name, pool.submit(graph_doc, num_pes, name)) for name in names]
+    futures = [
+        (name, pool.submit(graph_doc, num_pes, name, trace_id))
+        for name in names
+    ]
     deadline = None if budget_s is None else t_race + budget_s
     candidates: list[CandidateResult] = []
     best: tuple | None = None
@@ -333,6 +346,7 @@ def _run_portfolio_pooled(
                 value=_report_value(objective, makespan, fifo_total, t1),
                 fifo_total=fifo_total,
                 elapsed=doc["elapsed"],
+                cpu=doc.get("cpu", 0.0),
             )
         )
         key = _sort_key(objective, makespan, fifo_total)
@@ -360,6 +374,7 @@ def run_portfolio(
     budget_s: float | None = None,
     pool: PortfolioPool | None = None,
     graph_doc: dict | None = None,
+    trace_id: str | None = None,
 ) -> PortfolioResult:
     """Race candidate schedulers over ``graph``; return the best found.
 
@@ -371,7 +386,9 @@ def run_portfolio(
     ``graph`` may be a :class:`CanonicalGraph` or an already-frozen
     :class:`~repro.core.indexed.IndexedGraph` (the service's ingest
     path); ``graph_doc`` optionally supplies the graph's wire document
-    so a pooled race does not re-serialize it.
+    so a pooled race does not re-serialize it.  ``trace_id`` rides in
+    the pooled task payloads so worker-side candidate timings attach to
+    the submitting request's span.
     """
     if num_pes < 1:
         raise ValueError("need at least one processing element")
@@ -389,7 +406,8 @@ def run_portfolio(
     t1 = total_work(graph)
     if pool is not None and len(names) > 1:
         return _run_portfolio_pooled(
-            graph, num_pes, objective, names, budget_s, t1, pool, graph_doc
+            graph, num_pes, objective, names, budget_s, t1, pool, graph_doc,
+            trace_id,
         )
     t_race = time.perf_counter()
     candidates: list[CandidateResult] = []
@@ -398,8 +416,10 @@ def run_portfolio(
     truncated = False
     for i, name in enumerate(names):
         t0 = time.perf_counter()
+        cpu0 = time.thread_time()
         schedule = _SCHEDULERS[name](graph, num_pes)
         elapsed = time.perf_counter() - t0
+        cpu = time.thread_time() - cpu0
         fifo_total = int(sum(getattr(schedule, "buffer_sizes", {}).values()))
         makespan = int(schedule.makespan)
         result = CandidateResult(
@@ -408,6 +428,7 @@ def run_portfolio(
             value=_report_value(objective, makespan, fifo_total, t1),
             fifo_total=fifo_total,
             elapsed=elapsed,
+            cpu=cpu,
         )
         candidates.append(result)
         key = _sort_key(objective, makespan, fifo_total)

@@ -98,6 +98,7 @@ from .. import __version__
 from ..core.graph import find_isomorphism
 from ..core.ingest import ingest_graph_doc
 from ..core.serialize import _name_from_json, _name_to_json, graph_from_dict
+from ..obs import NULL_SPAN, Telemetry
 from .cache import ScheduleCache
 from .fingerprint import (
     doc_digest,
@@ -171,9 +172,18 @@ class ScheduleService:
         use_ingest: bool = True,
         validate_graphs: bool = True,
         wire_memo_bytes: int = 32 << 20,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.cache = cache
         self.default_schedulers = tuple(default_schedulers)
+        #: telemetry facade: registry + span ring (+ optional span log).
+        #: The default is a private, *enabled* Telemetry — instruments
+        #: are cheap enough to leave on; ``repro serve --no-telemetry``
+        #: passes a disabled one (spans/histograms off, counters live).
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._register_instruments()
+        if cache is not None:
+            cache.bind_registry(self.telemetry.registry)
         #: parse wire documents through repro.core.ingest (no networkx);
         #: False preserves the legacy graph_from_dict path bit for bit
         self.use_ingest = use_ingest
@@ -188,13 +198,6 @@ class ScheduleService:
             PortfolioPool(portfolio_workers) if portfolio_workers >= 2 else None
         )
         self.started = time.time()
-        self.served = 0
-        self.computed = 0
-        self.simulated = 0
-        self.coalesced = 0
-        self.remapped = 0
-        self.fastpath = 0
-        self.errors = 0
         self._lock = threading.Lock()
         self._inflight: dict[str, _InFlight] = {}
         # raw-document digest -> WL fingerprint; load generators resend
@@ -230,7 +233,100 @@ class ScheduleService:
         self._wire_memo_budget = wire_memo_bytes
 
     # ------------------------------------------------------------------
-    def handle(self, doc: dict, work_slots=None, *, digest_hint=None) -> dict:
+    # instruments (the legacy counter attributes are views over these)
+    # ------------------------------------------------------------------
+    def _register_instruments(self) -> None:
+        reg = self.telemetry.registry
+        c = reg.counter
+        self._c_served = c("service.served", "requests answered")
+        self._c_computed = c("service.computed", "cold portfolio computes")
+        self._c_simulated = c("service.simulated", "cold DES simulations")
+        self._c_coalesced = c(
+            "service.coalesced", "followers served by a single-flight leader"
+        )
+        self._c_remapped = c(
+            "service.remapped", "cross-document hits isomorphism-remapped"
+        )
+        self._c_fastpath = c(
+            "service.fastpath", "lines answered from the wire memo tiers"
+        )
+        self._c_errors = c("service.errors", "requests answered ok=false")
+        self._c_requests = c(
+            "service.requests", "requests per op and outcome",
+            labels=("op", "outcome"),
+        )
+        # resolved once: the fast path charges this child per line
+        self._c_req_sched_ok = self._c_requests.labels(
+            op="schedule", outcome="ok"
+        )
+        self._c_wire_clears = c(
+            "service.wire_memo.clears", "wire-memo wholesale clears"
+        )
+        self._c_fp_clears = c(
+            "service.fp_memo.clears", "fingerprint-memo wholesale clears"
+        )
+        self._c_ig_clears = c(
+            "service.ig_memo.clears", "ingested-graph-memo wholesale clears"
+        )
+        reg.gauge(
+            "service.wire_memo.bytes", "bytes charged to the wire memos",
+            fn=lambda: self._wire_memo_bytes,
+        )
+        reg.gauge(
+            "service.uptime_s", "seconds since service construction",
+            fn=lambda: time.time() - self.started,
+        )
+        self._c_races = c("portfolio.races", "portfolio races run")
+        self._c_truncated = c(
+            "portfolio.truncated", "races cut off by the budget"
+        )
+        self._c_wins = c(
+            "portfolio.wins", "races won, per scheduler", labels=("scheduler",)
+        )
+
+    @property
+    def served(self) -> int:
+        return self._c_served.value
+
+    @property
+    def computed(self) -> int:
+        return self._c_computed.value
+
+    @property
+    def simulated(self) -> int:
+        return self._c_simulated.value
+
+    @property
+    def coalesced(self) -> int:
+        return self._c_coalesced.value
+
+    @property
+    def remapped(self) -> int:
+        return self._c_remapped.value
+
+    @property
+    def fastpath(self) -> int:
+        return self._c_fastpath.value
+
+    @property
+    def errors(self) -> int:
+        return self._c_errors.value
+
+    #: op label values the request counter accepts; anything else a
+    #: client invents is folded into "unknown" (bounded cardinality)
+    _KNOWN_OPS = frozenset(
+        ("ping", "stats", "metrics", "trace", "shutdown", "schedule",
+         "simulate")
+    )
+
+    def _count_request(self, op, response: dict) -> None:
+        label = op if op in self._KNOWN_OPS else "unknown"
+        outcome = "ok" if response.get("ok") else "error"
+        self._c_requests.labels(op=label, outcome=outcome).inc()
+
+    # ------------------------------------------------------------------
+    def handle(self, doc: dict, work_slots=None, *, digest_hint=None,
+               span=None) -> dict:
         """Dispatch one request document; never raises.
 
         ``work_slots`` (an acquirable context manager, typically a
@@ -238,23 +334,78 @@ class ScheduleService:
         cheap ops, cache hits and coalesced waiters never occupy a
         slot, so a pool of blocked followers cannot starve unrelated
         requests.
+
+        ``span`` is the request's trace context (wire callers create it
+        around the whole line so the serialize phase is captured too);
+        direct ``handle`` callers get one created here for the compute
+        ops.
         """
         slots = work_slots if work_slots is not None else nullcontext()
+        op = doc.get("op")
+        owns_span = span is None and op in ("schedule", "simulate")
+        if owns_span:
+            span = self.telemetry.span(op)
+        elif span is None:
+            span = NULL_SPAN
         try:
-            op = doc.get("op")
-            if op == "ping":
-                return {"ok": True, "op": "ping", "version": __version__}
-            if op == "stats":
-                return self._stats()
-            if op == "shutdown":
-                return {"ok": True, "op": "shutdown"}
-            if op == "schedule":
-                return self._schedule(doc, slots, digest_hint)
-            if op == "simulate":
-                return self._simulate(doc, slots, digest_hint)
-            return self._error(f"unknown op {op!r}")
+            response = self._dispatch(op, doc, slots, digest_hint, span)
         except Exception as exc:  # a bad request must never kill a worker
-            return self._error(str(exc) or type(exc).__name__)
+            response = self._error(str(exc) or type(exc).__name__)
+        self._count_request(op, response)
+        if owns_span:
+            span.finish("ok" if response.get("ok") else "error")
+        return response
+
+    def _dispatch(self, op, doc: dict, slots, digest_hint, span) -> dict:
+        if op == "ping":
+            return {"ok": True, "op": "ping", "version": __version__}
+        if op == "stats":
+            return self._stats()
+        if op == "metrics":
+            return self._metrics()
+        if op == "trace":
+            return self._trace(doc)
+        if op == "shutdown":
+            return {"ok": True, "op": "shutdown"}
+        if op == "schedule":
+            return self._schedule(doc, slots, digest_hint, span)
+        if op == "simulate":
+            return self._simulate(doc, slots, digest_hint, span)
+        return self._error(f"unknown op {op!r}")
+
+    def _metrics(self) -> dict:
+        """The ``metrics`` op: the registry in both transports —
+        Prometheus text exposition and a structured snapshot."""
+        registry = self.telemetry.registry
+        return {
+            "ok": True,
+            "op": "metrics",
+            "telemetry_enabled": self.telemetry.enabled,
+            "text": registry.render(),
+            "snapshot": registry.snapshot(),
+        }
+
+    def _trace(self, doc: dict) -> dict:
+        """The ``trace`` op: the last-N request spans from the ring,
+        as span dicts and as chrome trace events."""
+        if not self.telemetry.enabled:
+            return self._error(
+                "telemetry is disabled on this server (serve without "
+                "--no-telemetry to record request spans)"
+            )
+        n = doc.get("n", 50)
+        if not isinstance(n, int) or n < 1:
+            return self._error("trace op needs a positive integer n")
+        spans = self.telemetry.recorder.last(n)
+        return {
+            "ok": True,
+            "op": "trace",
+            "count": len(spans),
+            "recorded": self.telemetry.recorder.recorded,
+            "capacity": self.telemetry.recorder.capacity,
+            "spans": spans,
+            "chrome": self.telemetry.chrome_trace(n),
+        }
 
     # ------------------------------------------------------------------
     # wire-level byte path (used by the event-loop server)
@@ -289,19 +440,26 @@ class ScheduleService:
                 return None
         else:
             parts = self._entry_prefix(key, digest, entry)
-        with self._lock:
-            self.served += 1
-            self.fastpath += 1
-        return self._splice(parts, tier, t0)
+        self._c_served.inc()
+        self._c_fastpath.inc()
+        self._c_req_sched_ok.inc()
+        data = self._splice(parts, tier, t0)
+        self.telemetry.observe_request(
+            "schedule", "fastpath", 1000.0 * (time.perf_counter() - t0)
+        )
+        return data
 
     def serve_line_slow(
-        self, line: bytes, work_slots=None, shutdown_permitted: bool = True
+        self, line: bytes, work_slots=None, shutdown_permitted: bool = True,
+        conn_id: int | None = None,
     ) -> tuple[bytes, bool]:
         """Full wire handling of one request line.
 
         Returns ``(response bytes, shutdown accepted)``.  Populates the
         line/prefix memos for eligible schedule responses so replays of
-        the same bytes take :meth:`serve_line_fast`.
+        the same bytes take :meth:`serve_line_fast`.  For compute ops a
+        request span is opened here — around decode, dispatch *and*
+        serialize — so the whole wire round trip is phase-accounted.
         """
         doc = self._doc_memo.get(line)
         if doc is None:
@@ -322,11 +480,24 @@ class ScheduleService:
         if doc.get("op") == "shutdown" and not shutdown_permitted:
             response = {"ok": False, "error": _SHUTDOWN_REFUSED}
             return json.dumps(response).encode() + b"\n", False
-        response = self.handle(
-            doc, work_slots, digest_hint=self._line_digest.get(line)
-        )
-        data = self._encode_response(line, doc, response)
-        shutdown = doc.get("op") == "shutdown" and bool(response.get("ok"))
+        op = doc.get("op")
+        span = NULL_SPAN
+        if op in ("schedule", "simulate"):
+            span = self.telemetry.span(op, wire=True)
+            if conn_id is not None:
+                span.annotate(conn=conn_id)
+        outcome = "error"
+        try:
+            response = self.handle(
+                doc, work_slots, digest_hint=self._line_digest.get(line),
+                span=span,
+            )
+            with span.phase("serialize"):
+                data = self._encode_response(line, doc, response)
+            outcome = "ok" if response.get("ok") else "error"
+        finally:
+            span.finish(outcome)
+        shutdown = op == "shutdown" and bool(response.get("ok"))
         return data, shutdown
 
     @staticmethod
@@ -351,6 +522,7 @@ class ScheduleService:
             self._prefix_memo.clear()
             self._doc_memo.clear()
             self._wire_memo_bytes = 0
+            self._c_wire_clears.inc()
 
     def _remember_parts(self, key: str, digest: str,
                         parts: tuple[bytes, bytes]) -> None:
@@ -451,8 +623,7 @@ class ScheduleService:
 
     # ------------------------------------------------------------------
     def _error(self, message: str) -> dict:
-        with self._lock:
-            self.errors += 1
+        self._c_errors.inc()
         return {"ok": False, "error": message}
 
     def _stats(self) -> dict:
@@ -476,8 +647,30 @@ class ScheduleService:
             "portfolio_workers": (
                 self.portfolio_pool.workers if self.portfolio_pool else 0
             ),
+            "telemetry": self.telemetry.enabled,
         }
+        with self._lock:
+            wire_bytes = self._wire_memo_bytes
+            stats["wire_memo"] = {
+                "bytes": wire_bytes,
+                "budget": self._wire_memo_budget,
+                "occupancy": round(wire_bytes / self._wire_memo_budget, 4),
+                "lines": len(self._line_memo),
+                "digests": len(self._line_digest),
+                "prefixes": len(self._prefix_memo),
+                "docs": len(self._doc_memo),
+                "clears": self._c_wire_clears.value,
+            }
         stats["cache"] = self.cache.counters() if self.cache else None
+        # every way a cached/memoized byte can leave this process, in
+        # one place: LRU evictions are per-entry, the memos clear
+        # wholesale (each clear drops the whole tier)
+        stats["evictions"] = {
+            "lru": self.cache.evictions if self.cache else 0,
+            "wire_memo_clears": self._c_wire_clears.value,
+            "fp_memo_clears": self._c_fp_clears.value,
+            "ig_memo_clears": self._c_ig_clears.value,
+        }
         return stats
 
     def close(self) -> None:
@@ -514,6 +707,7 @@ class ScheduleService:
             if self._ig_memo_nodes + ig.n > self._ig_memo_node_budget:
                 self._ig_memo.clear()
                 self._ig_memo_nodes = 0
+                self._c_ig_clears.inc()
             self._ig_memo[digest] = ig
             self._ig_memo_nodes += ig.n
 
@@ -531,6 +725,7 @@ class ScheduleService:
         with self._lock:
             if len(self._fp_memo) >= self._fp_memo_size:
                 self._fp_memo.clear()
+                self._c_fp_clears.inc()
             self._fp_memo[digest] = fp
         if self.use_ingest:
             self._remember_ig(digest, graph)
@@ -563,11 +758,11 @@ class ScheduleService:
         )
         if mapping is None:
             return None
-        with self._lock:
-            self.remapped += 1
+        self._c_remapped.inc()
         return _remap_entry(entry, mapping, digest, graph_doc)
 
-    def _schedule(self, doc: dict, slots, digest_hint: str | None = None) -> dict:
+    def _schedule(self, doc: dict, slots, digest_hint: str | None = None,
+                  span=NULL_SPAN) -> dict:
         t0 = time.perf_counter()
         graph_doc = doc["graph"]
         num_pes = int(doc["num_pes"])
@@ -576,21 +771,23 @@ class ScheduleService:
         budget_ms = doc.get("budget_ms")
         no_cache = bool(doc.get("no_cache", False))
 
-        graph, fp, digest = self._fingerprint(graph_doc, digest_hint)
-        key = request_key(fp, num_pes, objective, schedulers)
+        with span.phase("fingerprint"):
+            graph, fp, digest = self._fingerprint(graph_doc, digest_hint)
+            key = request_key(fp, num_pes, objective, schedulers)
 
         def compute() -> dict:
             return self._compute(
                 slots, graph, graph_doc, digest, fp, key, num_pes,
-                objective, schedulers, budget_ms,
+                objective, schedulers, budget_ms, span,
             )
 
         def adapt(entry: dict) -> dict | None:
             return self._adapt(entry, digest, graph, graph_doc)
 
-        return self._serve_keyed(key, no_cache, compute, adapt, t0)
+        return self._serve_keyed(key, no_cache, compute, adapt, t0, span)
 
-    def _simulate(self, doc: dict, slots, digest_hint: str | None = None) -> dict:
+    def _simulate(self, doc: dict, slots, digest_hint: str | None = None,
+                  span=NULL_SPAN) -> dict:
         t0 = time.perf_counter()
         graph_doc = doc["graph"]
         num_pes = int(doc["num_pes"])
@@ -626,14 +823,15 @@ class ScheduleService:
             if capacity < 1:
                 return self._error("FIFO capacity must be at least 1")
 
-        graph, fp, digest = self._fingerprint(graph_doc, digest_hint)
-        key = simulate_request_key(fp, num_pes, scheduler, policy, pacing,
-                                   capacity)
+        with span.phase("fingerprint"):
+            graph, fp, digest = self._fingerprint(graph_doc, digest_hint)
+            key = simulate_request_key(fp, num_pes, scheduler, policy,
+                                       pacing, capacity)
 
         def compute() -> dict:
             return self._compute_sim(
                 slots, graph, graph_doc, digest, fp, key, num_pes,
-                scheduler, policy, pacing, capacity, engine,
+                scheduler, policy, pacing, capacity, engine, span,
             )
 
         def adapt(entry: dict) -> dict | None:
@@ -643,23 +841,31 @@ class ScheduleService:
             # isomorphic copy recomputes instead of answering wrongly
             return entry if entry.get("graph_digest") == digest else None
 
-        return self._serve_keyed(key, no_cache, compute, adapt, t0)
+        return self._serve_keyed(key, no_cache, compute, adapt, t0, span)
 
     def _serve_keyed(self, key: str, no_cache: bool, compute, adapt,
-                     t0: float) -> dict:
+                     t0: float, span=NULL_SPAN) -> dict:
         """Cache + single-flight serving discipline shared by the
         ``schedule`` and ``simulate`` ops.
 
         ``compute()`` produces (and caches) a fresh entry; ``adapt``
         makes a cached or coalesced entry answer *this* request, or
         returns ``None`` to force a recompute.
+
+        Phase accounting: the leader's span records the compute phases
+        (parse/portfolio/…); a coalesced follower records only its
+        ``coalesce`` wait and ``adapt`` — so phase histograms count one
+        compute per cold key no matter how many requests it answered.
         """
         if not no_cache and self.cache is not None:
-            hit = self.cache.get(key)
+            with span.phase("cache"):
+                hit = self.cache.get(key)
             if hit is not None:
                 entry, tier = hit
-                served = adapt(entry)
+                with span.phase("adapt"):
+                    served = adapt(entry)
                 if served is not None:
+                    span.annotate(tier=tier)
                     return self._respond(served, tier, t0)
                 return self._respond(compute(), False, t0)
 
@@ -676,30 +882,35 @@ class ScheduleService:
         if not leader:
             # waiting on the leader must not pin a work slot: followers
             # hold nothing while blocked, then adapt the leader's entry
-            flight.event.wait()
-            with self._lock:
-                self.coalesced += 1
+            with span.phase("coalesce"):
+                flight.event.wait()
+            self._c_coalesced.inc()
             response = flight.response
             if response is None or not response.get("ok", False):
                 return self._error("coalesced computation failed")
-            served = adapt(response)
+            with span.phase("adapt"):
+                served = adapt(response)
             if served is None:
                 return self._respond(compute(), False, t0)
+            span.annotate(tier="inflight")
             return self._respond(served, "inflight", t0)
 
         # double-check the cache under leadership: a previous leader may
         # have completed between our miss and taking the in-flight slot
         # (the miss was already counted once — don't count it again)
         if self.cache is not None:
-            hit = self.cache.get(key, count_miss=False)
+            with span.phase("cache"):
+                hit = self.cache.get(key, count_miss=False)
             if hit is not None:
                 entry, tier = hit
                 flight.response = entry
                 with self._lock:
                     self._inflight.pop(key, None)
                 flight.event.set()
-                served = adapt(entry)
+                with span.phase("adapt"):
+                    served = adapt(entry)
                 if served is not None:
+                    span.annotate(tier=tier)
                     return self._respond(served, tier, t0)
                 return self._respond(compute(), False, t0)
 
@@ -718,16 +929,31 @@ class ScheduleService:
 
     def _compute(
         self, slots, graph, graph_doc, digest, fp, key, num_pes,
-        objective, schedulers, budget_ms,
+        objective, schedulers, budget_ms, span=NULL_SPAN,
     ) -> dict:
         budget_s = float(budget_ms) / 1000.0 if budget_ms is not None else None
         with slots:  # the CPU-bound part runs under a work slot
             if graph is None:  # fingerprint came from the memo
-                graph = self._parse_graph(graph_doc, digest=digest)
-            result = run_portfolio(
-                graph, num_pes, objective=objective,
-                schedulers=schedulers, budget_s=budget_s,
-                pool=self.portfolio_pool, graph_doc=dict(graph_doc),
+                with span.phase("parse"):
+                    graph = self._parse_graph(graph_doc, digest=digest)
+            with span.phase("portfolio"):
+                result = run_portfolio(
+                    graph, num_pes, objective=objective,
+                    schedulers=schedulers, budget_s=budget_s,
+                    pool=self.portfolio_pool, graph_doc=dict(graph_doc),
+                    trace_id=span.trace_id or None,
+                )
+        self._c_races.inc()
+        self._c_wins.labels(scheduler=result.winner.name).inc()
+        if result.truncated:
+            self._c_truncated.inc()
+        for c in result.candidates:
+            # candidate timings measured where they ran (possibly a pool
+            # worker process), attached to this request's span
+            span.add_phase(
+                f"cand:{c.name}",
+                wall_ms=1000.0 * c.elapsed,
+                cpu_ms=1000.0 * c.cpu,
             )
         entry = {
             "ok": True,
@@ -749,8 +975,7 @@ class ScheduleService:
             "candidates": [c.to_dict() for c in result.candidates],
             "schedule": result.schedule_doc(),
         }
-        with self._lock:
-            self.computed += 1
+        self._c_computed.inc()
         # a budget-truncated race is not reproducible: never cache it
         if self.cache is not None and not result.truncated:
             self.cache.put(key, entry)
@@ -758,32 +983,35 @@ class ScheduleService:
 
     def _compute_sim(
         self, slots, graph, graph_doc, digest, fp, key, num_pes,
-        scheduler, policy, pacing, capacity, engine,
+        scheduler, policy, pacing, capacity, engine, span=NULL_SPAN,
     ) -> dict:
         from ..core import schedule_streaming
         from ..sim import DeadlockError, simulate_schedule
 
         with slots:  # schedule + simulate both run under a work slot
             if graph is None:  # fingerprint came from the memo
-                graph = self._parse_graph(graph_doc, digest=digest)
-            schedule = schedule_streaming(graph, num_pes, scheduler)
-            try:
-                sim = simulate_schedule(
-                    schedule, policy=policy, pacing=pacing,
-                    capacity_override=capacity, engine=engine,
-                    raise_on_deadlock=True,
-                )
-                deadlocked = False
-                sim_makespan = sim.makespan
-                blocked: list[str] = []
-                channels = len(sim.channel_stats)
-                full: dict[str, tuple[int, int]] = {}
-            except DeadlockError as exc:
-                deadlocked = True
-                sim_makespan = exc.time
-                blocked = exc.blocked
-                channels = len(exc.channels)
-                full = exc.full_channels()
+                with span.phase("parse"):
+                    graph = self._parse_graph(graph_doc, digest=digest)
+            with span.phase("schedule"):
+                schedule = schedule_streaming(graph, num_pes, scheduler)
+            with span.phase("simulate"):
+                try:
+                    sim = simulate_schedule(
+                        schedule, policy=policy, pacing=pacing,
+                        capacity_override=capacity, engine=engine,
+                        raise_on_deadlock=True,
+                    )
+                    deadlocked = False
+                    sim_makespan = sim.makespan
+                    blocked: list[str] = []
+                    channels = len(sim.channel_stats)
+                    full: dict[str, tuple[int, int]] = {}
+                except DeadlockError as exc:
+                    deadlocked = True
+                    sim_makespan = exc.time
+                    blocked = exc.blocked
+                    channels = len(exc.channels)
+                    full = exc.full_channels()
         error_pct = None
         if not deadlocked and sim_makespan > 0:
             error_pct = round(
@@ -819,8 +1047,7 @@ class ScheduleService:
                 for name, (occ, cap) in full.items()
             ],
         }
-        with self._lock:
-            self.simulated += 1
+        self._c_simulated.inc()
         if self.cache is not None:
             self.cache.put(key, entry)
         return entry
@@ -830,19 +1057,19 @@ class ScheduleService:
         response.pop("graph", None)  # the requester already has it
         response["cached"] = tier
         response["elapsed_ms"] = round(1000.0 * (time.perf_counter() - t0), 3)
-        with self._lock:
-            self.served += 1
+        self._c_served.inc()
         return response
 
 
 class _Conn:
     """Per-connection state owned by the event loop."""
 
-    __slots__ = ("sock", "inbuf", "scan", "pending", "outbuf", "events",
-                 "closed", "shutdown_pending")
+    __slots__ = ("sock", "cid", "inbuf", "scan", "pending", "outbuf",
+                 "events", "closed", "shutdown_pending")
 
-    def __init__(self, sock: socket.socket) -> None:
+    def __init__(self, sock: socket.socket, cid: int = 0) -> None:
         self.sock = sock
+        self.cid = cid  #: accept-order id; tags this connection's spans
         self.inbuf = bytearray()
         self.scan = 0  #: offset up to which inbuf holds no newline
         self.pending: deque[_Slot] = deque()
@@ -924,6 +1151,21 @@ class ScheduleServer:
         self._waker_r: socket.socket | None = None
         self._waker_w: socket.socket | None = None
         self._stop = threading.Event()
+        self._conn_seq = 0
+        # server-side instruments live in the service's registry so one
+        # metrics exposition covers the loop and the request path alike
+        reg = service.telemetry.registry
+        self._g_loop_lag = reg.gauge(
+            "server.loop.lag_ms",
+            "busy time of the latest event-loop iteration (ms)",
+        )
+        reg.gauge(
+            "server.connections", "connections currently registered",
+            fn=lambda: len(self._conns),
+        )
+        self._c_accepted = reg.counter(
+            "server.connections.accepted", "connections accepted"
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -1023,7 +1265,9 @@ class ScheduleServer:
         assert sel is not None
         try:
             while not self._stop.is_set():
-                for key, mask in sel.select(0.5):
+                events = sel.select(0.5)
+                busy0 = time.perf_counter()
+                for key, mask in events:
                     data = key.data
                     if data == "listener":
                         self._accept_ready()
@@ -1050,6 +1294,13 @@ class ScheduleServer:
                         conn = self._dirty.popleft()
                     if not conn.closed:
                         self._flush(conn)
+                # loop health: how long this iteration kept the loop
+                # thread busy (and thus every other socket waiting) —
+                # inline fast-path serves and overload-inline slow
+                # requests show up here
+                self._g_loop_lag.set(
+                    1000.0 * (time.perf_counter() - busy0)
+                )
         finally:
             self._teardown()
 
@@ -1089,7 +1340,9 @@ class ScheduleServer:
                 sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             except OSError:
                 pass
-            conn = _Conn(sock)
+            self._conn_seq += 1
+            conn = _Conn(sock, self._conn_seq)
+            self._c_accepted.inc()
             self._conns.add(conn)
             self._selector.register(sock, conn.events, conn)
 
@@ -1169,7 +1422,8 @@ class ScheduleServer:
     def _fill_slow(self, conn: _Conn, slot: _Slot, line: bytes) -> None:
         try:
             data, shutdown = self.service.serve_line_slow(
-                line, self._work_slots, self._shutdown_permitted(conn.sock)
+                line, self._work_slots, self._shutdown_permitted(conn.sock),
+                conn_id=conn.cid,
             )
         except Exception as exc:  # defensive: the service never raises
             data = json.dumps(

@@ -137,6 +137,25 @@ class TestExecutor:
         with pytest.raises(ValueError, match="unknown cell kind"):
             evaluate_cell(CellSpec("t", "nope", "chain", 8, 0, 4, "rlx"))
 
+    def test_cell_timings_feed_the_registry(self, tmp_path):
+        from repro.campaign import ResultStore
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        cells = SMALL.cells(limit=3)
+        store = ResultStore(tmp_path, SMALL.name)
+        execute_cells(cells, workers=0, store=store, registry=registry)
+        execute_cells(cells, workers=0, store=store, registry=registry)
+        snap = registry.snapshot()
+        outcomes = {
+            s["labels"]["outcome"]: s["value"]
+            for s in snap["campaign.cells"]["series"]
+        }
+        assert outcomes == {"computed": 3, "cached": 3}
+        timing = snap["campaign.cell_s"]["series"][0]
+        # only computed cells are timed; store hits do no work
+        assert timing["count"] == 3 and timing["sum"] > 0.0
+
 
 class TestStore:
     def test_cache_hit_on_rerun(self, tmp_path):

@@ -1,0 +1,384 @@
+"""Tests for repro.obs: metrics registry, request spans, telemetry facade."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_MS_BUCKETS,
+    NULL_SPAN,
+    MetricsRegistry,
+    Span,
+    SpanLog,
+    Telemetry,
+    TraceRecorder,
+    get_registry,
+    new_trace_id,
+    set_registry,
+    spans_to_chrome_trace,
+)
+
+
+class TestCounters:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("test.count", "help text")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counters_only_go_up(self):
+        c = MetricsRegistry().counter("test.count")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labeled_children_are_independent_and_memoized(self):
+        c = MetricsRegistry().counter("test.ops", labels=("op",))
+        c.labels(op="a").inc()
+        c.labels(op="a").inc()
+        c.labels(op="b").inc(7)
+        assert c.labels(op="a").value == 2
+        assert c.labels(op="b").value == 7
+        assert c.labels(op="a") is c.labels(op="a")
+
+    def test_label_mismatch_rejected(self):
+        c = MetricsRegistry().counter("test.ops", labels=("op",))
+        with pytest.raises(ValueError):
+            c.labels(nope="x")
+        with pytest.raises(ValueError):
+            c.labels(op="x", extra="y")
+        with pytest.raises(ValueError):
+            c.labels()
+
+    def test_unlabeled_use_of_labeled_family_rejected(self):
+        c = MetricsRegistry().counter("test.ops", labels=("op",))
+        with pytest.raises(ValueError):
+            c.inc()
+
+
+class TestGauges:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("test.depth")
+        g.set(5.0)
+        g.inc(2.0)
+        g.dec(3.0)
+        assert g.value == 4.0
+
+    def test_fn_gauge_samples_at_read_time(self):
+        box = {"v": 1.0}
+        g = MetricsRegistry().gauge("test.live", fn=lambda: box["v"])
+        assert g.value == 1.0
+        box["v"] = 9.5
+        assert g.value == 9.5
+
+    def test_reregistration_refreshes_the_sampler(self):
+        reg = MetricsRegistry()
+        reg.gauge("test.live", fn=lambda: 1.0)
+        g = reg.gauge("test.live", fn=lambda: 2.0)
+        assert g.value == 2.0
+
+
+class TestHistograms:
+    def test_observe_counts_and_sum(self):
+        h = MetricsRegistry().histogram("test.ms", buckets=(1.0, 10.0))
+        for v in (0.5, 0.7, 5.0, 50.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(56.2)
+
+    def test_buckets_are_cumulative_and_inf_equals_count(self):
+        h = MetricsRegistry().histogram("test.ms", buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        shot = h._only().snapshot()
+        buckets = dict(shot["buckets"])
+        assert buckets[1.0] == 1
+        assert buckets[10.0] == 2
+        assert buckets[float("inf")] == shot["count"] == 4
+
+    def test_default_buckets_span_ms_latencies(self):
+        assert DEFAULT_MS_BUCKETS[0] <= 0.1
+        assert DEFAULT_MS_BUCKETS[-1] >= 1000.0
+        assert list(DEFAULT_MS_BUCKETS) == sorted(DEFAULT_MS_BUCKETS)
+
+    def test_needs_at_least_one_bucket(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("test.ms", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x.count", "help")
+        b = reg.counter("x.count")
+        assert a is b
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x.thing")
+        with pytest.raises(ValueError):
+            reg.gauge("x.thing")
+
+    def test_label_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x.thing", labels=("op",))
+        with pytest.raises(ValueError):
+            reg.counter("x.thing", labels=("tier",))
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("a.count").inc(3)
+        reg.histogram("b.ms", labels=("op",)).labels(op="x").observe(2.0)
+        snap = reg.snapshot()
+        assert snap["a.count"]["type"] == "counter"
+        assert snap["a.count"]["series"][0]["value"] == 3
+        series = snap["b.ms"]["series"][0]
+        assert series["labels"] == {"op": "x"}
+        assert series["count"] == 1
+        assert series["buckets"][-1][0] == "+Inf"
+        assert series["buckets"][-1][1] == 1
+
+    def test_render_prometheus_text(self):
+        reg = MetricsRegistry()
+        reg.counter("service.requests", "reqs", labels=("op",)).labels(
+            op="schedule"
+        ).inc(2)
+        reg.histogram("service.request_ms", buckets=(1.0,)).observe(0.5)
+        text = reg.render()
+        assert "# TYPE service_requests counter" in text
+        assert 'service_requests{op="schedule"} 2' in text
+        assert "# TYPE service_request_ms histogram" in text
+        assert 'service_request_ms_bucket{le="1"} 1' in text
+        assert 'service_request_ms_bucket{le="+Inf"} 1' in text
+        assert "service_request_ms_count 1" in text
+        assert text.endswith("\n")
+
+    def test_default_registry_swap(self):
+        mine = MetricsRegistry()
+        previous = set_registry(mine)
+        try:
+            assert get_registry() is mine
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous
+
+    def test_snapshot_consistent_under_concurrent_writes(self):
+        """Histogram snapshots must be internally consistent (+Inf bucket
+        == count) and counters monotonic while writers hammer them."""
+        reg = MetricsRegistry()
+        c = reg.counter("t.count", labels=("op",))
+        h = reg.histogram("t.ms", buckets=(1.0, 10.0))
+        stop = threading.Event()
+
+        def writer():
+            child = c.labels(op="w")
+            while not stop.is_set():
+                child.inc()
+                h.observe(0.5)
+                h.observe(5.0)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            last_count = 0
+            for _ in range(200):
+                snap = reg.snapshot()
+                series = snap["t.ms"]["series"][0]
+                assert series["buckets"][-1][1] == series["count"]
+                counts = [n for _, n in series["buckets"]]
+                assert counts == sorted(counts)  # cumulative
+                total = sum(
+                    s["value"] for s in snap["t.count"]["series"]
+                )
+                assert total >= last_count  # counters never go down
+                last_count = total
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+
+
+class TestSpan:
+    def test_phases_record_wall_and_cpu(self):
+        span = Span("schedule")
+        with span.phase("work"):
+            t0 = time.perf_counter()
+            while time.perf_counter() - t0 < 0.005:
+                pass
+        span.finish("ok")
+        doc = span.to_dict()
+        assert doc["op"] == "schedule"
+        assert doc["meta"]["outcome"] == "ok"
+        (phase,) = doc["phases"]
+        assert phase["phase"] == "work"
+        assert phase["wall_ms"] >= 5.0
+        assert phase["cpu_ms"] is not None
+        assert doc["wall_ms"] >= phase["wall_ms"]
+
+    def test_add_phase_attaches_remote_timings(self):
+        span = Span("schedule")
+        span.add_phase("cand:rlx", wall_ms=12.5, cpu_ms=11.0)
+        span.finish()
+        (phase,) = span.to_dict()["phases"]
+        assert phase["phase"] == "cand:rlx"
+        assert phase["wall_ms"] == 12.5
+        assert phase["cpu_ms"] == 11.0
+
+    def test_finish_is_idempotent(self):
+        recorder = TraceRecorder(8)
+
+        class Sink:
+            def record(self, s):
+                recorder.record(s)
+
+            def observe_phase(self, *a):
+                pass
+
+        span = Span("ping", sink=Sink())
+        span.finish("ok")
+        span.finish("error")
+        assert recorder.recorded == 1
+        assert recorder.last()[0]["meta"]["outcome"] == "ok"
+
+    def test_trace_ids_are_unique(self):
+        assert len({new_trace_id() for _ in range(100)}) == 100
+
+    def test_null_span_is_inert(self):
+        with NULL_SPAN.phase("anything") as s:
+            assert s is NULL_SPAN
+        NULL_SPAN.add_phase("x", wall_ms=1.0)
+        NULL_SPAN.annotate(tier="lru")
+        NULL_SPAN.finish("ok")  # no sink, no error
+
+
+class TestTraceRecorder:
+    def test_ring_is_bounded_oldest_dropped(self):
+        ring = TraceRecorder(capacity=3)
+        for i in range(5):
+            ring.record({"op": f"r{i}"})
+        assert ring.recorded == 5
+        assert len(ring) == 3
+        assert [s["op"] for s in ring.last()] == ["r2", "r3", "r4"]
+        assert [s["op"] for s in ring.last(2)] == ["r3", "r4"]
+
+    def test_span_objects_convert_on_read(self):
+        ring = TraceRecorder(capacity=3)
+        span = Span("schedule")
+        span.finish("ok")
+        ring.record(span)
+        (doc,) = ring.last()
+        assert isinstance(doc, dict) and doc["op"] == "schedule"
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(0)
+
+
+class TestSpanLog:
+    def test_writes_jsonl(self, tmp_path):
+        log = SpanLog(tmp_path)
+        log.write({"op": "a"})
+        log.write({"op": "b"})
+        log.close()
+        (path,) = log.files()
+        lines = path.read_text().splitlines()
+        assert [json.loads(l)["op"] for l in lines] == ["a", "b"]
+
+    def test_rotation_and_prune(self, tmp_path):
+        log = SpanLog(tmp_path, max_bytes=200, max_files=2)
+        for i in range(50):
+            log.write({"op": "x", "pad": "y" * 40, "i": i})
+        log.close()
+        files = log.files()
+        assert len(files) <= 2
+        # the newest file holds the newest spans
+        last = json.loads(files[-1].read_text().splitlines()[-1])
+        assert last["i"] == 49
+
+    def test_append_resumes_highest_index(self, tmp_path):
+        first = SpanLog(tmp_path)
+        first.write({"op": "a"})
+        first.close()
+        second = SpanLog(tmp_path)
+        second.write({"op": "b"})
+        second.close()
+        (path,) = second.files()
+        assert len(path.read_text().splitlines()) == 2
+
+
+class TestChromeTrace:
+    def test_schema(self):
+        span = Span("schedule", tier="lru")
+        with span.phase("cache"):
+            pass
+        span.finish("ok")
+        events = spans_to_chrome_trace([span.to_dict()])
+        assert len(events) == 2
+        top, phase = events
+        assert top["ph"] == "X" and top["name"] == "schedule"
+        assert top["pid"] == 1  # pid 0 is the simulator's
+        assert top["dur"] >= 1 and top["ts"] > 0
+        assert top["args"]["trace_id"]
+        assert top["args"]["tier"] == "lru"
+        assert phase["name"] == "cache" and phase["cat"] == "phase"
+        json.dumps(events)  # loadable by a trace viewer
+
+
+class TestTelemetry:
+    def test_spans_feed_phase_and_request_histograms(self):
+        tel = Telemetry()
+        span = tel.span("schedule")
+        with span.phase("cache"):
+            pass
+        span.finish("ok")
+        snap = tel.registry.snapshot()
+        (series,) = [
+            s for s in snap["service.phase_ms"]["series"]
+            if s["labels"] == {"op": "schedule", "phase": "cache"}
+        ]
+        assert series["count"] == 1
+        (req,) = snap["service.request_ms"]["series"]
+        assert req["labels"] == {"op": "schedule", "outcome": "ok"}
+        assert req["count"] == 1
+        assert tel.recorder.recorded == 1
+
+    def test_observe_phase_children_memoized(self):
+        tel = Telemetry()
+        tel.observe_phase("schedule", "cache", 1.0, 0.5)
+        tel.observe_phase("schedule", "cache", 2.0, 0.5)
+        assert len(tel._phase_children) == 1
+        family = tel.registry.histogram(
+            "service.phase_ms", labels=("op", "phase")
+        )
+        assert family.labels(op="schedule", phase="cache").count == 2
+
+    def test_disabled_telemetry_is_null(self):
+        tel = Telemetry(enabled=False)
+        assert tel.span("schedule") is NULL_SPAN
+        tel.observe_phase("schedule", "cache", 1.0, 0.5)
+        tel.observe_request("schedule", "fastpath", 0.1)
+        assert "service.phase_ms" not in tel.registry.snapshot()
+        assert tel.chrome_trace() == []
+        # counters registered through the registry still work
+        tel.registry.counter("service.served").inc()
+        assert tel.registry.counter("service.served").value == 1
+
+    def test_trace_dir_writes_spans(self, tmp_path):
+        tel = Telemetry(trace_dir=tmp_path)
+        span = tel.span("ping")
+        span.finish("ok")
+        tel.close()
+        (path,) = sorted(tmp_path.glob("spans-*.jsonl"))
+        (line,) = path.read_text().splitlines()
+        assert json.loads(line)["op"] == "ping"
+
+    def test_chrome_trace_last_n(self):
+        tel = Telemetry()
+        for i in range(5):
+            tel.span("ping").finish("ok")
+        events = tel.chrome_trace(2)
+        assert len(events) == 2  # no phases: one slice per span

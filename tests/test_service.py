@@ -1044,3 +1044,239 @@ class TestQuantiles:
         doc = report.to_dict()
         assert doc["bytes_sent"] == report.bytes_sent
         assert doc["wire_bytes_per_s"] > 0
+
+
+class TestServiceTelemetry:
+    """Telemetry threaded through the request path: metrics/trace ops,
+    per-phase histograms, and counter semantics under coalescing."""
+
+    def setup_method(self):
+        self.service = ScheduleService(cache=ScheduleCache(None, capacity=16))
+        self.graph = random_canonical_graph("fft", 8, seed=1)
+        self.doc = {
+            "op": "schedule",
+            "graph": graph_to_dict(self.graph),
+            "num_pes": 8,
+        }
+
+    def test_metrics_op_text_and_snapshot(self):
+        self.service.handle(dict(self.doc))
+        self.service.handle(dict(self.doc))
+        metrics = self.service.handle({"op": "metrics"})
+        assert metrics["ok"] and metrics["telemetry_enabled"]
+        assert "# TYPE service_requests counter" in metrics["text"]
+        assert "# TYPE cache_hits counter" in metrics["text"]
+        snap = metrics["snapshot"]
+        requests = {
+            (s["labels"]["op"], s["labels"]["outcome"]): s["value"]
+            for s in snap["service.requests"]["series"]
+        }
+        assert requests[("schedule", "ok")] == 2
+        wins = sum(s["value"] for s in snap["portfolio.wins"]["series"])
+        assert wins == snap["portfolio.races"]["series"][0]["value"] == 1
+        hits = {
+            s["labels"]["tier"]: s["value"]
+            for s in snap["cache.hits"]["series"]
+        }
+        assert hits.get("lru", 0) == 1
+
+    def test_request_counter_outcomes(self):
+        self.service.handle(dict(self.doc))
+        self.service.handle({"op": "nope"})
+        self.service.handle({"op": "schedule"})  # refused: no graph
+        snap = self.service.handle({"op": "metrics"})["snapshot"]
+        requests = {
+            (s["labels"]["op"], s["labels"]["outcome"]): s["value"]
+            for s in snap["service.requests"]["series"]
+        }
+        assert requests[("schedule", "ok")] == 1
+        assert requests[("schedule", "error")] == 1
+        assert requests[("unknown", "error")] == 1  # bounded cardinality
+
+    def _phase_counts(self, op="schedule"):
+        snap = self.service.handle({"op": "metrics"})["snapshot"]
+        family = snap.get("service.phase_ms", {"series": ()})
+        return {
+            s["labels"]["phase"]: s["count"]
+            for s in family["series"]
+            if s["labels"]["op"] == op
+        }
+
+    def test_coalesced_followers_do_not_double_count_phases(self):
+        line = json.dumps(self.doc).encode()
+        n = 6
+        barrier = threading.Barrier(n)
+
+        def fire():
+            barrier.wait()
+            self.service.serve_line_slow(line)
+
+        threads = [threading.Thread(target=fire) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert self.service.computed == 1
+        phases = self._phase_counts()
+        # compute-side phases belong to the single leader: followers
+        # coalesce or hit the cache, never re-record a portfolio race
+        assert phases["portfolio"] == 1
+        # every request fingerprints and probes the cache for itself
+        assert phases["fingerprint"] == n
+        assert phases["cache"] >= n
+
+    def test_forced_recompute_counts_a_second_race(self):
+        self.service.handle(dict(self.doc))
+        self.service.handle({**self.doc, "no_cache": True})
+        phases = self._phase_counts()
+        assert phases["portfolio"] == 2
+        snap = self.service.handle({"op": "metrics"})["snapshot"]
+        assert snap["portfolio.races"]["series"][0]["value"] == 2
+        assert self.service.computed == 2
+
+    def test_trace_op_returns_spans_and_chrome(self):
+        line = json.dumps(self.doc).encode()
+        self.service.serve_line_slow(line)
+        self.service.serve_line_slow(line)
+        trace = self.service.handle({"op": "trace", "n": 10})
+        assert trace["ok"] and trace["count"] == 2
+        assert trace["recorded"] == 2 and trace["capacity"] >= 10
+        cold, warm = trace["spans"]
+        cold_phases = [p["phase"] for p in cold["phases"]]
+        assert "fingerprint" in cold_phases and "portfolio" in cold_phases
+        assert any(p.startswith("cand:") for p in cold_phases)
+        assert "portfolio" not in [p["phase"] for p in warm["phases"]]
+        assert warm["meta"]["tier"] == "lru"
+        assert all(e["ph"] == "X" and e["pid"] == 1 for e in trace["chrome"])
+        json.dumps(trace["chrome"])  # viewer-loadable
+
+    def test_trace_op_validates_n(self):
+        assert not self.service.handle({"op": "trace", "n": 0})["ok"]
+        assert not self.service.handle({"op": "trace", "n": "x"})["ok"]
+
+    def test_trace_op_errors_when_telemetry_disabled(self):
+        from repro.obs import Telemetry
+
+        service = ScheduleService(
+            cache=ScheduleCache(None, capacity=4),
+            telemetry=Telemetry(enabled=False),
+        )
+        response = service.handle({"op": "trace"})
+        assert not response["ok"] and "disabled" in response["error"]
+        # metrics still answers: the counters stay live without spans
+        metrics = service.handle({"op": "metrics"})
+        assert metrics["ok"] and not metrics["telemetry_enabled"]
+        assert "service.phase_ms" not in metrics["snapshot"]
+
+    def test_stats_reports_wire_memo_and_evictions(self):
+        line = json.dumps(self.doc).encode()
+        self.service.serve_line_slow(line)
+        stats = self.service.handle({"op": "stats"})
+        wm = stats["wire_memo"]
+        assert wm["bytes"] > 0 and wm["budget"] > 0
+        assert wm["occupancy"] == pytest.approx(
+            wm["bytes"] / wm["budget"], abs=5e-5  # reported at 4 decimals
+        )
+        assert wm["lines"] == 1 and wm["clears"] == 0
+        ev = stats["evictions"]
+        assert set(ev) == {
+            "lru", "wire_memo_clears", "fp_memo_clears", "ig_memo_clears"
+        }
+        assert stats["telemetry"] is True
+
+    def test_legacy_counter_attributes_track_registry(self):
+        self.service.handle(dict(self.doc))
+        self.service.handle(dict(self.doc))
+        snap = self.service.handle({"op": "metrics"})["snapshot"]
+        assert self.service.served == snap["service.served"]["series"][0]["value"]
+        assert self.service.computed == 1
+
+    def test_metrics_and_trace_over_the_wire(self, live_server):
+        g = random_canonical_graph("chain", 6, seed=0)
+        with ServiceClient(port=live_server.port) as client:
+            client.schedule(g, 4)
+            client.schedule(g, 4)
+            metrics = client.metrics()
+            assert "service_requests" in metrics["text"]
+            trace = client.trace(n=5)
+            assert trace["count"] >= 1
+            assert trace["chrome"]
+
+    def test_loadgen_error_kind_invariant(self, live_server, monkeypatch):
+        # a pool mixing valid requests with a refused one: the report's
+        # columns must partition the workload exactly
+        from repro.service import loadgen as loadgen_mod
+
+        real_pool = loadgen_mod.build_request_pool
+
+        def mixed_pool(**kwargs):
+            lines = real_pool(**kwargs)
+            bad = json.loads(lines[0])
+            bad["schedulers"] = ["bogus"]
+            return [*lines[:-1], json.dumps(bad).encode() + b"\n"]
+
+        monkeypatch.setattr(loadgen_mod, "build_request_pool", mixed_pool)
+        sent = 24
+        report = run_loadgen(
+            port=live_server.port, requests=sent, workers=2, pool=4, seed=3,
+        )
+        assert report.errors > 0
+        assert report.error_kinds.get("refused") == report.errors
+        assert report.requests + sum(report.error_kinds.values()) == sent
+        assert "errors by kind" in report.table()
+        assert report.to_dict()["error_kinds"] == report.error_kinds
+
+    def test_loadgen_reports_server_phases(self, live_server):
+        report = run_loadgen(
+            port=live_server.port, requests=20, workers=2, pool=3, seed=1,
+        )
+        assert report.server_phases  # telemetry is on by default
+        key = next(iter(report.server_phases))
+        entry = report.server_phases[key]
+        assert entry["count"] >= 1 and entry["total_ms"] >= 0.0
+        assert "server phases" in report.table()
+        assert report.to_dict()["server_phases"] == report.server_phases
+
+
+class TestObservabilityCli:
+    def test_profile_json_export(self, tmp_path, capsys):
+        out = tmp_path / "profile.json"
+        assert main([
+            "profile", "fig10", "--cells", "1", "--limit", "5",
+            "--json", str(out),
+        ]) == 0
+        capsys.readouterr()
+        doc = json.loads(out.read_text())
+        assert doc["scenario"] == "fig10" and doc["cells"] == 1
+        assert doc["total_calls"] > 0
+        assert doc["functions"]
+        row = doc["functions"][0]
+        assert {"function", "ncalls", "tottime_s", "cumtime_s"} <= set(row)
+
+    def test_serve_trace_dir_writes_spans(self, tmp_path):
+        # the serving stack wired exactly the way `repro serve
+        # --trace-dir` assembles it
+        from repro.obs import MetricsRegistry, Telemetry
+
+        trace_dir = tmp_path / "spans"
+        g = random_canonical_graph("chain", 5, seed=0)
+        telemetry = Telemetry(registry=MetricsRegistry(), trace_dir=trace_dir)
+        service = ScheduleService(
+            cache=ScheduleCache(None, capacity=8), telemetry=telemetry
+        )
+        with ScheduleServer(service, port=0, workers=1) as server:
+            with ServiceClient(port=server.port) as client:
+                client.schedule(g, 2)
+                client.schedule(g, 2)  # wire fastpath: no second span
+        telemetry.close()
+        files = sorted(trace_dir.glob("spans-*.jsonl"))
+        assert files
+        spans = [
+            json.loads(line)
+            for path in files
+            for line in path.read_text().splitlines()
+        ]
+        assert spans
+        assert all(s["op"] == "schedule" for s in spans)
+        assert all(s["wall_ms"] > 0 for s in spans)
+        assert all("trace_id" in s for s in spans)
