@@ -47,6 +47,7 @@ ROOT = Path(__file__).resolve().parents[1]
 if str(ROOT / "src") not in sys.path:
     sys.path.insert(0, str(ROOT / "src"))
 
+from history import append_bench_history
 from repro import __version__
 from repro.core import schedule_streaming
 from repro.core.reference import schedule_streaming_reference
@@ -341,6 +342,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="committed baseline JSON to gate against")
     parser.add_argument("--tolerance", type=float, default=1.5,
                         help="max allowed slow-down vs the baseline")
+    parser.add_argument("--history", default="BENCH_history.jsonl",
+                        help="append this run's anchors to the bench "
+                             "history JSONL ('-' disables)")
     args = parser.parse_args(argv)
 
     repeats = args.repeats or (2 if args.smoke else 5)
@@ -399,6 +403,8 @@ def main(argv: list[str] | None = None) -> int:
     }
     Path(args.output).write_text(json.dumps(doc, indent=1) + "\n")
     print(f"[saved to {args.output}]")
+    if append_bench_history(args.history, doc) is not None:
+        print(f"[history appended to {args.history}]")
 
     bad = [r for r in schedule_rows if not r["byte_identical"]]
     if bad:

@@ -24,8 +24,16 @@ improvements against the committed pre-ingest baseline
 ``--telemetry-gate R`` additionally replays the ``fig10`` cache-hit
 workload with telemetry enabled and disabled and fails when the
 off/on throughput ratio exceeds ``R`` (the instrumentation overhead
-budget); ``--artifacts DIR`` dumps each profile's Prometheus metrics
-exposition and chrome-trace span file for CI upload.
+budget); ``--profiler-gate R`` does the same for the continuous
+sampling profiler (profiler-off vs profiler-on at its default rate);
+``--artifacts DIR`` dumps each profile's Prometheus metrics
+exposition and chrome-trace span file for CI upload, and with
+``--profile-hz`` also the sampling profiler's collapsed-stack and
+speedscope documents plus a forced flight-recorder dump.
+
+Every run appends its anchor numbers to ``BENCH_history.jsonl``
+(``--history``, '-' disables) for ``repro bench-report`` trend and
+regression analysis.
 """
 
 from __future__ import annotations
@@ -40,9 +48,10 @@ ROOT = Path(__file__).resolve().parents[1]
 if str(ROOT / "src") not in sys.path:
     sys.path.insert(0, str(ROOT / "src"))
 
+from history import append_bench_history
 from repro import __version__
 from repro.core.tabulate import format_table
-from repro.obs import Telemetry
+from repro.obs import DEFAULT_HZ, FlightRecorder, SamplingProfiler, Telemetry
 from repro.service import (
     ScheduleCache,
     ScheduleServer,
@@ -86,11 +95,19 @@ def check_byte_identity(port: int, scenario: str, pool: int,
 
 def run_profile(name: str, smoke: bool, seed: int = 0,
                 telemetry: bool = True,
-                artifacts_dir: str | None = None) -> dict:
+                artifacts_dir: str | None = None,
+                profile_hz: float = 0.0) -> dict:
     p = PROFILES[name]
     idx = 0 if smoke else 1
     cache = ScheduleCache(None, capacity=4096)  # memory-only: no disk noise
-    service = ScheduleService(cache=cache, telemetry=Telemetry(enabled=telemetry))
+    profiler = None
+    if profile_hz > 0:
+        profiler = SamplingProfiler(hz=profile_hz)
+        profiler.start()
+    service = ScheduleService(cache=cache, telemetry=Telemetry(
+        enabled=telemetry, profiler=profiler,
+        flight=FlightRecorder(dump_dir=artifacts_dir),
+    ))
     with ScheduleServer(service, port=0, workers=p["workers"]) as server:
         common = dict(
             port=server.port, workers=p["workers"], pool=p["pool"],
@@ -115,6 +132,18 @@ def run_profile(name: str, smoke: bool, seed: int = 0,
             (out / f"spans_{name}.trace.json").write_text(
                 json.dumps(service.telemetry.chrome_trace(), indent=1) + "\n"
             )
+            if profiler is not None:
+                profiler.stop()
+                (out / f"profile_{name}.collapsed").write_text(
+                    profiler.collapsed()
+                )
+                (out / f"profile_{name}.speedscope.json").write_text(
+                    json.dumps(profiler.speedscope(name=f"bench_service "
+                                                        f"{name}")) + "\n"
+                )
+            service.telemetry.flight.dump("bench")
+    if profiler is not None:
+        profiler.stop()
     speedup = (
         cached.throughput_rps / no_cache.throughput_rps
         if no_cache.throughput_rps
@@ -131,12 +160,19 @@ def run_profile(name: str, smoke: bool, seed: int = 0,
     }
 
 
-def _cached_rps(telemetry: bool, requests: int, seed: int) -> float:
+def _cached_rps(telemetry: bool, requests: int, seed: int,
+                profile_hz: float = 0.0) -> float:
     """Cache-hit throughput of one fresh ``fig10`` server: warm the
     memo tiers first, then measure only hit-path serving."""
     p = PROFILES["fig10"]
     cache = ScheduleCache(None, capacity=4096)
-    service = ScheduleService(cache=cache, telemetry=Telemetry(enabled=telemetry))
+    profiler = None
+    if profile_hz > 0:
+        profiler = SamplingProfiler(hz=profile_hz)
+        profiler.start()
+    service = ScheduleService(cache=cache, telemetry=Telemetry(
+        enabled=telemetry, profiler=profiler,
+    ))
     with ScheduleServer(service, port=0, workers=p["workers"]) as server:
         common = dict(
             port=server.port, workers=p["workers"], pool=p["pool"],
@@ -145,6 +181,8 @@ def _cached_rps(telemetry: bool, requests: int, seed: int) -> float:
         )
         run_loadgen(**common, requests=max(50, requests // 4))
         report = run_loadgen(**common, requests=requests)
+    if profiler is not None:
+        profiler.stop()
     return report.throughput_rps
 
 
@@ -169,6 +207,34 @@ def measure_telemetry_overhead(smoke: bool, seed: int, reps: int = 3) -> dict:
     return {
         "cached_rps_on": rps_on,
         "cached_rps_off": rps_off,
+        "reps": max(1, reps),
+        "requests": requests,
+        "overhead_ratio": round(rps_off / rps_on, 4) if rps_on else None,
+    }
+
+
+def measure_profiler_overhead(smoke: bool, seed: int, reps: int = 3,
+                              hz: float = DEFAULT_HZ) -> dict:
+    """Cache-hit throughput with the sampling profiler off vs on.
+
+    Same interleaved best-of-N protocol as the telemetry overhead
+    measurement (telemetry stays on in both modes — the profiler rides
+    on top of it in production).  Reports ``rps_off / rps_on``; >1
+    means sampling cost throughput.
+    """
+    requests = 600 if smoke else 1500
+    best = {True: 0.0, False: 0.0}
+    for _ in range(max(1, reps)):
+        for profiled in (True, False):
+            rps = _cached_rps(
+                True, requests, seed, profile_hz=hz if profiled else 0.0
+            )
+            best[profiled] = max(best[profiled], rps)
+    rps_on, rps_off = best[True], best[False]
+    return {
+        "cached_rps_on": rps_on,
+        "cached_rps_off": rps_off,
+        "hz": hz,
         "reps": max(1, reps),
         "requests": requests,
         "overhead_ratio": round(rps_off / rps_on, 4) if rps_on else None,
@@ -213,16 +279,30 @@ def main(argv: list[str] | None = None) -> int:
                         help="also measure telemetry-on vs telemetry-off "
                              "cached throughput and fail if the off/on "
                              "ratio exceeds this (e.g. 1.10)")
+    parser.add_argument("--profiler-gate", type=float, default=None,
+                        help="also measure profiler-off vs profiler-on "
+                             "cached throughput (profiler at its default "
+                             "rate) and fail if the off/on ratio exceeds "
+                             "this (e.g. 1.10)")
+    parser.add_argument("--profile-hz", type=float, default=0.0,
+                        help="attach a sampling profiler to each profile "
+                             "run; with --artifacts its collapsed-stack "
+                             "and speedscope documents are written there")
+    parser.add_argument("--history", default="BENCH_history.jsonl",
+                        help="append this run's anchors to the bench "
+                             "history JSONL ('-' disables)")
     parser.add_argument("--artifacts", default=None,
                         help="write per-profile metrics expositions "
-                             "(*.prom) and span dumps (*.trace.json) into "
+                             "(*.prom), span dumps (*.trace.json), "
+                             "profiler documents and a flight dump into "
                              "this directory")
     args = parser.parse_args(argv)
 
     names = list(PROFILES) if args.profile == "all" else [args.profile]
     results = {
         name: run_profile(name, args.smoke, args.seed,
-                          artifacts_dir=args.artifacts)
+                          artifacts_dir=args.artifacts,
+                          profile_hz=args.profile_hz)
         for name in names
     }
 
@@ -262,6 +342,18 @@ def main(argv: list[str] | None = None) -> int:
             f"gate {args.telemetry_gate:.2f})"
         )
 
+    profiler_overhead = None
+    if args.profiler_gate is not None:
+        profiler_overhead = measure_profiler_overhead(args.smoke, args.seed)
+        profiler_overhead["gate"] = args.profiler_gate
+        print(
+            f"profiler overhead ({profiler_overhead['hz']:g} Hz): "
+            f"{profiler_overhead['cached_rps_on']:.1f} req/s on vs "
+            f"{profiler_overhead['cached_rps_off']:.1f} req/s off "
+            f"(off/on ratio {profiler_overhead['overhead_ratio']:.3f}, "
+            f"gate {args.profiler_gate:.2f})"
+        )
+
     doc = {
         "benchmark": "service",
         "version": __version__,
@@ -270,9 +362,13 @@ def main(argv: list[str] | None = None) -> int:
                    "profiles": names},
         "profiles": results,
         "telemetry_overhead": overhead,
+        "profiler_overhead": profiler_overhead,
     }
     Path(args.output).write_text(json.dumps(doc, indent=1) + "\n")
     print(f"[saved to {args.output}]")
+    record = append_bench_history(args.history, doc)
+    if record is not None:
+        print(f"[history appended to {args.history}]")
 
     bad = [n for n, r in results.items() if not r["byte_identical"]]
     if bad:
@@ -296,6 +392,17 @@ def main(argv: list[str] | None = None) -> int:
             f"FAIL: telemetry overhead ratio "
             f"{overhead['overhead_ratio']:.3f} exceeds the gate "
             f"{args.telemetry_gate:.2f}", file=sys.stderr,
+        )
+        return 1
+    if (
+        profiler_overhead is not None
+        and profiler_overhead["overhead_ratio"] is not None
+        and profiler_overhead["overhead_ratio"] > args.profiler_gate
+    ):
+        print(
+            f"FAIL: profiler overhead ratio "
+            f"{profiler_overhead['overhead_ratio']:.3f} exceeds the gate "
+            f"{args.profiler_gate:.2f}", file=sys.stderr,
         )
         return 1
     return 0

@@ -39,6 +39,7 @@ ROOT = Path(__file__).resolve().parents[1]
 if str(ROOT / "src") not in sys.path:
     sys.path.insert(0, str(ROOT / "src"))
 
+from history import append_bench_history
 from repro import __version__
 from repro.core import schedule_streaming, total_work
 from repro.core.tabulate import format_table
@@ -181,6 +182,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-anchor-speedup", type=float, default=5.0,
                         help="hard floor on the layered-1k speedup "
                              "(the PR acceptance anchor)")
+    parser.add_argument("--history", default="BENCH_history.jsonl",
+                        help="append this run's anchors to the bench "
+                             "history JSONL ('-' disables)")
     args = parser.parse_args(argv)
 
     repeats = args.repeats or (2 if args.smoke else 3)
@@ -219,6 +223,8 @@ def main(argv: list[str] | None = None) -> int:
     }
     Path(args.output).write_text(json.dumps(doc, indent=1) + "\n")
     print(f"[saved to {args.output}]")
+    if append_bench_history(args.history, doc) is not None:
+        print(f"[history appended to {args.history}]")
 
     bad = [r for r in validation + deadlock if not r["identical"]]
     if bad:

@@ -21,7 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from ..obs import MetricsRegistry, get_registry
+from ..obs import MetricsRegistry, SamplingProfiler, get_registry
 from .cells import evaluate_cell
 from .spec import CellResult, CellSpec
 from .store import ResultStore
@@ -46,6 +46,9 @@ class ExecutionReport:
     workers: int = 0  #: worker processes requested (0 = in-process serial)
     worker_pids: set[int] = field(default_factory=set)
     elapsed: float = 0.0
+    #: sampling-profiler aggregate of the execution (``profile_hz``
+    #: runs); None when no profiler was attached
+    profile: dict | None = None
 
     @property
     def total(self) -> int:
@@ -83,6 +86,7 @@ def execute_cells(
     chunksize: int | None = None,
     on_result: Callable[[CellResult], None] | None = None,
     registry: MetricsRegistry | None = None,
+    profile_hz: float = 0.0,
 ) -> ExecutionReport:
     """Evaluate every cell, reusing stored results unless ``force``.
 
@@ -95,8 +99,17 @@ def execute_cells(
     service share a single ``metrics`` exposition): ``campaign.cells``
     counts cells per outcome (computed/cached), ``campaign.cell_s``
     histograms the evaluation time measured where the cell ran.
+
+    ``profile_hz > 0`` attaches a continuous sampling profiler
+    (:class:`repro.obs.SamplingProfiler`) for the duration of the
+    execution and ships its aggregate as ``report.profile`` — note
+    that with worker *processes* only the parent's dispatch/IPC side
+    is sampled (the sampler sees this process's threads).
     """
     t_start = time.perf_counter()
+    profiler = SamplingProfiler(hz=profile_hz) if profile_hz > 0 else None
+    if profiler is not None:
+        profiler.start()
     reg = registry if registry is not None else get_registry()
     c_cells = reg.counter(
         "campaign.cells", "campaign cells, per outcome", labels=("outcome",)
@@ -150,4 +163,12 @@ def execute_cells(
     # input order, not completion order: aggregation output stays stable
     report.results = [by_spec[spec] for spec in cells]
     report.elapsed = time.perf_counter() - t_start
+    if profiler is not None:
+        profiler.stop()
+        report.profile = {
+            **profiler.snapshot(),
+            "top_functions": profiler.top_functions(10),
+            "top_stacks": profiler.top_stacks(5),
+            "collapsed": profiler.collapsed(),
+        }
     return report

@@ -64,19 +64,25 @@ def run_campaign(
     store_dir: str | Path | None = None,
     use_store: bool = True,
     force: bool = False,
+    profile_hz: float = 0.0,
 ) -> CampaignRun:
     """Execute a (possibly cached) campaign for one scenario.
 
     ``workers <= 1`` runs serially; ``limit`` caps the number of cells
     (smoke runs); ``force`` recomputes even stored cells.  With
     ``use_store=False`` nothing is read from or written to disk.
+    ``profile_hz > 0`` attaches a sampling profiler to the execution
+    (``run.report.profile`` carries the aggregate).
     """
     scn = _as_scenario(scenario)
     cells = scn.cells(num_graphs=num_graphs, limit=limit)
     store = None
     if use_store:
         store = ResultStore(store_dir or default_store_dir(), scn.name)
-    report = execute_cells(cells, workers=workers, store=store, force=force)
+    report = execute_cells(
+        cells, workers=workers, store=store, force=force,
+        profile_hz=profile_hz,
+    )
     return CampaignRun(scn, report, store.path if store else None)
 
 

@@ -12,6 +12,10 @@ Commands
 ``serve``       run the scheduling service (JSON-lines TCP)
 ``request``     submit one graph to a running service
 ``loadgen``     drive a running service with Zipf-skewed traffic
+``metrics``     fetch a running service's Prometheus metrics
+``trace``       fetch a running service's recent request spans
+``top``         live terminal dashboard over a running service
+``bench-report``  bench-history trends and regression verdicts
 """
 
 from __future__ import annotations
@@ -148,6 +152,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     crun.add_argument("--csv", help="export per-cell metrics as CSV here")
     crun.add_argument("--json", dest="json_out", help="export results as JSON here")
+    crun.add_argument(
+        "--profile-hz", type=float, default=0.0,
+        help="attach a continuous sampling profiler at this rate and "
+             "print the hottest functions after the run (0 = off)",
+    )
 
     csub.add_parser("list", help="list registered scenarios")
 
@@ -199,6 +208,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-telemetry", action="store_true",
         help="disable request spans and latency histograms (the stats "
              "counters stay live); metrics/trace ops degrade accordingly",
+    )
+    srv.add_argument(
+        "--profile-hz", type=float, default=0.0,
+        help="run a continuous sampling profiler at this rate and serve "
+             "its aggregate through the profile op (0 = off)",
+    )
+    srv.add_argument(
+        "--flight-dir", default=None,
+        help="dump the flight-recorder ring as JSONL into this directory "
+             "on deadlock/transport-error/slow-request triggers",
+    )
+    srv.add_argument(
+        "--slow-ms", type=float, default=None,
+        help="record a slow_request flight event (and trigger a flight "
+             "dump) for requests slower than this wall time",
     )
 
     req = sub.add_parser("request", help="submit one graph to a service")
@@ -259,7 +283,84 @@ def build_parser() -> argparse.ArgumentParser:
     lg.add_argument("--port", type=int, default=DEFAULT_PORT)
     lg.add_argument("--csv", help="write per-request latencies as CSV here")
     lg.add_argument("--json", dest="json_out", help="write the report JSON here")
+    lg.add_argument(
+        "--max-error-rate", type=float, default=0.0,
+        help="tolerated error ratio (errors / attempted requests) before "
+             "the exit code turns non-zero (default 0: any error fails)",
+    )
+
+    def _observer(name: str, help_text: str) -> argparse.ArgumentParser:
+        ob = sub.add_parser(name, help=help_text)
+        ob.add_argument(
+            "target", nargs="?", default=f"127.0.0.1:{DEFAULT_PORT}",
+            help="service address as host:port (or just a port)",
+        )
+        return ob
+
+    met = _observer("metrics", "fetch a service's Prometheus metrics")
+    met.add_argument(
+        "--json", dest="json_out", action="store_true",
+        help="print the structured snapshot instead of the text exposition",
+    )
+
+    trc = _observer("trace", "fetch a service's recent request spans")
+    trc.add_argument("-n", type=int, default=20, help="spans to fetch")
+    trc.add_argument(
+        "--json", dest="json_out", action="store_true",
+        help="print raw span JSON lines instead of the table",
+    )
+
+    top = _observer("top", "live terminal dashboard over a service")
+    top.add_argument(
+        "--interval", type=float, default=1.0, help="refresh period (s)"
+    )
+    top.add_argument(
+        "--iterations", type=int, default=None,
+        help="stop after this many frames (default: run until ^C)",
+    )
+
+    brep = sub.add_parser(
+        "bench-report", help="bench-history trends and regression verdicts"
+    )
+    brep.add_argument(
+        "--history", default="BENCH_history.jsonl",
+        help="bench-history JSONL path",
+    )
+    brep.add_argument(
+        "--bench", default=None, help="restrict to one bench name"
+    )
+    brep.add_argument(
+        "--last", type=int, default=10, help="rows in the trend table"
+    )
+    brep.add_argument(
+        "--window", type=int, default=5,
+        help="prior records forming the regression median",
+    )
+    brep.add_argument(
+        "--gate", type=float, default=1.10,
+        help="worst acceptable newest-vs-median ratio (>1 means worse)",
+    )
+    brep.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero when any metric regresses past the gate",
+    )
+    brep.add_argument(
+        "--json", dest="json_out", action="store_true",
+        help="print the verdicts as JSON instead of tables",
+    )
     return p
+
+
+def _parse_target(target: str) -> tuple[str, int]:
+    """``host:port``, bare ``host``, or bare ``port`` → (host, port)."""
+    from .service.server import DEFAULT_PORT
+
+    host, _, port = target.rpartition(":")
+    if not host:  # no colon: a bare port number or a bare host
+        if port.isdigit():
+            return "127.0.0.1", int(port)
+        return port, DEFAULT_PORT
+    return host, int(port)
 
 
 def _cmd_generate(args) -> int:
@@ -475,11 +576,20 @@ def _cmd_campaign(args) -> int:
             store_dir=args.store,
             use_store=not args.no_store,
             force=args.force,
+            profile_hz=args.profile_hz,
         )
         print(f"campaign {scenario.name}: {run.report.summary()}")
         if run.store_path is not None:
             print(f"store: {run.store_path}")
         print(render_report(scenario, run.results))
+        profile = run.report.profile
+        if profile:
+            print(
+                f"profiler ({profile['hz']:g} Hz): {profile['samples']} "
+                f"samples over {profile['elapsed_s']:.2f}s"
+            )
+            for entry in profile.get("top_functions", []):
+                print(f"  {100.0 * entry['share']:5.1f}%  {entry['function']}")
         _export(scenario, run.results)
         return 0
 
@@ -507,7 +617,7 @@ def _cmd_campaign(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from .obs import Telemetry, get_registry
+    from .obs import FlightRecorder, SamplingProfiler, Telemetry, get_registry
     from .service import (
         SCHEDULE_KEY_VERSION,
         ScheduleCache,
@@ -538,6 +648,10 @@ def _cmd_serve(args) -> int:
         )
         tier = path if path else "memory-only"
         print(f"schedule cache: {tier} ({len(cache)} stored entries)")
+    profiler = None
+    if args.profile_hz > 0:
+        profiler = SamplingProfiler(hz=args.profile_hz)
+        profiler.start()
     # the served process binds its instruments into the process-wide
     # registry, so anything else living in this process (an embedded
     # campaign run, custom gauges) shares the one metrics exposition
@@ -545,6 +659,9 @@ def _cmd_serve(args) -> int:
         registry=get_registry(),
         enabled=not args.no_telemetry,
         trace_dir=args.trace_dir,
+        flight=FlightRecorder(dump_dir=args.flight_dir),
+        profiler=profiler,
+        slow_request_ms=args.slow_ms,
     )
     service = ScheduleService(
         cache=cache, portfolio_workers=args.portfolio_workers,
@@ -557,6 +674,12 @@ def _cmd_serve(args) -> int:
         print("telemetry disabled: no request spans or latency histograms")
     elif args.trace_dir:
         print(f"request spans: rotating JSONL under {args.trace_dir}/")
+    if profiler is not None:
+        print(f"sampling profiler: {args.profile_hz:g} Hz (profile op live)")
+    if args.flight_dir:
+        print(f"flight dumps: JSONL under {args.flight_dir}/")
+    if args.slow_ms is not None:
+        print(f"slow-request threshold: {args.slow_ms:g} ms")
     if service.portfolio_pool is not None:
         print(f"portfolio pool: {args.portfolio_workers} worker processes")
     server = ScheduleServer(
@@ -711,7 +834,127 @@ def _cmd_loadgen(args) -> int:
         with open(args.json_out, "w") as fh:
             json.dump(report.to_dict(), fh, indent=1)
         print(f"report written to {args.json_out}")
-    return 1 if report.errors else 0
+    attempted = report.requests + report.errors
+    rate = report.errors / attempted if attempted else 0.0
+    if rate > args.max_error_rate:
+        print(
+            f"error rate {100 * rate:.2f}% exceeds the "
+            f"--max-error-rate {100 * args.max_error_rate:.2f}% gate",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from .service import ServiceClient
+
+    host, port = _parse_target(args.target)
+    try:
+        with ServiceClient(host, port) as client:
+            response = client.metrics()
+    except OSError as exc:
+        print(f"cannot reach service at {host}:{port}: {exc}", file=sys.stderr)
+        return 1
+    if args.json_out:
+        json.dump(response.get("snapshot") or {}, sys.stdout, indent=1)
+        print()
+    else:
+        sys.stdout.write(response.get("text") or "")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .core.tabulate import format_table
+    from .service import ServiceClient
+
+    host, port = _parse_target(args.target)
+    try:
+        with ServiceClient(host, port) as client:
+            response = client.trace(n=args.n)
+    except OSError as exc:
+        print(f"cannot reach service at {host}:{port}: {exc}", file=sys.stderr)
+        return 1
+    spans = response.get("spans") or []
+    if args.json_out:
+        for span in spans:
+            print(json.dumps(span, sort_keys=True))
+        return 0
+    print(
+        f"{len(spans)} spans shown of {response.get('recorded', 0)} recorded "
+        f"(ring capacity {response.get('capacity', 0)})"
+    )
+    rows = []
+    for span in spans:
+        meta = span.get("meta") or {}
+        rows.append([
+            span.get("trace_id", ""),
+            span.get("op", ""),
+            meta.get("outcome", "?"),
+            meta.get("tier") or "-",
+            f"{span.get('wall_ms') or 0.0:10.2f}",
+        ])
+    if rows:
+        print(format_table(["trace_id", "op", "outcome", "tier", "ms"], rows))
+    return 0
+
+
+def _cmd_top(args) -> int:
+    from .service import run_top
+
+    host, port = _parse_target(args.target)
+    return run_top(
+        host, port, interval=args.interval, iterations=args.iterations
+    )
+
+
+def _cmd_bench_report(args) -> int:
+    from .obs.benchhist import (
+        load_history,
+        regression_verdict,
+        render_history,
+    )
+
+    records = load_history(args.history, bench=args.bench)
+    if not records:
+        where = f" for bench {args.bench!r}" if args.bench else ""
+        print(f"no history records in {args.history}{where}", file=sys.stderr)
+        return 1
+    benches = sorted({r["bench"] for r in records})
+    verdicts = {}
+    regressed = False
+    for bench in benches:
+        bench_records = [r for r in records if r["bench"] == bench]
+        verdict = regression_verdict(
+            bench_records, last_k=args.window, gate=args.gate
+        )
+        verdicts[bench] = verdict
+        regressed = regressed or verdict["status"] == "regression"
+        if args.json_out:
+            continue
+        print(f"bench {bench}: {len(bench_records)} records")
+        print(render_history(bench_records, last=args.last))
+        if verdict["status"] == "insufficient-history":
+            print("verdict: insufficient history (need 2+ records)")
+        else:
+            for name, m in sorted(verdict["metrics"].items()):
+                if m.get("ratio") is None:
+                    print(f"  {name}: {m['value']:g} (no prior runs)")
+                    continue
+                flag = "REGRESSED" if m["regressed"] else "ok"
+                print(
+                    f"  {name}: {m['value']:g} vs median {m['median_prior']:g} "
+                    f"over {m['n_prior']} prior ({m['direction']} is better, "
+                    f"ratio {m['ratio']:.3f}) — {flag}"
+                )
+            print(f"verdict: {verdict['status']} (gate {args.gate:g})")
+        print()
+    if args.json_out:
+        json.dump(verdicts, sys.stdout, indent=1, sort_keys=True)
+        print()
+    if regressed and args.check:
+        return 1
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -727,6 +970,10 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "request": _cmd_request,
         "loadgen": _cmd_loadgen,
+        "metrics": _cmd_metrics,
+        "trace": _cmd_trace,
+        "top": _cmd_top,
+        "bench-report": _cmd_bench_report,
     }
     try:
         return handlers[args.command](args)

@@ -1,6 +1,6 @@
-"""repro.obs — end-to-end telemetry for the serving and scheduling stack.
+"""repro.obs — end-to-end telemetry and diagnosis for the serving stack.
 
-Three layers, all stdlib-only:
+Five layers, all stdlib-only:
 
 * :mod:`~repro.obs.metrics` — a process-wide registry of named
   instruments (monotonic counters, gauges, fixed-bucket histograms;
@@ -16,11 +16,26 @@ Three layers, all stdlib-only:
   phase timed in wall *and* CPU ms; completed spans land in a bounded
   ring and optionally in a rotating JSONL log, exportable as
   chrome-trace JSON in the simulator's schema.
+* :mod:`~repro.obs.profiler` — a continuous sampling profiler: a
+  background thread folding every live thread's stack into aggregated
+  collapsed stacks at a fixed rate, exported as flamegraph collapsed
+  text or speedscope JSON (``repro serve --profile-hz``, the
+  ``profile`` op, campaign/bench attachment points).
+* :mod:`~repro.obs.flight` — a flight recorder: a bounded, lock-cheap
+  ring of structured service events (admitted/refused requests, cache
+  tier transitions, coalescing, dispatch, evictions, deadlocks, slow
+  requests, transport errors) with rate-limited dump-to-JSONL on
+  failure triggers (``repro serve --flight-dir``, the ``flight`` op).
 * :class:`Telemetry` — the facade the service stack holds: one
-  registry, one span ring, an optional span log, and the phase/request
-  histograms spans feed.  ``enabled=False`` (``repro serve
-  --no-telemetry``) turns spans and histograms into no-ops while the
-  registry counters (which the ``stats`` op is built from) stay live.
+  registry, one span ring, an optional span log, one flight ring, an
+  optional profiler, and the phase/request histograms spans feed.
+  ``enabled=False`` (``repro serve --no-telemetry``) turns spans and
+  histograms into no-ops while the registry counters (which the
+  ``stats`` op is built from) and the flight ring stay live.
+
+(:mod:`~repro.obs.benchhist` — bench-history records and regression
+verdicts for ``repro bench-report`` — lives here too, sharing the
+stdlib-only discipline.)
 
 Instrument naming scheme (canonical dotted names; Prometheus exposition
 rewrites dots to underscores):
@@ -45,6 +60,7 @@ rewrites dots to underscores):
 
 from __future__ import annotations
 
+from .flight import FlightRecorder
 from .metrics import (
     DEFAULT_MS_BUCKETS,
     Counter,
@@ -54,6 +70,7 @@ from .metrics import (
     get_registry,
     set_registry,
 )
+from .profiler import DEFAULT_HZ, SamplingProfiler
 from .tracing import (
     NULL_SPAN,
     Span,
@@ -69,6 +86,9 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_MS_BUCKETS",
+    "DEFAULT_HZ",
+    "FlightRecorder",
+    "SamplingProfiler",
     "get_registry",
     "set_registry",
     "Span",
@@ -99,11 +119,24 @@ class Telemetry:
         enabled: bool = True,
         trace_capacity: int = 512,
         trace_dir=None,
+        flight: FlightRecorder | None = None,
+        profiler: SamplingProfiler | None = None,
+        slow_request_ms: float | None = None,
     ) -> None:
         self.enabled = enabled
         self.registry = registry if registry is not None else MetricsRegistry()
         self.recorder = TraceRecorder(trace_capacity)
         self.span_log = SpanLog(trace_dir) if trace_dir else None
+        #: the flight-recorder ring is always live (recording is a dict
+        #: build + an atomic deque append); automatic dumps engage only
+        #: when the recorder has a dump directory (`serve --flight-dir`)
+        self.flight = flight if flight is not None else FlightRecorder()
+        #: optional continuous sampling profiler (`serve --profile-hz`);
+        #: the holder starts it — construction must stay side-effect-free
+        self.profiler = profiler
+        #: requests slower than this record a flight event and trigger a
+        #: rate-limited dump (None disables the slow-request trigger)
+        self.slow_request_ms = slow_request_ms
         if enabled:
             self._phase_ms = self.registry.histogram(
                 "service.phase_ms", "per-phase wall time (ms)",
@@ -161,13 +194,25 @@ class Telemetry:
             self._request_child(op, outcome).observe(wall_ms)
 
     def record(self, span: Span) -> None:
-        """Span-finish callback: ring, rotating log, latency histogram."""
+        """Span-finish callback: ring, rotating log, latency histogram,
+        and the slow-request flight trigger."""
         self.recorder.record(span)
         if self.span_log is not None:
             self.span_log.write(span.to_dict())
         if self._request_ms is not None and span.wall_ms is not None:
             outcome = span.meta.get("outcome", "ok")
             self._request_child(span.op, outcome).observe(span.wall_ms)
+        if (
+            self.slow_request_ms is not None
+            and span.wall_ms is not None
+            and span.wall_ms > self.slow_request_ms
+        ):
+            self.flight.record(
+                "slow_request", op=span.op, trace_id=span.trace_id,
+                wall_ms=round(span.wall_ms, 3),
+                threshold_ms=self.slow_request_ms,
+            )
+            self.flight.maybe_dump("slow_request")
 
     def chrome_trace(self, n: int | None = None) -> list[dict]:
         """The last ``n`` spans as chrome trace events."""
@@ -176,3 +221,5 @@ class Telemetry:
     def close(self) -> None:
         if self.span_log is not None:
             self.span_log.close()
+        if self.profiler is not None:
+            self.profiler.stop()

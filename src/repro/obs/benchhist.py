@@ -1,0 +1,217 @@
+"""Bench history: schema-versioned run records + regression verdicts.
+
+``BENCH_*.json`` is overwritten on every run, so the measured
+performance *trajectory* used to be empty — a slow regression that
+stays inside the committed smoke baseline's tolerance is invisible.
+This module gives every benchmark run a durable, append-only record:
+
+* :func:`append_record` appends one JSONL record — schema version,
+  bench name, timestamp, git revision, a ``{metric: {value, direction,
+  unit}}`` map and free-form metadata — to ``BENCH_history.jsonl``;
+* :func:`load_history` reads the file back, skipping torn or
+  foreign-schema lines, optionally filtered to one bench;
+* :func:`regression_verdict` compares the newest record against the
+  **median of the previous K** runs per metric, direction-aware
+  (``higher`` is better for throughput, ``lower`` for latency), and
+  fails only when the worse-ness ratio exceeds a gate — median-of-K is
+  robust to a single noisy historical run in a way "compare to the
+  last run" is not;
+* :func:`render_history` renders the trend table ``repro bench-report``
+  prints.
+
+The record schema is versioned (:data:`HISTORY_SCHEMA`) so a future
+layout change can coexist in one file: readers skip records whose
+schema they do not understand instead of crashing on them.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import subprocess
+import time
+from pathlib import Path
+
+__all__ = [
+    "HISTORY_SCHEMA",
+    "append_record",
+    "load_history",
+    "regression_verdict",
+    "render_history",
+    "current_git_rev",
+]
+
+HISTORY_SCHEMA = 1
+
+#: metric directions: which way is better
+_DIRECTIONS = ("higher", "lower")
+
+
+def current_git_rev() -> str | None:
+    """The working tree's HEAD commit (short), or None outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def append_record(
+    path: str | Path,
+    bench: str,
+    metrics: dict[str, dict],
+    meta: dict | None = None,
+) -> dict:
+    """Append one run record; returns the record written.
+
+    ``metrics`` maps metric name to ``{"value": float, "direction":
+    "higher"|"lower", "unit": str}`` — direction rides in the record so
+    the verdict never has to guess which way a metric improves.
+    """
+    for name, m in metrics.items():
+        if m.get("direction") not in _DIRECTIONS:
+            raise ValueError(
+                f"metric {name!r} needs direction in {_DIRECTIONS}, "
+                f"got {m.get('direction')!r}"
+            )
+        float(m["value"])  # must be numeric
+    record = {
+        "schema": HISTORY_SCHEMA,
+        "bench": bench,
+        "ts": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "git_rev": current_git_rev(),
+        "metrics": {
+            name: {
+                "value": float(m["value"]),
+                "direction": m["direction"],
+                **({"unit": m["unit"]} if m.get("unit") else {}),
+            }
+            for name, m in metrics.items()
+        },
+        **({"meta": meta} if meta else {}),
+    }
+    path = Path(path)
+    if path.parent != Path("."):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return record
+
+
+def load_history(path: str | Path, bench: str | None = None) -> list[dict]:
+    """Records from ``path`` in file (= chronological) order.
+
+    Torn lines and records of an unknown schema are skipped, not
+    fatal — the history file outlives code revisions by design.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    records: list[dict] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except ValueError:
+                continue
+            if (
+                not isinstance(doc, dict)
+                or doc.get("schema") != HISTORY_SCHEMA
+                or not isinstance(doc.get("metrics"), dict)
+            ):
+                continue
+            if bench is not None and doc.get("bench") != bench:
+                continue
+            records.append(doc)
+    return records
+
+
+def regression_verdict(
+    records: list[dict], last_k: int = 5, gate: float = 1.10
+) -> dict:
+    """Newest record vs the median of the previous ``last_k`` runs.
+
+    Per metric the worse-ness ratio is oriented so >1 always means the
+    candidate is worse: ``median/candidate`` for higher-is-better
+    metrics, ``candidate/median`` for lower-is-better ones.  A metric
+    regresses when its ratio exceeds ``gate``.
+
+    Returns ``{"status": "insufficient-history" | "ok" | "regression",
+    "metrics": {name: {...}}, ...}``; ``insufficient-history`` (fewer
+    than one prior record) passes — a fresh history must not fail CI.
+    """
+    if last_k < 1:
+        raise ValueError("need at least one historical run to compare")
+    if len(records) < 2:
+        return {
+            "status": "insufficient-history",
+            "gate": gate,
+            "candidates": len(records),
+            "metrics": {},
+            "regressed": [],
+        }
+    candidate = records[-1]
+    prior = records[-1 - last_k:-1]
+    out: dict[str, dict] = {}
+    regressed: list[str] = []
+    for name, m in sorted(candidate["metrics"].items()):
+        baselines = [
+            r["metrics"][name]["value"]
+            for r in prior
+            if name in r["metrics"]
+        ]
+        if not baselines:
+            out[name] = {"value": m["value"], "ratio": None, "n_prior": 0}
+            continue
+        median = statistics.median(baselines)
+        value = m["value"]
+        if m.get("direction") == "higher":
+            ratio = median / value if value else float("inf")
+        else:
+            ratio = value / median if median else float("inf")
+        worse = ratio > gate
+        out[name] = {
+            "value": value,
+            "median_prior": median,
+            "n_prior": len(baselines),
+            "direction": m.get("direction"),
+            "ratio": round(ratio, 4),
+            "regressed": worse,
+        }
+        if worse:
+            regressed.append(name)
+    return {
+        "status": "regression" if regressed else "ok",
+        "gate": gate,
+        "last_k": last_k,
+        "candidate_ts": candidate.get("ts"),
+        "candidate_rev": candidate.get("git_rev"),
+        "metrics": out,
+        "regressed": regressed,
+    }
+
+
+def render_history(records: list[dict], last: int = 10) -> str:
+    """Trend table: one row per run, one column per metric."""
+    from ..core.tabulate import format_table
+
+    if not records:
+        return "(no history records)"
+    window = records[-max(1, last):]
+    names = sorted({m for r in window for m in r["metrics"]})
+    headers = ["ts", "rev", *names]
+    rows = []
+    for r in window:
+        row = [r.get("ts", "?")[:19], r.get("git_rev") or "-"]
+        for name in names:
+            m = r["metrics"].get(name)
+            row.append(f"{m['value']:.2f}" if m else "-")
+        rows.append(row)
+    return format_table(headers, rows)

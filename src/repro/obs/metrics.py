@@ -261,9 +261,15 @@ class Histogram(_Family):
 
     def __init__(self, name, help, label_names,
                  buckets: Sequence[float] = DEFAULT_MS_BUCKETS):
-        bounds = tuple(sorted(float(b) for b in buckets))
+        # dedupe, and drop non-finite bounds: every child already ends
+        # in an implicit +Inf bucket, so a caller-supplied inf would
+        # render two `le="+Inf"` lines (and a NaN bound is meaningless)
+        bounds = tuple(sorted({
+            b for b in (float(b) for b in buckets)
+            if b == b and abs(b) != _INF
+        }))
         if not bounds:
-            raise ValueError("a histogram needs at least one bucket bound")
+            raise ValueError("a histogram needs at least one finite bound")
         self.buckets = bounds
         super().__init__(name, help, label_names)
 
@@ -292,6 +298,19 @@ def _fmt(value: float) -> str:
     if isinstance(value, float) and value.is_integer():
         return str(int(value))
     return repr(value)
+
+
+def _escape_label(value: str) -> str:
+    """Label-value escaping per the 0.0.4 text format: backslash,
+    double quote and newline must be escaped inside the quotes."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(value: str) -> str:
+    """HELP-line escaping: backslash and newline only (quotes are fine)."""
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 class MetricsRegistry:
@@ -375,11 +394,11 @@ class MetricsRegistry:
         for family in self.families():
             name = _sanitize(family.name)
             if family.help:
-                lines.append(f"# HELP {name} {family.help}")
+                lines.append(f"# HELP {name} {_escape_help(family.help)}")
             lines.append(f"# TYPE {name} {family.kind}")
             for values, child in family.series():
                 pairs = ",".join(
-                    f'{_sanitize(k)}="{v}"'
+                    f'{_sanitize(k)}="{_escape_label(v)}"'
                     for k, v in zip(family.label_names, values)
                 )
                 if family.kind == "histogram":

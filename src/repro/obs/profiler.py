@@ -1,0 +1,277 @@
+"""Continuous sampling profiler: wall-clock stacks at a fixed rate.
+
+A daemon thread wakes ``hz`` times per second, snapshots every live
+thread's Python stack through :func:`sys._current_frames` and folds each
+into an aggregated ``stack tuple → sample count`` map — the classic
+always-on profiler design (py-spy, Go's pprof, Brendan Gregg's
+flamegraph pipeline) in ~stdlib-only form.  Sampling observes *wall*
+time: a thread blocked on a lock or a socket is sampled right where it
+waits, which is exactly the "why is the miss path slow right now"
+answer a deterministic tracer cannot give without 10-100x overhead.
+
+Costs scale with the sampling rate, not the workload: each tick walks
+every thread's frames once (microseconds for typical stack depths), so
+the serving hot path is untouched between ticks.  The default 97 Hz is
+deliberately prime — a rate that divides common scheduler quanta
+(100 Hz, 250 Hz) would alias with periodic work and over- or
+under-sample it systematically.
+
+Two export formats, both flamegraph-ready:
+
+* :meth:`SamplingProfiler.collapsed` — Brendan Gregg's collapsed-stack
+  text (``root;child;leaf 42`` per line), piped straight into
+  ``flamegraph.pl`` or speedscope's importer;
+* :meth:`SamplingProfiler.speedscope` — a ``sampled``-type speedscope
+  JSON document (https://speedscope.app opens it directly).
+
+The profiler's own sampler thread is excluded from capture, so an idle
+profiled process reports its true idleness rather than the profiler
+profiling itself.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+
+__all__ = ["SamplingProfiler", "DEFAULT_HZ"]
+
+#: default sampling rate; prime, so it cannot phase-lock with the
+#: 100/250 Hz periods common to OS schedulers and tick-driven workloads
+DEFAULT_HZ = 97.0
+
+
+class _LabelCache(dict):
+    """Code object → display label, filled on first miss.
+
+    A steady-state tick resolves every frame with one dict hit instead
+    of re-formatting the same label strings 97 times a second; keeping
+    the code objects themselves as keys (they are hashable and live as
+    long as their functions) makes the cache safe against id reuse.
+    """
+
+    def __missing__(self, code):
+        filename = code.co_filename.rsplit("/", 1)[-1]
+        label = f"{code.co_name} ({filename}:{code.co_firstlineno})"
+        self[code] = label
+        return label
+
+
+class SamplingProfiler:
+    """Aggregating wall-clock sampler over ``sys._current_frames``.
+
+    ``start()``/``stop()`` bound the sampling window; aggregation
+    survives across windows until :meth:`clear`.  Thread-safe: the
+    sampler thread writes under the same lock the readers take.
+    """
+
+    def __init__(self, hz: float = DEFAULT_HZ, max_depth: int = 64) -> None:
+        if hz <= 0:
+            raise ValueError("sampling rate must be positive")
+        if max_depth < 1:
+            raise ValueError("need at least one frame of depth")
+        self.hz = float(hz)
+        self.max_depth = max_depth
+        self._interval = 1.0 / self.hz
+        self._lock = threading.Lock()
+        #: root-first stack tuple -> samples observed there
+        self._stacks: dict[tuple[str, ...], int] = {}
+        self.samples = 0  #: total samples across every thread
+        self.ticks = 0  #: sampler wakeups (samples / ticks ≈ thread count)
+        self._elapsed = 0.0  #: seconds spent running, across windows
+        self._started_at: float | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "SamplingProfiler":
+        if self.running:
+            return self
+        self._stop.clear()
+        self._started_at = time.perf_counter()
+        thread = threading.Thread(
+            target=self._run, daemon=True, name="repro-profiler"
+        )
+        thread.start()
+        self._thread = thread
+        return self
+
+    def stop(self) -> None:
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=2.0)
+        self._thread = None
+        if self._started_at is not None:
+            self._elapsed += time.perf_counter() - self._started_at
+            self._started_at = None
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def clear(self) -> None:
+        with self._lock:
+            self._stacks.clear()
+            self.samples = 0
+            self.ticks = 0
+            self._elapsed = 0.0
+            if self._started_at is not None:
+                self._started_at = time.perf_counter()
+
+    @property
+    def elapsed_s(self) -> float:
+        """Seconds the sampler has been running, across windows."""
+        live = (
+            time.perf_counter() - self._started_at
+            if self._started_at is not None
+            else 0.0
+        )
+        return self._elapsed + live
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        own_id = threading.get_ident()
+        names = {t.ident: t.name for t in threading.enumerate()}
+        labels = _LabelCache()
+        max_depth = self.max_depth
+        interval = self._interval
+        next_tick = time.perf_counter() + interval
+        while not self._stop.wait(max(0.0, next_tick - time.perf_counter())):
+            next_tick += interval
+            now = time.perf_counter()
+            if next_tick < now:  # overran (GIL contention): don't burst
+                next_tick = now + interval
+            frames = sys._current_frames()
+            captured: list[tuple[str, ...]] = []
+            for tid, frame in frames.items():
+                if tid == own_id:
+                    continue
+                name = names.get(tid)
+                if name is None:
+                    names = {t.ident: t.name for t in threading.enumerate()}
+                    name = names.get(tid, f"thread-{tid}")
+                depth = 0
+                leaf_first: list[str] = []
+                while frame is not None and depth < max_depth:
+                    leaf_first.append(labels[frame.f_code])
+                    frame = frame.f_back
+                    depth += 1
+                leaf_first.append(name)
+                leaf_first.reverse()
+                captured.append(tuple(leaf_first))
+            del frames  # drop frame references promptly
+            with self._lock:
+                self.ticks += 1
+                for stack in captured:
+                    self._stacks[stack] = self._stacks.get(stack, 0) + 1
+                    self.samples += 1
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def stacks(self) -> dict[tuple[str, ...], int]:
+        """Aggregated root-first stacks → sample counts (a copy)."""
+        with self._lock:
+            return dict(self._stacks)
+
+    def collapsed(self) -> str:
+        """Collapsed-stack text: one ``frame;frame;... count`` line per
+        distinct stack, heaviest first (flamegraph.pl input)."""
+        stacks = self.stacks()
+        lines = [
+            f"{';'.join(stack)} {count}"
+            for stack, count in sorted(
+                stacks.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def speedscope(self, name: str = "repro profile") -> dict:
+        """A speedscope file document (``sampled`` profile type)."""
+        stacks = self.stacks()
+        frame_index: dict[str, int] = {}
+        samples: list[list[int]] = []
+        weights: list[float] = []
+        weight = 1.0 / self.hz  # seconds represented by one sample
+        for stack, count in sorted(stacks.items()):
+            sample = []
+            for label in stack:
+                idx = frame_index.get(label)
+                if idx is None:
+                    idx = frame_index[label] = len(frame_index)
+                sample.append(idx)
+            samples.append(sample)
+            weights.append(count * weight)
+        total = sum(weights)
+        return {
+            "$schema": "https://www.speedscope.app/file-format-schema.json",
+            "shared": {
+                "frames": [{"name": label} for label in frame_index],
+            },
+            "profiles": [{
+                "type": "sampled",
+                "name": name,
+                "unit": "seconds",
+                "startValue": 0.0,
+                "endValue": total,
+                "samples": samples,
+                "weights": weights,
+            }],
+            "name": name,
+            "exporter": "repro.obs.profiler",
+        }
+
+    def top_stacks(self, n: int = 10) -> list[dict]:
+        """The ``n`` heaviest whole stacks, with sample shares."""
+        stacks = self.stacks()
+        total = sum(stacks.values()) or 1
+        heavy = sorted(stacks.items(), key=lambda kv: (-kv[1], kv[0]))[:n]
+        return [
+            {
+                "stack": list(stack),
+                "samples": count,
+                "share": round(count / total, 4),
+            }
+            for stack, count in heavy
+        ]
+
+    def top_functions(self, n: int = 10) -> list[dict]:
+        """The ``n`` hottest leaf frames (self samples, not cumulative)."""
+        leaves: dict[str, int] = {}
+        stacks = self.stacks()
+        for stack, count in stacks.items():
+            leaf = stack[-1]
+            leaves[leaf] = leaves.get(leaf, 0) + count
+        total = sum(stacks.values()) or 1
+        hot = sorted(leaves.items(), key=lambda kv: (-kv[1], kv[0]))[:n]
+        return [
+            {
+                "function": label,
+                "samples": count,
+                "share": round(count / total, 4),
+            }
+            for label, count in hot
+        ]
+
+    def snapshot(self) -> dict:
+        """Summary document for the ``profile`` service op."""
+        with self._lock:
+            samples, ticks = self.samples, self.ticks
+            distinct = len(self._stacks)
+        return {
+            "hz": self.hz,
+            "running": self.running,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "samples": samples,
+            "ticks": ticks,
+            "distinct_stacks": distinct,
+        }

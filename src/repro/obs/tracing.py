@@ -224,7 +224,8 @@ class TraceRecorder:
         with self._lock:
             spans = list(self._ring)
         if n is not None:
-            spans = spans[-max(0, n):]
+            # slice explicitly: spans[-0:] would be the *whole* ring
+            spans = spans[-n:] if n > 0 else []
         return [s.to_dict() if isinstance(s, Span) else s for s in spans]
 
     def __len__(self) -> int:

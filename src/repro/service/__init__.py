@@ -82,6 +82,7 @@ or, from the command line::
 
 from .cache import ScheduleCache
 from .client import ServiceClient, ServiceError
+from .console import OpsConsole, run_top
 from .fingerprint import (
     SCHEDULE_KEY_VERSION,
     doc_digest,
@@ -123,6 +124,7 @@ __all__ = [
     "LoadgenReport",
     "MIN_RELIABLE_SAMPLES",
     "OBJECTIVES",
+    "OpsConsole",
     "PortfolioPool",
     "PortfolioResult",
     "ScheduleCache",
@@ -140,6 +142,7 @@ __all__ = [
     "request_key",
     "run_loadgen",
     "run_portfolio",
+    "run_top",
     "scheduler_names",
     "SIM_SCHEDULERS",
     "simulate_request_key",

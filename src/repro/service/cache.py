@@ -83,6 +83,7 @@ class ScheduleCache:
         # disk appends serialize on their own lock so a put's file write
         # never stalls concurrent get() fast paths
         self._io_lock = threading.Lock()
+        self._flight = None  #: optional FlightRecorder (eviction events)
         self._bind(registry if registry is not None else MetricsRegistry())
         if self.path is not None and self.path.exists():
             self._load_index()
@@ -148,6 +149,12 @@ class ScheduleCache:
         for child, value in zip(children, carried):
             if value:
                 child.inc(value)
+
+    def bind_flight(self, flight) -> None:
+        """Feed LRU evictions into a service's flight-recorder ring
+        (same adoption pattern as :meth:`bind_registry`; recording is
+        an atomic deque append, so it is safe under the map lock)."""
+        self._flight = flight
 
     @property
     def hits(self) -> int:
@@ -330,8 +337,12 @@ class ScheduleCache:
         self._lru[key] = entry
         self._lru.move_to_end(key)
         while len(self._lru) > self.capacity:
-            self._lru.popitem(last=False)
+            evicted, _ = self._lru.popitem(last=False)
             self._c_evictions.inc()
+            if self._flight is not None:
+                self._flight.record(
+                    "eviction", tier="lru", key=evicted[:48]
+                )
 
     def counters(self) -> dict[str, int]:
         with self._lock:

@@ -156,6 +156,24 @@ class ServiceClient:
         same data as chrome trace events (``"chrome"``)."""
         return self.request({"op": "trace", "n": n})
 
+    def profile(self, n: int = 10, speedscope: bool = False) -> dict:
+        """The server's sampling-profiler aggregate: summary counters,
+        top ``n`` stacks/functions and collapsed-stack text; with
+        ``speedscope`` the full speedscope JSON document too.  Errors
+        unless the server runs with ``--profile-hz``."""
+        doc: dict = {"op": "profile", "n": n}
+        if speedscope:
+            doc["speedscope"] = True
+        return self.request(doc)
+
+    def flight(self, n: int = 100, dump: bool = False) -> dict:
+        """The server's last ``n`` flight-recorder events plus the dump
+        ledger; ``dump=True`` forces a dump (needs ``--flight-dir``)."""
+        doc: dict = {"op": "flight", "n": n}
+        if dump:
+            doc["dump"] = True
+        return self.request(doc)
+
     def shutdown(self) -> dict:
         """Ask the server to stop (gracefully) after replying."""
         return self.request({"op": "shutdown"})

@@ -375,6 +375,7 @@ def run_portfolio(
     pool: PortfolioPool | None = None,
     graph_doc: dict | None = None,
     trace_id: str | None = None,
+    flight=None,
 ) -> PortfolioResult:
     """Race candidate schedulers over ``graph``; return the best found.
 
@@ -388,7 +389,9 @@ def run_portfolio(
     path); ``graph_doc`` optionally supplies the graph's wire document
     so a pooled race does not re-serialize it.  ``trace_id`` rides in
     the pooled task payloads so worker-side candidate timings attach to
-    the submitting request's span.
+    the submitting request's span.  ``flight`` (a
+    :class:`repro.obs.FlightRecorder`) records one ``dispatch`` event
+    per race — which schedulers, racing where.
     """
     if num_pes < 1:
         raise ValueError("need at least one processing element")
@@ -404,7 +407,16 @@ def run_portfolio(
             f"(known: {', '.join(scheduler_names())})"
         )
     t1 = total_work(graph)
-    if pool is not None and len(names) > 1:
+    pooled = pool is not None and len(names) > 1
+    if flight is not None:
+        flight.record(
+            "dispatch",
+            schedulers=list(names),
+            mode="pool" if pooled else "serial",
+            workers=pool.workers if pooled else 0,
+            trace_id=trace_id,
+        )
+    if pooled:
         return _run_portfolio_pooled(
             graph, num_pes, objective, names, budget_s, t1, pool, graph_doc,
             trace_id,

@@ -184,6 +184,7 @@ class ScheduleService:
         self._register_instruments()
         if cache is not None:
             cache.bind_registry(self.telemetry.registry)
+            cache.bind_flight(self.telemetry.flight)
         #: parse wire documents through repro.core.ingest (no networkx);
         #: False preserves the legacy graph_from_dict path bit for bit
         self.use_ingest = use_ingest
@@ -315,9 +316,13 @@ class ScheduleService:
     #: op label values the request counter accepts; anything else a
     #: client invents is folded into "unknown" (bounded cardinality)
     _KNOWN_OPS = frozenset(
-        ("ping", "stats", "metrics", "trace", "shutdown", "schedule",
-         "simulate")
+        ("ping", "stats", "metrics", "trace", "profile", "flight",
+         "shutdown", "schedule", "simulate")
     )
+
+    #: request keys are long (version tag + 64 hex chars + parameters);
+    #: flight events carry this prefix, plenty to correlate and grep by
+    _FLIGHT_KEY_CHARS = 48
 
     def _count_request(self, op, response: dict) -> None:
         label = op if op in self._KNOWN_OPS else "unknown"
@@ -347,10 +352,24 @@ class ScheduleService:
             span = self.telemetry.span(op)
         elif span is None:
             span = NULL_SPAN
+        flight = self.telemetry.flight
+        if op in ("schedule", "simulate"):
+            # the admitting request, first event of its flight sequence
+            # (cheap control ops would only drown the ring — the live
+            # console polls metrics/trace every second)
+            flight.record(
+                "request", op=op, trace_id=span.trace_id or None,
+                no_cache=bool(doc.get("no_cache", False)),
+            )
         try:
             response = self._dispatch(op, doc, slots, digest_hint, span)
         except Exception as exc:  # a bad request must never kill a worker
             response = self._error(str(exc) or type(exc).__name__)
+        if not response.get("ok"):
+            flight.record(
+                "refused", op=op if op in self._KNOWN_OPS else "unknown",
+                error=str(response.get("error", ""))[:200],
+            )
         self._count_request(op, response)
         if owns_span:
             span.finish("ok" if response.get("ok") else "error")
@@ -365,6 +384,10 @@ class ScheduleService:
             return self._metrics()
         if op == "trace":
             return self._trace(doc)
+        if op == "profile":
+            return self._profile(doc)
+        if op == "flight":
+            return self._flight(doc)
         if op == "shutdown":
             return {"ok": True, "op": "shutdown"}
         if op == "schedule":
@@ -405,6 +428,59 @@ class ScheduleService:
             "capacity": self.telemetry.recorder.capacity,
             "spans": spans,
             "chrome": self.telemetry.chrome_trace(n),
+        }
+
+    def _profile(self, doc: dict) -> dict:
+        """The ``profile`` op: the sampling profiler's aggregated view.
+
+        Ships the summary, the heaviest whole stacks, the hottest leaf
+        functions and the collapsed-stack text; ``{"speedscope": true}``
+        adds the full speedscope document (large — opt in).
+        """
+        profiler = self.telemetry.profiler
+        if profiler is None:
+            return self._error(
+                "no sampling profiler on this server "
+                "(serve with --profile-hz to enable one)"
+            )
+        n = doc.get("n", 10)
+        if not isinstance(n, int) or n < 1:
+            return self._error("profile op needs a positive integer n")
+        response = {
+            "ok": True,
+            "op": "profile",
+            **profiler.snapshot(),
+            "top_stacks": profiler.top_stacks(n),
+            "top_functions": profiler.top_functions(n),
+            "collapsed": profiler.collapsed(),
+        }
+        if doc.get("speedscope"):
+            response["speedscope"] = profiler.speedscope()
+        return response
+
+    def _flight(self, doc: dict) -> dict:
+        """The ``flight`` op: the recorder's last-N events and dump
+        ledger; ``{"dump": true}`` forces a dump right now (needs a
+        dump directory on the server)."""
+        flight = self.telemetry.flight
+        n = doc.get("n", 100)
+        if not isinstance(n, int) or n < 1:
+            return self._error("flight op needs a positive integer n")
+        dumped = None
+        if doc.get("dump"):
+            path = flight.dump("manual")
+            if path is None:
+                return self._error(
+                    "cannot dump: no flight dump directory on this "
+                    "server (serve with --flight-dir)"
+                )
+            dumped = str(path)
+        return {
+            "ok": True,
+            "op": "flight",
+            **flight.snapshot(),
+            "events": flight.last(n),
+            **({"dumped": dumped} if dumped else {}),
         }
 
     # ------------------------------------------------------------------
@@ -857,17 +933,21 @@ class ScheduleService:
         ``coalesce`` wait and ``adapt`` — so phase histograms count one
         compute per cold key no matter how many requests it answered.
         """
+        recorder = self.telemetry.flight
+        short_key = key[: self._FLIGHT_KEY_CHARS]
         if not no_cache and self.cache is not None:
             with span.phase("cache"):
                 hit = self.cache.get(key)
             if hit is not None:
                 entry, tier = hit
+                recorder.record("cache_hit", key=short_key, tier=tier)
                 with span.phase("adapt"):
                     served = adapt(entry)
                 if served is not None:
                     span.annotate(tier=tier)
                     return self._respond(served, tier, t0)
                 return self._respond(compute(), False, t0)
+            recorder.record("cache_miss", key=short_key)
 
         if no_cache:
             # forced recompute: bypass coalescing as well
@@ -879,6 +959,10 @@ class ScheduleService:
             if leader:
                 flight = _InFlight()
                 self._inflight[key] = flight
+        recorder.record(
+            "coalesce_leader" if leader else "coalesce_follower",
+            key=short_key,
+        )
         if not leader:
             # waiting on the leader must not pin a work slot: followers
             # hold nothing while blocked, then adapt the leader's entry
@@ -942,6 +1026,7 @@ class ScheduleService:
                     schedulers=schedulers, budget_s=budget_s,
                     pool=self.portfolio_pool, graph_doc=dict(graph_doc),
                     trace_id=span.trace_id or None,
+                    flight=self.telemetry.flight,
                 )
         self._c_races.inc()
         self._c_wins.labels(scheduler=result.winner.name).inc()
@@ -1012,6 +1097,18 @@ class ScheduleService:
                     blocked = exc.blocked
                     channels = len(exc.channels)
                     full = exc.full_channels()
+        if deadlocked:
+            # one of the flight recorder's raisons d'être: the ring now
+            # holds request → cache_miss → … → this, dumped as a unit
+            recorder = self.telemetry.flight
+            recorder.record(
+                "deadlock", key=key[: self._FLIGHT_KEY_CHARS],
+                scheduler=scheduler, num_pes=num_pes,
+                capacity=capacity, sim_time=sim_makespan,
+                blocked=len(blocked), full_channels=len(full),
+                trace_id=span.trace_id or None,
+            )
+            recorder.maybe_dump("deadlock")
         error_pct = None
         if not deadlocked and sim_makespan > 0:
             error_pct = round(
@@ -1357,12 +1454,23 @@ class ScheduleServer:
             pass
         self._close_socket(conn.sock)
 
+    def _transport_error(self, conn: _Conn, where: str, exc: OSError) -> None:
+        """Record a failed socket op in the flight ring (and maybe dump
+        — a dying client mid-burst is exactly post-hoc-debug material)."""
+        flight = self.service.telemetry.flight
+        flight.record(
+            "transport_error", conn=conn.cid, where=where,
+            error=str(exc) or type(exc).__name__,
+        )
+        flight.maybe_dump("transport_error")
+
     def _read_ready(self, conn: _Conn) -> None:
         try:
             chunk = conn.sock.recv(262144)
         except (BlockingIOError, InterruptedError):
             return
-        except OSError:
+        except OSError as exc:
+            self._transport_error(conn, "recv", exc)
             self._close_conn(conn)
             return
         if not chunk:
@@ -1448,7 +1556,8 @@ class ScheduleServer:
                 sent = conn.sock.send(out)
             except (BlockingIOError, InterruptedError):
                 sent = 0
-            except OSError:
+            except OSError as exc:
+                self._transport_error(conn, "send", exc)
                 self._close_conn(conn)
                 return
             if sent:

@@ -127,6 +127,22 @@ class TestExecutor:
         assert os.getpid() not in report.worker_pids
         assert 1 <= len(report.worker_pids) <= 2
 
+    def test_profile_hz_attaches_a_sampler(self):
+        report = execute_cells(SMALL.cells(), workers=0, profile_hz=500.0)
+        profile = report.profile
+        assert profile is not None
+        assert profile["hz"] == 500.0 and not profile["running"]
+        assert profile["elapsed_s"] > 0
+        # the executing thread's stacks were captured (serial runs do
+        # the work in-process, so the sampler must see it)
+        assert profile["samples"] > 0
+        assert profile["top_functions"] and profile["top_stacks"]
+        assert profile["collapsed"].strip()
+
+    def test_no_profiler_by_default(self):
+        report = execute_cells(SMALL.cells(limit=1), workers=0)
+        assert report.profile is None
+
     def test_validation_kind_reports_nan_not_crash(self):
         spec = CellSpec("t", "validation", "chain", 8, 0, 4, "rlx")
         metrics = evaluate_cell(spec)

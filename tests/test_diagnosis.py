@@ -1,0 +1,350 @@
+"""Tests for the diagnosis layer: sampling profiler, flight recorder,
+bench history analytics, and the live ops console."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs import DEFAULT_HZ, FlightRecorder, SamplingProfiler, Telemetry
+from repro.obs.benchhist import (
+    HISTORY_SCHEMA,
+    append_record,
+    load_history,
+    regression_verdict,
+    render_history,
+)
+
+
+def _busy(stop: threading.Event) -> None:
+    while not stop.is_set():
+        sum(i * i for i in range(200))
+
+
+class TestSamplingProfiler:
+    def test_samples_a_busy_thread(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=_busy, args=(stop,), name="busy-worker")
+        profiler = SamplingProfiler(hz=250.0)
+        worker.start()
+        try:
+            with profiler:
+                time.sleep(0.25)
+        finally:
+            stop.set()
+            worker.join()
+        assert not profiler.running
+        assert profiler.samples > 0
+        assert profiler.ticks > 0
+        assert profiler.elapsed_s >= 0.2
+        # the worker thread's stacks are attributed to its thread name
+        roots = {stack[0] for stack in profiler.stacks()}
+        assert "busy-worker" in roots
+
+    def test_own_sampler_thread_is_excluded(self):
+        profiler = SamplingProfiler(hz=500.0)
+        with profiler:
+            time.sleep(0.1)
+        roots = {stack[0] for stack in profiler.stacks()}
+        assert "repro-profiler" not in roots
+
+    def test_collapsed_format(self):
+        profiler = SamplingProfiler()
+        with profiler._lock:
+            profiler._stacks[("main", "f (m.py:1)", "g (m.py:9)")] = 3
+            profiler._stacks[("main", "f (m.py:1)")] = 1
+            profiler.samples = 4
+        text = profiler.collapsed()
+        lines = text.splitlines()
+        # heaviest first, semicolon-joined, trailing count
+        assert lines[0] == "main;f (m.py:1);g (m.py:9) 3"
+        assert lines[1] == "main;f (m.py:1) 1"
+        assert text.endswith("\n")
+        assert SamplingProfiler().collapsed() == ""
+
+    def test_speedscope_document(self):
+        profiler = SamplingProfiler(hz=100.0)
+        with profiler._lock:
+            profiler._stacks[("main", "f (m.py:1)")] = 5
+            profiler.samples = 5
+        doc = profiler.speedscope(name="unit")
+        assert doc["$schema"].endswith("file-format-schema.json")
+        (prof,) = doc["profiles"]
+        assert prof["type"] == "sampled" and prof["unit"] == "seconds"
+        # 5 samples at 100 Hz represent 50 ms
+        assert prof["weights"] == [pytest.approx(0.05)]
+        (sample,) = prof["samples"]
+        frames = doc["shared"]["frames"]
+        assert [frames[i]["name"] for i in sample] == ["main", "f (m.py:1)"]
+        assert prof["endValue"] == pytest.approx(sum(prof["weights"]))
+        json.dumps(doc)
+
+    def test_top_stacks_and_functions(self):
+        profiler = SamplingProfiler()
+        with profiler._lock:
+            profiler._stacks[("main", "a (m.py:1)", "hot (m.py:5)")] = 6
+            profiler._stacks[("main", "b (m.py:2)", "hot (m.py:5)")] = 3
+            profiler._stacks[("main", "cold (m.py:3)")] = 1
+            profiler.samples = 10
+        top = profiler.top_stacks(2)
+        assert len(top) == 2
+        assert top[0]["samples"] == 6 and top[0]["share"] == 0.6
+        funcs = profiler.top_functions(1)
+        # leaf self-time folds both hot stacks together
+        assert funcs[0]["function"] == "hot (m.py:5)"
+        assert funcs[0]["samples"] == 9
+        snap = profiler.snapshot()
+        assert snap["distinct_stacks"] == 3 and snap["samples"] == 10
+
+    def test_start_stop_windows_accumulate(self):
+        profiler = SamplingProfiler(hz=500.0)
+        with profiler:
+            time.sleep(0.05)
+        first = profiler.elapsed_s
+        with profiler:
+            time.sleep(0.05)
+        assert profiler.elapsed_s > first
+        profiler.clear()
+        assert profiler.samples == 0 and profiler.elapsed_s == 0.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0)
+        with pytest.raises(ValueError):
+            SamplingProfiler(max_depth=0)
+
+
+class TestFlightRecorder:
+    def test_ring_bounded_and_sequenced(self):
+        flight = FlightRecorder(capacity=3)
+        for i in range(5):
+            flight.record("tick", i=i)
+        assert len(flight) == 3
+        assert flight.recorded == 5
+        events = flight.last()
+        assert [e["seq"] for e in events] == [3, 4, 5]
+        assert [e["i"] for e in events] == [2, 3, 4]
+        assert all(e["kind"] == "tick" and e["t"] > 0 for e in events)
+        assert [e["i"] for e in flight.last(2)] == [3, 4]
+
+    def test_concurrent_recording_loses_nothing(self):
+        flight = FlightRecorder(capacity=10_000)
+        n, writers = 500, 4
+
+        def hammer(w):
+            for i in range(n):
+                flight.record("w", writer=w, i=i)
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(writers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        events = flight.last()
+        assert len(events) == n * writers
+        assert flight.recorded == n * writers
+        seqs = [e["seq"] for e in events]
+        assert sorted(seqs) == list(range(1, n * writers + 1))
+
+    def test_dump_writes_header_then_events(self, tmp_path):
+        flight = FlightRecorder(capacity=8, dump_dir=tmp_path)
+        flight.record("request", op="simulate")
+        flight.record("deadlock", key="k")
+        path = flight.dump("deadlock")
+        assert path is not None and path.parent == tmp_path
+        assert "deadlock" in path.name
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        header, *events = lines
+        assert header["kind"] == "flight-dump"
+        assert header["trigger"] == "deadlock"
+        assert header["events"] == 2 and header["capacity"] == 8
+        assert [e["kind"] for e in events] == ["request", "deadlock"]
+        assert flight.snapshot()["dumps"][0]["path"] == str(path)
+
+    def test_dump_without_directory_returns_none(self, tmp_path):
+        flight = FlightRecorder()
+        flight.record("x")
+        assert flight.dump("manual") is None
+        # an explicit path works even without a dump_dir
+        out = tmp_path / "explicit.jsonl"
+        assert flight.dump("manual", path=out) == out
+
+    def test_maybe_dump_rate_limits_and_counts_suppressed(self, tmp_path):
+        flight = FlightRecorder(
+            capacity=8, dump_dir=tmp_path, min_dump_interval_s=60.0
+        )
+        flight.record("deadlock")
+        first = flight.maybe_dump("deadlock")
+        second = flight.maybe_dump("deadlock")
+        assert first is not None and second is None
+        assert flight.suppressed == 1
+        assert len(flight.dumps) == 1
+
+    def test_maybe_dump_respects_max_dumps(self, tmp_path):
+        flight = FlightRecorder(
+            capacity=8, dump_dir=tmp_path,
+            min_dump_interval_s=0.0, max_dumps=2,
+        )
+        flight.record("x")
+        assert flight.maybe_dump("a") is not None
+        assert flight.maybe_dump("b") is not None
+        assert flight.maybe_dump("c") is None
+        assert flight.suppressed == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+class TestTelemetryDiagnosisWiring:
+    def test_telemetry_always_has_a_flight_recorder(self):
+        tel = Telemetry()
+        assert isinstance(tel.flight, FlightRecorder)
+        tel.flight.record("x")
+        assert tel.flight.recorded == 1
+
+    def test_slow_request_feeds_flight(self):
+        tel = Telemetry(slow_request_ms=0.0)
+        span = tel.span("schedule")
+        time.sleep(0.002)
+        span.finish("ok")
+        events = tel.flight.last()
+        assert [e["kind"] for e in events] == ["slow_request"]
+        assert events[0]["op"] == "schedule"
+        assert events[0]["wall_ms"] > 0
+
+    def test_fast_requests_do_not_feed_flight(self):
+        tel = Telemetry(slow_request_ms=10_000.0)
+        tel.span("schedule").finish("ok")
+        assert len(tel.flight) == 0
+
+    def test_close_stops_the_profiler(self):
+        profiler = SamplingProfiler(hz=DEFAULT_HZ).start()
+        tel = Telemetry(profiler=profiler)
+        assert tel.profiler.running
+        tel.close()
+        assert not profiler.running
+
+
+class TestBenchHistory:
+    METRIC = {"value": 100.0, "direction": "higher", "unit": "req/s"}
+
+    def test_append_and_load_roundtrip(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        record = append_record(path, "service", {"rps": self.METRIC})
+        assert record["schema"] == HISTORY_SCHEMA
+        assert record["bench"] == "service"
+        (loaded,) = load_history(path)
+        assert loaded["metrics"]["rps"]["value"] == 100.0
+        assert loaded["metrics"]["rps"]["direction"] == "higher"
+
+    def test_load_skips_torn_and_foreign_lines(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        append_record(path, "service", {"rps": self.METRIC})
+        with open(path, "a") as fh:
+            fh.write("{torn json\n")
+            fh.write(json.dumps({"schema": 999, "metrics": {}}) + "\n")
+        append_record(path, "sim", {"x": self.METRIC})
+        assert len(load_history(path)) == 2
+        assert [r["bench"] for r in load_history(path, bench="sim")] == ["sim"]
+
+    def test_missing_file_is_empty_history(self, tmp_path):
+        assert load_history(tmp_path / "nope.jsonl") == []
+
+    def test_direction_and_value_validated(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        with pytest.raises(ValueError):
+            append_record(path, "b", {"m": {"value": 1.0, "direction": "up"}})
+        with pytest.raises((TypeError, ValueError)):
+            append_record(
+                path, "b", {"m": {"value": "fast", "direction": "higher"}}
+            )
+
+    @staticmethod
+    def _records(values, direction="higher", name="rps"):
+        return [
+            {
+                "schema": HISTORY_SCHEMA,
+                "bench": "b",
+                "ts": f"2026-08-0{i + 1}T00:00:00",
+                "git_rev": f"r{i}",
+                "metrics": {name: {"value": v, "direction": direction}},
+            }
+            for i, v in enumerate(values)
+        ]
+
+    def test_verdict_insufficient_history_passes(self):
+        verdict = regression_verdict(self._records([100.0]))
+        assert verdict["status"] == "insufficient-history"
+        assert verdict["regressed"] == []
+
+    def test_verdict_ok_within_gate(self):
+        records = self._records([100.0, 102.0, 98.0, 101.0, 95.0])
+        verdict = regression_verdict(records, last_k=4, gate=1.10)
+        assert verdict["status"] == "ok"
+        m = verdict["metrics"]["rps"]
+        # median of the 4 prior runs (100, 102, 98, 101) is 100.5
+        assert m["median_prior"] == pytest.approx(100.5)
+        assert m["ratio"] == pytest.approx(100.5 / 95.0, abs=1e-4)
+        assert not m["regressed"]
+
+    def test_verdict_regression_higher_is_better(self):
+        records = self._records([100.0, 100.0, 100.0, 80.0])
+        verdict = regression_verdict(records, last_k=3, gate=1.10)
+        assert verdict["status"] == "regression"
+        assert verdict["regressed"] == ["rps"]
+        assert verdict["metrics"]["rps"]["ratio"] == pytest.approx(1.25)
+
+    def test_verdict_regression_lower_is_better(self):
+        records = self._records(
+            [10.0, 10.0, 10.0, 15.0], direction="lower", name="p50_ms"
+        )
+        verdict = regression_verdict(records, last_k=3, gate=1.10)
+        assert verdict["status"] == "regression"
+        assert verdict["metrics"]["p50_ms"]["ratio"] == pytest.approx(1.5)
+        # an improvement in a lower-is-better metric passes
+        better = self._records(
+            [10.0, 10.0, 8.0], direction="lower", name="p50_ms"
+        )
+        assert regression_verdict(better, gate=1.10)["status"] == "ok"
+
+    def test_verdict_median_shrugs_off_one_noisy_run(self):
+        # one historically slow run must not mask a real regression nor
+        # flag a healthy candidate: median(100, 40, 101) = 100
+        records = self._records([100.0, 40.0, 101.0, 99.0])
+        verdict = regression_verdict(records, last_k=3, gate=1.10)
+        assert verdict["status"] == "ok"
+        assert verdict["metrics"]["rps"]["median_prior"] == pytest.approx(100.0)
+
+    def test_verdict_metric_without_prior_runs(self):
+        records = self._records([100.0, 100.0])
+        records[-1]["metrics"]["fresh"] = {
+            "value": 5.0, "direction": "higher"
+        }
+        verdict = regression_verdict(records)
+        assert verdict["metrics"]["fresh"]["ratio"] is None
+        assert verdict["status"] == "ok"
+
+    def test_render_history_table(self):
+        records = self._records([100.0, 95.5])
+        table = render_history(records)
+        assert "rps" in table and "ts" in table
+        assert "100.00" in table and "95.50" in table
+        assert render_history([]) == "(no history records)"
+
+
+class TestSparkline:
+    def test_shapes(self):
+        from repro.service.console import sparkline
+
+        assert sparkline([]) == ""
+        assert sparkline([0.0, 0.0]) == "▁▁"
+        line = sparkline([0.0, 5.0, 10.0])
+        assert len(line) == 3
+        assert line[0] == "▁" and line[-1] == "█"
+        assert sparkline(list(range(100)), width=10) == sparkline(
+            list(range(90, 100)), width=10
+        )

@@ -156,6 +156,49 @@ class TestRegistry:
         assert "service_request_ms_count 1" in text
         assert text.endswith("\n")
 
+    def test_label_values_escaped_per_exposition_spec(self):
+        # Prometheus text format 0.0.4: label values escape backslash,
+        # double quote and newline
+        reg = MetricsRegistry()
+        reg.counter("test.ops", labels=("op",)).labels(
+            op='a"b\\c\nd'
+        ).inc()
+        text = reg.render()
+        assert 'test_ops{op="a\\"b\\\\c\\nd"} 1' in text
+        assert "\nd" not in text.split("test_ops{")[1].split("}")[0]
+
+    def test_help_text_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("test.ops", "line one\nline two \\ backslash")
+        text = reg.render()
+        assert "# HELP test_ops line one\\nline two \\\\ backslash" in text
+
+    def test_render_emits_exactly_one_inf_bucket(self):
+        # duplicate, unsorted and non-finite bounds must still yield a
+        # single trailing +Inf line per series
+        reg = MetricsRegistry()
+        h = reg.histogram(
+            "test.ms", buckets=(10.0, 1.0, 10.0, float("inf"))
+        )
+        assert h.buckets == (1.0, 10.0)
+        h.observe(5.0)
+        text = reg.render()
+        inf_lines = [
+            l for l in text.splitlines() if 'le="+Inf"' in l
+        ]
+        assert len(inf_lines) == 1
+        assert inf_lines[0] == 'test_ms_bucket{le="+Inf"} 1'
+
+    def test_histogram_needs_a_finite_bound(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram(
+                "test.ms", buckets=(float("inf"),)
+            )
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram(
+                "test.ms", buckets=(float("nan"),)
+            )
+
     def test_default_registry_swap(self):
         mine = MetricsRegistry()
         previous = set_registry(mine)
@@ -277,6 +320,43 @@ class TestTraceRecorder:
         with pytest.raises(ValueError):
             TraceRecorder(0)
 
+    def test_truncation_exactly_at_capacity(self):
+        # no off-by-one at the boundary: the Nth span fits, the N+1st
+        # evicts exactly one, and `recorded` keeps counting
+        ring = TraceRecorder(capacity=4)
+        for i in range(4):
+            ring.record({"op": f"r{i}"})
+        assert len(ring) == 4 and ring.recorded == 4
+        assert [s["op"] for s in ring.last()] == ["r0", "r1", "r2", "r3"]
+        ring.record({"op": "r4"})
+        assert len(ring) == 4
+        assert ring.recorded == 5
+        assert [s["op"] for s in ring.last()] == ["r1", "r2", "r3", "r4"]
+        # dropped spans are derivable from the two counters
+        assert ring.recorded - len(ring) == 1
+        # last(n) never exceeds residency, even for n > capacity
+        assert len(ring.last(100)) == 4
+        assert ring.last(0) == []
+
+    def test_recorded_counts_under_concurrent_writers(self):
+        ring = TraceRecorder(capacity=8)
+        n, writers = 300, 4
+
+        def hammer(w):
+            for i in range(n):
+                ring.record({"op": f"w{w}", "i": i})
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,))
+            for w in range(writers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert ring.recorded == n * writers
+        assert len(ring) == 8
+
 
 class TestSpanLog:
     def test_writes_jsonl(self, tmp_path):
@@ -298,6 +378,40 @@ class TestSpanLog:
         # the newest file holds the newest spans
         last = json.loads(files[-1].read_text().splitlines()[-1])
         assert last["i"] == 49
+
+    def test_rotation_under_concurrent_writers(self, tmp_path):
+        # rotation decisions race across writer threads; every span must
+        # land in exactly one surviving or pruned file, uncorrupted
+        log = SpanLog(tmp_path, max_bytes=1000, max_files=50)
+        n, writers = 120, 4
+
+        def hammer(w):
+            for i in range(n):
+                log.write({"op": "x", "w": w, "i": i, "pad": "p" * 30})
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,))
+            for w in range(writers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        log.close()
+        files = log.files()
+        assert len(files) > 1  # rotation actually happened
+        seen = set()
+        for path in files:
+            for line in path.read_text().splitlines():
+                doc = json.loads(line)  # no torn/interleaved lines
+                seen.add((doc["w"], doc["i"]))
+        # max_files was high enough that nothing was pruned: every
+        # write is present exactly once
+        assert len(seen) == n * writers
+        # every non-final file respected the rotation threshold closely
+        # (one oversized span may overshoot, never two)
+        for path in files[:-1]:
+            assert path.stat().st_size <= 1000 + 200
 
     def test_append_resumes_highest_index(self, tmp_path):
         first = SpanLog(tmp_path)

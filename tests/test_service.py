@@ -1280,3 +1280,349 @@ class TestObservabilityCli:
         assert all(s["op"] == "schedule" for s in spans)
         assert all(s["wall_ms"] > 0 for s in spans)
         assert all("trace_id" in s for s in spans)
+
+
+class TestDiagnosisOps:
+    """The profile and flight service ops, the flight-event sequences
+    the request path emits, and the deadlock → flight-dump trigger."""
+
+    @staticmethod
+    def _service(**telemetry_kwargs):
+        from repro.obs import Telemetry
+
+        return ScheduleService(
+            cache=ScheduleCache(None, capacity=16),
+            telemetry=Telemetry(**telemetry_kwargs),
+        )
+
+    def test_profile_op_requires_a_profiler(self):
+        service = self._service()
+        response = service.handle({"op": "profile"})
+        assert response["ok"] is False
+        assert "--profile-hz" in response["error"]
+
+    def test_profile_op_serves_the_aggregate(self):
+        from repro.obs import SamplingProfiler
+
+        profiler = SamplingProfiler(hz=400.0).start()
+        service = self._service(profiler=profiler)
+        g = random_canonical_graph("fft", 8, seed=1)
+        service.handle({"op": "schedule", "graph": graph_to_dict(g),
+                        "num_pes": 8})
+        deadline = time.time() + 5.0
+        while profiler.samples == 0 and time.time() < deadline:
+            time.sleep(0.01)
+        response = service.handle({"op": "profile", "n": 3})
+        service.telemetry.close()
+        assert response["ok"] and response["op"] == "profile"
+        assert response["hz"] == 400.0
+        assert response["samples"] > 0
+        assert len(response["top_stacks"]) <= 3
+        assert response["collapsed"].strip()
+        assert "speedscope" not in response
+        with_doc = service.handle({"op": "profile", "speedscope": True})
+        assert with_doc["speedscope"]["profiles"][0]["type"] == "sampled"
+
+    def test_profile_op_validates_n(self):
+        from repro.obs import SamplingProfiler
+
+        profiler = SamplingProfiler()
+        service = self._service(profiler=profiler)
+        assert service.handle({"op": "profile", "n": 0})["ok"] is False
+        assert service.handle({"op": "profile", "n": "x"})["ok"] is False
+
+    def test_flight_sequence_for_schedule_requests(self):
+        service = self._service()
+        g = random_canonical_graph("fft", 8, seed=1)
+        doc = {"op": "schedule", "graph": graph_to_dict(g), "num_pes": 8}
+        service.handle(dict(doc))
+        kinds = [e["kind"] for e in service.telemetry.flight.last()]
+        # cold request: admitted, missed both tiers, led its own compute
+        assert kinds == [
+            "request", "cache_miss", "coalesce_leader", "dispatch"
+        ]
+        service.handle(dict(doc))
+        kinds = [e["kind"] for e in service.telemetry.flight.last()]
+        assert kinds[-2:] == ["request", "cache_hit"]
+        hit = service.telemetry.flight.last(1)[0]
+        assert hit["tier"] == "lru"
+        assert len(hit["key"]) <= ScheduleService._FLIGHT_KEY_CHARS
+
+    def test_flight_records_refused_requests(self):
+        service = self._service()
+        service.handle({"op": "schedule"})  # no graph
+        kinds = [e["kind"] for e in service.telemetry.flight.last()]
+        assert kinds[-1] == "refused"
+        assert service.telemetry.flight.last()[-1]["op"] == "schedule"
+
+    def test_control_ops_stay_out_of_the_ring(self):
+        service = self._service()
+        service.handle({"op": "ping"})
+        service.handle({"op": "stats"})
+        service.handle({"op": "metrics"})
+        service.handle({"op": "flight"})
+        assert len(service.telemetry.flight) == 0
+
+    def test_flight_op_returns_events_and_summary(self):
+        service = self._service()
+        g = random_canonical_graph("chain", 5, seed=0)
+        service.handle({"op": "schedule", "graph": graph_to_dict(g),
+                        "num_pes": 2})
+        response = service.handle({"op": "flight", "n": 2})
+        assert response["ok"] and response["op"] == "flight"
+        assert response["capacity"] == service.telemetry.flight.capacity
+        assert response["recorded"] >= 4
+        assert len(response["events"]) == 2
+        assert response["dumps"] == [] and response["suppressed"] == 0
+
+    def test_flight_op_dump_needs_a_directory(self, tmp_path):
+        from repro.obs import FlightRecorder
+
+        service = self._service()
+        refused = service.handle({"op": "flight", "dump": True})
+        assert refused["ok"] is False and "--flight-dir" in refused["error"]
+
+        service = self._service(
+            flight=FlightRecorder(dump_dir=tmp_path)
+        )
+        service.telemetry.flight.record("x")
+        response = service.handle({"op": "flight", "dump": True})
+        assert response["ok"]
+        assert response["dumped"].endswith(".jsonl")
+        assert list(tmp_path.glob("flight-*-manual.jsonl"))
+
+    def test_eviction_events_reach_the_flight_ring(self):
+        from repro.obs import Telemetry
+
+        service = ScheduleService(
+            cache=ScheduleCache(None, capacity=2), telemetry=Telemetry()
+        )
+        for seed in range(3):
+            g = random_canonical_graph("chain", 5, seed=seed)
+            service.handle({"op": "schedule", "graph": graph_to_dict(g),
+                            "num_pes": 2})
+        evictions = [
+            e for e in service.telemetry.flight.last()
+            if e["kind"] == "eviction"
+        ]
+        assert len(evictions) == 1
+        assert evictions[0]["tier"] == "lru"
+
+    def test_deadlock_emits_flight_event_and_dump(self, tmp_path, fig9_graph1):
+        """Acceptance: a deadlocking served simulate request leaves a
+        flight dump whose sequence shows the request being admitted,
+        missing the cache, and deadlocking."""
+        from repro.obs import FlightRecorder, Telemetry
+
+        telemetry = Telemetry(flight=FlightRecorder(dump_dir=tmp_path))
+        service = ScheduleService(
+            cache=ScheduleCache(None, capacity=16), telemetry=telemetry
+        )
+        with ScheduleServer(service, port=0, workers=2) as server:
+            with ServiceClient(port=server.port) as client:
+                response = client.simulate(
+                    fig9_graph1, num_pes=8, capacity=1
+                )
+        assert response["ok"] and response["deadlocked"]
+        (dump,) = tmp_path.glob("flight-*-deadlock.jsonl")
+        lines = [json.loads(l) for l in dump.read_text().splitlines()]
+        header, *events = lines
+        assert header["kind"] == "flight-dump"
+        assert header["trigger"] == "deadlock"
+        kinds = [e["kind"] for e in events]
+        # the admitting request, its cache miss, and the deadlock are
+        # all present, in causal order
+        assert "request" in kinds and "cache_miss" in kinds
+        assert "deadlock" in kinds
+        assert kinds.index("request") < kinds.index("cache_miss")
+        assert kinds.index("cache_miss") < kinds.index("deadlock")
+        deadlock = events[kinds.index("deadlock")]
+        assert deadlock["capacity"] == 1 and deadlock["num_pes"] == 8
+        assert deadlock["blocked"] > 0 and deadlock["full_channels"] > 0
+        request = events[kinds.index("request")]
+        assert request["op"] == "simulate"
+        # the span and the flight sequence share one trace id
+        assert deadlock["trace_id"] == request["trace_id"] is not None
+
+    def test_profile_and_flight_over_the_wire(self):
+        from repro.obs import SamplingProfiler, Telemetry
+
+        telemetry = Telemetry(profiler=SamplingProfiler(hz=200.0).start())
+        service = ScheduleService(
+            cache=ScheduleCache(None, capacity=16), telemetry=telemetry
+        )
+        g = random_canonical_graph("fft", 8, seed=3)
+        with ScheduleServer(service, port=0, workers=2) as server:
+            with ServiceClient(port=server.port) as client:
+                client.schedule(g, 8)
+                profile = client.profile(n=2)
+                flight = client.flight(n=3)
+        telemetry.close()
+        assert profile["ok"] and profile["hz"] == 200.0
+        assert flight["ok"]
+        assert [e["kind"] for e in flight["events"]][0] in (
+            "request", "cache_miss", "coalesce_leader", "dispatch"
+        )
+
+
+class TestOpsConsole:
+    def test_two_frames_against_a_live_server(self, live_server):
+        import io
+
+        from repro.service import run_top
+
+        g = random_canonical_graph("chain", 6, seed=0)
+        with ServiceClient(port=live_server.port) as client:
+            client.schedule(g, 4)
+        out = io.StringIO()
+        rc = run_top(
+            "127.0.0.1", live_server.port, interval=0.05,
+            iterations=2, out=out, use_ansi=False,
+        )
+        assert rc == 0
+        text = out.getvalue()
+        assert text.count("repro top —") == 2
+        assert "req/s" in text and "cache hit ratio" in text
+        assert "flight events" in text  # the ring saw the schedule
+        assert "\x1b[" not in text  # ansi off appends plain frames
+
+    def test_unreachable_server_fails_cleanly(self, capsys):
+        from repro.service import run_top
+
+        rc = run_top("127.0.0.1", 1, iterations=1)
+        assert rc == 1
+        assert "cannot reach service" in capsys.readouterr().err
+
+    def test_console_rates_derive_from_deltas(self, live_server):
+        from repro.service.console import OpsConsole
+
+        g = random_canonical_graph("chain", 6, seed=1)
+        console = OpsConsole("127.0.0.1", live_server.port)
+        try:
+            first = console.sample()
+            assert first["rps"] == 0.0  # no previous tick to diff
+            with ServiceClient(port=live_server.port) as client:
+                for _ in range(3):
+                    client.schedule(g, 4)
+            second = console.sample()
+            assert second["rps"] > 0.0
+            assert len(console.rps_history) == 1
+            frame = console.render(second)
+            assert f"{live_server.port}" in frame
+        finally:
+            console.close()
+
+
+class TestDiagnosisCli:
+    def test_metrics_cli_text_and_json(self, live_server, capsys):
+        g = random_canonical_graph("chain", 5, seed=0)
+        with ServiceClient(port=live_server.port) as client:
+            client.schedule(g, 2)
+        rc = main(["metrics", f"127.0.0.1:{live_server.port}"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "# TYPE service_requests counter" in out
+        rc = main(["metrics", f"127.0.0.1:{live_server.port}", "--json"])
+        assert rc == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert "service.requests" in snap
+
+    def test_trace_cli_table_and_json(self, live_server, capsys):
+        g = random_canonical_graph("chain", 5, seed=1)
+        with ServiceClient(port=live_server.port) as client:
+            client.schedule(g, 2)
+        rc = main(["trace", f"127.0.0.1:{live_server.port}", "-n", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "spans shown" in out
+        assert "schedule" in out
+        rc = main([
+            "trace", f"127.0.0.1:{live_server.port}", "-n", "5", "--json",
+        ])
+        assert rc == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert all(json.loads(l)["op"] == "schedule" for l in lines)
+
+    def test_top_cli(self, live_server, capsys):
+        rc = main([
+            "top", f"127.0.0.1:{live_server.port}",
+            "--iterations", "1", "--interval", "0.01",
+        ])
+        assert rc == 0
+        assert "repro top —" in capsys.readouterr().out
+
+    def test_observer_cli_unreachable(self, capsys):
+        for argv in (["metrics", "127.0.0.1:1"], ["trace", "127.0.0.1:1"]):
+            assert main(argv) == 1
+            assert "cannot reach service" in capsys.readouterr().err
+
+    def test_target_parsing(self):
+        from repro.cli import _parse_target
+        from repro.service import DEFAULT_PORT
+
+        assert _parse_target("10.0.0.7:9999") == ("10.0.0.7", 9999)
+        assert _parse_target("7007") == ("127.0.0.1", 7007)
+        assert _parse_target("somehost") == ("somehost", DEFAULT_PORT)
+
+    def test_loadgen_error_rate_gate(self, capsys, monkeypatch, live_server):
+        from repro.service import loadgen as loadgen_mod
+
+        real = loadgen_mod.run_loadgen
+
+        def flaky(**kwargs):
+            report = real(**kwargs)
+            report.errors = 1  # one synthetic failure
+            return report
+
+        monkeypatch.setattr("repro.service.run_loadgen", flaky)
+        argv = [
+            "loadgen", "--requests", "6", "--workers", "1", "--pool", "2",
+            "--port", str(live_server.port),
+        ]
+        # default gate: any error fails
+        assert main(list(argv)) == 1
+        assert "exceeds the --max-error-rate" in capsys.readouterr().err
+        # a tolerant gate lets the same run pass (1 error / 7 attempts)
+        assert main(argv + ["--max-error-rate", "0.5"]) == 0
+
+    def test_bench_report_cli(self, tmp_path, capsys, monkeypatch):
+        from repro.obs.benchhist import append_record
+
+        monkeypatch.chdir(tmp_path)
+        history = tmp_path / "BENCH_history.jsonl"
+        metric = {"value": 100.0, "direction": "higher", "unit": "req/s"}
+        append_record(history, "service", {"fig10_cached_rps": metric})
+        append_record(
+            history, "service",
+            {"fig10_cached_rps": {**metric, "value": 99.0}},
+        )
+        rc = main(["bench-report"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bench service: 2 records" in out
+        assert "fig10_cached_rps" in out  # trend table rendered
+        assert "verdict: ok" in out
+        # a regression past the gate fails only with --check
+        append_record(
+            history, "service",
+            {"fig10_cached_rps": {**metric, "value": 50.0}},
+        )
+        assert main(["bench-report"]) == 0
+        assert "verdict: regression" in capsys.readouterr().out
+        assert main(["bench-report", "--check"]) == 1
+        capsys.readouterr()
+
+    def test_bench_report_json_and_missing_history(self, tmp_path, capsys):
+        from repro.obs.benchhist import append_record
+
+        history = tmp_path / "h.jsonl"
+        assert main(["bench-report", "--history", str(history)]) == 1
+        assert "no history records" in capsys.readouterr().err
+        metric = {"value": 10.0, "direction": "lower", "unit": "ms"}
+        append_record(history, "sim", {"p50": metric})
+        append_record(history, "sim", {"p50": {**metric, "value": 11.0}})
+        rc = main(["bench-report", "--history", str(history), "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["sim"]["status"] == "ok"
+        assert doc["sim"]["metrics"]["p50"]["ratio"] == pytest.approx(1.1)
