@@ -11,7 +11,11 @@ profiles against it:
 * ``fig10`` — the paper-topology mix (small graphs, high request rate);
 * ``layered-1k`` — 1000-node random layered DAGs at 64 PEs, the
   serving-scale acceptance anchor where parse/fingerprint/serialize
-  overheads actually show.
+  overheads actually show;
+* ``degraded`` — the ``fig10`` workload against a server whose disk
+  cache tier is tripped by its circuit breaker (LRU+compute-only
+  mode), measuring what graceful degradation costs relative to the
+  healthy ``fig10`` profile.
 
 Each profile replays the same Zipf-skewed workload twice — once with
 the schedule cache in front, once with ``no_cache`` forced recomputes —
@@ -41,6 +45,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -72,6 +77,12 @@ PROFILES = {
                        # absorb the cold computes before measuring the
                        # cached profile, so req/s reflects the hit path
                        warmup=12),
+    # the fig10 workload with the disk cache tier tripped open: the LRU
+    # and memo tiers still serve, everything else recomputes — the price
+    # of running degraded instead of falling over
+    "degraded": dict(scenario="fig10", pool=8, workers=2, num_pes=None,
+                     zipf=1.1, requests=(150, 500),
+                     no_cache_requests=(75, 250), warmup=0, degraded=True),
 }
 
 
@@ -99,7 +110,20 @@ def run_profile(name: str, smoke: bool, seed: int = 0,
                 profile_hz: float = 0.0) -> dict:
     p = PROFILES[name]
     idx = 0 if smoke else 1
-    cache = ScheduleCache(None, capacity=4096)  # memory-only: no disk noise
+    degraded = p.get("degraded", False)
+    tmpdir = None
+    if degraded:
+        # the degraded profile needs a real disk tier to trip: give the
+        # cache a store path, then force the breaker open so every disk
+        # probe is skipped (LRU+compute-only mode)
+        tmpdir = tempfile.TemporaryDirectory(prefix="bench-degraded-")
+        cache = ScheduleCache(
+            str(Path(tmpdir.name) / "schedules.jsonl"), capacity=4096
+        )
+        cache.breaker.cooldown_s = 1e9  # no half-open probes mid-bench
+        cache.breaker.force_open()
+    else:
+        cache = ScheduleCache(None, capacity=4096)  # memory-only: no disk noise
     profiler = None
     if profile_hz > 0:
         profiler = SamplingProfiler(hz=profile_hz)
@@ -144,12 +168,14 @@ def run_profile(name: str, smoke: bool, seed: int = 0,
             service.telemetry.flight.dump("bench")
     if profiler is not None:
         profiler.stop()
+    if tmpdir is not None:
+        tmpdir.cleanup()
     speedup = (
         cached.throughput_rps / no_cache.throughput_rps
         if no_cache.throughput_rps
         else float("inf")
     )
-    return {
+    result = {
         "profile": name,
         "telemetry": telemetry,
         "cached": cached.to_dict(),
@@ -158,6 +184,10 @@ def run_profile(name: str, smoke: bool, seed: int = 0,
         "byte_identical": identical,
         "fastpath_served": service.fastpath,
     }
+    if degraded:
+        result["degraded"] = True
+        result["breaker"] = cache.breaker.to_dict()
+    return result
 
 
 def _cached_rps(telemetry: bool, requests: int, seed: int,

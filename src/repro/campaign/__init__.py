@@ -45,7 +45,13 @@ from .runner import (
     run_campaign,
 )
 from .spec import ALL_PES, SCHEDULER_LABELS, CellResult, CellSpec, Scenario, cell_key
-from .store import ResultStore, append_jsonl, default_store_dir, read_jsonl
+from .store import (
+    ResultStore,
+    append_jsonl,
+    default_store_dir,
+    read_jsonl,
+    record_crc,
+)
 
 __all__ = [
     "ALL_PES",
@@ -73,6 +79,7 @@ __all__ = [
     "get_scenario",
     "list_scenarios",
     "read_jsonl",
+    "record_crc",
     "register",
     "render_report",
     "run_campaign",

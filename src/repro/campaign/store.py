@@ -6,8 +6,9 @@ a completed cell keyed by a hash of its spec *and* the code version
 file, serves every already-measured cell from memory, and appends only
 the newly computed ones — so an interrupted 10k-cell sweep resumes where
 it stopped, and a finished one replays instantly.  Appending is
-line-atomic (single writer: the campaign parent process), and unreadable
-lines from a torn write are skipped on load.
+line-atomic (single writer: the campaign parent process); unreadable
+lines from a torn write are skipped on load, and every record carries a
+CRC checksum so corrupted-but-parseable lines are dropped too.
 
 The default location is ``.repro-campaigns/`` under the working
 directory, overridable with ``REPRO_CAMPAIGN_DIR`` or ``--store``.
@@ -17,12 +18,30 @@ from __future__ import annotations
 
 import json
 import os
+import zlib
 from pathlib import Path
 from typing import Iterable, Iterator
 
 from .spec import CellResult, CellSpec, cell_key
 
-__all__ = ["ResultStore", "default_store_dir", "read_jsonl", "append_jsonl"]
+__all__ = [
+    "ResultStore",
+    "default_store_dir",
+    "read_jsonl",
+    "append_jsonl",
+    "record_crc",
+]
+
+
+def record_crc(doc: dict) -> int:
+    """Checksum of a record's canonical JSON form (sans any ``crc``).
+
+    Computed over the sorted-keys dump, so byte-level variations that do
+    not change the content (key order, whitespace) never invalidate a
+    record, while any corruption of the content itself does.
+    """
+    body = {k: v for k, v in doc.items() if k != "crc"}
+    return zlib.crc32(json.dumps(body, sort_keys=True).encode())
 
 ENV_STORE_DIR = "REPRO_CAMPAIGN_DIR"
 DEFAULT_DIRNAME = ".repro-campaigns"
@@ -36,9 +55,13 @@ def read_jsonl(path: str | Path) -> Iterator[dict]:
     """Yield the parsed objects of a JSON-lines file.
 
     Blank lines, torn lines from an interrupted write and non-object
-    lines are skipped — callers treat them as cache misses.  The
-    :mod:`repro.service` schedule store writes the same format but
-    keeps its own offset-indexed reader.
+    lines are skipped — callers treat them as cache misses.  Records
+    carrying a ``crc`` field (written by :func:`append_jsonl`) are
+    verified against :func:`record_crc` and dropped on mismatch, so a
+    bit-rotted or hand-mangled store degrades to recomputation instead
+    of serving silently wrong results; legacy records without a
+    checksum are served as-is.  The :mod:`repro.service` schedule store
+    writes the same format but keeps its own offset-indexed reader.
     """
     path = Path(path)
     if not path.exists():
@@ -52,16 +75,25 @@ def read_jsonl(path: str | Path) -> Iterator[dict]:
                 doc = json.loads(line)
             except ValueError:
                 continue
-            if isinstance(doc, dict):
-                yield doc
+            if not isinstance(doc, dict):
+                continue
+            crc = doc.pop("crc", None)
+            if crc is not None and record_crc(doc) != crc:
+                continue  # corrupt record: recompute that cell
+            yield doc
 
 
 def append_jsonl(path: str | Path, docs: Iterable[dict]) -> None:
-    """Append documents to a JSON-lines file, creating parents."""
+    """Append documents to a JSON-lines file, creating parents.
+
+    Every record is stamped with a ``crc`` checksum (see
+    :func:`record_crc`) that :func:`read_jsonl` verifies on load."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "a") as fh:
         for doc in docs:
+            doc = dict(doc)
+            doc["crc"] = record_crc(doc)
             fh.write(json.dumps(doc, sort_keys=True) + "\n")
 
 

@@ -12,6 +12,7 @@ Commands
 ``serve``       run the scheduling service (JSON-lines TCP)
 ``request``     submit one graph to a running service
 ``loadgen``     drive a running service with Zipf-skewed traffic
+``health``      fetch a running service's health summary
 ``metrics``     fetch a running service's Prometheus metrics
 ``trace``       fetch a running service's recent request spans
 ``top``         live terminal dashboard over a running service
@@ -224,6 +225,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a slow_request flight event (and trigger a flight "
              "dump) for requests slower than this wall time",
     )
+    srv.add_argument(
+        "--fault-plan", default=None,
+        help="inject deterministic faults from this JSON plan (see the "
+             "README Reliability section); for chaos drills and tests",
+    )
+    srv.add_argument(
+        "--drain-grace", type=float, default=5.0,
+        help="on SIGTERM, stop accepting and flush in-flight responses "
+             "for up to this many seconds before exiting",
+    )
 
     req = sub.add_parser("request", help="submit one graph to a service")
     req.add_argument("graph", help="graph JSON path")
@@ -286,7 +297,18 @@ def build_parser() -> argparse.ArgumentParser:
     lg.add_argument(
         "--max-error-rate", type=float, default=0.0,
         help="tolerated error ratio (errors / attempted requests) before "
-             "the exit code turns non-zero (default 0: any error fails)",
+             "the exit code turns non-zero (default 0: any error fails); "
+             "inconsistent answers (incorrect > 0) always fail",
+    )
+    lg.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-request deadline: the server refuses work it cannot "
+             "finish in time with a retryable error",
+    )
+    lg.add_argument(
+        "--retries", type=int, default=0,
+        help="retry retryable failures (shed/deadline/draining/transport) "
+             "this many times with jittered exponential backoff",
     )
 
     def _observer(name: str, help_text: str) -> argparse.ArgumentParser:
@@ -296,6 +318,20 @@ def build_parser() -> argparse.ArgumentParser:
             help="service address as host:port (or just a port)",
         )
         return ob
+
+    hlt = _observer("health", "fetch a service's health summary")
+    hlt.add_argument(
+        "--wait-ok", action="store_true",
+        help="poll until the service reports status ok (exit 1 on timeout)",
+    )
+    hlt.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="give up on --wait-ok after this many seconds",
+    )
+    hlt.add_argument(
+        "--json", dest="json_out", action="store_true",
+        help="print the raw health response JSON",
+    )
 
     met = _observer("metrics", "fetch a service's Prometheus metrics")
     met.add_argument(
@@ -663,10 +699,19 @@ def _cmd_serve(args) -> int:
         profiler=profiler,
         slow_request_ms=args.slow_ms,
     )
+    faults = None
+    if args.fault_plan:
+        from .service.faults import FaultInjector, FaultPlan
+
+        try:
+            faults = FaultInjector(FaultPlan.load(args.fault_plan))
+        except (OSError, ValueError) as exc:
+            print(f"bad fault plan {args.fault_plan}: {exc}", file=sys.stderr)
+            return 2
     service = ScheduleService(
         cache=cache, portfolio_workers=args.portfolio_workers,
         validate_graphs=not args.trusted,
-        telemetry=telemetry,
+        telemetry=telemetry, faults=faults,
     )
     if args.trusted:
         print("trusted ingest: wire-document validation disabled")
@@ -682,11 +727,26 @@ def _cmd_serve(args) -> int:
         print(f"slow-request threshold: {args.slow_ms:g} ms")
     if service.portfolio_pool is not None:
         print(f"portfolio pool: {args.portfolio_workers} worker processes")
+    if faults is not None:
+        print(
+            f"fault injection: {len(faults.plan.rules)} rules from "
+            f"{args.fault_plan} (seed {faults.plan.seed})"
+        )
     server = ScheduleServer(
         service, host=args.host, port=args.port, workers=args.workers,
         allow_remote_shutdown=args.allow_remote_shutdown,
     )
     server.start()
+    # SIGTERM (systemd stop, container teardown, CI cleanup) drains:
+    # stop accepting, finish and flush in-flight work, then exit
+    import signal
+
+    try:
+        signal.signal(
+            signal.SIGTERM, lambda *_: server.drain(args.drain_grace)
+        )
+    except (ValueError, OSError):
+        pass  # not the main thread (embedded use): no handler
     print(
         f"serving on {server.host}:{server.port} "
         f"({args.workers} workers; send {{\"op\": \"shutdown\"}} to stop)",
@@ -816,6 +876,8 @@ def _cmd_loadgen(args) -> int:
             no_cache=args.no_cache,
             seed=args.seed,
             op="simulate" if args.simulate else "schedule",
+            deadline_ms=args.deadline_ms,
+            retries=args.retries,
         )
     except OSError as exc:
         print(
@@ -834,16 +896,57 @@ def _cmd_loadgen(args) -> int:
         with open(args.json_out, "w") as fh:
             json.dump(report.to_dict(), fh, indent=1)
         print(f"report written to {args.json_out}")
-    attempted = report.requests + report.errors
-    rate = report.errors / attempted if attempted else 0.0
-    if rate > args.max_error_rate:
+    failed = False
+    if report.incorrect:
         print(
-            f"error rate {100 * rate:.2f}% exceeds the "
+            f"{report.incorrect} responses contradicted earlier answers "
+            f"for the same request — correctness gate failed",
+            file=sys.stderr,
+        )
+        failed = True
+    if report.error_rate > args.max_error_rate:
+        print(
+            f"error rate {100 * report.error_rate:.2f}% exceeds the "
             f"--max-error-rate {100 * args.max_error_rate:.2f}% gate",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        failed = True
+    return 1 if failed else 0
+
+
+def _cmd_health(args) -> int:
+    import time as _time
+
+    from .service import ServiceClient
+
+    host, port = _parse_target(args.target)
+    deadline = _time.monotonic() + args.timeout
+    while True:
+        response = None
+        try:
+            with ServiceClient(host, port, timeout=5.0) as client:
+                response = client.health()
+        except (OSError, RuntimeError) as exc:
+            error = str(exc) or type(exc).__name__
+        if response is not None:
+            status = response.get("status", "?")
+            if not args.wait_ok or status == "ok":
+                if args.json_out:
+                    json.dump(response, sys.stdout, indent=1, sort_keys=True)
+                    print()
+                else:
+                    tripped = response.get("tripped") or []
+                    extra = f" (tripped: {', '.join(tripped)})" if tripped else ""
+                    print(f"{host}:{port} {status}{extra}")
+                return 0 if status == "ok" else 1
+            error = f"status {status}"
+        if not args.wait_ok or _time.monotonic() >= deadline:
+            print(
+                f"service at {host}:{port} not healthy: {error}",
+                file=sys.stderr,
+            )
+            return 1
+        _time.sleep(0.2)
 
 
 def _cmd_metrics(args) -> int:
@@ -970,6 +1073,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "request": _cmd_request,
         "loadgen": _cmd_loadgen,
+        "health": _cmd_health,
         "metrics": _cmd_metrics,
         "trace": _cmd_trace,
         "top": _cmd_top,

@@ -23,7 +23,12 @@ Pieces
   threads; single-flight batching of identical fingerprints; graceful
   shutdown) and its client;
 * :mod:`~repro.service.loadgen` — Zipf-skewed load generator over the
-  campaign scenario registry, reporting p50/p95/p99 latency and req/s.
+  campaign scenario registry, reporting p50/p95/p99 latency and req/s;
+* :mod:`~repro.service.faults` — deterministic fault injection
+  (``repro serve --fault-plan``) and the circuit breaker behind the
+  disk cache tier; the reliability layer (per-request deadlines,
+  supervised portfolio workers, crash-safe cache, graceful
+  degradation and drain) is exercised through these primitives.
 
 Fingerprint format
 ------------------
@@ -83,6 +88,13 @@ or, from the command line::
 from .cache import ScheduleCache
 from .client import ServiceClient, ServiceError
 from .console import OpsConsole, run_top
+from .faults import (
+    FAULT_SITES,
+    CircuitBreaker,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+)
 from .fingerprint import (
     SCHEDULE_KEY_VERSION,
     doc_digest,
@@ -119,8 +131,13 @@ from .server import (
 __all__ = [
     "DEFAULT_PORT",
     "DEFAULT_SCHEDULERS",
+    "FAULT_SITES",
     "SCHEDULE_KEY_VERSION",
     "CandidateResult",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
     "LoadgenReport",
     "MIN_RELIABLE_SAMPLES",
     "OBJECTIVES",

@@ -39,20 +39,49 @@ tag (:data:`~repro.service.fingerprint.SCHEDULE_KEY_VERSION`) precisely
 so that entries persisted by older code become unreachable here instead
 of being served forever — pass that tag's prefix check as ``retain`` to
 let compaction reclaim their bytes too.
+
+Crash safety.  Records written by this version carry a ``crc`` field
+(CRC-32 of the canonical ``[key, entry]`` serialization), verified both
+at load and on every store read; legacy records without one are still
+accepted.  Load distinguishes two failure shapes: a *torn tail* — the
+final line lacking its newline, the signature of a writer killed
+mid-append — is truncated away so subsequent appends cannot merge into
+it, while corrupt interior lines (unparseable, or failing their
+checksum) are copied to a ``<store>.quarantine`` sibling and counted as
+``cache.corrupt_records`` instead of raising.  A stale ``.compact``
+temp file from an interrupted compaction is deleted on open: the
+``os.replace`` swap is atomic, so the original store is intact whenever
+the temp still exists.  All disk-tier I/O is bracketed by a
+:class:`~repro.service.faults.CircuitBreaker`: repeated errors (real or
+injected via a :class:`~repro.service.faults.FaultInjector`) trip the
+tier into LRU+compute-only degradation, with half-open probes deciding
+when to rejoin.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import threading
+import zlib
 from collections import OrderedDict
 from pathlib import Path
 from typing import Callable
 
 from ..obs import MetricsRegistry
+from .faults import CircuitBreaker
 
-__all__ = ["ScheduleCache"]
+__all__ = ["ScheduleCache", "record_crc"]
+
+
+def record_crc(key: str, entry: dict) -> int:
+    """CRC-32 over the canonical ``[key, entry]`` serialization.
+
+    Computed over a re-dump of the parsed values (not the raw line), so
+    it survives whitespace and key-order differences between writers.
+    """
+    return zlib.crc32(json.dumps([key, entry], sort_keys=True).encode())
 
 
 class ScheduleCache:
@@ -69,6 +98,7 @@ class ScheduleCache:
         capacity: int = 1024,
         retain: Callable[[str], bool] | None = None,
         registry: MetricsRegistry | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be positive")
@@ -79,12 +109,26 @@ class ScheduleCache:
         #: key -> (byte offset, line length) in the file
         self._disk: dict[str, tuple[int, int]] = {}
         self._file_bytes = 0
+        self.recovered_tail_bytes = 0  #: torn-tail bytes truncated at load
         self._lock = threading.Lock()
         # disk appends serialize on their own lock so a put's file write
         # never stalls concurrent get() fast paths
         self._io_lock = threading.Lock()
         self._flight = None  #: optional FlightRecorder (eviction events)
+        self._faults = None  #: optional FaultInjector (disk.read/write)
+        #: trips the disk tier into LRU+compute-only mode on repeated
+        #: I/O errors; None only when there is no disk tier at all
+        self.breaker = (
+            breaker
+            if breaker is not None
+            else (CircuitBreaker(name="disk") if self.path is not None else None)
+        )
         self._bind(registry if registry is not None else MetricsRegistry())
+        if self.path is not None:
+            # a leftover temp means compaction died before its atomic
+            # os.replace — the original store is whole, drop the temp
+            with contextlib.suppress(OSError):
+                self.path.with_name(self.path.name + ".compact").unlink()
         if self.path is not None and self.path.exists():
             self._load_index()
             if self._dead_ratio() > self.COMPACT_DEAD_RATIO:
@@ -110,6 +154,10 @@ class ScheduleCache:
         self._c_compactions = registry.counter(
             "cache.compactions", "store-file compactions"
         )
+        self._c_corrupt = registry.counter(
+            "cache.corrupt_records",
+            "store records failing checksum or parse (quarantined)",
+        )
         registry.gauge(
             "cache.lru_entries", "entries resident in the memory tier",
             fn=lambda: len(self._lru),
@@ -126,6 +174,8 @@ class ScheduleCache:
             "cache.dead_bytes", "disk-tier bytes no index entry reaches",
             fn=self.dead_bytes,
         )
+        if self.breaker is not None:
+            self.breaker.bind(registry=registry)
 
     def bind_registry(self, registry: MetricsRegistry) -> None:
         """Re-home the cache's instruments into ``registry``.
@@ -140,11 +190,13 @@ class ScheduleCache:
         carried = (
             self.hits, self.store_hits, self.misses,
             self.evictions, self.puts, self.compactions,
+            self.corrupt_records,
         )
         self._bind(registry)
         children = (
             self._c_hits, self._c_store_hits, self._c_misses,
             self._c_evictions, self._c_puts, self._c_compactions,
+            self._c_corrupt,
         )
         for child, value in zip(children, carried):
             if value:
@@ -155,6 +207,13 @@ class ScheduleCache:
         (same adoption pattern as :meth:`bind_registry`; recording is
         an atomic deque append, so it is safe under the map lock)."""
         self._flight = flight
+        if self.breaker is not None:
+            self.breaker.bind(flight=flight)
+
+    def bind_faults(self, faults) -> None:
+        """Adopt a service's :class:`~repro.service.faults.FaultInjector`
+        so plans naming ``disk.read`` / ``disk.write`` hit this tier."""
+        self._faults = faults
 
     @property
     def hits(self) -> int:
@@ -180,26 +239,66 @@ class ScheduleCache:
     def compactions(self) -> int:
         return self._c_compactions.value
 
+    @property
+    def corrupt_records(self) -> int:
+        return self._c_corrupt.value
+
     def _load_index(self) -> None:
+        corrupt: list[bytes] = []
+        truncate_at: int | None = None
         with open(self.path, "rb") as fh:
             offset = 0
             for line in fh:
                 start, offset = offset, offset + len(line)
+                if not line.endswith(b"\n"):
+                    # torn tail: a writer died mid-append.  Even if the
+                    # fragment parses, appending after it would merge
+                    # two records into one unreadable line — cut it off.
+                    truncate_at = start
+                    break
                 stripped = line.strip()
                 if not stripped:
                     continue
                 try:
                     doc = json.loads(stripped)
-                except ValueError:  # torn line from an interrupted write
+                except ValueError:
+                    corrupt.append(line)
                     continue
-                if (
+                if not (
                     isinstance(doc, dict)
                     and isinstance(doc.get("key"), str)
                     and isinstance(doc.get("entry"), dict)
-                    and (self.retain is None or self.retain(doc["key"]))
                 ):
+                    continue  # foreign shape: dead bytes, not corruption
+                crc = doc.get("crc")
+                if crc is not None and crc != record_crc(doc["key"], doc["entry"]):
+                    corrupt.append(line)
+                    continue
+                if self.retain is None or self.retain(doc["key"]):
                     self._disk[doc["key"]] = (start, len(line))
+        if truncate_at is not None:
+            self.recovered_tail_bytes = offset - truncate_at
+            os.truncate(self.path, truncate_at)
+            offset = truncate_at
         self._file_bytes = offset
+        if corrupt:
+            self._quarantine(corrupt)
+
+    def _quarantine(self, lines: list[bytes]) -> None:
+        """Copy corrupt store lines aside for postmortem, count them.
+
+        The originals stay in the store as dead bytes (compaction
+        reclaims them); the copies preserve the evidence."""
+        qpath = self.path.with_name(self.path.name + ".quarantine")
+        try:
+            with open(qpath, "ab") as fh:
+                for line in lines:
+                    fh.write(line if line.endswith(b"\n") else line + b"\n")
+        except OSError:
+            pass  # quarantine is best-effort; the count still records it
+        self._c_corrupt.inc(len(lines))
+        if self._flight is not None:
+            self._flight.record("cache_corrupt", records=len(lines))
 
     def _live_bytes(self) -> int:
         return sum(length for _, length in self._disk.values())
@@ -222,6 +321,8 @@ class ScheduleCache:
         no-op without a disk tier."""
         if self.path is None:
             return 0
+        if self.breaker is not None and not self.breaker.allow():
+            return 0  # tier is tripped; don't hammer a failing disk
         with self._io_lock:
             with self._lock:
                 if not self.path.exists():
@@ -231,24 +332,50 @@ class ScheduleCache:
             tmp = self.path.with_name(self.path.name + ".compact")
             new_index: dict[str, tuple[int, int]] = {}
             written = 0
-            with open(self.path, "rb") as src, open(tmp, "wb") as dst:
-                # preserve file order for debuggability (offsets sort)
-                for key, (offset, length) in sorted(
-                    old_index.items(), key=lambda kv: kv[1][0]
-                ):
-                    src.seek(offset)
-                    line = src.read(length)
-                    new_index[key] = (written, len(line))
-                    dst.write(line)
-                    written += len(line)
-                dst.flush()
-                os.fsync(dst.fileno())
-            os.replace(tmp, self.path)
+            try:
+                with open(self.path, "rb") as src, open(tmp, "wb") as dst:
+                    # preserve file order for debuggability (offsets sort)
+                    for key, (offset, length) in sorted(
+                        old_index.items(), key=lambda kv: kv[1][0]
+                    ):
+                        src.seek(offset)
+                        line = src.read(length)
+                        new_index[key] = (written, len(line))
+                        dst.write(line)
+                        written += len(line)
+                    dst.flush()
+                    os.fsync(dst.fileno())
+                # the commit point: everything before this is invisible,
+                # everything after is complete — kill-safe at any instant
+                os.replace(tmp, self.path)
+            except OSError:
+                with contextlib.suppress(OSError):
+                    tmp.unlink()
+                self._io_failure("compact")
+                return 0
+            self._io_success()
             with self._lock:
                 self._disk = new_index
                 self._file_bytes = written
                 self._c_compactions.inc()
             return max(0, old_bytes - written)
+
+    # ------------------------------------------------------------------
+    # breaker bookkeeping around every disk-tier I/O
+    # ------------------------------------------------------------------
+    def _io_failure(self, op: str) -> None:
+        if self.breaker is not None:
+            self.breaker.record_failure()
+        if self._flight is not None:
+            self._flight.record("disk_error", op=op)
+
+    def _io_success(self) -> None:
+        if self.breaker is not None:
+            self.breaker.record_success()
+
+    def degraded(self) -> bool:
+        """True while the disk tier is tripped (LRU+compute-only)."""
+        return self.breaker is not None and self.breaker.state != "closed"
 
     def __len__(self) -> int:
         with self._lock:
@@ -274,6 +401,12 @@ class ScheduleCache:
                 if count_miss:
                     self._c_misses.inc()
                 return None
+        if self.breaker is not None and not self.breaker.allow():
+            # disk tier tripped: degrade to LRU+compute, don't error
+            if count_miss:
+                with self._lock:
+                    self._c_misses.inc()
+            return None
         # file IO happens outside the map lock; a concurrent promotion
         # of the same key is benign (same entry, idempotent insert)
         entry = self._read_store_entry(key)
@@ -297,15 +430,43 @@ class ScheduleCache:
             if slot is None:
                 return None
             try:
+                rule = (
+                    self._faults.fire("disk.read", key=key[:48])
+                    if self._faults is not None
+                    else None
+                )
+                if rule is not None:
+                    raise OSError(rule.error)
                 with open(self.path, "rb") as fh:
                     fh.seek(slot[0])
-                    doc = json.loads(fh.readline())
-            except (OSError, ValueError):
+                    raw = fh.readline()
+            except OSError:
+                self._io_failure("read")
                 return None
-        if not isinstance(doc, dict) or doc.get("key") != key:
+        self._io_success()
+        try:
+            doc = json.loads(raw)
+        except ValueError:
+            doc = None
+        if (
+            not isinstance(doc, dict)
+            or doc.get("key") != key
+            or not isinstance(doc.get("entry"), dict)
+            or (
+                doc.get("crc") is not None
+                and doc["crc"] != record_crc(key, doc["entry"])
+            )
+        ):
+            # bit rot since load (or a raced rewrite): treat the record
+            # as corrupt, forget the index slot so we recompute instead
+            # of re-reading it forever
+            with self._lock:
+                self._disk.pop(key, None)
+            self._c_corrupt.inc()
+            if self._flight is not None:
+                self._flight.record("cache_corrupt", records=1, key=key[:48])
             return None
-        entry = doc.get("entry")
-        return entry if isinstance(entry, dict) else None
+        return doc["entry"]
 
     def put(self, key: str, entry: dict) -> None:
         """Insert into the LRU; appends to the JSONL file if backed."""
@@ -314,24 +475,41 @@ class ScheduleCache:
             self._insert(key, entry)
             append_needed = self.path is not None and key not in self._disk
         if append_needed:
+            if self.breaker is not None and not self.breaker.allow():
+                return  # tier tripped: entry lives in the LRU only
             with self._io_lock:
                 with self._lock:
                     if key in self._disk:  # a concurrent put won the race
                         return
-                self.path.parent.mkdir(parents=True, exist_ok=True)
                 line = (
-                    json.dumps({"key": key, "entry": entry}, sort_keys=True)
-                    .encode()
+                    json.dumps(
+                        {"crc": record_crc(key, entry), "entry": entry,
+                         "key": key},
+                        sort_keys=True,
+                    ).encode()
                     + b"\n"
                 )
-                with open(self.path, "ab") as fh:
-                    offset = fh.tell()
-                    fh.write(line)
+                try:
+                    rule = (
+                        self._faults.fire("disk.write", key=key[:48])
+                        if self._faults is not None
+                        else None
+                    )
+                    if rule is not None:
+                        raise OSError(rule.error)
+                    self.path.parent.mkdir(parents=True, exist_ok=True)
+                    with open(self.path, "ab") as fh:
+                        offset = fh.tell()
+                        fh.write(line)
+                except OSError:
+                    self._io_failure("write")
+                    return
                 with self._lock:
                     self._disk[key] = (offset, len(line))
                     self._file_bytes = max(
                         self._file_bytes, offset + len(line)
                     )
+            self._io_success()
 
     def _insert(self, key: str, entry: dict) -> None:
         self._lru[key] = entry
@@ -358,4 +536,9 @@ class ScheduleCache:
                 "evictions": self.evictions,
                 "puts": self.puts,
                 "compactions": self.compactions,
+                "corrupt_records": self.corrupt_records,
+                "recovered_tail_bytes": self.recovered_tail_bytes,
+                "breaker": (
+                    self.breaker.to_dict() if self.breaker is not None else None
+                ),
             }

@@ -1,15 +1,25 @@
 """Blocking JSON-lines client for the scheduling service.
 
 One socket, one request object per line out, one response object per
-line back.  The client is deliberately boring: no retries, no pooling —
-the load generator opens one client per worker thread, the CLI opens
-one per invocation.
+line back.  The transport layer is deliberately explicit: writes loop
+over ``send`` (partial writes and EINTR are facts of life, not errors),
+reads buffer until a full line arrives, and a connection that dies
+mid-response is replaced *once* per request — every service op is
+idempotent (schedule/simulate are pure computes behind a cache), so
+replaying the request line over a fresh socket is always safe.
+
+Application-level retries (shed/deadline/draining responses flagged
+``retryable``) live in :meth:`ServiceClient.request_with_retry`, with
+jittered exponential backoff; the load generator and CLI drive it via
+``--retries``.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
 from typing import Mapping, Sequence
 
 from ..core.graph import CanonicalGraph
@@ -26,6 +36,10 @@ class ServiceError(RuntimeError):
         self.response = response
         super().__init__(response.get("error", "service error"))
 
+    @property
+    def retryable(self) -> bool:
+        return bool(self.response.get("retryable", False))
+
 
 class ServiceClient:
     """A connected client; use as a context manager to close cleanly."""
@@ -35,17 +49,42 @@ class ServiceClient:
     ) -> None:
         self.host = host
         self.port = port
+        self.timeout = timeout
         #: wire accounting (the load generator reports bytes/s)
         self.bytes_sent = 0
         self.bytes_received = 0
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._stream = self._sock.makefile("rwb")
+        #: transparent transport-level reconnects performed so far
+        self.reconnects = 0
+        #: application-level retries performed by request_with_retry
+        self.retries = 0
+        self._sock: socket.socket | None = None
+        self._rbuf = bytearray()
+        self._connect()
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        try:
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        self._rbuf = bytearray()
+
+    def _drop(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        self._sock = None
+        self._rbuf = bytearray()
 
     def close(self) -> None:
-        try:
-            self._stream.close()
-        finally:
-            self._sock.close()
+        self._drop()
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -53,23 +92,76 @@ class ServiceClient:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    def _send_all(self, data: bytes) -> None:
+        """``send`` until every byte is on the wire: a full socket buffer
+        yields partial sends, a signal yields EINTR — both just resume."""
+        assert self._sock is not None
+        view = memoryview(data)
+        while view:
+            try:
+                sent = self._sock.send(view)
+            except InterruptedError:
+                continue  # EINTR: nothing was sent, try again
+            if sent == 0:
+                raise ConnectionError("socket send returned 0 bytes")
+            view = view[sent:]
+
+    def _read_line(self) -> bytes:
+        """Receive until a full newline-terminated response is buffered.
+
+        EOF with a *partial* line in the buffer is the mid-response
+        disconnect case — distinguished in the error message because the
+        caller's reconnect logic treats both identically (replay) while
+        a human debugging wants to know which happened.
+        """
+        assert self._sock is not None
+        buf = self._rbuf
+        while True:
+            nl = buf.find(b"\n")
+            if nl >= 0:
+                line = bytes(buf[: nl + 1])
+                del buf[: nl + 1]
+                return line
+            try:
+                chunk = self._sock.recv(65536)
+            except InterruptedError:
+                continue  # EINTR: retry the read
+            if not chunk:
+                if buf:
+                    raise ConnectionError(
+                        "connection closed mid-response "
+                        f"({len(buf)} bytes of a partial line)"
+                    )
+                raise ConnectionError("service closed the connection")
+            buf += chunk
+
     # ------------------------------------------------------------------
     def request_raw(self, line: bytes) -> dict:
         """Send one pre-encoded request line; return the parsed response.
 
         The fast path for load generation: the caller encodes each
-        distinct request once and replays the bytes.
+        distinct request once and replays the bytes.  A connection that
+        fails mid-request (send error, EOF, truncated response) is
+        replaced once and the request replayed transparently; a second
+        failure propagates.
         """
-        self._stream.write(line)
-        sent = len(line)
         if not line.endswith(b"\n"):
-            self._stream.write(b"\n")
-            sent += 1
-        self._stream.flush()
-        reply = self._stream.readline()
-        if not reply:
-            raise ConnectionError("service closed the connection")
-        self.bytes_sent += sent
+            line += b"\n"
+        for attempt in (0, 1):
+            if self._sock is None:
+                self._connect()
+            try:
+                self._send_all(line)
+                reply = self._read_line()
+                break
+            except OSError as exc:
+                self._drop()
+                if attempt:
+                    raise ConnectionError(
+                        f"request failed after reconnect: {exc}"
+                    ) from exc
+                self.reconnects += 1
+        self.bytes_sent += len(line)
         self.bytes_received += len(reply)
         return json.loads(reply)
 
@@ -80,6 +172,49 @@ class ServiceClient:
             raise ServiceError(response)
         return response
 
+    def request_with_retry(
+        self,
+        doc: Mapping,
+        retries: int = 2,
+        backoff_s: float = 0.05,
+        max_backoff_s: float = 2.0,
+        rng: random.Random | None = None,
+    ) -> dict:
+        """Like :meth:`request`, but retry *retryable* failures.
+
+        Retryable means a transport error (connection died twice) or a
+        response flagged ``retryable`` by the server — shed under
+        overload, deadline exceeded, draining.  Backoff is exponential
+        with full jitter (0.5x–1.5x), floored at the server's
+        ``retry_after_ms`` hint when present.  Non-retryable errors
+        (bad request, unknown op) propagate immediately.
+        """
+        if rng is None:
+            rng = random.Random()
+        doc = dict(doc)
+        attempt = 0
+        while True:
+            response: dict | None
+            try:
+                response = self.request_raw(json.dumps(doc).encode())
+            except ConnectionError:
+                if attempt >= retries:
+                    raise
+                response = None
+            if response is not None:
+                if response.get("ok", False):
+                    return response
+                if attempt >= retries or not response.get("retryable", False):
+                    raise ServiceError(response)
+            attempt += 1
+            self.retries += 1
+            # the server counts retried requests (service.retries)
+            doc["retry"] = attempt
+            delay = min(backoff_s * (2 ** (attempt - 1)), max_backoff_s)
+            if response is not None and response.get("retry_after_ms"):
+                delay = max(delay, float(response["retry_after_ms"]) / 1000.0)
+            time.sleep(delay * (0.5 + rng.random()))
+
     # ------------------------------------------------------------------
     def schedule(
         self,
@@ -89,6 +224,8 @@ class ServiceClient:
         schedulers: Sequence[str] | None = None,
         budget_ms: float | None = None,
         no_cache: bool = False,
+        deadline_ms: float | None = None,
+        retries: int = 0,
     ) -> dict:
         """Request the best schedule for ``graph`` on ``num_pes`` PEs."""
         doc: dict = {
@@ -105,6 +242,10 @@ class ServiceClient:
             doc["budget_ms"] = budget_ms
         if no_cache:
             doc["no_cache"] = True
+        if deadline_ms is not None:
+            doc["deadline_ms"] = deadline_ms
+        if retries:
+            return self.request_with_retry(doc, retries=retries)
         return self.request(doc)
 
     def simulate(
@@ -117,6 +258,8 @@ class ServiceClient:
         capacity: int | None = None,
         engine: str | None = None,
         no_cache: bool = False,
+        deadline_ms: float | None = None,
+        retries: int = 0,
     ) -> dict:
         """Schedule ``graph`` with one streaming scheduler and execute
         the result under the cycle-accurate DES substrate; the response
@@ -138,6 +281,10 @@ class ServiceClient:
             doc["engine"] = engine
         if no_cache:
             doc["no_cache"] = True
+        if deadline_ms is not None:
+            doc["deadline_ms"] = deadline_ms
+        if retries:
+            return self.request_with_retry(doc, retries=retries)
         return self.request(doc)
 
     def ping(self) -> dict:
@@ -145,6 +292,11 @@ class ServiceClient:
 
     def stats(self) -> dict:
         return self.request({"op": "stats"})
+
+    def health(self) -> dict:
+        """The server's health summary: ``status`` is ``ok``,
+        ``degraded`` (a circuit breaker is open) or ``draining``."""
+        return self.request({"op": "health"})
 
     def metrics(self) -> dict:
         """The server's metrics registry: Prometheus text under

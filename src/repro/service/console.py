@@ -162,6 +162,28 @@ class OpsConsole:
             f"store {cache.get('store_entries', 0)}   "
             f"evictions {cache.get('evictions', 0)}",
         ]
+        health = stats.get("health")
+        if health:  # pre-reliability servers have no health summary
+            parts = [f"  health {health:<9}"]
+            breaker = cache.get("breaker") or {}
+            if breaker:
+                parts.append(
+                    f"breaker {breaker.get('state', '?')} "
+                    f"(opens {breaker.get('opens', 0)})"
+                )
+            pool = stats.get("pool") or {}
+            if pool:
+                parts.append(
+                    f"pool {pool.get('alive', 0)}/{pool.get('workers', 0)} "
+                    f"respawns {pool.get('respawns', 0)}"
+                )
+            faults = stats.get("faults") or {}
+            if faults:
+                parts.append(
+                    f"faults {sum(faults.get('fired', {}).values())} fired"
+                    + (" (active)" if faults.get("active") else " (done)")
+                )
+            lines.append("   ".join(parts))
         profile = sample.get("profile")
         if profile:
             lines.append("")

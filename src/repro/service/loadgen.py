@@ -28,7 +28,7 @@ from ..campaign.spec import ALL_PES
 from ..core.serialize import graph_to_dict
 from ..core.tabulate import format_table, write_csv
 from ..graphs import random_canonical_graph
-from .client import ServiceClient
+from .client import ServiceClient, ServiceError
 from .server import DEFAULT_PORT
 
 __all__ = [
@@ -112,10 +112,24 @@ class LoadgenReport:
     bytes_received: int = 0
     #: "op.phase" -> {count, total_ms, mean_ms} from the server registry
     server_phases: dict[str, dict] = field(default_factory=dict)
+    #: application-level retries the clients performed (retryable errors)
+    retries: int = 0
+    #: transparent transport reconnects the clients performed
+    reconnects: int = 0
+    #: ok answers whose result contradicted an earlier answer for the
+    #: same request — the one number that must always be zero
+    incorrect: int = 0
+    deadline_ms: float | None = None
 
     @property
     def throughput_rps(self) -> float:
         return self.requests / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def error_rate(self) -> float:
+        """Errors as a fraction of the total workload (after retries)."""
+        total = self.requests + self.errors
+        return self.errors / total if total else 0.0
 
     @property
     def wire_bytes_per_s(self) -> float:
@@ -175,6 +189,12 @@ class LoadgenReport:
             out += "\nerrors by kind: " + ", ".join(
                 f"{kind}={n}" for kind, n in sorted(self.error_kinds.items())
             )
+        if self.retries or self.reconnects or self.incorrect:
+            out += (
+                f"\nreliability: retries={self.retries} "
+                f"reconnects={self.reconnects} incorrect={self.incorrect} "
+                f"error_rate={100.0 * self.error_rate:.2f}%"
+            )
         if self.server_phases:
             worst = sorted(
                 self.server_phases.items(),
@@ -207,6 +227,11 @@ class LoadgenReport:
             "tiers": dict(self.tiers),
             "errors": self.errors,
             "error_kinds": dict(self.error_kinds),
+            "error_rate": round(self.error_rate, 4),
+            "retries": self.retries,
+            "reconnects": self.reconnects,
+            "incorrect": self.incorrect,
+            "deadline_ms": self.deadline_ms,
             "server_phases": dict(self.server_phases),
             "small_sample": self.small_sample,
             **{k: round(v, 3) for k, v in self.summary().items()},
@@ -229,6 +254,7 @@ def build_request_pool(
     schedulers: Sequence[str] | None = None,
     no_cache: bool = False,
     op: str = "schedule",
+    deadline_ms: float | None = None,
 ) -> list[bytes]:
     """Distinct schedule requests, pre-encoded as JSON lines.
 
@@ -281,6 +307,8 @@ def build_request_pool(
                 doc["schedulers"] = list(schedulers)
         if no_cache:
             doc["no_cache"] = True
+        if deadline_ms is not None:
+            doc["deadline_ms"] = deadline_ms
         lines.append(json.dumps(doc).encode() + b"\n")
     if not lines:
         raise ValueError(f"scenario {scenario!r} produced an empty request pool")
@@ -307,11 +335,22 @@ def run_loadgen(
     no_cache: bool = False,
     seed: int = 0,
     op: str = "schedule",
+    deadline_ms: float | None = None,
+    retries: int = 0,
 ) -> LoadgenReport:
     """Drive a live service and measure latency + throughput.
 
     ``op="simulate"`` drives the DES-validation endpoint instead of the
     scheduling one (same pool construction, Zipf replay and report).
+
+    With ``deadline_ms`` every request carries a per-request deadline;
+    with ``retries`` retryable failures (shed, deadline exceeded,
+    draining, transport errors) are retried with jittered exponential
+    backoff before counting as errors.  Every ``ok`` answer is checked
+    against the first answer observed for the same pool entry (winner,
+    makespan, fingerprint — or simulated makespan for DES requests);
+    disagreements count in ``incorrect``, which chaos gates require to
+    be zero: a fault-injected server may refuse, but it must never lie.
     """
     if requests < 1:
         raise ValueError("need at least one request")
@@ -319,7 +358,9 @@ def run_loadgen(
     lines = build_request_pool(
         scenario=scenario, pool=pool, num_pes=num_pes, objective=objective,
         schedulers=schedulers, no_cache=no_cache, op=op,
+        deadline_ms=deadline_ms,
     )
+    docs = [json.loads(line) for line in lines] if retries else []
     sequence = zipf_sequence(len(lines), requests, zipf, seed)
     shards = [sequence[w::workers] for w in range(workers)]
 
@@ -332,11 +373,35 @@ def run_loadgen(
     tiers: dict[str, int] = {}
     error_kinds: dict[str, int] = {}
     wire = [0, 0]  #: bytes sent, bytes received
+    totals = [0, 0, 0]  #: retries, reconnects, incorrect
+    #: pool index -> first observed answer signature (cross-worker: a
+    #: fault-injected server must stay *consistent*, not just alive)
+    expected: dict[int, tuple] = {}
 
-    def drive(shard: list[int]) -> None:
+    def signature(idx: int, response: dict) -> tuple | None:
+        if response.get("truncated"):
+            return None  # budget-cut race: the winner is legitimately racy
+        if op == "simulate":
+            return (response.get("makespan"), response.get("sim_makespan"),
+                    response.get("fingerprint"))
+        return (response.get("winner"), response.get("makespan"),
+                response.get("fingerprint"))
+
+    def classify(response: dict) -> str:
+        if response.get("shed"):
+            return "shed"
+        if response.get("deadline_exceeded"):
+            return "deadline"
+        if response.get("draining"):
+            return "draining"
+        return "refused"
+
+    def drive(w: int, shard: list[int]) -> None:
         local_lat: list[float] = []
         local_tiers: dict[str, int] = {}
         local_kinds: dict[str, int] = {}
+        local_incorrect = 0
+        rng = random.Random(seed * 1000003 + w)  # per-worker backoff jitter
 
         def count(kind: str) -> None:
             local_kinds[kind] = local_kinds.get(kind, 0) + 1
@@ -347,14 +412,28 @@ def run_loadgen(
                 for idx in shard:
                     t0 = time.perf_counter()
                     try:
-                        response = client.request_raw(lines[idx])
+                        if retries:
+                            try:
+                                response = client.request_with_retry(
+                                    docs[idx], retries=retries, rng=rng,
+                                )
+                            except ServiceError as exc:
+                                response = exc.response
+                        else:
+                            response = client.request_raw(lines[idx])
                     except ValueError:
                         # the reply line framed correctly but did not
                         # parse — the connection itself is still usable
                         count("parse")
                         continue
+                    except OSError:
+                        # this request's transport died (even after the
+                        # client's transparent reconnect); the next
+                        # request opens a fresh connection
+                        count("transport")
+                        continue
                     if not response.get("ok"):
-                        count("refused")
+                        count(classify(response))
                     elif response.get("deadlocked"):
                         # a deadlocked simulation answered, but did not
                         # do what was asked — an error kind of its own,
@@ -368,6 +447,12 @@ def run_loadgen(
                         local_lat.append(1000.0 * (time.perf_counter() - t0))
                         tier = response.get("cached") or "cold"
                         local_tiers[tier] = local_tiers.get(tier, 0) + 1
+                        sig = signature(idx, response)
+                        if sig is not None:
+                            with lock:
+                                prev = expected.setdefault(idx, sig)
+                            if prev != sig:
+                                local_incorrect += 1
         except OSError:
             pass  # transport died: the unserved remainder counts below
         finally:
@@ -382,12 +467,15 @@ def run_loadgen(
                     tiers[tier] = tiers.get(tier, 0) + n
                 for kind, n in local_kinds.items():
                     error_kinds[kind] = error_kinds.get(kind, 0) + n
+                totals[2] += local_incorrect
                 if client is not None:
                     wire[0] += client.bytes_sent
                     wire[1] += client.bytes_received
+                    totals[0] += client.retries
+                    totals[1] += client.reconnects
 
     threads = [
-        threading.Thread(target=drive, args=(shard,), name=f"loadgen-{w}")
+        threading.Thread(target=drive, args=(w, shard), name=f"loadgen-{w}")
         for w, shard in enumerate(shards)
         if shard
     ]
@@ -418,6 +506,10 @@ def run_loadgen(
         bytes_sent=wire[0],
         bytes_received=wire[1],
         server_phases=_fetch_server_phases(host, port),
+        retries=totals[0],
+        reconnects=totals[1],
+        incorrect=totals[2],
+        deadline_ms=deadline_ms,
     )
 
 

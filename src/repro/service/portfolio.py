@@ -35,9 +35,13 @@ schedule either way.
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
+import multiprocessing.connection
+import os
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -52,12 +56,28 @@ __all__ = [
     "CandidateResult",
     "PortfolioResult",
     "PortfolioPool",
+    "WorkerCrashError",
+    "WorkerHangError",
+    "QuarantinedError",
     "run_portfolio",
     "register_scheduler",
     "scheduler_names",
     "OBJECTIVES",
     "DEFAULT_SCHEDULERS",
 ]
+
+
+class WorkerCrashError(RuntimeError):
+    """The worker process racing this candidate died mid-compute."""
+
+
+class WorkerHangError(RuntimeError):
+    """The candidate exceeded the hang cutoff; its worker was killed."""
+
+
+class QuarantinedError(RuntimeError):
+    """This (graph, scheduler) task has crashed workers repeatedly and
+    is refused pool entry; the caller computes it in-process instead."""
 
 
 def _streaming(variant: str) -> Callable[[CanonicalGraph, int], object]:
@@ -192,55 +212,244 @@ def _race_candidate(payload: tuple) -> dict:
     }
 
 
+def _pool_worker(conn) -> None:  # pragma: no cover - worker process
+    """Supervised-worker main loop: recv task, compute, send result.
+
+    Messages are ``{"payload": tuple, "fault": None | dict}``; a fault
+    directive (decided deterministically in the *parent* by the
+    :class:`~repro.service.faults.FaultInjector`, so plans replay) makes
+    the worker crash (``os._exit``) or hang (sleep past the cutoff) —
+    exactly the failures supervision must survive.  ``None`` means
+    shut down cleanly.
+    """
+    _warm_worker()
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        if msg is None:
+            break
+        fault = msg.get("fault")
+        if fault is not None:
+            if fault.get("kind") == "crash":
+                os._exit(17)
+            if fault.get("kind") == "hang":
+                time.sleep(fault.get("seconds", 3600.0))
+        try:
+            out = {"ok": _race_candidate(msg["payload"])}
+        except Exception as exc:  # ship the failure, don't die
+            out = {"err": repr(exc)}
+        try:
+            conn.send(out)
+        except (EOFError, OSError):
+            break
+
+
+class _PoolTask:
+    """Parent-side handle for one submitted candidate."""
+
+    __slots__ = ("payload", "fault", "key", "event", "result", "error")
+
+    def __init__(self, payload: tuple, fault: dict | None, key: str | None):
+        self.payload = payload
+        self.fault = fault
+        self.key = key
+        self.event = threading.Event()
+        self.result: dict | None = None
+        self.error: BaseException | None = None
+
+    def finish(self, result=None, error=None) -> None:
+        self.result = result
+        self.error = error
+        self.event.set()
+
+
+class _WorkerSlot:
+    """One supervised worker process (or the hole where one respawns)."""
+
+    __slots__ = ("proc", "conn", "task", "started_at", "backoff_s", "respawn_at")
+
+    def __init__(self):
+        self.proc = None
+        self.conn = None
+        self.task: _PoolTask | None = None
+        self.started_at = 0.0
+        self.backoff_s = 0.0  # 0 = respawn immediately
+        self.respawn_at = 0.0
+
+
 class PortfolioPool:
-    """A persistent ``multiprocessing`` pool for portfolio races.
+    """A supervised pool of worker processes for portfolio races.
+
+    Unlike ``multiprocessing.Pool`` — which silently respawns a dead
+    worker while the in-flight task's future hangs forever — this pool
+    *owns* its workers and supervises them from a dispatcher thread:
+
+    * **crash detection** — each worker's process sentinel rides in the
+      dispatcher's ``connection.wait`` set, so a worker dying
+      mid-candidate fails that task with :class:`WorkerCrashError`
+      within one tick instead of stalling until a timeout;
+    * **respawn with backoff** — a replacement worker is forked
+      immediately after a first failure, then with exponentially
+      growing delay (``respawn_backoff_s`` … ``max_backoff_s``) while
+      failures persist, so a crash loop cannot busy-spin the host;
+      backoff resets on the next successful task;
+    * **hung-candidate cutoff** — a candidate running longer than
+      ``hang_timeout_s`` gets its worker killed (:class:`WorkerHangError`
+      to the waiter, who recomputes in-process) rather than occupying a
+      slot forever;
+    * **poison-task quarantine** — a task key that has crashed or hung
+      workers ``quarantine_after`` times is refused at :meth:`submit`
+      (:class:`QuarantinedError`), so one pathological graph cannot
+      kill the pool repeatedly while everything else degrades.
+
+    Recovery is observable: ``pool.respawns`` / ``pool.crashes`` /
+    ``pool.hangs`` counters and a ``pool.quarantined`` gauge after
+    :meth:`bind`, plus flight-recorder events per incident.
 
     Created once (eagerly, from the owning thread — forking lazily from
     a server worker thread risks inheriting held locks) and reused for
-    every miss until :meth:`close`.  Safe for concurrent submission from
-    multiple server threads: ``multiprocessing.Pool`` serializes task
-    dispatch internally, and results are futures.
+    every miss until :meth:`close`.  Safe for concurrent submission
+    from multiple server threads.
     """
 
-    def __init__(self, workers: int = 4):
+    def __init__(
+        self,
+        workers: int = 4,
+        hang_timeout_s: float = 60.0,
+        quarantine_after: int = 2,
+        respawn_backoff_s: float = 0.05,
+        max_backoff_s: float = 2.0,
+    ):
         if workers < 2:
             raise ValueError("a portfolio pool needs at least two workers")
         self.workers = workers
-        self._pool = multiprocessing.Pool(processes=workers, initializer=_warm_worker)
+        self.hang_timeout_s = hang_timeout_s
+        self.quarantine_after = quarantine_after
+        self.respawn_backoff_s = respawn_backoff_s
+        self.max_backoff_s = max_backoff_s
         self._lock = threading.Lock()
         self._closed = False
+        self._queue: deque[_PoolTask] = deque()
+        self._poison: dict[str, int] = {}
+        self.respawns = 0
+        self.crashes = 0
+        self.hangs = 0
+        self._c_respawns = None
+        self._c_crashes = None
+        self._c_hangs = None
+        self._flight = None
+        self._wake_r, self._wake_w = multiprocessing.Pipe(duplex=False)
+        self._slots = [_WorkerSlot() for _ in range(workers)]
+        for slot in self._slots:
+            self._spawn(slot)
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name="portfolio-pool", daemon=True
+        )
+        self._thread.start()
 
-    #: bounded-wait cap per candidate: a lost pool task (worker killed
-    #: mid-compute; ``multiprocessing.Pool`` respawns the process but
-    #: the in-flight ``AsyncResult`` never completes) must degrade to an
-    #: in-process recompute, never a permanent hang
+    #: bounded-wait cap per candidate: even if supervision itself fails,
+    #: a waiter must degrade to an in-process recompute, never hang
     task_timeout_s = 300.0
+
+    #: dispatcher tick: the upper bound on crash/hang detection latency
+    #: when no pipe becomes readable (sentinels usually wake it sooner)
+    _TICK_S = 0.1
 
     @property
     def closed(self) -> bool:
         return self._closed
 
+    def bind(self, registry=None, flight=None) -> None:
+        """Attach telemetry sinks (called by the adopting service)."""
+        if registry is not None:
+            self._c_respawns = registry.counter(
+                "pool.respawns", "portfolio workers respawned after crash/hang"
+            )
+            self._c_crashes = registry.counter(
+                "pool.crashes", "portfolio worker crashes detected"
+            )
+            self._c_hangs = registry.counter(
+                "pool.hangs", "portfolio candidates killed at the hang cutoff"
+            )
+            registry.gauge(
+                "pool.quarantined", "task keys refused pool entry as poison",
+                fn=lambda: len(self.quarantined_keys()),
+            )
+            for counter, value in (
+                (self._c_respawns, self.respawns),
+                (self._c_crashes, self.crashes),
+                (self._c_hangs, self.hangs),
+            ):
+                if value:
+                    counter.inc(value)
+        if flight is not None:
+            self._flight = flight
+
+    def quarantined_keys(self) -> list[str]:
+        with self._lock:
+            return [
+                key for key, n in self._poison.items()
+                if n >= self.quarantine_after
+            ]
+
+    def snapshot(self) -> dict:
+        """Status document for the ``health`` op."""
+        with self._lock:
+            alive = sum(
+                1 for s in self._slots
+                if s.proc is not None and s.proc.is_alive()
+            )
+        return {
+            "workers": self.workers,
+            "alive": alive,
+            "closed": self._closed,
+            "respawns": self.respawns,
+            "crashes": self.crashes,
+            "hangs": self.hangs,
+            "quarantined": self.quarantined_keys(),
+        }
+
+    # ------------------------------------------------------------------
+    # submission side (server worker threads)
+    # ------------------------------------------------------------------
     def submit(self, graph_doc: dict, num_pes: int, name: str,
-               trace_id: str | None = None):
-        """Async-submit one candidate; returns an ``AsyncResult``."""
+               trace_id: str | None = None, task_key: str | None = None,
+               fault: dict | None = None) -> _PoolTask:
+        """Queue one candidate; returns a waitable task handle."""
         with self._lock:
             if self._closed:
                 raise RuntimeError("portfolio pool is closed")
-            return self._pool.apply_async(
-                _race_candidate, ((graph_doc, num_pes, name, trace_id),)
+            if (
+                task_key is not None
+                and self._poison.get(task_key, 0) >= self.quarantine_after
+            ):
+                raise QuarantinedError(
+                    f"task {task_key!r} is quarantined after repeated "
+                    f"worker failures"
+                )
+            task = _PoolTask(
+                (graph_doc, num_pes, name, trace_id), fault, task_key
             )
+            self._queue.append(task)
+        self._wake()
+        return task
 
-    def wait(self, future, deadline: float | None):
-        """Collect ``future`` without ever blocking unboundedly.
+    def wait(self, task: _PoolTask, deadline: float | None) -> dict:
+        """Collect ``task`` without ever blocking unboundedly.
 
-        Polls so that :meth:`close` (the pool owner shutting down while
-        races are in flight) and lost tasks are both survivable: raises
-        ``RuntimeError`` when the pool closes or the per-task cap
-        expires — the caller recomputes in-process — and
-        ``multiprocessing.TimeoutError`` when ``deadline`` passes first.
+        Raises ``RuntimeError`` (or a subclass: crash/hang/quarantine)
+        when the pool cannot answer — the caller recomputes in-process —
+        and ``multiprocessing.TimeoutError`` when ``deadline`` passes
+        first (the caller treats the race as truncated).
         """
         cap = time.perf_counter() + self.task_timeout_s
         while True:
+            if task.event.is_set():
+                if task.error is not None:
+                    raise task.error
+                return task.result
             if self._closed:
                 raise RuntimeError("portfolio pool closed while waiting")
             now = time.perf_counter()
@@ -251,24 +460,201 @@ class PortfolioPool:
             step = min(cap, now + 0.05)
             if deadline is not None:
                 step = min(step, deadline)
-            try:
-                return future.get(timeout=max(0.0, step - now))
-            except multiprocessing.TimeoutError:
-                continue  # re-check closed/deadline/cap and poll again
+            task.event.wait(max(0.0, step - now))
 
     def close(self) -> None:
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-        self._pool.terminate()
-        self._pool.join()
+        self._wake()
+        self._thread.join(timeout=10.0)
 
     def __enter__(self) -> "PortfolioPool":
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    # ------------------------------------------------------------------
+    # dispatcher thread: owns every worker process
+    # ------------------------------------------------------------------
+    def _wake(self) -> None:
+        try:
+            self._wake_w.send_bytes(b"w")
+        except (OSError, ValueError):  # closed during shutdown
+            pass
+
+    def _spawn(self, slot: _WorkerSlot) -> None:
+        parent, child = multiprocessing.Pipe()
+        proc = multiprocessing.Process(
+            target=_pool_worker, args=(child,), daemon=True
+        )
+        proc.start()
+        child.close()
+        slot.proc, slot.conn, slot.task = proc, parent, None
+
+    def _fail_worker(self, slot: _WorkerSlot, error: RuntimeError,
+                     kind: str) -> None:
+        """A worker crashed or was killed: fail its task, schedule the
+        respawn, advance the backoff, and note poison."""
+        task = slot.task
+        if task is not None:
+            if task.key is not None:
+                with self._lock:
+                    self._poison[task.key] = self._poison.get(task.key, 0) + 1
+            task.finish(error=error)
+        if kind == "hang":
+            self.hangs += 1
+            if self._c_hangs is not None:
+                self._c_hangs.inc()
+        else:
+            self.crashes += 1
+            if self._c_crashes is not None:
+                self._c_crashes.inc()
+        if self._flight is not None:
+            self._flight.record(
+                "pool_worker_lost", reason=kind,
+                task_key=(task.key if task is not None else None),
+            )
+        if slot.proc is not None:
+            if slot.proc.is_alive():
+                slot.proc.kill()
+            slot.proc.join(timeout=1.0)
+            if slot.conn is not None:
+                slot.conn.close()
+        slot.proc, slot.conn, slot.task = None, None, None
+        slot.respawn_at = time.monotonic() + slot.backoff_s
+        slot.backoff_s = min(
+            self.max_backoff_s,
+            slot.backoff_s * 2 if slot.backoff_s else self.respawn_backoff_s,
+        )
+
+    def _complete(self, slot: _WorkerSlot, out: dict) -> None:
+        task = slot.task
+        slot.task = None
+        slot.backoff_s = 0.0  # a healthy round-trip ends any crash loop
+        if task is None:
+            return
+        if "ok" in out:
+            task.finish(result=out["ok"])
+        else:
+            task.finish(error=RuntimeError(
+                f"portfolio worker error: {out.get('err')}"
+            ))
+
+    def _assign(self) -> None:
+        for slot in self._slots:
+            if slot.proc is None or slot.task is not None:
+                continue
+            with self._lock:
+                if not self._queue:
+                    return
+                task = self._queue.popleft()
+            slot.task = task
+            slot.started_at = time.monotonic()
+            try:
+                slot.conn.send({"payload": task.payload, "fault": task.fault})
+            except (OSError, ValueError):
+                self._fail_worker(
+                    slot, WorkerCrashError("worker died before dispatch"),
+                    "crash",
+                )
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            if self._closed:
+                break
+            now = time.monotonic()
+            for slot in self._slots:
+                if slot.proc is None and now >= slot.respawn_at:
+                    self._spawn(slot)
+                    self.respawns += 1
+                    if self._c_respawns is not None:
+                        self._c_respawns.inc()
+                    if self._flight is not None:
+                        self._flight.record("pool_respawn")
+            self._assign()
+            now = time.monotonic()
+            for slot in self._slots:
+                if (
+                    slot.task is not None
+                    and now - slot.started_at > self.hang_timeout_s
+                ):
+                    self._fail_worker(
+                        slot,
+                        WorkerHangError(
+                            f"candidate exceeded hang cutoff "
+                            f"({self.hang_timeout_s}s)"
+                        ),
+                        "hang",
+                    )
+            waitables = [self._wake_r]
+            by_conn, by_sentinel = {}, {}
+            for slot in self._slots:
+                if slot.proc is not None:
+                    waitables.append(slot.conn)
+                    by_conn[slot.conn] = slot
+                    waitables.append(slot.proc.sentinel)
+                    by_sentinel[slot.proc.sentinel] = slot
+            try:
+                ready = multiprocessing.connection.wait(
+                    waitables, timeout=self._TICK_S
+                )
+            except OSError:
+                continue  # a pipe died mid-wait; re-derive the set
+            for r in ready:
+                if r is self._wake_r:
+                    with contextlib.suppress(EOFError, OSError):
+                        while self._wake_r.poll(0):
+                            self._wake_r.recv_bytes()
+                    continue
+                slot = by_conn.get(r)
+                if slot is not None:
+                    try:
+                        out = slot.conn.recv()
+                    except (EOFError, OSError):
+                        self._fail_worker(
+                            slot, WorkerCrashError("worker connection lost"),
+                            "crash",
+                        )
+                    else:
+                        self._complete(slot, out)
+                    continue
+                slot = by_sentinel.get(r)
+                if slot is not None and slot.proc is not None:
+                    # a result may have landed just before death
+                    if slot.conn.poll(0):
+                        continue  # the conn branch picks it up next tick
+                    slot.proc.join(timeout=0.2)  # reap, so exitcode is real
+                    self._fail_worker(
+                        slot,
+                        WorkerCrashError(
+                            f"portfolio worker died (exit "
+                            f"{slot.proc.exitcode})"
+                        ),
+                        "crash",
+                    )
+        # shutdown: kill workers, fail everything still pending
+        for slot in self._slots:
+            if slot.proc is not None:
+                if slot.proc.is_alive():
+                    slot.proc.kill()
+                slot.proc.join(timeout=1.0)
+                if slot.conn is not None:
+                    slot.conn.close()
+            if slot.task is not None:
+                slot.task.finish(
+                    error=RuntimeError("portfolio pool is closed")
+                )
+                slot.task = None
+        with self._lock:
+            pending = list(self._queue)
+            self._queue.clear()
+        for task in pending:
+            task.finish(error=RuntimeError("portfolio pool is closed"))
+        self._wake_r.close()
+        self._wake_w.close()
 
 
 def _sort_key(objective: str, makespan: int, fifo_total: int):
@@ -298,6 +684,8 @@ def _run_portfolio_pooled(
     pool: PortfolioPool,
     graph_doc: dict | None = None,
     trace_id: str | None = None,
+    task_key: str | None = None,
+    faults=None,
 ) -> PortfolioResult:
     """Race all candidates concurrently on the persistent pool.
 
@@ -319,10 +707,26 @@ def _run_portfolio_pooled(
     if graph_doc is None:
         graph_doc = graph_to_dict(graph)
     t_race = time.perf_counter()
-    futures = [
-        (name, pool.submit(graph_doc, num_pes, name, trace_id))
-        for name in names
-    ]
+    futures = []
+    for name in names:
+        fault = None
+        if faults is not None:
+            if faults.fire("worker.crash", scheduler=name) is not None:
+                fault = {"kind": "crash"}
+            else:
+                rule = faults.fire("worker.hang", scheduler=name)
+                if rule is not None:
+                    fault = {"kind": "hang", "seconds": rule.seconds}
+        try:
+            fut = pool.submit(
+                graph_doc, num_pes, name, trace_id,
+                task_key=(f"{task_key}:{name}" if task_key else None),
+                fault=fault,
+            )
+        except RuntimeError:
+            # quarantined (or the pool just closed): compute in-process
+            fut = None
+        futures.append((name, fut))
     deadline = None if budget_s is None else t_race + budget_s
     candidates: list[CandidateResult] = []
     best: tuple | None = None
@@ -330,6 +734,8 @@ def _run_portfolio_pooled(
     truncated = False
     for i, (name, fut) in enumerate(futures):
         try:
+            if fut is None:
+                raise QuarantinedError(name)
             # the first candidate always completes (no deadline), like
             # the sequential race's "at least one always runs"
             doc = pool.wait(fut, deadline if i > 0 else None)
@@ -376,6 +782,8 @@ def run_portfolio(
     graph_doc: dict | None = None,
     trace_id: str | None = None,
     flight=None,
+    task_key: str | None = None,
+    faults=None,
 ) -> PortfolioResult:
     """Race candidate schedulers over ``graph``; return the best found.
 
@@ -391,7 +799,12 @@ def run_portfolio(
     the pooled task payloads so worker-side candidate timings attach to
     the submitting request's span.  ``flight`` (a
     :class:`repro.obs.FlightRecorder`) records one ``dispatch`` event
-    per race — which schedulers, racing where.
+    per race — which schedulers, racing where.  ``task_key`` (typically
+    the request fingerprint digest) keys the pool's poison-task
+    quarantine, and ``faults`` (a
+    :class:`~repro.service.faults.FaultInjector`) lets an active plan
+    ship ``worker.crash`` / ``worker.hang`` directives with pooled
+    candidates.
     """
     if num_pes < 1:
         raise ValueError("need at least one processing element")
@@ -419,7 +832,7 @@ def run_portfolio(
     if pooled:
         return _run_portfolio_pooled(
             graph, num_pes, objective, names, budget_s, t1, pool, graph_doc,
-            trace_id,
+            trace_id, task_key, faults,
         )
     t_race = time.perf_counter()
     candidates: list[CandidateResult] = []

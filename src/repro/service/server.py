@@ -100,6 +100,7 @@ from ..core.ingest import ingest_graph_doc
 from ..core.serialize import _name_from_json, _name_to_json, graph_from_dict
 from ..obs import NULL_SPAN, Telemetry
 from .cache import ScheduleCache
+from .faults import FaultInjector
 from .fingerprint import (
     doc_digest,
     fingerprint_graph_doc,
@@ -114,7 +115,10 @@ from .portfolio import (
     scheduler_names,
 )
 
-__all__ = ["ScheduleService", "ScheduleServer", "DEFAULT_PORT", "SIM_SCHEDULERS"]
+__all__ = [
+    "ScheduleService", "ScheduleServer", "DeadlineExceeded",
+    "DEFAULT_PORT", "SIM_SCHEDULERS",
+]
 
 DEFAULT_PORT = 7421
 
@@ -129,6 +133,17 @@ _SHUTDOWN_REFUSED = (
     "shutdown refused: not a loopback peer "
     "(serve with --allow-remote-shutdown to enable)"
 )
+
+
+class DeadlineExceeded(Exception):
+    """The request's ``deadline_ms`` expired before it could be served.
+
+    Raised at the cheap checkpoints — admission, queueing for a work
+    slot, waiting on a coalescing leader — and converted by ``handle``
+    into a refusal carrying ``deadline_exceeded`` and ``retryable``
+    markers (requests are idempotent by fingerprint key, so clients may
+    simply resend with a fresh deadline).
+    """
 
 
 class _InFlight:
@@ -173,6 +188,7 @@ class ScheduleService:
         validate_graphs: bool = True,
         wire_memo_bytes: int = 32 << 20,
         telemetry: Telemetry | None = None,
+        faults: FaultInjector | None = None,
     ) -> None:
         self.cache = cache
         self.default_schedulers = tuple(default_schedulers)
@@ -181,10 +197,24 @@ class ScheduleService:
         #: are cheap enough to leave on; ``repro serve --no-telemetry``
         #: passes a disabled one (spans/histograms off, counters live).
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        #: active fault plan, if any (``repro serve --fault-plan``);
+        #: the cache, the portfolio pool and the socket server all
+        #: consult this one injector so a plan replays deterministically
+        self.faults = faults
+        #: set by the owning server during SIGTERM drain: new compute
+        #: requests are refused while in-flight ones finish
+        self.draining = False
         self._register_instruments()
+        if faults is not None:
+            faults.bind(
+                registry=self.telemetry.registry,
+                flight=self.telemetry.flight,
+            )
         if cache is not None:
             cache.bind_registry(self.telemetry.registry)
             cache.bind_flight(self.telemetry.flight)
+            if faults is not None:
+                cache.bind_faults(faults)
         #: parse wire documents through repro.core.ingest (no networkx);
         #: False preserves the legacy graph_from_dict path bit for bit
         self.use_ingest = use_ingest
@@ -198,6 +228,11 @@ class ScheduleService:
         self.portfolio_pool = (
             PortfolioPool(portfolio_workers) if portfolio_workers >= 2 else None
         )
+        if self.portfolio_pool is not None:
+            self.portfolio_pool.bind(
+                registry=self.telemetry.registry,
+                flight=self.telemetry.flight,
+            )
         self.started = time.time()
         self._lock = threading.Lock()
         self._inflight: dict[str, _InFlight] = {}
@@ -252,6 +287,13 @@ class ScheduleService:
             "service.fastpath", "lines answered from the wire memo tiers"
         )
         self._c_errors = c("service.errors", "requests answered ok=false")
+        self._c_retries = c(
+            "service.retries", "requests arriving with a retry marker"
+        )
+        self._c_deadline = c(
+            "service.deadline_refused",
+            "requests refused because their deadline expired",
+        )
         self._c_requests = c(
             "service.requests", "requests per op and outcome",
             labels=("op", "outcome"),
@@ -317,7 +359,7 @@ class ScheduleService:
     #: client invents is folded into "unknown" (bounded cardinality)
     _KNOWN_OPS = frozenset(
         ("ping", "stats", "metrics", "trace", "profile", "flight",
-         "shutdown", "schedule", "simulate")
+         "health", "shutdown", "schedule", "simulate")
     )
 
     #: request keys are long (version tag + 64 hex chars + parameters);
@@ -361,8 +403,19 @@ class ScheduleService:
                 "request", op=op, trace_id=span.trace_id or None,
                 no_cache=bool(doc.get("no_cache", False)),
             )
+            if doc.get("retry"):
+                # a client resending after a failure/refusal; idempotent
+                # by fingerprint key, but worth counting and correlating
+                self._c_retries.inc()
         try:
             response = self._dispatch(op, doc, slots, digest_hint, span)
+        except DeadlineExceeded:
+            self._c_deadline.inc()
+            flight.record("deadline", op=op, trace_id=span.trace_id or None)
+            response = self._error(
+                "deadline exceeded before completion",
+                deadline_exceeded=True, retryable=True,
+            )
         except Exception as exc:  # a bad request must never kill a worker
             response = self._error(str(exc) or type(exc).__name__)
         if not response.get("ok"):
@@ -388,11 +441,21 @@ class ScheduleService:
             return self._profile(doc)
         if op == "flight":
             return self._flight(doc)
+        if op == "health":
+            return self.health()
         if op == "shutdown":
             return {"ok": True, "op": "shutdown"}
         if op == "schedule":
+            if self.draining:
+                return self._error(
+                    "server is draining", draining=True, retryable=True
+                )
             return self._schedule(doc, slots, digest_hint, span)
         if op == "simulate":
+            if self.draining:
+                return self._error(
+                    "server is draining", draining=True, retryable=True
+                )
             return self._simulate(doc, slots, digest_hint, span)
         return self._error(f"unknown op {op!r}")
 
@@ -697,10 +760,49 @@ class ScheduleService:
                 )
         return json.dumps(response).encode() + b"\n"
 
+    def health(self) -> dict:
+        """The ``health`` op: ok / degraded / draining, with evidence.
+
+        ``degraded`` means at least one circuit breaker is *open* (the
+        disk cache tier running LRU+compute-only).  ``half_open`` counts
+        as ok: the cooldown has elapsed and the next disk touch decides
+        — without traffic the breaker could sit half-open forever, and
+        a server that would serve fine is not degraded.  ``draining``
+        wins over everything (the server is finishing in-flight work
+        after SIGTERM).  The response carries each breaker's state, the
+        supervised pool's counters and the fault plan's progress, so
+        one probe explains *why* as well as *what*.
+        """
+        breakers = []
+        if self.cache is not None and self.cache.breaker is not None:
+            breakers.append(self.cache.breaker.to_dict())
+        tripped = [b["name"] for b in breakers if b["state"] == "open"]
+        if self.draining:
+            status = "draining"
+        elif tripped:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "ok": True,
+            "op": "health",
+            "status": status,
+            "draining": self.draining,
+            "breakers": breakers,
+            "tripped": tripped,
+            "pool": (
+                self.portfolio_pool.snapshot()
+                if self.portfolio_pool is not None else None
+            ),
+            "faults": (
+                self.faults.snapshot() if self.faults is not None else None
+            ),
+        }
+
     # ------------------------------------------------------------------
-    def _error(self, message: str) -> dict:
+    def _error(self, message: str, **extra) -> dict:
         self._c_errors.inc()
-        return {"ok": False, "error": message}
+        return {"ok": False, "error": message, **extra}
 
     def _stats(self) -> dict:
         stats = {
@@ -738,6 +840,12 @@ class ScheduleService:
                 "clears": self._c_wire_clears.value,
             }
         stats["cache"] = self.cache.counters() if self.cache else None
+        stats["draining"] = self.draining
+        stats["health"] = self.health()["status"]
+        if self.portfolio_pool is not None:
+            stats["pool"] = self.portfolio_pool.snapshot()
+        if self.faults is not None:
+            stats["faults"] = self.faults.snapshot()
         # every way a cached/memoized byte can leave this process, in
         # one place: LRU evictions are per-entry, the memos clear
         # wholesale (each clear drops the whole tier)
@@ -837,6 +945,32 @@ class ScheduleService:
         self._c_remapped.inc()
         return _remap_entry(entry, mapping, digest, graph_doc)
 
+    @staticmethod
+    def _deadline(doc: dict, t0: float) -> float | None:
+        """Absolute ``perf_counter`` deadline from ``deadline_ms``, or
+        ``None``; raises :class:`DeadlineExceeded` when already expired
+        (a non-positive budget: refused before any work)."""
+        deadline_ms = doc.get("deadline_ms")
+        if deadline_ms is None:
+            return None
+        deadline_ms = float(deadline_ms)
+        if deadline_ms <= 0:
+            raise DeadlineExceeded
+        return t0 + deadline_ms / 1000.0
+
+    @staticmethod
+    def _check_deadline(deadline: float | None) -> None:
+        if deadline is not None and time.perf_counter() >= deadline:
+            raise DeadlineExceeded
+
+    def _maybe_slow(self, span=NULL_SPAN) -> None:
+        """``compute.slow`` fault site: stall before real work starts."""
+        if self.faults is None:
+            return
+        rule = self.faults.fire("compute.slow", trace_id=span.trace_id)
+        if rule is not None:
+            time.sleep(rule.seconds)
+
     def _schedule(self, doc: dict, slots, digest_hint: str | None = None,
                   span=NULL_SPAN) -> dict:
         t0 = time.perf_counter()
@@ -846,6 +980,7 @@ class ScheduleService:
         schedulers = tuple(doc.get("schedulers") or self.default_schedulers)
         budget_ms = doc.get("budget_ms")
         no_cache = bool(doc.get("no_cache", False))
+        deadline = self._deadline(doc, t0)
 
         with span.phase("fingerprint"):
             graph, fp, digest = self._fingerprint(graph_doc, digest_hint)
@@ -854,13 +989,15 @@ class ScheduleService:
         def compute() -> dict:
             return self._compute(
                 slots, graph, graph_doc, digest, fp, key, num_pes,
-                objective, schedulers, budget_ms, span,
+                objective, schedulers, budget_ms, span, deadline,
             )
 
         def adapt(entry: dict) -> dict | None:
             return self._adapt(entry, digest, graph, graph_doc)
 
-        return self._serve_keyed(key, no_cache, compute, adapt, t0, span)
+        return self._serve_keyed(
+            key, no_cache, compute, adapt, t0, span, deadline
+        )
 
     def _simulate(self, doc: dict, slots, digest_hint: str | None = None,
                   span=NULL_SPAN) -> dict:
@@ -873,6 +1010,7 @@ class ScheduleService:
         capacity = doc.get("capacity")
         engine = doc.get("engine", "indexed")
         no_cache = bool(doc.get("no_cache", False))
+        deadline = self._deadline(doc, t0)
         if scheduler not in SIM_SCHEDULERS:
             return self._error(
                 f"cannot simulate scheduler {scheduler!r} "
@@ -907,7 +1045,7 @@ class ScheduleService:
         def compute() -> dict:
             return self._compute_sim(
                 slots, graph, graph_doc, digest, fp, key, num_pes,
-                scheduler, policy, pacing, capacity, engine, span,
+                scheduler, policy, pacing, capacity, engine, span, deadline,
             )
 
         def adapt(entry: dict) -> dict | None:
@@ -917,10 +1055,13 @@ class ScheduleService:
             # isomorphic copy recomputes instead of answering wrongly
             return entry if entry.get("graph_digest") == digest else None
 
-        return self._serve_keyed(key, no_cache, compute, adapt, t0, span)
+        return self._serve_keyed(
+            key, no_cache, compute, adapt, t0, span, deadline
+        )
 
     def _serve_keyed(self, key: str, no_cache: bool, compute, adapt,
-                     t0: float, span=NULL_SPAN) -> dict:
+                     t0: float, span=NULL_SPAN,
+                     deadline: float | None = None) -> dict:
         """Cache + single-flight serving discipline shared by the
         ``schedule`` and ``simulate`` ops.
 
@@ -967,11 +1108,18 @@ class ScheduleService:
             # waiting on the leader must not pin a work slot: followers
             # hold nothing while blocked, then adapt the leader's entry
             with span.phase("coalesce"):
-                flight.event.wait()
+                if deadline is None:
+                    flight.event.wait()
+                elif not flight.event.wait(
+                    max(0.0, deadline - time.perf_counter())
+                ):
+                    raise DeadlineExceeded
             self._c_coalesced.inc()
             response = flight.response
             if response is None or not response.get("ok", False):
-                return self._error("coalesced computation failed")
+                return self._error(
+                    "coalesced computation failed", retryable=True
+                )
             with span.phase("adapt"):
                 served = adapt(response)
             if served is None:
@@ -1014,9 +1162,22 @@ class ScheduleService:
     def _compute(
         self, slots, graph, graph_doc, digest, fp, key, num_pes,
         objective, schedulers, budget_ms, span=NULL_SPAN,
+        deadline: float | None = None,
     ) -> dict:
         budget_s = float(budget_ms) / 1000.0 if budget_ms is not None else None
         with slots:  # the CPU-bound part runs under a work slot
+            # queueing for the slot may have consumed the deadline:
+            # refuse before spending compute on an answer nobody awaits
+            self._check_deadline(deadline)
+            if deadline is not None:
+                # the race is cancelled at the deadline: remaining time
+                # caps the portfolio budget, so late candidates are cut
+                # off (truncated results are never cached)
+                remaining = deadline - time.perf_counter()
+                budget_s = (
+                    remaining if budget_s is None else min(budget_s, remaining)
+                )
+            self._maybe_slow(span)
             if graph is None:  # fingerprint came from the memo
                 with span.phase("parse"):
                     graph = self._parse_graph(graph_doc, digest=digest)
@@ -1027,6 +1188,7 @@ class ScheduleService:
                     pool=self.portfolio_pool, graph_doc=dict(graph_doc),
                     trace_id=span.trace_id or None,
                     flight=self.telemetry.flight,
+                    task_key=fp, faults=self.faults,
                 )
         self._c_races.inc()
         self._c_wins.labels(scheduler=result.winner.name).inc()
@@ -1069,11 +1231,14 @@ class ScheduleService:
     def _compute_sim(
         self, slots, graph, graph_doc, digest, fp, key, num_pes,
         scheduler, policy, pacing, capacity, engine, span=NULL_SPAN,
+        deadline: float | None = None,
     ) -> dict:
         from ..core import schedule_streaming
         from ..sim import DeadlockError, simulate_schedule
 
         with slots:  # schedule + simulate both run under a work slot
+            self._check_deadline(deadline)
+            self._maybe_slow(span)
             if graph is None:  # fingerprint came from the memo
                 with span.phase("parse"):
                     graph = self._parse_graph(graph_doc, digest=digest)
@@ -1162,7 +1327,7 @@ class _Conn:
     """Per-connection state owned by the event loop."""
 
     __slots__ = ("sock", "cid", "inbuf", "scan", "pending", "outbuf",
-                 "events", "closed", "shutdown_pending")
+                 "events", "closed", "shutdown_pending", "abort_pending")
 
     def __init__(self, sock: socket.socket, cid: int = 0) -> None:
         self.sock = sock
@@ -1174,16 +1339,18 @@ class _Conn:
         self.events = selectors.EVENT_READ
         self.closed = False
         self.shutdown_pending = False
+        self.abort_pending = False  #: close once outbuf drains (conn fault)
 
 
 class _Slot:
     """One response slot; keeps per-connection responses in request order."""
 
-    __slots__ = ("data", "shutdown")
+    __slots__ = ("data", "shutdown", "partial")
 
     def __init__(self, data: bytes | None = None, shutdown: bool = False) -> None:
         self.data = data
         self.shutdown = shutdown
+        self.partial = False  #: injected fault: send half, then drop conn
 
 
 #: per-connection out-buffer depth beyond which the loop stops reading
@@ -1249,6 +1416,9 @@ class ScheduleServer:
         self._waker_w: socket.socket | None = None
         self._stop = threading.Event()
         self._conn_seq = 0
+        self._draining = False
+        self._drain_deadline = 0.0
+        self._listener_closed = False
         # server-side instruments live in the service's registry so one
         # metrics exposition covers the loop and the request path alike
         reg = service.telemetry.registry
@@ -1262,6 +1432,9 @@ class ScheduleServer:
         )
         self._c_accepted = reg.counter(
             "server.connections.accepted", "connections accepted"
+        )
+        self._c_shed = reg.counter(
+            "server.shed", "requests refused under overload (admission control)"
         )
 
     # ------------------------------------------------------------------
@@ -1317,6 +1490,29 @@ class ScheduleServer:
             # never started: release owned resources directly
             self.service.close()
 
+    def drain(self, grace_s: float = 5.0) -> None:
+        """Graceful drain (SIGTERM semantics): stop accepting, refuse new
+        work with retryable errors, finish and flush in-flight responses,
+        then stop — or give up once ``grace_s`` elapses.
+
+        Safe to call from any thread (including a signal handler); the
+        loop thread performs the actual listener close and idle check.
+        """
+        if self._draining or self._stop.is_set():
+            return
+        self._draining = True
+        self._drain_deadline = time.perf_counter() + grace_s
+        self.service.draining = True
+        flight = self.service.telemetry.flight
+        flight.record("drain", grace_s=grace_s)
+        self._wake()
+        if self._loop_thread is None:
+            self.stop()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
     def join(self, timeout: float = 5.0) -> None:
         loop = self._loop_thread
         if loop is not None and loop is not threading.current_thread():
@@ -1362,7 +1558,7 @@ class ScheduleServer:
         assert sel is not None
         try:
             while not self._stop.is_set():
-                events = sel.select(0.5)
+                events = sel.select(0.05 if self._draining else 0.5)
                 busy0 = time.perf_counter()
                 for key, mask in events:
                     data = key.data
@@ -1391,6 +1587,8 @@ class ScheduleServer:
                         conn = self._dirty.popleft()
                     if not conn.closed:
                         self._flush(conn)
+                if self._draining:
+                    self._drain_tick()
                 # loop health: how long this iteration kept the loop
                 # thread busy (and thus every other socket waiting) —
                 # inline fast-path serves and overload-inline slow
@@ -1401,8 +1599,33 @@ class ScheduleServer:
         finally:
             self._teardown()
 
+    def _drain_tick(self) -> None:
+        """Loop-thread part of :meth:`drain`: close the listener once,
+        then stop as soon as every connection is flushed-and-idle (or
+        the grace deadline passes with work still in flight)."""
+        if not self._listener_closed and self._sock is not None:
+            self._listener_closed = True
+            try:
+                self._selector.unregister(self._sock)
+            except (KeyError, ValueError):
+                pass
+            self._close_socket(self._sock)
+            self._sock = None
+        idle = all(
+            not conn.pending and not conn.outbuf for conn in self._conns
+        )
+        if idle or time.perf_counter() >= self._drain_deadline:
+            self.service.telemetry.flight.record(
+                "drain_done", idle=idle, connections=len(self._conns),
+            )
+            self._stop.set()
+
     def _teardown(self) -> None:
         sel = self._selector
+        if self._draining:
+            # a drain is exactly the moment a post-mortem is wanted:
+            # persist the flight ring if a dump dir is configured
+            self.service.telemetry.flight.dump("drain")
         for conn in list(self._conns):
             self._close_conn(conn)
         if self._sock is not None:
@@ -1432,16 +1655,28 @@ class ScheduleServer:
                 return
             except OSError:
                 return
-            sock.setblocking(False)
+            # everything between accept() and a successful register()
+            # must not leak the descriptor: a peer that resets during
+            # setup (or a selector refusing the fd) used to leave the
+            # socket open forever
+            conn = None
             try:
-                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            except OSError:
-                pass
-            self._conn_seq += 1
-            conn = _Conn(sock, self._conn_seq)
-            self._c_accepted.inc()
-            self._conns.add(conn)
-            self._selector.register(sock, conn.events, conn)
+                sock.setblocking(False)
+                try:
+                    sock.setsockopt(
+                        socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                    )
+                except OSError:
+                    pass
+                self._conn_seq += 1
+                conn = _Conn(sock, self._conn_seq)
+                self._c_accepted.inc()
+                self._conns.add(conn)
+                self._selector.register(sock, conn.events, conn)
+            except (OSError, ValueError):
+                if conn is not None:
+                    self._conns.discard(conn)
+                self._close_socket(sock)
 
     def _close_conn(self, conn: _Conn) -> None:
         if conn.closed:
@@ -1492,13 +1727,28 @@ class ScheduleServer:
             if conn.closed:
                 return
 
+    #: suggested client backoff when a request is shed under overload
+    _SHED_RETRY_AFTER_MS = 200
+
     def _process_line(self, conn: _Conn, line: bytes) -> None:
+        faults = self.service.faults
+        partial = False
+        if faults is not None and faults.active():
+            # transport fault sites: drop the connection outright, or
+            # deliver this response truncated (client reconnect drill)
+            if faults.fire("conn.drop", conn=conn.cid) is not None:
+                self._close_conn(conn)
+                return
+            partial = faults.fire("conn.partial", conn=conn.cid) is not None
         fast = self.service.serve_line_fast(line)
         if fast is not None:
-            conn.pending.append(_Slot(fast))
+            slot = _Slot(fast)
+            slot.partial = partial
+            conn.pending.append(slot)
             self._flush(conn)
             return
         slot = _Slot()
+        slot.partial = partial
         conn.pending.append(slot)
         if self._slow_slots.acquire(blocking=False):
             try:
@@ -1510,11 +1760,24 @@ class ScheduleServer:
                 return
             except RuntimeError:  # can't start a thread: degrade inline
                 self._slow_slots.release()
-        # overload: every slow slot is occupied — handle the request on
-        # the loop thread.  Intake stalls for its duration, which is the
-        # backpressure we want, and it cannot deadlock: any coalescing
-        # leader this request could wait on already runs on a live
-        # worker thread.
+        # overload: every slow-request thread is occupied.  Compute
+        # requests are shed with a retryable refusal (admission control:
+        # a cheap "come back later" beats stalling intake for every
+        # other connection); control ops — cheap by construction — are
+        # still answered inline on the loop thread.
+        if b'"graph"' in line:
+            self._c_shed.inc()
+            flight = self.service.telemetry.flight
+            flight.record("shed", conn=conn.cid)
+            slot.data = json.dumps({
+                "ok": False,
+                "error": "server overloaded, request shed",
+                "shed": True,
+                "retryable": True,
+                "retry_after_ms": self._SHED_RETRY_AFTER_MS,
+            }).encode() + b"\n"
+            self._flush(conn)
+            return
         self._fill_slow(conn, slot, line)
         self._flush(conn)
 
@@ -1548,6 +1811,14 @@ class ScheduleServer:
         out = conn.outbuf
         while pending and pending[0].data is not None:
             slot = pending.popleft()
+            if slot.partial:
+                # injected transport fault: ship half the response, then
+                # drop the connection once those bytes hit the socket —
+                # the client must detect the truncated line and retry
+                # over a fresh connection
+                out += slot.data[: max(1, len(slot.data) // 2)]
+                conn.abort_pending = True
+                break
             out += slot.data
             if slot.shutdown:
                 conn.shutdown_pending = True
@@ -1562,6 +1833,9 @@ class ScheduleServer:
                 return
             if sent:
                 del out[:sent]
+        if conn.abort_pending and not out:
+            self._close_conn(conn)
+            return
         # write backpressure: a client that pipelines requests without
         # reading responses must not grow outbuf unboundedly — stop
         # reading from it until the buffer drains
