@@ -190,6 +190,60 @@ def run_profile(name: str, smoke: bool, seed: int = 0,
     return result
 
 
+#: stall injected into every compute of the ``shards`` profile via a
+#: ``compute.slow`` fault rule.  Fan-out has to be measured against a
+#: stall-dominated miss (the I/O-bound analogue of a scheduler whose
+#: cold path waits on disk or a sub-service): a CPU-bound miss would
+#: make the 1-vs-4 ratio measure the host's core count instead of the
+#: tier's ability to overlap misses, and CI runners promise no cores.
+SHARDS_STALL_S = 0.025
+
+
+def run_shards_profile(smoke: bool, seed: int = 0) -> dict:
+    """Aggregate cache-miss throughput through the router at 1 vs 4
+    shards (per-shard ``workers=1``, all requests forced recomputes)."""
+    from repro.service import ShardConfig, ShardRouter
+
+    requests = 120 if smoke else 400
+    plan = {
+        "seed": seed,
+        "rules": [
+            {"site": "compute.slow", "rate": 1.0, "seconds": SHARDS_STALL_S}
+        ],
+    }
+    reports = {}
+    for shards in (1, 4):
+        config = ShardConfig(workers=1, store=None, fault_plan=plan)
+        router = ShardRouter(shards=shards, config=config)
+        router.start()
+        try:
+            if not router.wait_ready(30.0):
+                raise RuntimeError(f"{shards}-shard tier failed to boot")
+            common = dict(
+                port=router.port, workers=8, pool=8, zipf=1.1,
+                scenario="fig10", num_pes=None, seed=seed, no_cache=True,
+            )
+            run_loadgen(**common, requests=16)  # warm ingest memos
+            reports[shards] = run_loadgen(**common, requests=requests)
+        finally:
+            router.stop()
+    rps = {str(n): round(r.throughput_rps, 2) for n, r in reports.items()}
+    scaling = (
+        reports[4].throughput_rps / reports[1].throughput_rps
+        if reports[1].throughput_rps else float("inf")
+    )
+    return {
+        "profile": "shards",
+        "stall_s": SHARDS_STALL_S,
+        "requests": requests,
+        "rps": rps,
+        "scaling_x": round(scaling, 2),
+        "errors": {str(n): r.errors for n, r in reports.items()},
+        "incorrect": {str(n): r.incorrect for n, r in reports.items()},
+        "reports": {str(n): r.to_dict() for n, r in reports.items()},
+    }
+
+
 def _cached_rps(telemetry: bool, requests: int, seed: int,
                 profile_hz: float = 0.0) -> float:
     """Cache-hit throughput of one fresh ``fig10`` server: warm the
@@ -299,7 +353,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="small fast run (CI request counts)")
-    parser.add_argument("--profile", choices=[*PROFILES, "all"], default="all")
+    parser.add_argument("--profile", choices=[*PROFILES, "shards", "all"],
+                        default="all")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--output", default="BENCH_service.json")
     parser.add_argument("--baseline", default=None,
@@ -314,6 +369,10 @@ def main(argv: list[str] | None = None) -> int:
                              "cached throughput (profiler at its default "
                              "rate) and fail if the off/on ratio exceeds "
                              "this (e.g. 1.10)")
+    parser.add_argument("--shards-gate", type=float, default=None,
+                        help="fail when the shards profile's 4-vs-1 "
+                             "aggregate miss-throughput scaling falls "
+                             "below this factor (e.g. 2.5)")
     parser.add_argument("--profile-hz", type=float, default=0.0,
                         help="attach a sampling profiler to each profile "
                              "run; with --artifacts its collapsed-stack "
@@ -328,13 +387,21 @@ def main(argv: list[str] | None = None) -> int:
                              "this directory")
     args = parser.parse_args(argv)
 
-    names = list(PROFILES) if args.profile == "all" else [args.profile]
+    if args.profile == "all":
+        names = list(PROFILES)
+    elif args.profile == "shards":
+        names = []
+    else:
+        names = [args.profile]
     results = {
         name: run_profile(name, args.smoke, args.seed,
                           artifacts_dir=args.artifacts,
                           profile_hz=args.profile_hz)
         for name in names
     }
+    shards_result = None
+    if args.profile in ("all", "shards"):
+        shards_result = run_shards_profile(args.smoke, args.seed)
 
     rows = []
     for name, result in results.items():
@@ -356,6 +423,13 @@ def main(argv: list[str] | None = None) -> int:
     for name, result in results.items():
         print(f"{name}: cache speedup {result['cache_speedup']:.1f}x  "
               f"byte-identical schedules: {result['byte_identical']}")
+    if shards_result is not None:
+        print(
+            f"shards: 1-shard {shards_result['rps']['1']:.1f} req/s, "
+            f"4-shard {shards_result['rps']['4']:.1f} req/s "
+            f"({shards_result['scaling_x']:.2f}x aggregate miss "
+            f"throughput, {SHARDS_STALL_S * 1000:.0f} ms stalled computes)"
+        )
 
     if args.baseline:
         for line in compare_to_baseline(results, args.baseline):
@@ -391,6 +465,7 @@ def main(argv: list[str] | None = None) -> int:
         "params": {"smoke": args.smoke, "seed": args.seed,
                    "profiles": names},
         "profiles": results,
+        "shards": shards_result,
         "telemetry_overhead": overhead,
         "profiler_overhead": profiler_overhead,
     }
@@ -435,6 +510,25 @@ def main(argv: list[str] | None = None) -> int:
             f"{args.profiler_gate:.2f}", file=sys.stderr,
         )
         return 1
+    if shards_result is not None:
+        if any(shards_result["errors"].values()) or any(
+            shards_result["incorrect"].values()
+        ):
+            print(
+                f"FAIL: shards profile saw errors "
+                f"{shards_result['errors']} / incorrect "
+                f"{shards_result['incorrect']}", file=sys.stderr,
+            )
+            return 1
+        if (
+            args.shards_gate is not None
+            and shards_result["scaling_x"] < args.shards_gate
+        ):
+            print(
+                f"FAIL: shards scaling {shards_result['scaling_x']:.2f}x "
+                f"below the gate {args.shards_gate:.2f}x", file=sys.stderr,
+            )
+            return 1
     return 0
 
 

@@ -55,6 +55,16 @@ def summarize_service(doc: dict) -> dict[str, dict]:
             "value": result["no_cache"]["p50_ms"],
             "direction": "lower", "unit": "ms",
         }
+    shards = doc.get("shards")
+    if shards:
+        metrics["shards_4x_rps"] = {
+            "value": shards["rps"]["4"],
+            "direction": "higher", "unit": "req/s",
+        }
+        metrics["shards_scaling_x"] = {
+            "value": shards["scaling_x"],
+            "direction": "higher", "unit": "x",
+        }
     overhead = doc.get("telemetry_overhead")
     if overhead and overhead.get("overhead_ratio") is not None:
         metrics["telemetry_overhead_ratio"] = {

@@ -178,6 +178,12 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--port", type=int, default=DEFAULT_PORT)
     srv.add_argument("-w", "--workers", type=int, default=4, help="worker threads")
     srv.add_argument(
+        "--shards", type=int, default=1,
+        help="run this many supervised shard processes behind a routing "
+             "front-end (1 = the classic single-process server); see the "
+             "README Reliability section for the tier's topology",
+    )
+    srv.add_argument(
         "--store", default=None,
         help="persistent schedule store (JSONL); default "
              ".repro-service/schedules.jsonl, '-' disables persistence",
@@ -318,6 +324,19 @@ def build_parser() -> argparse.ArgumentParser:
             help="service address as host:port (or just a port)",
         )
         return ob
+
+    rld = _observer(
+        "reload", "rolling-restart a sharded service's shard processes"
+    )
+    rld.add_argument(
+        "--timeout", type=float, default=120.0,
+        help="give up waiting for the rolling restart to complete after "
+             "this many seconds",
+    )
+    rld.add_argument(
+        "--no-wait", action="store_true",
+        help="kick the reload off and return without waiting",
+    )
 
     hlt = _observer("health", "fetch a service's health summary")
     hlt.add_argument(
@@ -652,6 +671,94 @@ def _cmd_campaign(args) -> int:
     return 0
 
 
+def _resolve_store(args) -> str | None:
+    """The persistent-store path for ``serve`` (None = memory-only)."""
+    if args.no_cache or args.store == "-":
+        return None
+    if args.store:
+        return args.store
+    import os
+
+    return (
+        os.environ.get("REPRO_SERVICE_DIR", ".repro-service")
+        + "/schedules.jsonl"
+    )
+
+
+def _serve_sharded(args) -> int:
+    """``repro serve --shards N``: router + N supervised shard processes."""
+    import signal
+
+    from .obs import FlightRecorder, Telemetry, get_registry
+    from .service import ShardConfig, ShardRouter
+    from .service.faults import FaultInjector, FaultPlan
+
+    plan = None
+    if args.fault_plan:
+        try:
+            plan = FaultPlan.load(args.fault_plan)
+        except (OSError, ValueError) as exc:
+            print(f"bad fault plan {args.fault_plan}: {exc}", file=sys.stderr)
+            return 2
+    store = _resolve_store(args)
+    config = ShardConfig(
+        store=store,
+        cache_size=args.cache_size,
+        workers=args.workers,
+        portfolio_workers=args.portfolio_workers,
+        trusted=args.trusted,
+        telemetry=not args.no_telemetry,
+        fault_plan=plan.to_dict() if plan is not None else None,
+        drain_grace=args.drain_grace,
+        flight_dir=args.flight_dir,
+        slow_ms=args.slow_ms,
+    )
+    telemetry = Telemetry(
+        registry=get_registry(),
+        enabled=not args.no_telemetry,
+        flight=FlightRecorder(dump_dir=args.flight_dir),
+        slow_request_ms=args.slow_ms,
+    )
+    router = ShardRouter(
+        shards=args.shards,
+        host=args.host,
+        port=args.port,
+        config=config,
+        telemetry=telemetry,
+        faults=FaultInjector(plan) if plan is not None else None,
+        allow_remote_shutdown=args.allow_remote_shutdown,
+    )
+    tier = store if store else "memory-only (per shard)"
+    print(f"schedule cache: {tier}, shared across {args.shards} shards")
+    if plan is not None:
+        print(
+            f"fault injection: {len(plan.rules)} rules from "
+            f"{args.fault_plan} (seed {plan.seed})"
+        )
+    router.start()
+    try:
+        # SIGTERM drains the whole tier; SIGHUP rolling-restarts it
+        signal.signal(signal.SIGTERM, lambda *_: router.drain())
+        signal.signal(signal.SIGHUP, lambda *_: router.reload())
+    except (ValueError, OSError):
+        pass  # not the main thread (embedded use): no handler
+    router.wait_ready(30.0)
+    print(
+        f"routing on {router.host}:{router.port} "
+        f"({args.shards} shards x {args.workers} workers; "
+        f"send {{\"op\": \"reload\"}} or SIGHUP for a rolling restart)",
+        flush=True,
+    )
+    try:
+        router.serve_forever()
+    except KeyboardInterrupt:
+        router.stop()
+    finally:
+        telemetry.close()
+    print("router stopped")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from .obs import FlightRecorder, SamplingProfiler, Telemetry, get_registry
     from .service import (
@@ -661,19 +768,14 @@ def _cmd_serve(args) -> int:
         ScheduleService,
     )
 
+    if args.shards < 1:
+        print("--shards must be at least 1", file=sys.stderr)
+        return 2
+    if args.shards > 1:
+        return _serve_sharded(args)
     cache = None
     if not args.no_cache:
-        if args.store == "-":
-            path = None
-        elif args.store:
-            path = args.store
-        else:
-            import os
-
-            path = (
-                os.environ.get("REPRO_SERVICE_DIR", ".repro-service")
-                + "/schedules.jsonl"
-            )
+        path = _resolve_store(args)
         # entries persisted under an older schema version are
         # unreachable by construction; refusing to index them lets the
         # store compaction reclaim their bytes
@@ -914,6 +1016,47 @@ def _cmd_loadgen(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_reload(args) -> int:
+    import time as _time
+
+    from .service import ServiceClient
+
+    host, port = _parse_target(args.target)
+    try:
+        with ServiceClient(host, port, timeout=10.0) as client:
+            response = client.request_raw(
+                json.dumps({"op": "reload"}).encode() + b"\n"
+            )
+    except OSError as exc:
+        print(f"cannot reach service at {host}:{port}: {exc}", file=sys.stderr)
+        return 1
+    if not response.get("ok"):
+        print(f"reload refused: {response.get('error')}", file=sys.stderr)
+        return 1
+    shards = response.get("shards", "?")
+    print(f"rolling restart started ({shards} shards)")
+    if args.no_wait:
+        return 0
+    deadline = _time.monotonic() + args.timeout
+    while _time.monotonic() < deadline:
+        _time.sleep(0.25)
+        try:
+            with ServiceClient(host, port, timeout=10.0) as client:
+                stats = client.stats()
+        except OSError:
+            continue  # router busy / transient; keep polling
+        counters = stats.get("router_counters") or {}
+        if not counters.get("reloading"):
+            status = stats.get("health", "?")
+            print(
+                f"rolling restart complete "
+                f"(reloads={counters.get('reloads')}, health={status})"
+            )
+            return 0 if status == "ok" else 1
+    print("timed out waiting for the rolling restart", file=sys.stderr)
+    return 1
+
+
 def _cmd_health(args) -> int:
     import time as _time
 
@@ -1074,6 +1217,7 @@ def main(argv: list[str] | None = None) -> int:
         "request": _cmd_request,
         "loadgen": _cmd_loadgen,
         "health": _cmd_health,
+        "reload": _cmd_reload,
         "metrics": _cmd_metrics,
         "trace": _cmd_trace,
         "top": _cmd_top,

@@ -28,7 +28,12 @@ Pieces
   (``repro serve --fault-plan``) and the circuit breaker behind the
   disk cache tier; the reliability layer (per-request deadlines,
   supervised portfolio workers, crash-safe cache, graceful
-  degradation and drain) is exercised through these primitives.
+  degradation and drain) is exercised through these primitives;
+* :mod:`~repro.service.shard` — the sharded tier
+  (``repro serve --shards N``): a supervising router forwarding by
+  rendezvous hash over the graph fingerprint to N shard processes
+  that share the JSONL store, with crash respawn, transparent
+  failover and a zero-downtime rolling restart (``repro reload``).
 
 Fingerprint format
 ------------------
@@ -85,7 +90,7 @@ or, from the command line::
     repro loadgen --requests 500 --workers 4
 """
 
-from .cache import ScheduleCache
+from .cache import ScheduleCache, StoreKeyLock
 from .client import ServiceClient, ServiceError
 from .console import OpsConsole, run_top
 from .faults import (
@@ -127,10 +132,12 @@ from .server import (
     ScheduleServer,
     ScheduleService,
 )
+from .shard import DEFAULT_SHARDS, ShardConfig, ShardRouter
 
 __all__ = [
     "DEFAULT_PORT",
     "DEFAULT_SCHEDULERS",
+    "DEFAULT_SHARDS",
     "FAULT_SITES",
     "SCHEDULE_KEY_VERSION",
     "CandidateResult",
@@ -149,6 +156,9 @@ __all__ = [
     "ScheduleService",
     "ServiceClient",
     "ServiceError",
+    "ShardConfig",
+    "ShardRouter",
+    "StoreKeyLock",
     "build_request_pool",
     "doc_digest",
     "fingerprint_graph_doc",

@@ -56,23 +56,45 @@ the temp still exists.  All disk-tier I/O is bracketed by a
 injected via a :class:`~repro.service.faults.FaultInjector`) trip the
 tier into LRU+compute-only degradation, with half-open probes deciding
 when to rejoin.
+
+Sharing one store across processes.  ``shared=True`` puts the disk tier
+in multi-writer mode for the sharded serving tier
+(:mod:`repro.service.shard`): every append happens under an advisory
+``fcntl`` lock on the store file (so concurrently appending shards
+never interleave bytes and every recorded offset is exact), automatic
+compaction is disabled (a rewrite would invalidate the offset indexes
+of every *other* shard), and :meth:`refresh` incrementally indexes
+records other shards appended since our last scan — the cross-shard
+single-flight re-probe calls it after taking a :class:`StoreKeyLock`,
+so one cold miss is computed once per cluster, not once per shard.
+The quarantine file is shared the same way and rotates at
+:data:`ScheduleCache.QUARANTINE_MAX_BYTES` (one ``.1`` generation kept)
+so a persistently corrupt disk cannot fill the volume;
+``cache.quarantine_bytes`` gauges the active file.
 """
 
 from __future__ import annotations
 
 import contextlib
+import hashlib
 import json
 import os
 import threading
+import time
 import zlib
 from collections import OrderedDict
 from pathlib import Path
 from typing import Callable
 
+try:  # POSIX advisory locks; the sharded tier is POSIX-only anyway
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
 from ..obs import MetricsRegistry
 from .faults import CircuitBreaker
 
-__all__ = ["ScheduleCache", "record_crc"]
+__all__ = ["ScheduleCache", "StoreKeyLock", "record_crc"]
 
 
 def record_crc(key: str, entry: dict) -> int:
@@ -91,6 +113,8 @@ class ScheduleCache:
     COMPACT_DEAD_RATIO = 0.5
     #: but never bother below this file size
     COMPACT_MIN_BYTES = 4096
+    #: rotate the quarantine file once it would exceed this size
+    QUARANTINE_MAX_BYTES = 4 << 20
 
     def __init__(
         self,
@@ -99,12 +123,26 @@ class ScheduleCache:
         retain: Callable[[str], bool] | None = None,
         registry: MetricsRegistry | None = None,
         breaker: CircuitBreaker | None = None,
+        shared: bool = False,
+        quarantine_max_bytes: int | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be positive")
         self.path = Path(path) if path is not None else None
         self.capacity = capacity
         self.retain = retain
+        #: multi-writer mode: several shard processes append to one
+        #: store file (flock'd appends, no compaction, refresh())
+        self.shared = bool(shared)
+        self.quarantine_max_bytes = (
+            quarantine_max_bytes
+            if quarantine_max_bytes is not None
+            else self.QUARANTINE_MAX_BYTES
+        )
+        self._quarantine_bytes = 0
+        if self.path is not None:
+            with contextlib.suppress(OSError):
+                self._quarantine_bytes = os.path.getsize(self._qpath())
         self._lru: OrderedDict[str, dict] = OrderedDict()
         #: key -> (byte offset, line length) in the file
         self._disk: dict[str, tuple[int, int]] = {}
@@ -131,7 +169,9 @@ class ScheduleCache:
                 self.path.with_name(self.path.name + ".compact").unlink()
         if self.path is not None and self.path.exists():
             self._load_index()
-            if self._dead_ratio() > self.COMPACT_DEAD_RATIO:
+            # shared stores are never compacted (a rewrite would strand
+            # every other shard's offset index against the old file)
+            if not self.shared and self._dead_ratio() > self.COMPACT_DEAD_RATIO:
                 self.compact()
 
     # ------------------------------------------------------------------
@@ -173,6 +213,11 @@ class ScheduleCache:
         registry.gauge(
             "cache.dead_bytes", "disk-tier bytes no index entry reaches",
             fn=self.dead_bytes,
+        )
+        registry.gauge(
+            "cache.quarantine_bytes",
+            "active quarantine-file size in bytes (rotates at its bound)",
+            fn=lambda: self._quarantine_bytes,
         )
         if self.breaker is not None:
             self.breaker.bind(registry=registry)
@@ -243,10 +288,27 @@ class ScheduleCache:
     def corrupt_records(self) -> int:
         return self._c_corrupt.value
 
+    def _flock(self, fh, exclusive: bool = True) -> None:
+        """Advisory-lock ``fh`` in shared mode (no-op otherwise).
+
+        Released implicitly when ``fh`` closes — and by the kernel when
+        the holding process dies, SIGKILL included, so a crashed shard
+        can never wedge the store."""
+        if self.shared and fcntl is not None:
+            fcntl.flock(
+                fh.fileno(),
+                fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH,
+            )
+
     def _load_index(self) -> None:
         corrupt: list[bytes] = []
         truncate_at: int | None = None
         with open(self.path, "rb") as fh:
+            # in shared mode the scan (and any torn-tail truncation)
+            # runs under the store's exclusive advisory lock so a
+            # concurrently appending shard is never scanned mid-write —
+            # or worse, truncated away as a "torn tail"
+            self._flock(fh, exclusive=True)
             offset = 0
             for line in fh:
                 start, offset = offset, offset + len(line)
@@ -276,24 +338,44 @@ class ScheduleCache:
                     continue
                 if self.retain is None or self.retain(doc["key"]):
                     self._disk[doc["key"]] = (start, len(line))
-        if truncate_at is not None:
-            self.recovered_tail_bytes = offset - truncate_at
-            os.truncate(self.path, truncate_at)
-            offset = truncate_at
+            if truncate_at is not None:
+                self.recovered_tail_bytes = offset - truncate_at
+                os.truncate(self.path, truncate_at)
+                offset = truncate_at
         self._file_bytes = offset
         if corrupt:
             self._quarantine(corrupt)
+
+    def _qpath(self) -> Path:
+        return self.path.with_name(self.path.name + ".quarantine")
 
     def _quarantine(self, lines: list[bytes]) -> None:
         """Copy corrupt store lines aside for postmortem, count them.
 
         The originals stay in the store as dead bytes (compaction
-        reclaims them); the copies preserve the evidence."""
-        qpath = self.path.with_name(self.path.name + ".quarantine")
+        reclaims them); the copies preserve the evidence.  Growth is
+        bounded: once the active file would exceed
+        ``quarantine_max_bytes`` it rotates to a single ``.1``
+        generation, so a disk persistently producing corrupt records
+        can never fill the volume with evidence of itself."""
+        qpath = self._qpath()
+        payload = b"".join(
+            line if line.endswith(b"\n") else line + b"\n" for line in lines
+        )
         try:
             with open(qpath, "ab") as fh:
-                for line in lines:
-                    fh.write(line if line.endswith(b"\n") else line + b"\n")
+                self._flock(fh, exclusive=True)
+                size = fh.tell()
+                if size and size + len(payload) > self.quarantine_max_bytes:
+                    # rotate under the same lock: replace the previous
+                    # generation, then restart the active file
+                    os.replace(qpath, qpath.with_name(qpath.name + ".1"))
+                    with open(qpath, "ab") as fresh:
+                        fresh.write(payload)
+                    self._quarantine_bytes = len(payload)
+                else:
+                    fh.write(payload)
+                    self._quarantine_bytes = size + len(payload)
         except OSError:
             pass  # quarantine is best-effort; the count still records it
         self._c_corrupt.inc(len(lines))
@@ -318,8 +400,11 @@ class ScheduleCache:
         """Rewrite the store keeping only live entries; returns bytes
         reclaimed.  Safe to call at any time — store reads resolve
         their offsets under the same IO lock the rewrite holds — and a
-        no-op without a disk tier."""
-        if self.path is None:
+        no-op without a disk tier.  Also a no-op in shared mode: the
+        rewrite would strand every other shard's offset index against
+        the replaced file, so a shared store is only compacted offline
+        (all shards down, reopened unshared)."""
+        if self.path is None or self.shared:
             return 0
         if self.breaker is not None and not self.breaker.allow():
             return 0  # tier is tripped; don't hammer a failing disk
@@ -499,6 +584,11 @@ class ScheduleCache:
                         raise OSError(rule.error)
                     self.path.parent.mkdir(parents=True, exist_ok=True)
                     with open(self.path, "ab") as fh:
+                        # shared mode: the advisory lock brackets tell +
+                        # write so a concurrently appending shard can
+                        # neither interleave bytes nor shift our offset
+                        self._flock(fh, exclusive=True)
+                        fh.seek(0, os.SEEK_END)
                         offset = fh.tell()
                         fh.write(line)
                 except OSError:
@@ -522,6 +612,67 @@ class ScheduleCache:
                     "eviction", tier="lru", key=evicted[:48]
                 )
 
+    def refresh(self) -> int:
+        """Index records appended by *other* writers since our last scan.
+
+        Only meaningful for a ``shared=True`` store: each shard's index
+        covers the file as of its own load plus its own appends, so a
+        key computed by a sibling shard is invisible until refreshed.
+        Scans only the unseen tail (under the store's shared advisory
+        lock, so a flock'd append is never read mid-write), updates the
+        index, and returns how many keys were added.  Corrupt or
+        foreign tail lines are skipped silently — the shard that wrote
+        (or first loaded) them owns the quarantine evidence.
+        """
+        if not self.shared or self.path is None:
+            return 0
+        if self.breaker is not None and not self.breaker.allow():
+            return 0  # tier tripped: stay on LRU+compute
+        with self._io_lock:
+            with self._lock:
+                start = self._file_bytes
+            try:
+                with open(self.path, "rb") as fh:
+                    self._flock(fh, exclusive=False)
+                    fh.seek(start)
+                    data = fh.read()
+            except OSError:
+                self._io_failure("refresh")
+                return 0
+            self._io_success()
+            if not data:
+                return 0
+            fresh: dict[str, tuple[int, int]] = {}
+            offset = start
+            for line in data.splitlines(keepends=True):
+                begin, offset = offset, offset + len(line)
+                if not line.endswith(b"\n"):
+                    # torn tail from a crashed writer: leave it for the
+                    # next load's truncation (we must not truncate a
+                    # file other shards are appending to)
+                    offset = begin
+                    break
+                try:
+                    doc = json.loads(line)
+                except ValueError:
+                    continue
+                if not (
+                    isinstance(doc, dict)
+                    and isinstance(doc.get("key"), str)
+                    and isinstance(doc.get("entry"), dict)
+                ):
+                    continue
+                crc = doc.get("crc")
+                if crc is not None and crc != record_crc(doc["key"], doc["entry"]):
+                    continue
+                if self.retain is None or self.retain(doc["key"]):
+                    fresh[doc["key"]] = (begin, len(line))
+            with self._lock:
+                added = sum(1 for key in fresh if key not in self._disk)
+                self._disk.update(fresh)
+                self._file_bytes = max(self._file_bytes, offset)
+            return added
+
     def counters(self) -> dict[str, int]:
         with self._lock:
             return {
@@ -538,7 +689,66 @@ class ScheduleCache:
                 "compactions": self.compactions,
                 "corrupt_records": self.corrupt_records,
                 "recovered_tail_bytes": self.recovered_tail_bytes,
+                "quarantine_bytes": self._quarantine_bytes,
+                "shared": self.shared,
                 "breaker": (
                     self.breaker.to_dict() if self.breaker is not None else None
                 ),
             }
+
+
+class StoreKeyLock:
+    """Cross-process single-flight on a shared disk store, per key.
+
+    One advisory ``fcntl`` lock file per request key, hashed into a
+    sibling directory of the store (``<store>.locks/``).  A shard about
+    to run a cold compute takes the key's exclusive lock first; any
+    sibling racing the same key blocks on the same inode, and on
+    acquiring it re-probes the store (after
+    :meth:`ScheduleCache.refresh`) — so two shards never burn CPU on
+    the same cold miss.  The kernel releases the lock when the holder
+    dies (SIGKILL included), so a crashed shard can never wedge a key.
+
+    ``acquire`` is deadline-aware: with a ``perf_counter`` deadline it
+    polls a non-blocking lock and raises :class:`TimeoutError` when the
+    deadline passes (the service maps that onto its usual
+    ``DeadlineExceeded`` refusal).  Lock files are tiny and bounded by
+    the number of distinct cold keys; they are left in place — deleting
+    them while a sibling holds the inode would split the lock.
+    """
+
+    def __init__(self, store_path: str | Path, poll_s: float = 0.005) -> None:
+        self.dir = Path(str(store_path) + ".locks")
+        self.poll_s = poll_s
+
+    def path_for(self, key: str) -> Path:
+        digest = hashlib.sha256(key.encode()).hexdigest()[:32]
+        return self.dir / f"{digest}.lock"
+
+    @contextlib.contextmanager
+    def acquire(self, key: str, deadline: float | None = None):
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        self.dir.mkdir(parents=True, exist_ok=True)
+        with open(self.path_for(key), "ab") as fh:
+            fd = fh.fileno()
+            if deadline is None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            else:
+                while True:
+                    try:
+                        fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                        break
+                    except OSError:
+                        if time.perf_counter() >= deadline:
+                            raise TimeoutError(
+                                "deadline expired waiting for the "
+                                "cross-shard key lock"
+                            ) from None
+                        time.sleep(self.poll_s)
+            try:
+                yield
+            finally:
+                with contextlib.suppress(OSError):
+                    fcntl.flock(fd, fcntl.LOCK_UN)

@@ -162,6 +162,32 @@ class OpsConsole:
             f"store {cache.get('store_entries', 0)}   "
             f"evictions {cache.get('evictions', 0)}",
         ]
+        shards = stats.get("shards")
+        if shards:  # sharded tier: one row per supervised shard
+            counters = stats.get("router_counters") or {}
+            lines.append(
+                f"  router  failovers {counters.get('failovers', 0)}   "
+                f"rerouted {counters.get('rerouted', 0)}   "
+                f"crashes {counters.get('shard_crashes', 0)}   "
+                f"respawns {counters.get('respawns', 0)}   "
+                f"reloads {counters.get('reloads', 0)}"
+                + ("  [reloading]" if counters.get("reloading") else "")
+            )
+            lines.append(
+                "  shard  port   pid      state       health       "
+                "served   crashes  uptime"
+            )
+            for row in shards:
+                lines.append(
+                    f"  {row.get('shard', '?'):>5}  "
+                    f"{row.get('port') or '-':<5}  "
+                    f"{row.get('pid') or '-':<7}  "
+                    f"{row.get('state', '?'):<10}  "
+                    f"{row.get('health', '?'):<11}  "
+                    f"{_fmt_si(row.get('served', 0)):>7}  "
+                    f"{row.get('crashes', 0):>7}  "
+                    f"{row.get('uptime_s', 0.0):6.0f}s"
+                )
         health = stats.get("health")
         if health:  # pre-reliability servers have no health summary
             parts = [f"  health {health:<9}"]

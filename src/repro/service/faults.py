@@ -8,7 +8,8 @@ rest of the stack builds on:
     A seedable, JSON-loadable description of *which* failures to inject
     *where* (``repro serve --fault-plan plan.json``).  Each rule names an
     injection site — ``disk.read``, ``disk.write``, ``worker.crash``,
-    ``worker.hang``, ``conn.drop``, ``conn.partial``, ``compute.slow`` —
+    ``worker.hang``, ``conn.drop``, ``conn.partial``, ``compute.slow``,
+    ``shard.kill`` —
     and fires with a given probability, bounded by an optional count and
     warm-up skip.  Decisions are driven by one ``random.Random`` per
     site seeded from ``plan.seed``, so a plan replays identically across
@@ -60,6 +61,7 @@ FAULT_SITES = frozenset(
         "conn.drop",  # server closes the socket instead of replying
         "conn.partial",  # server sends a half reply, then closes
         "compute.slow",  # artificial delay inside compute/simulate
+        "shard.kill",  # router SIGKILLs a random live shard process
     )
 )
 

@@ -189,8 +189,13 @@ class ScheduleService:
         wire_memo_bytes: int = 32 << 20,
         telemetry: Telemetry | None = None,
         faults: FaultInjector | None = None,
+        keylock=None,
     ) -> None:
         self.cache = cache
+        #: cross-process single-flight on the shared disk store (a
+        #: :class:`~repro.service.cache.StoreKeyLock`); shard processes
+        #: get one so two shards never race the same cold miss
+        self.keylock = keylock
         self.default_schedulers = tuple(default_schedulers)
         #: telemetry facade: registry + span ring (+ optional span log).
         #: The default is a private, *enabled* Telemetry — instruments
@@ -280,6 +285,10 @@ class ScheduleService:
         self._c_coalesced = c(
             "service.coalesced", "followers served by a single-flight leader"
         )
+        self._c_crossflight = c(
+            "service.crossflight",
+            "cold misses answered by a sibling shard's concurrent compute",
+        )
         self._c_remapped = c(
             "service.remapped", "cross-document hits isomorphism-remapped"
         )
@@ -342,6 +351,10 @@ class ScheduleService:
     @property
     def coalesced(self) -> int:
         return self._c_coalesced.value
+
+    @property
+    def crossflight(self) -> int:
+        return self._c_crossflight.value
 
     @property
     def remapped(self) -> int:
@@ -814,6 +827,7 @@ class ScheduleService:
             "computed": self.computed,
             "simulated": self.simulated,
             "coalesced": self.coalesced,
+            "crossflight": self.crossflight,
             "remapped": self.remapped,
             "fastpath": self.fastpath,
             "errors": self.errors,
@@ -1147,7 +1161,9 @@ class ScheduleService:
                 return self._respond(compute(), False, t0)
 
         try:
-            entry = compute()
+            entry, tier = self._leader_compute(
+                key, compute, adapt, recorder, short_key, span, deadline
+            )
         except Exception:
             flight.response = {"ok": False}
             raise
@@ -1157,7 +1173,41 @@ class ScheduleService:
             with self._lock:
                 self._inflight.pop(key, None)
             flight.event.set()
-        return self._respond(entry, False, t0)
+        return self._respond(entry, tier, t0)
+
+    def _leader_compute(self, key, compute, adapt, recorder, short_key,
+                        span=NULL_SPAN, deadline: float | None = None):
+        """Run the leader's compute, bracketed by the cross-shard lock.
+
+        Without a ``keylock`` (single-process serving) this is just
+        ``compute()``.  With one, the disk store is shared between
+        shard processes: take the key's advisory lock, re-probe the
+        store (a sibling shard may have computed and persisted this key
+        while we waited — :meth:`ScheduleCache.refresh` makes its
+        append visible), and only compute on a still-cold key.  Returns
+        ``(entry, tier)`` where ``tier`` is ``False`` for a fresh
+        compute — mirroring the ``cached`` response field.
+        """
+        if self.keylock is None or self.cache is None:
+            return compute(), False
+        lock = self.keylock.acquire(key, deadline=deadline)
+        try:
+            lock.__enter__()
+        except TimeoutError:
+            raise DeadlineExceeded from None
+        try:
+            with span.phase("crossflight"):
+                self.cache.refresh()
+                hit = self.cache.get(key, count_miss=False)
+            if hit is not None:
+                served = adapt(hit[0])
+                if served is not None:
+                    self._c_crossflight.inc()
+                    recorder.record("crossflight", key=short_key)
+                    return served, "store"
+            return compute(), False
+        finally:
+            lock.__exit__(None, None, None)
 
     def _compute(
         self, slots, graph, graph_doc, digest, fp, key, num_pes,

@@ -60,7 +60,7 @@ class TestFaultPlan:
     def test_known_sites_cover_the_stack(self):
         assert FAULT_SITES == {
             "disk.read", "disk.write", "worker.crash", "worker.hang",
-            "conn.drop", "conn.partial", "compute.slow",
+            "conn.drop", "conn.partial", "compute.slow", "shard.kill",
         }
 
     def test_unknown_site_rejected(self):
@@ -312,6 +312,57 @@ class TestCircuitBreaker:
         assert br.state == "half_open"
         assert gauge.value == 0.5
 
+    def test_half_open_concurrent_probes_admit_exactly_one(self):
+        # two threads hitting allow() at the same instant while the
+        # breaker is half-open must race for one probe slot; the state
+        # machine has to stay consistent whichever thread wins
+        for trial in range(20):
+            clock, br = self.make()
+            for _ in range(3):
+                br.record_failure()
+            clock.t += 10.0
+            assert br.state == "half_open"
+            barrier = threading.Barrier(2)
+            admitted = []
+
+            def probe():
+                barrier.wait()
+                if br.allow():
+                    admitted.append(threading.get_ident())
+
+            threads = [threading.Thread(target=probe) for _ in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert len(admitted) == 1, f"trial {trial}: {len(admitted)} probes"
+            assert br.state == "half_open"
+            assert not br.allow()  # the probe slot stays taken
+            br.record_success()  # the winning probe reports back
+            assert br.state == "closed" and br.allow()
+
+    def test_half_open_concurrent_probe_failure_reopens_once(self):
+        clock, br = self.make()
+        for _ in range(3):
+            br.record_failure()
+        clock.t += 10.0
+        barrier = threading.Barrier(2)
+        results = []
+
+        def probe():
+            barrier.wait()
+            results.append(br.allow())
+
+        threads = [threading.Thread(target=probe) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(results) == [False, True]
+        br.record_failure()  # the admitted probe fails
+        assert br.state == "open" and br.opens == 2
+        assert not br.allow()
+
     def test_to_dict_shape(self):
         _, br = self.make()
         doc = br.to_dict()
@@ -368,6 +419,40 @@ class TestCrashSafeCache:
         cache = ScheduleCache(path, capacity=64)
         assert cache.corrupt_records == 1
         assert cache.get("k0") is not None and cache.get("k1") is not None
+
+    def test_quarantine_rotates_at_its_size_bound(self, tmp_path):
+        # a persistently corrupt disk must never fill the volume through
+        # the quarantine file: it rotates at the bound, keeping exactly
+        # one previous generation
+        path = tmp_path / "store.jsonl"
+        qpath = path.with_name("store.jsonl.quarantine")
+        junk = b"{broken " + b"x" * 120 + b"}\n"
+        fill_cache(path, n=1)
+        with open(path, "ab") as fh:
+            fh.write(junk)
+        sizes = []
+        for _ in range(8):
+            cache = ScheduleCache(path, capacity=8,
+                                  quarantine_max_bytes=256)
+            assert cache.corrupt_records == 1
+            sizes.append(qpath.stat().st_size)
+        assert qpath.with_name("store.jsonl.quarantine.1").exists()
+        assert max(sizes) <= 256 + len(junk)  # bounded, not monotone
+        assert sizes[-1] < sizes[0] * 8  # actually rotated, not grown
+        assert cache.counters()["quarantine_bytes"] == qpath.stat().st_size
+
+    def test_quarantine_bytes_gauge_is_registered(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        fill_cache(path, n=1)
+        with open(path, "ab") as fh:
+            fh.write(b"{junk}\n")
+        registry = MetricsRegistry()
+        cache = ScheduleCache(path, capacity=8, registry=registry)
+        assert cache.corrupt_records == 1
+        gauge = registry.gauge("cache.quarantine_bytes")
+        assert gauge.value == path.with_name(
+            "store.jsonl.quarantine").stat().st_size
+        assert gauge.value > 0
 
     def test_legacy_records_without_crc_still_served(self, tmp_path):
         path = tmp_path / "store.jsonl"
