@@ -18,6 +18,15 @@ Two measurements, both against the original implementation preserved in
   arrive — the new stack (indexed core + persistent 4-worker
   :class:`~repro.service.portfolio.PortfolioPool`) vs the pre-indexed
   sequential in-process race;
+* a **backend** section splitting the indexed scheduling core by array
+  backend — the pure-Python sweeps vs the numpy structure-of-arrays
+  kernels of :mod:`repro.core.kernels` — on the same scenarios with the
+  same pre-computed partition (warm re-analysis throughput: freeze and
+  partitioning amortized, the regime a service's re-analysis and
+  what-if paths run in), verifying byte-identical schedule documents
+  between the two.  ``--backend-gate R`` fails the run when the numpy
+  backend's speedup over python drops below ``R`` on any 10k-node
+  scenario (the PR acceptance floor is 3x);
 * an **ingest** section reporting the wire→graph split — legacy
   ``graph_from_dict`` (+freeze) vs the zero-copy
   :func:`repro.core.ingest.ingest_graph_doc` path (validated and
@@ -235,6 +244,93 @@ def bench_portfolio(misses: int, workers: int) -> dict:
     }
 
 
+def bench_backend(smoke: bool) -> list[dict]:
+    """Scheduling-core backend split: pure-Python vs numpy kernels.
+
+    Warm re-analysis throughput: the graph is frozen and the spatial
+    partition computed once, then ``schedule_streaming`` re-runs the
+    analysis pipeline (levels, block sweeps, intervals, buffer sizing)
+    per backend — min of ``reps`` rounds, the steady state a service's
+    re-analysis / what-if paths hit.  Byte-identity of the schedule
+    documents is asserted per scenario.
+    """
+    from repro.core.backend import HAVE_NUMPY
+    from repro.core.partition import compute_spatial_blocks
+
+    cases = [("layered-1k", "layered", 1000, 64, "rlx", 3 if smoke else 5)]
+    for label, topo, size, pes, variant in SWEEP_10K:
+        cases.append((label, topo, size, pes, variant, 2 if smoke else 3))
+
+    rows = []
+    for label, topo, size, pes, variant, reps in cases:
+        g = random_canonical_graph(topo, size, seed=0)
+        part = compute_spatial_blocks(g, pes, variant)
+
+        def timed(backend: str) -> float:
+            best = float("inf")
+            for _ in range(reps):
+                t0 = time.perf_counter()
+                schedule_streaming(g, pes, variant, backend=backend,
+                                   partition=part)
+                best = min(best, time.perf_counter() - t0)
+            return best
+
+        py_s = timed("python")
+        row = {
+            "scenario": label,
+            "variant": variant,
+            "num_pes": pes,
+            "nodes": size,
+            "repeats": reps,
+            "python_s": round(py_s, 4),
+            "numpy_s": None,
+            "speedup": None,
+            "byte_identical": None,
+        }
+        if HAVE_NUMPY:
+            np_s = timed("numpy")
+            a = json.dumps(schedule_to_dict(schedule_streaming(
+                g, pes, variant, backend="python", partition=part)))
+            b = json.dumps(schedule_to_dict(schedule_streaming(
+                g, pes, variant, backend="numpy", partition=part)))
+            row.update({
+                "numpy_s": round(np_s, 4),
+                "speedup": round(py_s / np_s, 2),
+                "byte_identical": a == b,
+            })
+        rows.append(row)
+    return rows
+
+
+def check_backend_gate(rows: list[dict], gate: float) -> list[str]:
+    """The 10k scenarios must hold ``gate``x numpy-over-python speedup.
+
+    Unlike the baseline check this is an absolute ratio floor — both
+    backends run in the same process on the same data, so the ratio is
+    machine-independent and the acceptance floor can gate directly.
+    """
+    failures = []
+    for row in rows:
+        if not row["scenario"].endswith("-10k"):
+            continue
+        if row["numpy_s"] is None:
+            failures.append(
+                f"backend gate on {row['scenario']}: numpy backend "
+                f"unavailable (install numpy or drop --backend-gate)"
+            )
+        elif not row["byte_identical"]:
+            failures.append(
+                f"backend gate on {row['scenario']}: numpy schedule "
+                f"differs from python"
+            )
+        elif row["speedup"] < gate:
+            failures.append(
+                f"backend gate on {row['scenario']}: numpy speedup "
+                f"{row['speedup']}x below the {gate}x floor"
+            )
+    return failures
+
+
 def bench_ingest(smoke: bool) -> list[dict]:
     """Wire→IndexedGraph split: parse, freeze, fingerprint, serialize."""
     from repro.core.graph import graph_fingerprint
@@ -342,6 +438,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="committed baseline JSON to gate against")
     parser.add_argument("--tolerance", type=float, default=1.5,
                         help="max allowed slow-down vs the baseline")
+    parser.add_argument("--backend-gate", type=float, default=None,
+                        help="fail when the numpy backend's warm speedup "
+                             "over python drops below this on any "
+                             "10k-node scenario")
     parser.add_argument("--history", default="BENCH_history.jsonl",
                         help="append this run's anchors to the bench "
                              "history JSONL ('-' disables)")
@@ -351,6 +451,7 @@ def main(argv: list[str] | None = None) -> int:
     misses = args.misses or (6 if args.smoke else 16)
 
     schedule_rows = bench_schedule(repeats, args.smoke)
+    backend_rows = bench_backend(args.smoke)
     ingest_rows = bench_ingest(args.smoke)
     portfolio = bench_portfolio(misses, args.workers)
 
@@ -363,6 +464,18 @@ def main(argv: list[str] | None = None) -> int:
              f"{r['nodes_per_sec']:,.0f}", f"{r['speedup']:.1f}x",
              r["byte_identical"]]
             for r in schedule_rows
+        ],
+    ))
+    print(format_table(
+        ["backend scenario", "variant", "nodes", "python s", "numpy s",
+         "speedup", "identical"],
+        [
+            [r["scenario"], r["variant"], r["nodes"],
+             f"{r['python_s']:.3f}",
+             "-" if r["numpy_s"] is None else f"{r['numpy_s']:.3f}",
+             "-" if r["speedup"] is None else f"{r['speedup']:.1f}x",
+             "-" if r["byte_identical"] is None else r["byte_identical"]]
+            for r in backend_rows
         ],
     ))
     print(format_table(
@@ -398,6 +511,7 @@ def main(argv: list[str] | None = None) -> int:
             "misses": misses, "workers": args.workers,
         },
         "schedule": schedule_rows,
+        "backend": backend_rows,
         "ingest": ingest_rows,
         "portfolio": portfolio,
     }
@@ -407,10 +521,18 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[history appended to {args.history}]")
 
     bad = [r for r in schedule_rows if not r["byte_identical"]]
+    bad += [r for r in backend_rows if r["byte_identical"] is False]
     if bad:
-        print(f"FAIL: indexed schedule differs from reference on "
+        print(f"FAIL: schedules differ on "
               f"{', '.join(r['scenario'] for r in bad)}", file=sys.stderr)
         return 1
+    if args.backend_gate is not None:
+        failures = check_backend_gate(backend_rows, args.backend_gate)
+        if failures:
+            for f in failures:
+                print(f"FAIL: {f}", file=sys.stderr)
+            return 1
+        print(f"backend gate passed (floor {args.backend_gate}x)")
     if args.baseline:
         failures = check_baseline(doc, args.baseline, args.tolerance)
         if failures:

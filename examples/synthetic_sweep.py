@@ -8,8 +8,7 @@ Run: ``python examples/synthetic_sweep.py [population]``
 """
 
 import sys
-
-import numpy as np
+from statistics import median
 
 from repro import schedule_streaming, speedup, streaming_depth
 from repro.baselines import schedule_nonstreaming
@@ -35,9 +34,9 @@ def main(population: int = 15) -> None:
                     sslr[variant].append(s.makespan / d)
                 ns = schedule_nonstreaming(g, p)
                 spd["nstr"].append(speedup(g, ns.makespan))
-            print(f"{p:5d} {np.median(spd['lts']):7.2f} {np.median(spd['rlx']):7.2f} "
-                  f"{np.median(spd['nstr']):7.2f} {np.median(sslr['lts']):7.3f} "
-                  f"{np.median(sslr['rlx']):7.3f}")
+            print(f"{p:5d} {median(spd['lts']):7.2f} {median(spd['rlx']):7.2f} "
+                  f"{median(spd['nstr']):7.2f} {median(sslr['lts']):7.3f} "
+                  f"{median(sslr['rlx']):7.3f}")
 
 
 if __name__ == "__main__":

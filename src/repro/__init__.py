@@ -59,7 +59,7 @@ from .core import (
     total_work,
 )
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "CanonicalGraph",

@@ -46,6 +46,16 @@ from .graphs import DEFAULT_SIZES, random_canonical_graph
 __all__ = ["main", "build_parser"]
 
 
+def _add_backend_arg(sp) -> None:
+    sp.add_argument(
+        "--backend", choices=["auto", "numpy", "python"], default=None,
+        help="array-kernel backend for the scheduling core and the "
+             "indexed simulator (auto = numpy when installed; results "
+             "are byte-identical either way); binds the process default "
+             "and REPRO_BACKEND so portfolio workers inherit it",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -72,6 +82,7 @@ def build_parser() -> argparse.ArgumentParser:
     sch.add_argument("-o", "--output", help="write the schedule JSON here")
     sch.add_argument("--trace", help="write a chrome://tracing JSON here")
     sch.add_argument("--gantt", action="store_true", help="print an ASCII Gantt")
+    _add_backend_arg(sch)
 
     sim = sub.add_parser("simulate", help="schedule + DES validation")
     sim.add_argument("graph", help="graph JSON path")
@@ -96,6 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace",
         help="write a chrome://tracing JSON of the simulated execution here",
     )
+    _add_backend_arg(sim)
 
     prof = sub.add_parser(
         "profile", help="cProfile the end-to-end pipeline of a scenario"
@@ -120,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", dest="json_out", default=None,
         help="also write the profile rows (and run metadata) as JSON here",
     )
+    _add_backend_arg(prof)
 
     exp = sub.add_parser("experiment", help="run a paper harness (serial)")
     exp.add_argument(
@@ -241,6 +254,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="on SIGTERM, stop accepting and flush in-flight responses "
              "for up to this many seconds before exiting",
     )
+    _add_backend_arg(srv)
 
     req = sub.add_parser("request", help="submit one graph to a service")
     req.add_argument("graph", help="graph JSON path")
@@ -445,7 +459,7 @@ def _cmd_schedule(args) -> int:
         print(f"NSTR-SCH on {args.pes} PEs: makespan {s.makespan:,}, "
               f"speedup {speedup(g, s.makespan):.2f}x")
     else:
-        s = schedule_streaming(g, args.pes, args.scheduler)
+        s = schedule_streaming(g, args.pes, args.scheduler, backend=args.backend)
         print(
             f"STR-SCH ({args.scheduler}) on {args.pes} PEs: makespan "
             f"{s.makespan:,}, speedup {speedup(g, s.makespan):.2f}x, "
@@ -469,10 +483,10 @@ def _cmd_simulate(args) -> int:
     from .sim import simulation_to_dict
 
     g = load_graph(args.graph)
-    s = schedule_streaming(g, args.pes, args.scheduler)
+    s = schedule_streaming(g, args.pes, args.scheduler, backend=args.backend)
     sim = simulate_schedule(
         s, capacity_override=args.capacity, pacing=args.pacing,
-        policy=args.policy, engine=args.engine,
+        policy=args.policy, engine=args.engine, backend=args.backend,
     )
     if args.output:
         with open(args.output, "w") as fh:
@@ -554,11 +568,22 @@ def _cmd_profile(args) -> int:
             "tottime_s": round(tt, 6),
             "cumtime_s": round(ct, 6),
         })
+    from .core.backend import backend_info
+
+    info = backend_info()
+    fallbacks = info["kernel_fallbacks"]
     print(
         f"profile of {len(cells)} {scenario.name!r} cells "
-        f"({total_calls} calls, sorted by {args.sort}):"
+        f"({total_calls} calls, sorted by {args.sort}, "
+        f"backend {info['backend']}):"
     )
     print(format_table(["ncalls", "tottime", "cumtime", "function"], rows))
+    print(
+        f"backend: {info['backend']} (numpy {info['numpy'] or 'absent'}); "
+        f"kernel fallbacks: "
+        + (", ".join(f"{k}={v}" for k, v in sorted(fallbacks.items()))
+           or "none")
+    )
     if args.json_out:
         with open(args.json_out, "w") as fh:
             json.dump({
@@ -567,6 +592,7 @@ def _cmd_profile(args) -> int:
                 "pes": args.pes,
                 "sort": args.sort,
                 "total_calls": total_calls,
+                "backend": info,
                 "functions": records,
             }, fh, indent=1)
         print(f"profile JSON written to {args.json_out}")
@@ -1205,6 +1231,18 @@ def _cmd_bench_report(args) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "backend", None):
+        import os
+
+        from .core.backend import set_default_backend
+
+        try:
+            resolved = set_default_backend(args.backend)
+        except (RuntimeError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        # worker processes (portfolio pool, shards) inherit the choice
+        os.environ["REPRO_BACKEND"] = resolved
     handlers = {
         "generate": _cmd_generate,
         "info": _cmd_info,

@@ -117,14 +117,26 @@ def _cycle_nodes_flat(
 def compute_buffer_sizes(
     schedule: "StreamingSchedule",
     default_capacity: int = 1,
+    backend: str | None = None,
 ) -> dict[tuple[Hashable, Hashable], int]:
     """Capacity (in elements) of every streaming FIFO channel.
 
     Returns a mapping from streaming edge to capacity; non-streaming
-    edges are absent (they go through global memory).
+    edges are absent (they go through global memory).  ``backend``
+    selects the array-kernel implementation (byte-identical results;
+    see :mod:`repro.core.backend`).
     """
     graph = schedule.graph
     ig = freeze(graph)
+    from .backend import resolve_backend
+
+    if resolve_backend(backend) == "numpy":
+        from .kernels import buffer_sizes_numpy
+
+        sizes = buffer_sizes_numpy(schedule, ig, default_capacity)
+        if sizes is not None:
+            return sizes
+        # overflow guard tripped (counted): exact path below
     names, index = ig.names, ig.index
     comp, kinds, out_vol = ig.comp, ig.kinds, ig.out_vol
     sp, sa = ig.succ_ptr, ig.succ_adj

@@ -84,6 +84,7 @@ class IndexedGraph:
         "num_tasks",
         "_specs",
         "_names_json",
+        "_np_cache",
         "_derived",
         "_level_num",
         "_level_den",
@@ -192,6 +193,7 @@ class IndexedGraph:
         self.exits = [i for i in range(self.n) if succs[i] == []]
 
         self._names_json = None
+        self._np_cache = None  #: repro.core.kernels array mirror
         self._derived = None
         self._level_num = None
         self._level_den = 1
@@ -354,34 +356,68 @@ class IndexedGraph:
         All rate terms ``O(v)/I(v)`` (only nodes with ``O > I``
         contribute a non-unit term) share the common denominator
         ``D = lcm(I(v))``, so the recurrence runs in plain integers.
+
+        The denominator scan collects the *unique* upsampler input
+        volumes first and reduces over that set — for the common case of
+        graphs with no upsampling rates (every ``R <= 1``, e.g. the
+        layered/serpar campaign families) the lcm is never called and
+        the per-node term recomputation is skipped entirely.  When the
+        numpy backend is active the topo recurrence itself runs as
+        per-generation array sweeps (:func:`repro.core.kernels
+        .levels_numpy`); the float tie-break keys are always derived by
+        python int/int division so they stay bit-identical either way.
         """
-        den = 1
+        ups_vols: set[int] = set()
+        kinds, in_vol, out_vol = self.kinds, self.in_vol, self.out_vol
         for i in range(self.n):
             if (
-                self.kinds[i] is not NodeKind.SOURCE
-                and self.in_vol[i] > 0
-                and self.out_vol[i] > self.in_vol[i]
+                kinds[i] is not NodeKind.SOURCE
+                and in_vol[i] > 0
+                and out_vol[i] > in_vol[i]
             ):
-                den = lcm(den, self.in_vol[i])
-        num = [0] * self.n
-        pp, pa = self.pred_ptr, self.pred_adj
-        for i in self.topo:
-            lo, hi = pp[i], pp[i + 1]
-            if lo == hi:
-                num[i] = den
-                continue
-            term = den
-            if (
-                self.kinds[i] is not NodeKind.SOURCE
-                and self.out_vol[i] > self.in_vol[i]
-            ):
-                term = self.out_vol[i] * den // self.in_vol[i]
-            best = 0
-            for j in range(lo, hi):
-                lu = num[pa[j]]
-                if lu > best:
-                    best = lu
-            num[i] = term + best
+                ups_vols.add(in_vol[i])
+        den = 1
+        for v in ups_vols:
+            den = lcm(den, v)
+
+        num = None
+        from .backend import resolve_backend
+
+        if resolve_backend(None) == "numpy":
+            from .kernels import levels_numpy
+
+            num = levels_numpy(self, den)
+        if num is None:
+            num = [0] * self.n
+            pp, pa = self.pred_ptr, self.pred_adj
+            if not ups_vols:
+                # no upsamplers: every term is den — plain longest path
+                for i in self.topo:
+                    lo, hi = pp[i], pp[i + 1]
+                    best = 0
+                    for j in range(lo, hi):
+                        lu = num[pa[j]]
+                        if lu > best:
+                            best = lu
+                    num[i] = den + best
+            else:
+                for i in self.topo:
+                    lo, hi = pp[i], pp[i + 1]
+                    if lo == hi:
+                        num[i] = den
+                        continue
+                    term = den
+                    if (
+                        kinds[i] is not NodeKind.SOURCE
+                        and out_vol[i] > in_vol[i]
+                    ):
+                        term = out_vol[i] * den // in_vol[i]
+                    best = 0
+                    for j in range(lo, hi):
+                        lu = num[pa[j]]
+                        if lu > best:
+                            best = lu
+                    num[i] = term + best
         self._level_num = num
         self._level_den = den
         # correctly-rounded int/int division == float(Fraction(num, den))

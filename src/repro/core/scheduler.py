@@ -116,6 +116,8 @@ def schedule_streaming(
     *,
     sequential_blocks: bool = True,
     size_buffers: bool = True,
+    backend: str | None = None,
+    partition: Partition | None = None,
 ) -> StreamingSchedule:
     """Produce a streaming schedule of ``graph`` on ``num_pes`` PEs.
 
@@ -130,13 +132,37 @@ def schedule_streaming(
         to obtain the bare dependency-driven recurrences.
     size_buffers:
         Run the Section 6 FIFO sizing pass on every streaming edge.
+    backend:
+        Array-kernel backend for the analysis passes: ``"numpy"``,
+        ``"python"`` or ``None``/``"auto"`` (process default, see
+        :mod:`repro.core.backend`).  Results are byte-identical either
+        way; the partitioner is scalar on both backends.
+    partition:
+        Reuse a precomputed partition of ``graph`` instead of running
+        the partitioner (it is backend-independent, so benchmarks and
+        portfolio re-analyses can share it across backends).  Must have
+        been produced by the same ``variant``.
     """
-    if variant == "work":
-        partition = partition_by_work(graph, num_pes)
-    else:
-        partition = compute_spatial_blocks(graph, num_pes, variant)
+    if partition is None:
+        if variant == "work":
+            partition = partition_by_work(graph, num_pes)
+        else:
+            partition = compute_spatial_blocks(graph, num_pes, variant)
 
     ig = freeze(graph)
+    from .backend import resolve_backend
+
+    if resolve_backend(backend) == "numpy":
+        from .kernels import schedule_sweep_numpy
+
+        sched = schedule_sweep_numpy(
+            graph, ig, partition, num_pes,
+            sequential_blocks=sequential_blocks,
+            size_buffers=size_buffers,
+        )
+        if sched is not None:
+            return sched
+        # volumes beyond int64 (counted fallback): reference path below
     names, index = ig.names, ig.index
     kinds, comp = ig.kinds, ig.comp
     topo_pos = ig.topo_pos
@@ -210,5 +236,8 @@ def schedule_streaming(
         const_idx=const_idx,
     )
     if size_buffers:
-        schedule.buffer_sizes = compute_buffer_sizes(schedule)
+        # this branch IS the python backend: keep the sizing pass on the
+        # reference implementation too
+        schedule.buffer_sizes = compute_buffer_sizes(
+            schedule, backend="python")
     return schedule

@@ -13,8 +13,6 @@ import os
 from dataclasses import dataclass
 from typing import Iterable
 
-import numpy as np
-
 from ..core.tabulate import format_table
 
 __all__ = [
@@ -53,6 +51,18 @@ def default_num_graphs(fallback: int = 100) -> int:
         return fallback
 
 
+def _quantile(xs: list[float], q: float) -> float:
+    """Linear-interpolation quantile of sorted ``xs``.
+
+    Matches ``numpy.percentile``'s default (``"linear"``) method, so the
+    printed reproduction tables are identical with and without numpy.
+    """
+    pos = q * (len(xs) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(xs) - 1)
+    return xs[lo] + (xs[hi] - xs[lo]) * (pos - lo)
+
+
 @dataclass(frozen=True)
 class BoxStats:
     """Box-plot statistics of one sample population."""
@@ -68,22 +78,22 @@ class BoxStats:
 
     @classmethod
     def from_samples(cls, samples: Iterable[float]) -> "BoxStats":
-        xs = np.asarray(list(samples), dtype=float)
-        if xs.size == 0:
+        xs = sorted(float(x) for x in samples)
+        if not xs:
             raise ValueError("no samples")
-        q1, med, q3 = np.percentile(xs, [25, 50, 75])
+        q1, med, q3 = (_quantile(xs, q) for q in (0.25, 0.50, 0.75))
         iqr = q3 - q1
         lo_limit, hi_limit = q1 - 1.5 * iqr, q3 + 1.5 * iqr
-        inside = xs[(xs >= lo_limit) & (xs <= hi_limit)]
+        inside = [x for x in xs if lo_limit <= x <= hi_limit]
         return cls(
-            n=int(xs.size),
-            median=float(med),
-            q1=float(q1),
-            q3=float(q3),
-            whisker_lo=float(inside.min()),
-            whisker_hi=float(inside.max()),
-            mean=float(xs.mean()),
-            outliers=int(xs.size - inside.size),
+            n=len(xs),
+            median=med,
+            q1=q1,
+            q3=q3,
+            whisker_lo=min(inside),
+            whisker_hi=max(inside),
+            mean=sum(xs) / len(xs),
+            outliers=len(xs) - len(inside),
         )
 
     def row(self, fmt: str = "{:8.2f}") -> list[str]:

@@ -11,9 +11,9 @@ deterministically from the seed.
 from __future__ import annotations
 
 import networkx as nx
-import numpy as np
 
 from ..core.graph import CanonicalGraph
+from .rng import RNG, PurePythonRNG, make_rng
 from .topologies import (
     chain_topology,
     cholesky_topology,
@@ -36,6 +36,8 @@ __all__ = [
     "assign_random_volumes",
     "random_canonical_graph",
     "topology_by_name",
+    "PurePythonRNG",
+    "make_rng",
     "DEFAULT_VOLUME_CHOICES",
     "PAPER_SIZES",
     "DEFAULT_SIZES",
@@ -73,11 +75,17 @@ def topology_by_name(name: str, size: int) -> nx.DiGraph:
 def random_canonical_graph(
     name: str,
     size: int,
-    seed: int | np.random.Generator = 0,
+    seed: int | RNG = 0,
     volume_choices=DEFAULT_VOLUME_CHOICES,
 ) -> CanonicalGraph:
-    """One random-volume canonical task graph of the given family."""
-    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    """One random-volume canonical task graph of the given family.
+
+    Draws come from numpy's generator when numpy is installed (the
+    stream the committed goldens use) and from the pure-Python
+    :class:`~repro.graphs.rng.PurePythonRNG` otherwise — deterministic
+    per seed either way, but the two streams differ.
+    """
+    rng = make_rng(seed)
     if name in RANDOM_TOPOLOGIES:
         topology = RANDOM_TOPOLOGIES[name](size, rng)
     else:

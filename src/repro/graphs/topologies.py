@@ -32,7 +32,8 @@ from __future__ import annotations
 import math
 
 import networkx as nx
-import numpy as np
+
+from .rng import RNG
 
 __all__ = [
     "chain_topology",
@@ -155,7 +156,7 @@ def cholesky_topology(tiles: int) -> nx.DiGraph:
 
 def random_layered_topology(
     num_tasks: int,
-    rng: np.random.Generator,
+    rng: RNG,
     min_width: int = 2,
     max_width: int = 8,
     p_skip: float = 0.15,
@@ -208,7 +209,7 @@ def random_layered_topology(
 
 def series_parallel_topology(
     num_tasks: int,
-    rng: np.random.Generator,
+    rng: RNG,
     p_parallel: float = 0.55,
     max_branches: int = 4,
 ) -> nx.DiGraph:

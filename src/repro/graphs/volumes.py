@@ -25,9 +25,9 @@ from __future__ import annotations
 from typing import Hashable, Sequence
 
 import networkx as nx
-import numpy as np
 
 from ..core.graph import CanonicalGraph
+from .rng import RNG
 
 __all__ = ["assign_random_volumes", "DEFAULT_VOLUME_CHOICES"]
 
@@ -60,7 +60,7 @@ class _UnionFind:
 
 def assign_random_volumes(
     topology: nx.DiGraph,
-    rng: np.random.Generator,
+    rng: RNG,
     volume_choices: Sequence[int] = DEFAULT_VOLUME_CHOICES,
 ) -> CanonicalGraph:
     """Turn a dependency DAG into a canonical task graph.
@@ -77,7 +77,7 @@ def assign_random_volumes(
         for a, b in zip(preds, preds[1:]):
             uf.union(a, b)
 
-    choices = np.asarray(volume_choices, dtype=np.int64)
+    choices = tuple(int(c) for c in volume_choices)
     class_volume: dict[Hashable, int] = {}
 
     def volume_of_class(node: Hashable) -> int:

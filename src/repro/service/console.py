@@ -162,6 +162,18 @@ class OpsConsole:
             f"store {cache.get('store_entries', 0)}   "
             f"evictions {cache.get('evictions', 0)}",
         ]
+        backend = stats.get("backend")
+        if backend:  # pre-backend servers don't report the kernel tier
+            falls = backend.get("kernel_fallbacks") or {}
+            fallback = (
+                " ".join(f"{k}:{v}" for k, v in sorted(falls.items()))
+                or "none"
+            )
+            lines.append(
+                f"  backend {backend.get('backend', '?'):<7} "
+                f"numpy {backend.get('numpy') or '-':<9} "
+                f"fallbacks {fallback}"
+            )
         shards = stats.get("shards")
         if shards:  # sharded tier: one row per supervised shard
             counters = stats.get("router_counters") or {}

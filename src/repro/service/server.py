@@ -818,10 +818,13 @@ class ScheduleService:
         return {"ok": False, "error": message, **extra}
 
     def _stats(self) -> dict:
+        from ..core.backend import backend_info
+
         stats = {
             "ok": True,
             "op": "stats",
             "version": __version__,
+            "backend": backend_info(),
             "uptime_s": round(time.time() - self.started, 3),
             "served": self.served,
             "computed": self.computed,

@@ -1,0 +1,762 @@
+"""NumPy backend for the array-state simulator (timestamp arenas).
+
+Same semantics, state machine and results as
+:func:`repro.sim.indexed.simulate_schedule_indexed` — this module keeps
+the scalar engine's per-element hot path byte-for-byte and adds an
+array tier on top:
+
+* every channel owns a segment of two **preallocated int64 arenas**
+  (channel-major, one for accept times, one for pop times): a streaming
+  channel carries exactly ``out_vol(src)`` elements end to end, so the
+  timestamp queues never grow or wrap — the arenas *are* the channel
+  history.  The scalar state machine appends to plain python lists
+  (list indexing is the fastest scalar storage CPython has); flush
+  cursors copy each list's tail into its arena segment exactly once,
+  on demand, so every timestamp pays one conversion total;
+* **batched horizon advancement**: a task that can provably run ``L``
+  consume steps (every input timestamp already produced, memory
+  readiness resolved) or ``M`` emit steps (every backpressure pop
+  already recorded) advances them as one max-plus prefix scan over
+  arena slices —
+
+      t_j = max(t_{j-1} + 1, X_j)   ==   t = max-accum(X - j) + j
+
+  instead of one python iteration per element.  Run lengths are bounded
+  by each task's production-rate ratio and by FIFO occupancy, so at the
+  paper-default volume band (8..64) batches rarely engage and the
+  engine tracks the scalar one; on rate-skewed graphs the same loops
+  collapse into a few scans;
+* pacing anchors are **peeled scalar**: the first paced element fixes
+  ``ra``/``wa`` exactly like the scalar engine and only the anchored
+  remainder is batched;
+* ``channel_stats`` merges every channel's accept/pop sequences in one
+  flat ``searchsorted`` + ``maximum.reduceat`` pass over the arenas
+  (pops win ties, as in the scalar merge) instead of a python
+  two-pointer walk per channel.
+
+Exact-integer contract: every batched product (pacing numerators, run
+bounds) is pre-checked against int64, and schedules whose timestamps
+could leave int64 run on the scalar big-int engine instead (counted in
+``core.kernel_fallbacks``).  Results are byte-identical to the scalar
+engine by construction — the batches compute the same recurrences —
+and the differential tests enforce it across policies, pacings and
+undersized-FIFO deadlocks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Literal
+
+import numpy as np
+
+from ..core.backend import count_fallback
+from ..core.indexed import freeze
+from ..core.node_types import NodeKind
+from .engine import DeadlockError
+from .indexed import simulate_schedule_indexed
+from .result import BlockPolicy, SimulationResult
+
+__all__ = ["simulate_schedule_numpy"]
+
+_I64 = np.int64
+_NEG = -(1 << 62)  #: neutral element for the max-plus scans
+_C31 = 1 << 31
+#: analysis-makespan ceiling for the int64 arenas: simulated horizons
+#: track the analysis makespan (same steady-state pacing model), so a
+#: generous margin below 2**63 keeps every timestamp representable
+_HORIZON_SAFE = 1 << 48
+#: minimum run length worth a batched scan — below this the scalar
+#: per-element steps win (a scan costs a handful of small allocations)
+_BATCH_MIN = 32
+#: consecutive failed length probes before a task stops probing for
+#: good: run lengths are bounded by FIFO occupancy, and capacities are
+#: fixed, so a task that keeps coming up short is capacity-bound and
+#: will stay that way — re-probing it every activation is pure loss
+_PROBE_BUDGET = 16
+
+#: task state-machine phases (same encoding as repro.sim.indexed)
+_GATE, _LOOP, _EMIT, _DONE = 0, 1, 2, 3
+
+
+def simulate_schedule_numpy(
+    schedule,
+    *,
+    policy: BlockPolicy = "barrier",
+    pacing: Literal["steady", "greedy"] = "steady",
+    capacity_override: int | None = None,
+    raise_on_deadlock: bool = False,
+) -> SimulationResult:
+    """Simulate ``schedule`` on the arena-backed numpy engine.
+
+    Same signature and semantics as
+    :func:`repro.sim.indexed.simulate_schedule_indexed`; the runner
+    dispatches here when the ``numpy`` backend is selected.  Schedules
+    whose timestamps could leave int64 (adversarial volumes) run on the
+    scalar engine instead — counted in ``core.kernel_fallbacks`` under
+    ``sim.overflow`` — so results are exact either way.
+    """
+    if schedule.makespan >= _HORIZON_SAFE:
+        count_fallback("sim.overflow")
+        return simulate_schedule_indexed(
+            schedule, policy=policy, pacing=pacing,
+            capacity_override=capacity_override,
+            raise_on_deadlock=raise_on_deadlock,
+        )
+    try:
+        return _simulate_numpy(
+            schedule, policy=policy, pacing=pacing,
+            capacity_override=capacity_override,
+            raise_on_deadlock=raise_on_deadlock,
+        )
+    except OverflowError:
+        # a timestamp outgrew the int64 arenas (the arena flush raises
+        # before anything wraps); all state was call-local, so
+        # re-running on the scalar big-int engine is exact
+        count_fallback("sim.overflow")
+        return simulate_schedule_indexed(
+            schedule, policy=policy, pacing=pacing,
+            capacity_override=capacity_override,
+            raise_on_deadlock=raise_on_deadlock,
+        )
+
+
+def _simulate_numpy(
+    schedule,
+    *,
+    policy: BlockPolicy,
+    pacing: Literal["steady", "greedy"],
+    capacity_override: int | None,
+    raise_on_deadlock: bool,
+) -> SimulationResult:
+    ig = freeze(schedule.graph)
+    n = ig.n
+    names = ig.names
+    comp = ig.comp
+    kinds = ig.kinds
+    in_vol, out_vol = ig.in_vol, ig.out_vol
+    sp, sa = ig.succ_ptr, ig.succ_adj
+    pp, pa = ig.pred_ptr, ig.pred_adj
+
+    block_of = schedule.partition.block_of
+    blk = [block_of[names[i]] if comp[i] else -1 for i in range(n)]
+    comp_ids = [i for i in range(n) if comp[i]]
+
+    # ---- channels for streaming edges (CSR successor order, which is
+    # the reference runner's put order) --------------------------------
+    buffer_sizes = schedule.buffer_sizes
+    ch_src: list[int] = []
+    ch_dst: list[int] = []
+    ch_cap: list[int] = []
+    out_ch: list[list[int]] = [[] for _ in range(n)]
+    fifo_in: list[list[int]] = [[] for _ in range(n)]
+    mem_in: list[list[int]] = [[] for _ in range(n)]
+    for u in range(n):
+        cu = comp[u]
+        bu = blk[u]
+        for j in range(sp[u], sp[u + 1]):
+            v = sa[j]
+            if not comp[v]:
+                continue
+            if cu and bu == blk[v]:
+                cap = (
+                    capacity_override
+                    if capacity_override is not None
+                    else buffer_sizes.get((names[u], names[v]), 1)
+                )
+                if cap < 1:
+                    raise ValueError("FIFO capacity must be at least 1")
+                out_ch[u].append(len(ch_src))
+                fifo_in[v].append(len(ch_src))
+                ch_src.append(u)
+                ch_dst.append(v)
+                ch_cap.append(cap)
+            else:
+                mem_in[v].append(u)
+    nch = len(ch_src)
+    ch_arr: list[list[int]] = [[] for _ in range(nch)]  #: accept times
+    ch_pop: list[list[int]] = [[] for _ in range(nch)]  #: pop times
+    cons_wait = [False] * nch  #: consumer blocked on next element
+    prod_wait = [False] * nch  #: producer blocked on next pop
+
+    # ---- preallocated timestamp arenas --------------------------------
+    # channel e moves exactly out_vol[src] elements (canonical volumes:
+    # the consumer's in_vol matches), so accepts and pops each fit a
+    # fixed channel-major segment.  The lists above stay authoritative
+    # for the scalar state machine; `_flush_acc`/`_flush_pop` copy each
+    # list's unseen tail into its segment so the batched scans and the
+    # statistics pass read plain int64 slices
+    ch_base = [0] * (nch + 1)
+    for e in range(nch):
+        ch_base[e + 1] = ch_base[e] + out_vol[ch_src[e]]
+    total = ch_base[nch]
+    acc_arena = np.empty(total, dtype=_I64)
+    pop_arena = np.empty(total, dtype=_I64)
+    acc_fl = [0] * nch  #: accepts already flushed into the arena
+    pop_fl = [0] * nch
+
+    def _flush_acc(e: int) -> None:
+        f = acc_fl[e]
+        arr = ch_arr[e]
+        k = len(arr)
+        if k > f:
+            b0 = ch_base[e]
+            acc_arena[b0 + f:b0 + k] = arr[f:] if f else arr
+            acc_fl[e] = k
+
+    def _flush_pop(e: int) -> None:
+        f = pop_fl[e]
+        pops = ch_pop[e]
+        k = len(pops)
+        if k > f:
+            b0 = ch_base[e]
+            pop_arena[b0 + f:b0 + k] = pops[f:] if f else pops
+            pop_fl[e] = k
+
+    # ---- memory readiness (identical to the scalar engine) ------------
+    contrib: list[tuple[int, ...]] = [()] * n
+    for i in ig.topo:
+        if comp[i]:
+            contrib[i] = (i,)
+        elif kinds[i] is NodeKind.BUFFER:
+            acc: list[int] = []
+            seen: set[int] = set()
+            for j in range(pp[i], pp[i + 1]):
+                for t in contrib[pa[j]]:
+                    if t not in seen:
+                        seen.add(t)
+                        acc.append(t)
+            contrib[i] = tuple(acc)
+    ready_t: list[int | None] = [None] * n  #: resolved readiness times
+
+    # ---- block gating (identical to the scalar engine) ----------------
+    num_blocks = schedule.num_blocks
+    gate_block = [-1] * n
+    gate_task = [-1] * n
+    block_gate: list[int] | None = None
+    if policy == "barrier":
+        block_members: list[int] = [0] * num_blocks
+        for i in comp_ids:
+            gate_block[i] = blk[i]
+            block_members[blk[i]] += 1
+        block_gate = [-1] * num_blocks  #: fire time, -1 = not yet fired
+        block_rem = list(block_members)
+        block_max = [0] * num_blocks
+        block_waiters: list[list[int]] = [[] for _ in range(num_blocks)]
+        if num_blocks:
+            block_gate[0] = 0
+        for b in range(1, num_blocks):
+            if block_members[b - 1] == 0:
+                block_gate[b] = 0
+    elif policy == "pe":
+        pe_of = schedule.pe_of
+        prev_on_pe: dict[int, int] = {}
+        for i in sorted(comp_ids, key=lambda i: (blk[i], pe_of[names[i]])):
+            pe = pe_of[names[i]]
+            if pe in prev_on_pe:
+                gate_task[i] = prev_on_pe[pe]
+            prev_on_pe[pe] = i
+    elif policy != "dataflow":
+        raise ValueError(f"unknown block policy {policy!r}")
+
+    # ---- pacing intervals ---------------------------------------------
+    si_n = [0] * n
+    si_d = [0] * n
+    so_n = [0] * n
+    so_d = [0] * n
+    si, so = schedule.si, schedule.so
+    for i in comp_ids:
+        v = names[i]
+        r = si.get(v)
+        w = so.get(v)
+        if pacing != "steady":  # greedy: free-run, memory reads stay paced
+            w = None
+            if fifo_in[i]:
+                r = None
+        if r is not None:
+            si_n[i], si_d[i] = r.numerator, r.denominator
+        if w is not None:
+            so_n[i], so_d[i] = w.numerator, w.denominator
+
+    # ---- batch eligibility (per-task constants) -----------------------
+    # a consume run between two emits spans ceil(vol_i/vol_o) elements
+    # (the whole input for sinks) and an emit run ceil(vol_o/vol_i), so
+    # only rate-skewed tasks can ever reach ``_BATCH_MIN`` — everyone
+    # else runs the scalar path with zero probe overhead.  Tasks whose
+    # volumes or pacing numerators could overflow the batched int64
+    # products stay scalar too (counted once, as ``sim.pacing``).
+    pacing_fallback = False
+    can_c = [False] * n
+    can_e = [False] * n
+    for i in comp_ids:
+        vi, vo = in_vol[i], out_vol[i]
+        if not (si_n[i] < _C31 and so_n[i] < _C31
+                and vi < _C31 and vo < _C31):
+            if not pacing_fallback:
+                pacing_fallback = True
+                count_fallback("sim.pacing")
+            continue
+        can_c[i] = vi >= (_BATCH_MIN * vo if vo else _BATCH_MIN)
+        can_e[i] = vo >= (_BATCH_MIN * vi if vi else _BATCH_MIN)
+    probe_c = [_PROBE_BUDGET] * n
+    probe_e = [_PROBE_BUDGET] * n
+
+    # ---- task state ----------------------------------------------------
+    phase = [_GATE] * n
+    cns = [0] * n  #: consumed
+    prd = [0] * n  #: produced
+    tau = [0] * n  #: task-local clock
+    ra = [-1] * n  #: read anchor
+    wa = [-1] * n  #: write anchor
+    oi = [0] * n  #: output index of a suspended emit
+    started = [-1] * n
+    finish_t = [-1] * n
+    why: list[tuple | None] = [None] * n
+    comp_waiters: list[list[int]] = [[] for _ in range(n)]
+    queued = [True] * n
+    horizon = 0
+    remaining = len(comp_ids)
+
+    run_q = deque(comp_ids)
+
+    def wake(i: int) -> None:
+        if not queued[i] and phase[i] != _DONE:
+            queued[i] = True
+            run_q.append(i)
+
+    def advance(i: int) -> None:
+        """Run task ``i`` until it blocks on an unknown timestamp."""
+        nonlocal horizon, remaining
+        arrs, pops_, caps = ch_arr, ch_pop, ch_cap
+        cwait, pwait = cons_wait, prod_wait
+        ph = phase[i]
+        t = tau[i]
+        c = cns[i]
+        p = prd[i]
+        vol_i = in_vol[i]
+        vol_o = out_vol[i]
+        o = oi[i] if ph == _EMIT else 0
+
+        if ph == _GATE:
+            b = gate_block[i]
+            if b >= 0:
+                gt = block_gate[b]
+                if gt < 0:
+                    block_waiters[b].append(i)
+                    why[i] = ("gate_block", b)
+                    phase[i] = _GATE
+                    return
+                if gt > t:
+                    t = gt
+            else:
+                g = gate_task[i]
+                if g >= 0:
+                    ft = finish_t[g]
+                    if ft < 0:
+                        comp_waiters[g].append(i)
+                        why[i] = ("gate_task", g)
+                        return
+                    if ft > t:
+                        t = ft
+            ph = _LOOP
+
+        fin = fifo_in[i]
+        mem = mem_in[i]
+        och = out_ch[i]
+        rn, rd = si_n[i], si_d[i]
+        wn, wd = so_n[i], so_d[i]
+        # one failed length probe disables further batch tries this
+        # activation: input availability (and consumer pops) cannot
+        # grow while no other task runs, so re-probing every element
+        # would be pure overhead
+        try_batch = can_c[i]
+        try_ebatch = can_e[i]
+
+        while True:
+            if ph == _LOOP:
+                if c >= vol_i and p >= vol_o:
+                    break  # the dataflow loop is complete
+                need = -(-((p + 1) * vol_i) // vol_o) if p < vol_o else vol_i
+                if c < need:
+                    # -- batched consume run: only when scalar provably
+                    # would neither suspend nor anchor — every input
+                    # element already produced, memory readiness already
+                    # resolved, the read anchor already fixed -----------
+                    if (try_batch and need - c >= _BATCH_MIN
+                            and (not rd or ra[i] >= 0)):
+                        L = need - c
+                        for e in fin:
+                            a = len(arrs[e]) - c
+                            if a < L:
+                                L = a
+                        mbase = 0
+                        if L >= _BATCH_MIN:
+                            for u in mem:
+                                rt = ready_t[u]
+                                if rt is None:
+                                    L = 0  # scalar path resolves it;
+                                    break  # a later try may then batch
+                                if rt > mbase:
+                                    mbase = rt
+                        else:
+                            try_batch = False  # availability-bound
+                            pb = probe_c[i] - 1
+                            probe_c[i] = pb
+                            if not pb:
+                                can_c[i] = False
+                        if L >= _BATCH_MIN:
+                            # t_j = max(t_{j-1} + 1, X_j) as a prefix scan
+                            js = np.arange(L, dtype=_I64)
+                            if fin:
+                                e0 = fin[0]
+                                _flush_acc(e0)
+                                b0 = ch_base[e0] + c
+                                X = acc_arena[b0:b0 + L].astype(
+                                    _I64, copy=True)
+                                for e in fin[1:]:
+                                    _flush_acc(e)
+                                    b1 = ch_base[e] + c
+                                    np.maximum(
+                                        X, acc_arena[b1:b1 + L], out=X)
+                                if mbase:
+                                    np.maximum(X, mbase, out=X)
+                            else:
+                                X = np.full(L, mbase, dtype=_I64)
+                            if rd:
+                                due = ra[i] + -(-((c + js) * rn) // rd)
+                                np.maximum(X, due, out=X)
+                            z = np.maximum.accumulate(X - js)
+                            ts = np.maximum(z, t) + js
+                            ts_l = ts.tolist()
+                            for e in fin:
+                                pops = pops_[e]
+                                if pop_fl[e] == len(pops):
+                                    # keep the arena mirror current so a
+                                    # later flush skips these elements
+                                    b1 = ch_base[e] + len(pops)
+                                    pop_arena[b1:b1 + L] = ts
+                                    pops.extend(ts_l)
+                                    pop_fl[e] = len(pops)
+                                else:
+                                    pops.extend(ts_l)
+                                if pwait[e]:
+                                    pwait[e] = False
+                                    w = ch_src[e]
+                                    if not queued[w]:
+                                        queued[w] = True
+                                        run_q.append(w)
+                            if started[i] < 0:
+                                started[i] = ts_l[0]
+                            probe_c[i] = _PROBE_BUDGET
+                            c += L
+                            t = ts_l[L - 1] + 1
+                            if p < vol_o and c >= need:
+                                ph = _EMIT
+                                o = 0
+                            continue
+
+                    # -- scalar element (exact copy of the base engine) -
+                    for e in fin:
+                        arr = arrs[e]
+                        if len(arr) <= c:  # not yet produced: suspend
+                            cwait[e] = True
+                            why[i] = ("avail",)
+                            cns[i], prd[i], tau[i], phase[i] = c, p, t, _LOOP
+                            if t > horizon:
+                                horizon = t
+                            return
+                        a = arr[c]
+                        if a > t:
+                            t = a
+                    for u in mem:
+                        rt = ready_t[u]
+                        if rt is None:
+                            rt = 0
+                            pend = -1
+                            for tk in contrib[u]:
+                                ft = finish_t[tk]
+                                if ft < 0:
+                                    pend = tk
+                                    break
+                                if ft > rt:
+                                    rt = ft
+                            if pend >= 0:  # producer still running
+                                comp_waiters[pend].append(i)
+                                why[i] = ("avail",)
+                                cns[i], prd[i], tau[i], phase[i] = \
+                                    c, p, t, _LOOP
+                                if t > horizon:
+                                    horizon = t
+                                return
+                            ready_t[u] = rt
+                        if rt > t:
+                            t = rt
+                    if rd:  # read pacing: element c no earlier than due
+                        anchor = ra[i]
+                        if anchor < 0:
+                            anchor = ra[i] = t
+                        due = anchor + -(-(c * rn) // rd)
+                        if due > t:
+                            t = due
+                    for e in fin:  # non-eager pop of one element each
+                        pops_[e].append(t)
+                        if pwait[e]:
+                            pwait[e] = False
+                            w = ch_src[e]
+                            if not queued[w]:
+                                queued[w] = True
+                                run_q.append(w)
+                    if started[i] < 0:
+                        started[i] = t
+                    c += 1
+                    t += 1
+                    if p < vol_o and c >= need:
+                        ph = _EMIT
+                        o = 0
+                else:
+                    if started[i] < 0:
+                        started[i] = t
+                    t += 1
+                    ph = _EMIT
+                    o = 0
+            else:  # _EMIT: one element to every output, in order
+                # -- batched emit run: consecutive emits c already
+                # licenses, all of whose backpressure pops are known ----
+                if (o == 0 and try_ebatch
+                        and not (wd and wa[i] < 0)):  # anchor peeled
+                    allowed = (vol_o - p if c >= vol_i
+                               else (c * vol_o) // vol_i - p)
+                    M = allowed
+                    if M >= _BATCH_MIN:
+                        for e in och:
+                            m = len(pops_[e]) + caps[e] - len(arrs[e])
+                            if m < M:
+                                M = m
+                        if M < _BATCH_MIN:
+                            # backpressure-bound: the consumers' pops
+                            # cannot arrive during this activation
+                            try_ebatch = False
+                            pb = probe_e[i] - 1
+                            probe_e[i] = pb
+                            if not pb:
+                                can_e[i] = False
+                    if M >= _BATCH_MIN:
+                        nout = len(och)
+                        qs = np.arange(M, dtype=_I64)
+                        X = np.full((M, nout + 1), _NEG, dtype=_I64)
+                        if wd:
+                            X[:, 0] = wa[i] + -(-((p + qs) * wn) // wd)
+                        for ei, e in enumerate(och):
+                            # accept k waits for pop k - cap
+                            k0 = len(arrs[e]) - caps[e]
+                            lo = 0 if k0 >= 0 else -k0
+                            if lo < M:
+                                _flush_pop(e)
+                                b1 = ch_base[e] + k0 + lo
+                                X[lo:, ei + 1] = \
+                                    pop_arena[b1:b1 + (M - lo)]
+                        # +1 between consecutive emits (the _LOOP hop),
+                        # none inside one emit's channel chain
+                        Y = X - qs[:, None]
+                        flat = np.maximum.accumulate(Y.ravel())
+                        np.maximum(flat, t, out=flat)
+                        vals = flat.reshape(M, nout + 1) + qs[:, None]
+                        for ei, e in enumerate(och):
+                            arr = arrs[e]
+                            col = vals[:, ei + 1]
+                            if acc_fl[e] == len(arr):
+                                b1 = ch_base[e] + len(arr)
+                                acc_arena[b1:b1 + M] = col
+                                arr.extend(col.tolist())
+                                acc_fl[e] = len(arr)
+                            else:
+                                arr.extend(col.tolist())
+                            if cwait[e]:
+                                cwait[e] = False
+                                w = ch_dst[e]
+                                if not queued[w]:
+                                    queued[w] = True
+                                    run_q.append(w)
+                        probe_e[i] = _PROBE_BUDGET
+                        p += M
+                        t = int(vals[M - 1, nout])
+                        ph = _LOOP
+                        continue
+
+                if wd:  # write pacing (idempotent on emit resume)
+                    anchor = wa[i]
+                    if anchor < 0:
+                        anchor = wa[i] = t
+                    due = anchor + -(-(p * wn) // wd)
+                    if due > t:
+                        t = due
+                nout = len(och)
+                while o < nout:
+                    e = och[o]
+                    arr = arrs[e]
+                    k = len(arr)
+                    cap = caps[e]
+                    if k >= cap:
+                        pops = pops_[e]
+                        j = k - cap
+                        if len(pops) <= j:  # space not freed: suspend
+                            pwait[e] = True
+                            why[i] = ("put", e)
+                            oi[i] = o
+                            cns[i], prd[i], tau[i], phase[i] = c, p, t, _EMIT
+                            if t > horizon:
+                                horizon = t
+                            return
+                        pt = pops[j]
+                        if pt > t:
+                            t = pt
+                    arr.append(t)
+                    if cwait[e]:
+                        cwait[e] = False
+                        w = ch_dst[e]
+                        if not queued[w]:
+                            queued[w] = True
+                            run_q.append(w)
+                    o += 1
+                p += 1
+                ph = _LOOP
+
+        # ---- task finished ---------------------------------------------
+        phase[i] = _DONE
+        tau[i] = t
+        finish_t[i] = t
+        if t > horizon:
+            horizon = t
+        remaining -= 1
+        waiters = comp_waiters[i]
+        if waiters:
+            comp_waiters[i] = []
+            for w in waiters:
+                wake(w)
+        if block_gate is not None:
+            b = blk[i]
+            if t > block_max[b]:
+                block_max[b] = t
+            block_rem[b] -= 1
+            if block_rem[b] == 0 and b + 1 < num_blocks:
+                block_gate[b + 1] = block_max[b]
+                bw = block_waiters[b + 1]
+                if bw:
+                    block_waiters[b + 1] = []
+                    for w in bw:
+                        wake(w)
+
+    while run_q:
+        i = run_q.popleft()
+        queued[i] = False
+        advance(i)
+
+    finish = {names[i]: finish_t[i] for i in comp_ids if finish_t[i] >= 0}
+    starts = {names[i]: started[i] for i in comp_ids if started[i] >= 0}
+
+    def channel_stats() -> dict:
+        """Max occupancy per channel, merged in one flat pass.
+
+        Occupancy right after accept ``k`` is ``k + 1`` minus the pops
+        at or before it (pops win ties, matching the scalar merge);
+        the scalar merge never reports below zero.  The arenas are
+        channel-major and nondecreasing per channel, so lifting every
+        timestamp by ``channel_id * stride`` makes them globally sorted
+        and one ``searchsorted`` + ``maximum.reduceat`` covers all
+        channels at once.
+        """
+        mx = [0] * nch
+        if nch:
+            for e in range(nch):
+                _flush_acc(e)
+                _flush_pop(e)
+            na_arr = np.asarray(acc_fl, dtype=_I64)
+            np_arr = np.asarray(pop_fl, dtype=_I64)
+            stride = horizon + 2
+            if nch * stride < (1 << 62):
+                a_base = np.concatenate(([0], np.cumsum(na_arr)))
+                p_base = np.concatenate(([0], np.cumsum(np_arr)))
+                tot_a = int(a_base[-1])
+                if tot_a:
+                    # gather the filled prefix of every channel segment
+                    a_ch = np.repeat(np.arange(nch), na_arr)
+                    p_ch = np.repeat(np.arange(nch), np_arr)
+                    bases = np.asarray(ch_base[:-1], dtype=_I64)
+                    A = acc_arena[
+                        np.arange(tot_a) - a_base[a_ch] + bases[a_ch]
+                    ] + a_ch * stride
+                    P = pop_arena[
+                        np.arange(int(p_base[-1])) - p_base[p_ch]
+                        + bases[p_ch]
+                    ] + p_ch * stride
+                    done = np.searchsorted(P, A, side="right")
+                    occ = (np.arange(tot_a) - a_base[a_ch] + 1
+                           - (done - p_base[a_ch]))
+                    filled = np.flatnonzero(na_arr)
+                    peaks = np.maximum.reduceat(occ, a_base[filled])
+                    for e, pk in zip(filled.tolist(), peaks.tolist()):
+                        if pk > 0:
+                            mx[e] = pk
+            else:  # timestamps too large to lift: per-channel merges
+                for e in range(nch):
+                    na = acc_fl[e]
+                    if na == 0:
+                        continue
+                    b0 = ch_base[e]
+                    done = np.searchsorted(
+                        pop_arena[b0:b0 + pop_fl[e]],
+                        acc_arena[b0:b0 + na], side="right")
+                    pk = int(
+                        (np.arange(1, na + 1, dtype=_I64) - done).max())
+                    if pk > 0:
+                        mx[e] = pk
+        return {
+            (names[ch_src[e]], names[ch_dst[e]]): (ch_cap[e], mx[e])
+            for e in range(nch)
+        }
+
+    if remaining:
+        blocked = []
+        for i in comp_ids:
+            if finish_t[i] >= 0:
+                continue
+            reason = why[i]
+            kind = reason[0] if reason else "?"
+            if kind == "gate_block":
+                ev = f"block{reason[1]}.start"
+            elif kind == "gate_task":
+                ev = f"{names[reason[1]]}.completion"
+            elif kind == "put":
+                e = reason[1]
+                ev = f"{names[ch_src[e]]}->{names[ch_dst[e]]}.put"
+            else:
+                ev = "all_of"
+            blocked.append(f"task:{names[i]} (on {ev})")
+        error = DeadlockError(
+            horizon,
+            blocked,
+            channels={
+                f"{names[ch_src[e]]}->{names[ch_dst[e]]}": (
+                    len(ch_arr[e]) - len(ch_pop[e]),
+                    ch_cap[e],
+                )
+                for e in range(nch)
+            },
+        )
+        if raise_on_deadlock:
+            raise error
+        return SimulationResult(
+            makespan=error.time,
+            finish_times=finish,
+            deadlocked=True,
+            blocked=error.blocked,
+            channel_stats=channel_stats(),
+            start_times=starts,
+            deadlock_channels=error.channels,
+        )
+    return SimulationResult(
+        makespan=horizon,
+        finish_times=finish,
+        channel_stats=channel_stats(),
+        start_times=starts,
+    )

@@ -41,6 +41,7 @@ def simulate_schedule(
     capacity_override: int | None = None,
     raise_on_deadlock: bool = False,
     engine: Literal["indexed", "reference"] = "indexed",
+    backend: str | None = None,
 ) -> SimulationResult:
     """Simulate ``schedule`` cycle-accurately; returns timing + stats.
 
@@ -67,9 +68,20 @@ def simulate_schedule(
     engine:
         ``"indexed"`` (default, fast) or ``"reference"`` (the legacy
         process-based oracle).
+    backend:
+        Array backend for the indexed engine: ``"numpy"`` swaps in the
+        timestamp-arena kernels of :mod:`repro.sim.kernels`,
+        ``"python"`` pins the scalar engine, ``None``/``"auto"`` uses
+        the process default (see :mod:`repro.core.backend`).  Results
+        are byte-identical either way; the reference engine ignores it.
     """
     if engine == "indexed":
-        run = simulate_schedule_indexed
+        from ..core.backend import resolve_backend
+
+        if resolve_backend(backend) == "numpy":
+            from .kernels import simulate_schedule_numpy as run
+        else:
+            run = simulate_schedule_indexed
     elif engine == "reference":
         run = simulate_schedule_reference
     else:

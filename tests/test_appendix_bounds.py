@@ -8,18 +8,18 @@ downsampler graphs, work-ordered Algorithm 2):
 
 import math
 
-import numpy as np
 import pytest
 
 from repro import CanonicalGraph, schedule_streaming, streaming_depth, total_work
 from repro.core.levels import node_levels
+from repro.graphs import make_rng
 
 from conftest import build_elementwise_chain
 
 
 def random_ew_dag(seed: int, layers: int = 5, width: int = 4, k: int = 16):
     """Random layered element-wise DAG (equal volumes everywhere)."""
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     g = CanonicalGraph()
     prev: list = []
     for li in range(layers):

@@ -1,7 +1,6 @@
 """Unit tests for the synthetic topology generators (Section 7.1)."""
 
 import networkx as nx
-import numpy as np
 import pytest
 
 from repro.graphs import (
@@ -12,6 +11,7 @@ from repro.graphs import (
     expected_task_count,
     fft_topology,
     gaussian_elimination_topology,
+    make_rng,
     random_canonical_graph,
     random_layered_topology,
     series_parallel_topology,
@@ -96,17 +96,17 @@ class TestRandomFamilies:
             "layered": random_layered_topology,
             "serpar": series_parallel_topology,
         }[family]
-        g = builder(60, np.random.default_rng(7))
+        g = builder(60, make_rng(7))
         assert nx.is_directed_acyclic_graph(g)
         assert nx.is_weakly_connected(g)
-        same = builder(60, np.random.default_rng(7))
+        same = builder(60, make_rng(7))
         assert sorted(g.edges) == sorted(same.edges)
-        other = builder(60, np.random.default_rng(8))
+        other = builder(60, make_rng(8))
         assert sorted(g.edges) != sorted(other.edges)
 
     def test_layered_exact_task_count(self):
         for n in (1, 2, 17, 128):
-            g = random_layered_topology(n, np.random.default_rng(0))
+            g = random_layered_topology(n, make_rng(0))
             assert g.number_of_nodes() == n
 
     @pytest.mark.parametrize("family", ["layered", "serpar"])
@@ -116,7 +116,7 @@ class TestRandomFamilies:
             "serpar": series_parallel_topology,
         }[family]
         for seed in range(10):
-            g = builder(50, np.random.default_rng(seed))
+            g = builder(50, make_rng(seed))
             entries = [v for v in g if g.in_degree(v) == 0]
             exits = [v for v in g if g.out_degree(v) == 0]
             assert len(entries) == 1 and len(exits) == 1
@@ -179,4 +179,4 @@ class TestRandomVolumes:
     def test_rejects_cyclic_topology(self):
         cyc = nx.DiGraph([(0, 1), (1, 0)])
         with pytest.raises(ValueError):
-            assign_random_volumes(cyc, np.random.default_rng(0))
+            assign_random_volumes(cyc, make_rng(0))
